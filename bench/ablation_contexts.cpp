@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation: Apache throughput vs number of hardware contexts — the
+ * latency-tolerance claim at the heart of the paper, swept from the
+ * superscalar (1 context) to the full 8-context SMT.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Ablation: hardware context count (Apache)",
+           "throughput should rise with contexts as SMT converts "
+           "thread-level parallelism into issue slots");
+
+    TextTable t("Apache steady state vs contexts");
+    t.header({"contexts", "IPC", "0-fetch %", "L1D miss %",
+              "OS cycles %"});
+    for (int n : {1, 2, 4, 8}) {
+        RunSpec s = apacheSmt();
+        s.numContexts = n;
+        s.measureInstrs = n >= 4 ? 2'000'000 : 1'200'000;
+        if (n == 1)
+            s.startupInstrs = 1'000'000;
+        RunResult r = runExperiment(s);
+        const ArchMetrics a = archMetrics(r.steady);
+        const ModeShares m = modeShares(r.steady);
+        t.row({TextTable::num(static_cast<std::uint64_t>(n)),
+               TextTable::num(a.ipc, 2),
+               TextTable::num(a.zeroFetchPct, 1),
+               TextTable::num(a.l1dMissPct, 1),
+               TextTable::num(m.kernelPct + m.palPct, 1)});
+    }
+    t.print();
+    return 0;
+}

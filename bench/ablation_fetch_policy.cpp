@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ablation: the 2.8 ICOUNT fetch scheme of [41] vs a single-context
+ * fetch (1.8) and round-robin selection, on the Apache workload.
+ * ICOUNT's bias toward least-occupying threads is what keeps the
+ * shared queues balanced under OS-heavy execution.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Ablation: fetch policy (ICOUNT 2.8 vs 1.8 vs round-robin)",
+           "design-choice sweep; the paper adopts ICOUNT 2.8 from "
+           "prior SMT work");
+
+    TextTable t("Apache on SMT, steady state");
+    t.header({"fetch policy", "IPC", "0-fetch %", "squashed %",
+              "fetchable ctxs"});
+    auto add = [&](const char *name, RunSpec s) {
+        const ArchMetrics a = archMetrics(runExperiment(s).steady);
+        t.row({name, TextTable::num(a.ipc, 2),
+               TextTable::num(a.zeroFetchPct, 1),
+               TextTable::num(a.squashedPct, 1),
+               TextTable::num(a.fetchableContexts, 2)});
+    };
+    RunSpec icount28 = apacheSmt();
+    RunSpec icount18 = apacheSmt();
+    icount18.fetchContexts = 1;
+    RunSpec rr28 = apacheSmt();
+    rr28.roundRobinFetch = true;
+    add("ICOUNT 2.8", icount28);
+    add("ICOUNT 1.8", icount18);
+    add("round-robin 2.8", rr28);
+    t.print();
+    return 0;
+}

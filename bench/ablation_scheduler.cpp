@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation: FIFO vs cache-affinity run-queue policy on Apache — the
+ * SMT-aware scheduling direction the paper lists as future work
+ * (Parekh et al. [30], Snavely & Tullsen [36]).
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Ablation: scheduler policy (FIFO vs cache affinity)",
+           "future-work direction: affinity keeps a process's warm "
+           "cache/TLB state on the context it last used");
+
+    TextTable t("Apache on SMT, steady state");
+    t.header({"policy", "IPC", "L1D miss %", "DTLB miss %",
+              "context switches", "requests"});
+    auto add = [&](const char *name, bool affinity) {
+        RunSpec s = apacheSmt();
+        s.affinitySched = affinity;
+        RunResult r = runExperiment(s);
+        const ArchMetrics a = archMetrics(r.steady);
+        t.row({name, TextTable::num(a.ipc, 2),
+               TextTable::num(a.l1dMissPct, 1),
+               TextTable::num(a.dtlbMissPct, 2),
+               TextTable::num(r.steady.contextSwitches),
+               TextTable::num(r.steady.requestsServed)});
+    };
+    add("FIFO", false);
+    add("affinity", true);
+    t.print();
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: shared vs per-context TLB-miss IPRs.
+ *
+ * The paper's OS modification #2 replicated the internal processor
+ * registers used to install TLB entries per hardware context,
+ * removing a race and letting multiple contexts process TLB misses in
+ * parallel. This bench runs the fault-heavy SPECInt start-up phase
+ * both ways: with the paper's modified OS (parallel handlers) and
+ * with the unmodified-SMP behavior (handlers serialize behind a spin
+ * lock on the shared IPRs).
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Ablation: per-context vs shared TLB-miss IPRs",
+           "the paper's OS change #2; spin-waiting burned <1.2% of "
+           "SPECInt cycles / <4.5% of Apache cycles in their runs");
+
+    TextTable t("SPECInt start-up phase (fault-heavy)");
+    t.header({"TLB IPRs", "IPC", "start-up cycles", "spin % of "
+              "cycles", "lock spins"});
+    auto add = [&](const char *name, bool shared) {
+        RunSpec s = specSmt();
+        s.sharedTlbIpr = shared;
+        s.measureInstrs = 400'000; // focus on the start-up interval
+        RunResult r = runExperiment(s);
+        const double spin = tagSharePct(r.startup, TagSpin);
+        auto it = r.startup.mmEntries.find("tlb_lock_spin");
+        const std::uint64_t spins =
+            it == r.startup.mmEntries.end() ? 0 : it->second;
+        t.row({name, TextTable::num(archMetrics(r.startup).ipc, 2),
+               TextTable::num(r.startup.core.cycles),
+               TextTable::num(spin, 2), TextTable::num(spins)});
+    };
+    add("per-context (paper's OS)", false);
+    add("shared (unmodified SMP OS)", true);
+    t.print();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared presets and helpers for the table/figure regeneration
+ * benches. Every bench prints the paper's rows/series from a live
+ * simulation; EXPERIMENTS.md records paper-vs-measured.
+ *
+ * Scale note: the paper simulated 0.65-1B+ instructions on SimOS; the
+ * benches default to a few million (laptop scale), which preserves the
+ * shape claims but not absolute magnitudes.
+ */
+
+#ifndef SMTOS_BENCH_COMMON_H
+#define SMTOS_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "kernel/tags.h"
+
+namespace smtos::bench {
+
+/** SPECInt multiprogram on the 8-context SMT. */
+inline RunSpec
+specSmt()
+{
+    RunSpec s;
+    s.workload = RunSpec::Workload::SpecInt;
+    s.spec.inputChunks = 48;
+    s.measureInstrs = 2'000'000;
+    return s;
+}
+
+/** Apache under SPECWeb-like load on the 8-context SMT. */
+inline RunSpec
+apacheSmt()
+{
+    RunSpec s;
+    s.workload = RunSpec::Workload::Apache;
+    s.startupInstrs = 2'000'000;
+    s.measureInstrs = 2'500'000;
+    return s;
+}
+
+/** Superscalar variants (slower: shorter measurement). */
+inline RunSpec
+superscalar(RunSpec s)
+{
+    s.smt = false;
+    s.measureInstrs = 1'200'000;
+    if (s.workload == RunSpec::Workload::Apache)
+        s.startupInstrs = 1'000'000;
+    return s;
+}
+
+inline void
+banner(const char *experiment, const char *paper_summary)
+{
+    std::printf("\n================================================"
+                "=============\n");
+    std::printf("smtos bench: %s\n", experiment);
+    std::printf("paper reference: %s\n", paper_summary);
+    std::printf("================================================"
+                "=============\n");
+}
+
+/** Add a MissBreakdown's rows (user/kernel pair) to a table. */
+inline void
+missRows(TextTable &t, const char *structure, const MissBreakdown &b)
+{
+    auto pctOrDash = [](double v) { return TextTable::num(v, 1); };
+    t.row({structure, "total miss rate", pctOrDash(b.totalMissRate[0]),
+           pctOrDash(b.totalMissRate[1])});
+    static const char *cause_names[numMissCauses] = {
+        "compulsory", "intrathread", "interthread", "user-kernel",
+        "invalidation by OS"};
+    for (int k = 0; k < numMissCauses; ++k) {
+        t.row({structure, cause_names[k],
+               pctOrDash(b.causePct[0][k]),
+               pctOrDash(b.causePct[1][k])});
+    }
+}
+
+} // namespace smtos::bench
+
+#endif // SMTOS_BENCH_COMMON_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself:
+ * simulation rate (simulated instructions per host second) for each
+ * workload/configuration, plus core substrate hot paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bp/mcfarling.h"
+#include "harness/experiment.h"
+#include "mem/cache.h"
+
+using namespace smtos;
+
+namespace {
+
+void
+BM_SimRate_SpecIntSmt(benchmark::State &state)
+{
+    for (auto _ : state) {
+        RunSpec s;
+        s.workload = RunSpec::Workload::SpecInt;
+        s.spec.inputChunks = 8;
+        s.startupInstrs = 50'000;
+        s.measureInstrs = static_cast<std::uint64_t>(state.range(0));
+        RunResult r = runExperiment(s);
+        benchmark::DoNotOptimize(r.steady.core.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_SimRate_ApacheSmt(benchmark::State &state)
+{
+    for (auto _ : state) {
+        RunSpec s;
+        s.workload = RunSpec::Workload::Apache;
+        s.startupInstrs = 50'000;
+        s.measureInstrs = static_cast<std::uint64_t>(state.range(0));
+        RunResult r = runExperiment(s);
+        benchmark::DoNotOptimize(r.steady.core.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache c(CacheParams{});
+    AccessInfo who{1, Mode::User, 0};
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.access(rng.below(1 << 22) & ~7ull, who, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_PredictorTrain(benchmark::State &state)
+{
+    McFarling m;
+    Rng rng(2);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        const bool taken = rng.chance(0.6);
+        benchmark::DoNotOptimize(m.predict(pc));
+        m.train(pc, taken);
+        pc = 0x1000 + (rng.below(512) << 2);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_SimRate_SpecIntSmt)->Arg(200000)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_SimRate_ApacheSmt)->Arg(200000)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_PredictorTrain);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 2: breakdown of kernel time for SPECInt95 (start-up vs
+ * steady state) — TLB handling dominates, then system calls, with a
+ * small PAL and interrupt component.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Figure 2: SPECInt kernel-time breakdown",
+           "start-up: TLB ~12%, syscalls ~5% of all cycles; steady: "
+           "~5% OS total, same proportions");
+
+    RunResult r = runExperiment(specSmt());
+
+    TextTable t("kernel activity as % of all cycles");
+    t.header({"component", "start-up %", "steady %"});
+    for (ServiceGroup g :
+         {ServiceGroup::TlbHandling, ServiceGroup::Syscall,
+          ServiceGroup::Interrupt, ServiceGroup::Sched,
+          ServiceGroup::NetIsr, ServiceGroup::Idle}) {
+        t.row({serviceGroupName(g),
+               TextTable::num(groupSharePct(r.startup, g), 2),
+               TextTable::num(groupSharePct(r.steady, g), 2)});
+    }
+    const double pal_start =
+        tagSharePct(r.startup, TagPalDtlb) +
+        tagSharePct(r.startup, TagPalItlb);
+    const double pal_steady =
+        tagSharePct(r.steady, TagPalDtlb) +
+        tagSharePct(r.steady, TagPalItlb);
+    t.row({"(of which PAL refills)", TextTable::num(pal_start, 2),
+           TextTable::num(pal_steady, 2)});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 3: incursions into kernel memory-management code by number
+ * of entries — page allocation accounts for the majority of the
+ * entries that do real work during start-up.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Figure 3: kernel memory-management incursions",
+           "page allocation dominates MM entries during start-up");
+
+    RunResult r = runExperiment(specSmt());
+
+    TextTable t("MM entries by reason");
+    t.header({"entry reason", "start-up count", "steady count"});
+    for (const char *key :
+         {"dtlb_refill", "itlb_refill", "page_fault", "page_alloc",
+          "smmap", "munmap", "obreak"}) {
+        auto get = [&](const MetricsSnapshot &d) {
+            auto it = d.mmEntries.find(key);
+            return it == d.mmEntries.end() ? std::uint64_t{0}
+                                           : it->second;
+        };
+        t.row({key, TextTable::num(get(r.startup)),
+               TextTable::num(get(r.steady))});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 4: system calls as a percentage of total execution cycles
+ * for SPECInt — file reads dominate during start-up (reading input
+ * files), with small process-control components.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Figure 4: SPECInt system calls as % of execution cycles",
+           "file reads ~3.5% of start-up cycles; preamble and process "
+           "control fill most of the rest");
+
+    RunResult r = runExperiment(specSmt());
+
+    TextTable t("system-call time as % of all cycles");
+    t.header({"service", "start-up %", "steady %"});
+    for (int tag : {TagRead, TagSysPreamble, TagProcCtl, TagMmap,
+                    TagMunmap, TagWrite, TagOpen, TagClose}) {
+        t.row({serviceTagName(tag),
+               TextTable::num(tagSharePct(r.startup, tag), 3),
+               TextTable::num(tagSharePct(r.steady, tag), 3)});
+    }
+
+    TextTable c("system-call entry counts");
+    c.header({"syscall", "start-up", "steady"});
+    for (const char *key : {"read", "obreak", "smmap", "munmap"}) {
+        auto get = [&](const MetricsSnapshot &d) {
+            auto it = d.syscalls.find(key);
+            return it == d.syscalls.end() ? std::uint64_t{0}
+                                          : it->second;
+        };
+        c.row({key, TextTable::num(get(r.startup)),
+               TextTable::num(get(r.steady))});
+    }
+    t.print();
+    c.print();
+    return 0;
+}

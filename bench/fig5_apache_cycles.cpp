@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 5: kernel and user activity when Apache executes on the SMT
+ * — little start-up, then >75% of cycles in the operating system.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Figure 5: Apache kernel/user cycle shares",
+           "Apache spends >75% of its cycles in the kernel once "
+           "requests arrive");
+
+    RunSpec s = apacheSmt();
+    s.windowInstrs = 500'000;
+    RunResult r = runExperiment(s);
+
+    TextTable t("Apache on SMT: per-window mode shares");
+    t.header({"window", "user %", "kernel %", "pal %", "idle %",
+              "OS total %"});
+    auto add = [&](const std::string &name,
+                   const MetricsSnapshot &d) {
+        const ModeShares m = modeShares(d);
+        t.row({name, TextTable::num(m.userPct, 1),
+               TextTable::num(m.kernelPct, 1),
+               TextTable::num(m.palPct, 1),
+               TextTable::num(m.idlePct, 1),
+               TextTable::num(m.kernelPct + m.palPct, 1)});
+    };
+    add("ramp-up", r.startup);
+    for (size_t i = 0; i < r.windows.size(); ++i)
+        add("w" + std::to_string(i), r.windows[i]);
+    t.print();
+    std::printf("\nrequests served during measurement: %llu\n",
+                static_cast<unsigned long long>(
+                    r.steady.requestsServed));
+    return 0;
+}

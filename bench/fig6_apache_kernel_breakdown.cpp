@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 6: breakdown of kernel activity in Apache on the SMT,
+ * compared with the start-up and steady-state phases of the SPECInt
+ * workload — Apache is dominated by explicit syscalls plus
+ * interrupt/netisr processing, not TLB handling.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Figure 6: Apache kernel-activity breakdown vs SPECInt",
+           "Apache: 57% of kernel time in syscalls, 34% in "
+           "interrupts+netisr, 13% DTLB; SPECInt: TLB handling "
+           "dominates");
+
+    RunResult ra = runExperiment(apacheSmt());
+    RunResult rs = runExperiment(specSmt());
+
+    const ModeShares ma = modeShares(ra.steady);
+    const double os_a = ma.kernelPct + ma.palPct;
+
+    TextTable t("kernel components, % of ALL execution cycles");
+    t.header({"component", "Apache", "SPECInt start-up",
+              "SPECInt steady"});
+    for (ServiceGroup g :
+         {ServiceGroup::Syscall, ServiceGroup::Interrupt,
+          ServiceGroup::NetIsr, ServiceGroup::TlbHandling,
+          ServiceGroup::Sched, ServiceGroup::Idle}) {
+        t.row({serviceGroupName(g),
+               TextTable::num(groupSharePct(ra.steady, g), 2),
+               TextTable::num(groupSharePct(rs.startup, g), 2),
+               TextTable::num(groupSharePct(rs.steady, g), 2)});
+    }
+    t.print();
+
+    TextTable k("same components, % of KERNEL cycles (Apache)");
+    k.header({"component", "% of kernel time"});
+    for (ServiceGroup g :
+         {ServiceGroup::Syscall, ServiceGroup::Interrupt,
+          ServiceGroup::NetIsr, ServiceGroup::TlbHandling,
+          ServiceGroup::Sched}) {
+        k.row({serviceGroupName(g),
+               TextTable::num(
+                   100.0 * groupSharePct(ra.steady, g) / os_a, 1)});
+    }
+    k.print();
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 7: breakdown of execution time spent processing kernel
+ * system calls for Apache — by syscall name (left chart) and grouped
+ * by resource/operation (right chart). In the paper, stat is ~10% of
+ * all cycles, read/write/writev ~19%, and network vs file services
+ * are nearly balanced.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+int
+main()
+{
+    banner("Figure 7: Apache system-call time",
+           "stat ~10%, read/write/writev ~19%, network ~21% and file "
+           "~18% of kernel cycles");
+
+    RunResult r = runExperiment(apacheSmt());
+    const MetricsSnapshot &d = r.steady;
+
+    TextTable t("by system call, % of ALL execution cycles");
+    t.header({"syscall / component", "% of all cycles"});
+    auto add = [&](const char *name, double v) {
+        t.row({name, TextTable::num(v, 2)});
+    };
+    add("read (file)", tagSharePct(d, TagRead));
+    add("read (socket)", tagSharePct(d, TagReadSock));
+    add("write", tagSharePct(d, TagWrite));
+    add("writev (+proto out)", tagSharePct(d, TagWritev) +
+                                   tagSharePct(d, TagNetProto));
+    add("stat", tagSharePct(d, TagStat));
+    add("open", tagSharePct(d, TagOpen));
+    add("close", tagSharePct(d, TagClose));
+    add("naccept", tagSharePct(d, TagAccept));
+    add("select", tagSharePct(d, TagSelect));
+    add("smmap/munmap", tagSharePct(d, TagMmap) +
+                            tagSharePct(d, TagMunmap));
+    add("kernel preamble", tagSharePct(d, TagSysPreamble));
+    add("PAL code", tagSharePct(d, TagPalDtlb) +
+                        tagSharePct(d, TagPalItlb));
+    t.print();
+
+    // Right-hand chart: by resource class.
+    const double net = tagSharePct(d, TagReadSock) +
+                       tagSharePct(d, TagWritev) +
+                       tagSharePct(d, TagNetProto) +
+                       tagSharePct(d, TagAccept) +
+                       tagSharePct(d, TagSelect);
+    const double file_rw = tagSharePct(d, TagRead) +
+                           tagSharePct(d, TagWrite);
+    const double file_inq = tagSharePct(d, TagStat);
+    const double file_ctl = tagSharePct(d, TagOpen) +
+                            tagSharePct(d, TagClose);
+    TextTable g("by resource class, % of all cycles");
+    g.header({"class", "% of all cycles"});
+    g.row({"network (read/write/accept/select)",
+           TextTable::num(net, 2)});
+    g.row({"file read/write", TextTable::num(file_rw, 2)});
+    g.row({"file inquiry (stat)", TextTable::num(file_inq, 2)});
+    g.row({"file control (open/close)", TextTable::num(file_ctl, 2)});
+    g.print();
+
+    TextTable c("system-call entry counts");
+    c.header({"syscall", "count"});
+    for (const auto &kv : d.syscalls)
+        c.row({kv.first, TextTable::num(kv.second)});
+    c.print();
+    return 0;
+}

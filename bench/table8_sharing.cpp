@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 8: percentage of misses avoided due to interthread
+ * cooperation (constructive sharing) in Apache, by execution mode,
+ * on SMT vs the superscalar. The paper: kernel-kernel prefetching
+ * would have added 66% more I-cache misses on SMT but only 28% on
+ * the superscalar.
+ */
+
+#include "bench_common.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+namespace {
+
+void
+sharingTable(const char *title, const MetricsSnapshot &d)
+{
+    TextTable t(title);
+    t.header({"structure", "mode that would have missed",
+              "saved by user fill", "saved by kernel fill"});
+    auto add = [&](const char *s, const InterferenceStats &is) {
+        const SharingBreakdown b = sharingBreakdown(is);
+        t.row({s, "user", TextTable::num(b.avoidedPct[0][0], 1),
+               TextTable::num(b.avoidedPct[0][1], 1)});
+        t.row({s, "kernel", TextTable::num(b.avoidedPct[1][0], 1),
+               TextTable::num(b.avoidedPct[1][1], 1)});
+    };
+    add("L1I", d.l1i);
+    add("L1D", d.l1d);
+    add("L2", d.l2);
+    add("DTLB", d.dtlb);
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 8: misses avoided by interthread cooperation",
+           "kernel-kernel prefetch avoidance on SMT: I$ 66%, L2 71%, "
+           "DTLB 12%; much weaker on the superscalar");
+
+    RunResult smt = runExperiment(apacheSmt());
+    RunResult ss = runExperiment(superscalar(apacheSmt()));
+
+    sharingTable("Apache on SMT (% of the structure's misses)",
+                 smt.steady);
+    sharingTable("Apache on superscalar (% of the structure's misses)",
+                 ss.steady);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Inspect generated program images: summaries of the kernel image and
+ * the workload images, plus a full listing of a chosen kernel routine
+ * (`dump_image [function-name]`).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "isa/disasm.h"
+#include "kernel/image.h"
+#include "workload/apache.h"
+#include "workload/specint.h"
+
+using namespace smtos;
+
+int
+main(int argc, char **argv)
+{
+    auto kc = buildKernelImage(0xfeedull ^ 1234ull);
+    imageSummary(std::cout, kc->image);
+
+    ApacheParams ap;
+    ApacheWorkload aw = buildApache(ap);
+    imageSummary(std::cout, *aw.image);
+
+    SpecIntParams sp;
+    sp.numApps = 1;
+    SpecIntWorkload sw = buildSpecInt(sp);
+    imageSummary(std::cout, *sw.images[0]);
+
+    const char *fn = argc > 1 ? argv[1] : "pal_dtlb_refill";
+    std::printf("\n--- listing of kernel function '%s' ---\n", fn);
+    listFunction(std::cout, kc->image, kc->image.funcByName(fn));
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Multiprogramming study: the SPECInt95-like workload on the SMT,
+ * start-up vs steady-state OS behavior (the Section 3.1 questions).
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+using namespace smtos;
+
+int
+main()
+{
+    RunSpec spec;
+    spec.workload = RunSpec::Workload::SpecInt;
+    spec.smt = true;
+    spec.withOs = true;
+    spec.measureInstrs = 1'000'000;
+    spec.spec.inputChunks = 48;
+
+    std::printf("smtos multiprogramming study: SPECInt95-like x8\n");
+    RunResult res = runExperiment(spec);
+
+    for (int phase = 0; phase < 2; ++phase) {
+        const MetricsSnapshot &d = phase ? res.steady : res.startup;
+        const ModeShares m = modeShares(d);
+        const ArchMetrics a = archMetrics(d);
+        TextTable t(phase ? "steady state" : "program start-up");
+        t.header({"metric", "value"});
+        t.row({"instructions",
+               TextTable::num(d.core.totalRetired())});
+        t.row({"IPC", TextTable::num(a.ipc, 2)});
+        t.row({"user", TextTable::percent(m.userPct)});
+        t.row({"kernel", TextTable::percent(m.kernelPct)});
+        t.row({"pal", TextTable::percent(m.palPct)});
+        t.row({"idle", TextTable::percent(m.idlePct)});
+        t.row({"L1I miss", TextTable::percent(a.l1iMissPct)});
+        t.row({"L1D miss", TextTable::percent(a.l1dMissPct)});
+        t.row({"DTLB miss", TextTable::percent(a.dtlbMissPct)});
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Quickstart: build the paper's 8-context SMT (Table 1), run the
+ * Apache-like web server under the MiniOS kernel for a short interval,
+ * and print the headline metrics.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+using namespace smtos;
+
+int
+main()
+{
+    RunSpec spec;
+    spec.workload = RunSpec::Workload::Apache;
+    spec.smt = true;
+    spec.withOs = true;
+    spec.startupInstrs = 200'000;
+    spec.measureInstrs = 1'000'000;
+
+    std::printf("smtos quickstart: Apache on an 8-context SMT\n");
+    RunResult res = runExperiment(spec);
+
+    const ArchMetrics a = archMetrics(res.steady);
+    const ModeShares m = modeShares(res.steady);
+
+    TextTable t("headline metrics (steady state)");
+    t.header({"metric", "value"});
+    t.row({"IPC", TextTable::num(a.ipc, 2)});
+    t.row({"user cycles", TextTable::percent(m.userPct)});
+    t.row({"kernel cycles", TextTable::percent(m.kernelPct)});
+    t.row({"PAL cycles", TextTable::percent(m.palPct)});
+    t.row({"idle cycles", TextTable::percent(m.idlePct)});
+    t.row({"L1I miss rate", TextTable::percent(a.l1iMissPct)});
+    t.row({"L1D miss rate", TextTable::percent(a.l1dMissPct)});
+    t.row({"L2 miss rate", TextTable::percent(a.l2MissPct)});
+    t.row({"branch mispredict", TextTable::percent(a.branchMispredPct)});
+    t.row({"fetchable contexts", TextTable::num(a.fetchableContexts, 2)});
+    t.row({"requests served", TextTable::num(res.requestsServed)});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Scheduler experiment (the paper's future-work direction): vary the
+ * number of server processes relative to the eight hardware contexts
+ * and watch scheduling overhead and throughput respond.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+using namespace smtos;
+
+int
+main()
+{
+    std::printf("smtos scheduler experiment: server processes vs "
+                "hardware contexts\n");
+
+    TextTable t("Apache on the 8-context SMT");
+    t.header({"server processes", "IPC", "context switches",
+              "sched+idle % of cycles", "requests"});
+    for (int servers : {8, 16, 32, 64}) {
+        RunSpec s;
+        s.workload = RunSpec::Workload::Apache;
+        s.apache.numServers = servers;
+        s.startupInstrs = 1'200'000;
+        s.measureInstrs = 1'500'000;
+        RunResult r = runExperiment(s);
+        const ArchMetrics a = archMetrics(r.steady);
+        const double sched =
+            groupSharePct(r.steady, ServiceGroup::Sched) +
+            groupSharePct(r.steady, ServiceGroup::Idle);
+        t.row({TextTable::num(static_cast<std::uint64_t>(servers)),
+               TextTable::num(a.ipc, 2),
+               TextTable::num(r.steady.contextSwitches),
+               TextTable::num(sched, 2),
+               TextTable::num(r.steady.requestsServed)});
+    }
+    t.print();
+    return 0;
+}

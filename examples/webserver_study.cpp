@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Web-server study: where the Apache-like server spends its time
+ * (Section 3.2 of the paper), and what SMT buys over a superscalar.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "kernel/tags.h"
+
+using namespace smtos;
+
+int
+main()
+{
+    std::printf("smtos web-server study: Apache under SPECWeb-like "
+                "load\n");
+
+    RunSpec smt;
+    smt.workload = RunSpec::Workload::Apache;
+    smt.startupInstrs = 1'500'000;
+    smt.measureInstrs = 2'000'000;
+    RunSpec ss = smt;
+    ss.smt = false;
+    ss.measureInstrs = 1'000'000;
+
+    RunResult r_smt = runExperiment(smt);
+    RunResult r_ss = runExperiment(ss);
+
+    const ModeShares m = modeShares(r_smt.steady);
+    TextTable t("where Apache spends its cycles (SMT)");
+    t.header({"component", "% of all cycles"});
+    t.row({"user code", TextTable::num(m.userPct, 1)});
+    for (ServiceGroup g :
+         {ServiceGroup::Syscall, ServiceGroup::Interrupt,
+          ServiceGroup::NetIsr, ServiceGroup::TlbHandling,
+          ServiceGroup::Sched, ServiceGroup::Idle}) {
+        t.row({serviceGroupName(g),
+               TextTable::num(groupSharePct(r_smt.steady, g), 1)});
+    }
+    t.print();
+
+    const ArchMetrics a = archMetrics(r_smt.steady);
+    const ArchMetrics b = archMetrics(r_ss.steady);
+    TextTable c("SMT vs superscalar");
+    c.header({"metric", "SMT", "superscalar"});
+    c.row({"IPC", TextTable::num(a.ipc, 2), TextTable::num(b.ipc, 2)});
+    c.row({"L1I miss %", TextTable::num(a.l1iMissPct, 2),
+           TextTable::num(b.l1iMissPct, 2)});
+    c.row({"L1D miss %", TextTable::num(a.l1dMissPct, 2),
+           TextTable::num(b.l1dMissPct, 2)});
+    c.row({"0-fetch cycles %", TextTable::num(a.zeroFetchPct, 1),
+           TextTable::num(b.zeroFetchPct, 1)});
+    c.row({"requests served",
+           TextTable::num(r_smt.steady.requestsServed),
+           TextTable::num(r_ss.steady.requestsServed)});
+    c.print();
+
+    std::printf("\nSMT throughput gain over the superscalar: %.2fx\n",
+                a.ipc / b.ipc);
+    return 0;
+}

@@ -1,0 +1,42 @@
+#include "bp/ras.h"
+
+#include "common/logging.h"
+
+namespace smtos {
+
+Ras::Ras(int depth)
+{
+    smtos_assert(depth > 0);
+    stack_.assign(static_cast<size_t>(depth), 0);
+}
+
+void
+Ras::push(Addr ret_addr)
+{
+    stack_[static_cast<size_t>(sp_)] = ret_addr;
+    sp_ = (sp_ + 1) % depth();
+}
+
+Addr
+Ras::pop()
+{
+    sp_ = (sp_ + depth() - 1) % depth();
+    return stack_[static_cast<size_t>(sp_)];
+}
+
+Ras::Checkpoint
+Ras::save() const
+{
+    const int top = (sp_ + depth() - 1) % depth();
+    return Checkpoint{sp_, stack_[static_cast<size_t>(top)]};
+}
+
+void
+Ras::restore(const Checkpoint &cp)
+{
+    sp_ = cp.sp;
+    const int top = (sp_ + depth() - 1) % depth();
+    stack_[static_cast<size_t>(top)] = cp.top;
+}
+
+} // namespace smtos

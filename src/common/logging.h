@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 logging idiom:
+ * panic() for simulator bugs, fatal() for user/configuration errors,
+ * warn()/inform() for advisory messages.
+ */
+
+#ifndef SMTOS_COMMON_LOGGING_H
+#define SMTOS_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace smtos {
+
+/** Formats a printf-style message into a std::string. */
+std::string logFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace smtos
+
+/**
+ * Report an internal simulator bug and abort. Use for conditions that
+ * should never happen regardless of user input.
+ */
+#define smtos_panic(...) \
+    ::smtos::panicImpl(__FILE__, __LINE__, ::smtos::logFormat(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+#define smtos_fatal(...) \
+    ::smtos::fatalImpl(__FILE__, __LINE__, ::smtos::logFormat(__VA_ARGS__))
+
+/** Advisory message about questionable but survivable conditions. */
+#define smtos_warn(...) \
+    ::smtos::warnImpl(::smtos::logFormat(__VA_ARGS__))
+
+/** Neutral status message. */
+#define smtos_inform(...) \
+    ::smtos::informImpl(::smtos::logFormat(__VA_ARGS__))
+
+/** Cheap always-on invariant check that panics with location info. */
+#define smtos_assert(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            smtos_panic("assertion failed: %s", #cond);                   \
+    } while (0)
+
+#endif // SMTOS_COMMON_LOGGING_H

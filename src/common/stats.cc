@@ -1,0 +1,57 @@
+#include "common/stats.h"
+
+#include <algorithm>
+
+namespace smtos {
+
+Histogram::Histogram(std::int64_t lo, std::int64_t hi, int buckets)
+    : lo_(lo), hi_(hi)
+{
+    smtos_assert(hi > lo);
+    smtos_assert(buckets > 0);
+    counts_.assign(static_cast<size_t>(buckets), 0);
+}
+
+void
+Histogram::sample(std::int64_t v, std::uint64_t weight)
+{
+    const std::int64_t span = hi_ - lo_;
+    std::int64_t idx = (v - lo_) * numBuckets() / span;
+    idx = std::clamp<std::int64_t>(idx, 0, numBuckets() - 1);
+    counts_[static_cast<size_t>(idx)] += weight;
+    total_ += weight;
+    weightedSum_ += static_cast<double>(v) * static_cast<double>(weight);
+}
+
+std::int64_t
+Histogram::bucketLo(int i) const
+{
+    const std::int64_t span = hi_ - lo_;
+    return lo_ + span * i / numBuckets();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    weightedSum_ = 0.0;
+}
+
+std::uint64_t
+CounterMap::get(const std::string &name) const
+{
+    auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+CounterMap::total() const
+{
+    std::uint64_t t = 0;
+    for (const auto &kv : counts_)
+        t += kv.second;
+    return t;
+}
+
+} // namespace smtos

@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    smtos_assert(!cols.empty());
+    header_ = std::move(cols);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    smtos_assert(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+TextTable::percent(double v, int decimals)
+{
+    return num(v, decimals) + "%";
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    size_t total = 1;
+    for (size_t w : width)
+        total += w + 3;
+
+    os << "\n== " << title_ << " ==\n";
+    auto rule = [&] { os << std::string(total, '-') << "\n"; };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c]
+               << std::string(width[c] - cells[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    rule();
+    emit(header_);
+    rule();
+    for (const auto &r : rows_)
+        emit(r);
+    rule();
+}
+
+void
+TextTable::print() const
+{
+    print(std::cout);
+}
+
+} // namespace smtos

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table formatter shared by the benchmark binaries, so every
+ * reproduced paper table/figure prints in a uniform layout.
+ */
+
+#ifndef SMTOS_COMMON_TABLE_H
+#define SMTOS_COMMON_TABLE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smtos {
+
+/**
+ * Simple column-aligned text table. Cells are strings; numeric helpers
+ * format with fixed precision. Rendered with a header rule and a title.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Define the column headers (fixes the column count). */
+    void header(std::vector<std::string> cols);
+
+    /** Append a row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Format a percentage value with a trailing '%'. */
+    static std::string percent(double v, int decimals = 1);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_COMMON_TABLE_H

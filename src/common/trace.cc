@@ -1,0 +1,92 @@
+#include "common/trace.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+std::uint32_t Trace::mask_ = 0;
+std::ostream *Trace::sink_ = nullptr;
+Cycle Trace::cycle_ = 0;
+
+void
+Trace::enable(TraceCat cats)
+{
+    mask_ |= static_cast<std::uint32_t>(cats);
+}
+
+void
+Trace::disable(TraceCat cats)
+{
+    mask_ &= ~static_cast<std::uint32_t>(cats);
+}
+
+void
+Trace::setMask(std::uint32_t mask)
+{
+    mask_ = mask;
+}
+
+void
+Trace::setSink(std::ostream *os)
+{
+    sink_ = os;
+}
+
+void
+Trace::emit(TraceCat cat, const std::string &msg)
+{
+    std::ostream &os = sink_ ? *sink_ : std::cerr;
+    os << cycle_ << ": " << traceCatName(cat) << ": " << msg << "\n";
+}
+
+std::uint32_t
+Trace::parseCats(const std::string &list)
+{
+    std::uint32_t mask = 0;
+    std::istringstream in(list);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+        if (tok == "fetch")
+            mask |= static_cast<std::uint32_t>(TraceCat::Fetch);
+        else if (tok == "commit")
+            mask |= static_cast<std::uint32_t>(TraceCat::Commit);
+        else if (tok == "squash")
+            mask |= static_cast<std::uint32_t>(TraceCat::Squash);
+        else if (tok == "tlb")
+            mask |= static_cast<std::uint32_t>(TraceCat::Tlb);
+        else if (tok == "sched")
+            mask |= static_cast<std::uint32_t>(TraceCat::Sched);
+        else if (tok == "syscall")
+            mask |= static_cast<std::uint32_t>(TraceCat::Syscall);
+        else if (tok == "net")
+            mask |= static_cast<std::uint32_t>(TraceCat::Net);
+        else if (tok == "fault")
+            mask |= static_cast<std::uint32_t>(TraceCat::Fault);
+        else if (tok == "all")
+            mask = static_cast<std::uint32_t>(TraceCat::All);
+        else if (!tok.empty())
+            smtos_warn("unknown trace category '%s'", tok.c_str());
+    }
+    return mask;
+}
+
+const char *
+traceCatName(TraceCat c)
+{
+    switch (c) {
+      case TraceCat::Fetch: return "fetch";
+      case TraceCat::Commit: return "commit";
+      case TraceCat::Squash: return "squash";
+      case TraceCat::Tlb: return "tlb";
+      case TraceCat::Sched: return "sched";
+      case TraceCat::Syscall: return "syscall";
+      case TraceCat::Net: return "net";
+      case TraceCat::Fault: return "fault";
+      default: return "?";
+    }
+}
+
+} // namespace smtos

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lightweight category-based execution tracing (a small cousin of
+ * gem5's DPRINTF). Tracing is disabled by default and costs one
+ * branch per site when off; when a category is enabled, formatted
+ * lines go to the configured sink with the simulated cycle prefixed.
+ */
+
+#ifndef SMTOS_COMMON_TRACE_H
+#define SMTOS_COMMON_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace smtos {
+
+/** Trace categories (bitmask). */
+enum class TraceCat : std::uint32_t
+{
+    None = 0,
+    Fetch = 1u << 0,
+    Commit = 1u << 1,
+    Squash = 1u << 2,
+    Tlb = 1u << 3,
+    Sched = 1u << 4,
+    Syscall = 1u << 5,
+    Net = 1u << 6,
+    Fault = 1u << 7,
+    All = ~0u,
+};
+
+/** Global trace configuration. */
+class Trace
+{
+  public:
+    /** Enable categories (OR'ed into the current mask). */
+    static void enable(TraceCat cats);
+
+    /** Disable categories. */
+    static void disable(TraceCat cats);
+
+    /** Replace the mask wholesale. */
+    static void setMask(std::uint32_t mask);
+
+    /** True when any of @p cats is enabled. */
+    static bool
+    on(TraceCat cats)
+    {
+        return (mask_ & static_cast<std::uint32_t>(cats)) != 0;
+    }
+
+    /** Redirect output (default: stderr). Pass nullptr to restore. */
+    static void setSink(std::ostream *os);
+
+    /** Set the clock source used for the cycle prefix. */
+    static void setCycle(Cycle c) { cycle_ = c; }
+
+    /** Emit one line (used by the smtos_trace macro). */
+    static void emit(TraceCat cat, const std::string &msg);
+
+    /** Parse a comma-separated category list ("fetch,tlb,sched"). */
+    static std::uint32_t parseCats(const std::string &list);
+
+  private:
+    static std::uint32_t mask_;
+    static std::ostream *sink_;
+    static Cycle cycle_;
+};
+
+/** Name of a single category. */
+const char *traceCatName(TraceCat c);
+
+} // namespace smtos
+
+/** Trace site: formats only when the category is enabled. */
+#define smtos_trace(cat, ...)                                          \
+    do {                                                               \
+        if (::smtos::Trace::on(cat))                                   \
+            ::smtos::Trace::emit(cat, ::smtos::logFormat(__VA_ARGS__)); \
+    } while (0)
+
+#endif // SMTOS_COMMON_TRACE_H

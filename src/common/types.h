@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fundamental types shared by every smtos module.
+ */
+
+#ifndef SMTOS_COMMON_TYPES_H
+#define SMTOS_COMMON_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace smtos {
+
+/** Virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Simulated cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated instruction count. */
+using InstCount = std::uint64_t;
+
+/** Hardware context (SMT thread slot) identifier. */
+using CtxId = int;
+
+/** Software thread (process or kernel thread) identifier. */
+using ThreadId = int;
+
+/** Address space number, as tagged into TLB entries (Alpha ASN). */
+using Asn = int;
+
+/** Sentinel for "no hardware context". */
+constexpr CtxId invalidCtx = -1;
+
+/** Sentinel for "no software thread". */
+constexpr ThreadId invalidThread = -1;
+
+/**
+ * Execution privilege mode of an instruction or a cycle.
+ *
+ * The paper accounts cycles and references to user code, kernel code and
+ * PAL code separately; Idle covers cycles where a context runs the idle
+ * thread.
+ */
+enum class Mode : std::uint8_t { User = 0, Kernel = 1, Pal = 2, Idle = 3 };
+
+/** Number of distinct Mode values. */
+constexpr int numModes = 4;
+
+/** True for any privileged mode (kernel or PAL). */
+inline bool
+isPrivileged(Mode m)
+{
+    return m == Mode::Kernel || m == Mode::Pal;
+}
+
+/** Human-readable mode name. */
+inline const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::User: return "user";
+      case Mode::Kernel: return "kernel";
+      case Mode::Pal: return "pal";
+      case Mode::Idle: return "idle";
+    }
+    return "?";
+}
+
+/** Page size used throughout the virtual memory system. */
+constexpr Addr pageBytes = 4096;
+
+/** log2(pageBytes). */
+constexpr int pageShift = 12;
+
+/** Extract the virtual/physical page number of an address. */
+inline Addr
+pageOf(Addr a)
+{
+    return a >> pageShift;
+}
+
+/** Byte offset of an address within its page. */
+inline Addr
+pageOffset(Addr a)
+{
+    return a & (pageBytes - 1);
+}
+
+} // namespace smtos
+
+#endif // SMTOS_COMMON_TYPES_H

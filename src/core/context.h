@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Hardware contexts, software thread state, core parameters, and the
+ * pipeline <-> operating-system-model callback interface.
+ */
+
+#ifndef SMTOS_CORE_CONTEXT_H
+#define SMTOS_CORE_CONTEXT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bp/ras.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/cursor.h"
+#include "vm/addrspace.h"
+
+namespace smtos {
+
+/**
+ * Architected state of one software thread (process or kernel thread)
+ * as the pipeline sees it. Scheduling metadata lives in the kernel.
+ */
+struct ThreadState
+{
+    ThreadId id = invalidThread;
+    AddrSpace *space = nullptr;      ///< owning address space
+    const CodeImage *userImage = nullptr; ///< null for kernel threads
+    Cursor cursor;
+    ThreadIprs iprs;
+    MemRegion regions[maxRegions];
+    bool isIdleThread = false;
+    /** Seed base for this thread's stochastic behavior. */
+    std::uint64_t seed = 1;
+};
+
+/** Fetch-stall reasons, sampled for the fetchable-contexts metric. */
+enum class FetchStall : std::uint8_t
+{
+    None = 0,
+    IcacheMiss,
+    Serialize,   ///< waiting for a serializing instruction to commit
+    Redirect,    ///< refilling the front end after squash/branch
+    TrapDrain,   ///< draining before trap/interrupt delivery
+    NoThread,
+};
+
+/** One SMT hardware context. */
+struct Context
+{
+    CtxId id = invalidCtx;
+    ThreadState *thread = nullptr;
+    Ras ras{16};
+
+    /** Cycle fetch may resume after a stall. */
+    Cycle fetchResumeAt = 0;
+    FetchStall stallReason = FetchStall::None;
+
+    /** Interrupt pending delivery (waiting for drain). */
+    bool interruptPending = false;
+    std::uint16_t interruptVector = 0;
+
+    /** In-flight (fetched, not yet committed/squashed) uops. */
+    int inflight = 0;
+    /** In-flight and not yet issued (the ICOUNT metric). */
+    int unissued = 0;
+
+    /** Cache line of the last fetch (to count line accesses once). */
+    Addr lastFetchLine = ~0ull;
+
+    bool hasThread() const { return thread != nullptr; }
+};
+
+/** Core configuration (Table 1 defaults; superscalar = 1 context). */
+/** Fetch-selection policies (the ablation of [41]'s ICOUNT). */
+enum class FetchPolicy { Icount, RoundRobin };
+
+struct CoreParams
+{
+    int numContexts = 8;
+    int fetchWidth = 8;
+    int fetchContexts = 2;        ///< the 2.8 ICOUNT scheme
+    FetchPolicy fetchPolicy = FetchPolicy::Icount;
+    int pipelineStages = 9;       ///< 7 for the superscalar
+    int intUnits = 6;
+    int memUnits = 4;             ///< of the int units, can issue mem
+    int fpUnits = 4;
+    int intQueue = 32;
+    int fpQueue = 32;
+    int intRenameRegs = 100;
+    int fpRenameRegs = 100;
+    int retireWidth = 12;
+    int dcachePorts = 2;
+    int itlbEntries = 128;
+    int dtlbEntries = 128;
+    int rasDepth = 16;
+    int maxInflightPerCtx = 128;
+    Cycle intMulLatency = 8;
+    Cycle fpLatency = 4;
+    Cycle btbMissPenalty = 2;     ///< decode-redirect bubble
+
+    /** Issue eligibility delay after fetch (front-end depth). */
+    Cycle issueDelay() const
+    {
+        return static_cast<Cycle>(pipelineStages - 5);
+    }
+    /** Post-squash fetch redirect penalty. */
+    Cycle redirectPenalty() const { return issueDelay() + 1; }
+};
+
+/** Aggregate pipeline statistics (inputs to the paper's tables). */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t fetchedWrongPath = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t issued = 0;
+
+    /** Retired instructions by privilege mode. */
+    std::uint64_t retired[numModes] = {0, 0, 0, 0};
+    /** Retired kernel/PAL instructions by service tag (tag < 64). */
+    std::uint64_t retiredByTag[64] = {0};
+
+    /** Retired instruction mix [user=0/kernelish=1][MixClass]. */
+    std::uint64_t mix[2][numMixClasses] = {{0}, {0}};
+    /** Memory ops bypassing the TLB, by class [user/kernel][ld/st]. */
+    std::uint64_t physMem[2][2] = {{0, 0}, {0, 0}};
+    /** Conditional branches retired / taken [user/kernel]. */
+    std::uint64_t condRetired[2] = {0, 0};
+    std::uint64_t condTaken[2] = {0, 0};
+    /** Conditional mispredicts at resolve [user/kernel]. */
+    std::uint64_t condMispred[2] = {0, 0};
+    /** Indirect/return target mispredictions [user/kernel]. */
+    std::uint64_t targetMispred[2] = {0, 0};
+
+    std::uint64_t zeroFetchCycles = 0;
+    std::uint64_t zeroIssueCycles = 0;
+    std::uint64_t maxIssueCycles = 0;
+    Sampler fetchableContexts;
+
+    /** Kernel entries by reason (counter names set by the kernel). */
+    CounterMap kernelEntries;
+
+    std::uint64_t totalRetired() const
+    {
+        return retired[0] + retired[1] + retired[2] + retired[3];
+    }
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(totalRetired()) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+class Pipeline;
+
+/**
+ * Interface the pipeline uses to hand control to the OS model at the
+ * points where software takes over: TLB refills, syscalls and other
+ * serializing operations, interrupt delivery, and idle decisions.
+ */
+class OsCallbacks
+{
+  public:
+    virtual ~OsCallbacks() = default;
+
+    /**
+     * A correct-path data reference missed the DTLB. The pipeline has
+     * already squashed and rewound the thread's cursor to re-execute
+     * the faulting op; the OS must push the PAL handler (and set the
+     * thread's IPRs) so the refill code executes next.
+     */
+    virtual void dtlbMiss(ThreadState &t, Addr vaddr) = 0;
+
+    /** Instruction fetch missed the ITLB (no squash needed). */
+    virtual void itlbMiss(ThreadState &t, Addr pc) = 0;
+
+    /**
+     * A serializing instruction (Syscall, Magic, TlbWrite, Halt)
+     * reached the head of its context and committed. The OS performs
+     * its effect and advances/redirects the thread's cursor. May
+     * rebind the context's thread (context switch).
+     */
+    virtual void serializing(Context &ctx, ThreadState &t,
+                             const Instr &in) = 0;
+
+    /** An interrupt was delivered to a drained context. */
+    virtual void interrupt(Context &ctx, ThreadState &t,
+                           std::uint16_t vector) = 0;
+
+    /** Called once per cycle before the pipeline stages. */
+    virtual void cycleHook(Cycle now) = 0;
+
+    /**
+     * Application-only mode: return the physical address for @p vaddr
+     * as if the TLB refill completed instantly (mapping on demand).
+     */
+    virtual Addr magicTranslate(ThreadState &t, Addr vaddr,
+                                bool itlb) = 0;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_CORE_CONTEXT_H

@@ -1,0 +1,754 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace smtos {
+
+Pipeline::Pipeline(const CoreParams &params, Hierarchy &hier,
+                   const CodeImage *kernel_image)
+    : params_(params), hier_(&hier), kernelImage_(kernel_image),
+      itlb_("ITLB", params.itlbEntries),
+      dtlb_("DTLB", params.dtlbEntries)
+{
+    smtos_assert(params_.numContexts >= 1);
+    ctxs_.resize(static_cast<size_t>(params_.numContexts));
+    q_.resize(ctxs_.size());
+    waitBranch_.assign(ctxs_.size(), 0);
+    writerSeq_.resize(ctxs_.size());
+    pendingDone_.resize(ctxs_.size());
+    for (size_t i = 0; i < ctxs_.size(); ++i) {
+        ctxs_[i].id = static_cast<CtxId>(i);
+        ctxs_[i].ras = Ras(params_.rasDepth);
+        writerSeq_[i].fill(0);
+    }
+}
+
+void
+Pipeline::bindThread(CtxId id, ThreadState *t)
+{
+    Context &c = ctx(id);
+    smtos_assert(c.inflight == 0);
+    c.thread = t;
+    c.lastFetchLine = ~0ull;
+    writerSeq_[static_cast<size_t>(id)].fill(0);
+    pendingDone_[static_cast<size_t>(id)].clear();
+}
+
+void
+Pipeline::raiseInterrupt(CtxId id, std::uint16_t vector)
+{
+    Context &c = ctx(id);
+    c.interruptPending = true;
+    c.interruptVector = vector;
+}
+
+bool
+Pipeline::canFetch(const Context &c) const
+{
+    if (!c.hasThread() || c.interruptPending)
+        return false;
+    if (now_ < c.fetchResumeAt)
+        return false;
+    if (waitBranch_[static_cast<size_t>(c.id)] != 0)
+        return false;
+    if (c.thread->cursor.stuck())
+        return false;
+    if (c.inflight >= params_.maxInflightPerCtx)
+        return false;
+    return true;
+}
+
+bool
+Pipeline::translateFetch(Context &c, ThreadState &t, Mode m, Addr pc,
+                         Addr &paddr)
+{
+    if (m == Mode::Pal || (m != Mode::User && pc >= kernelBase)) {
+        // PAL code and kernel text execute from the unmapped KSEG
+        // region on Alpha: physical fetch, no ITLB involvement.
+        paddr = pc - kernelBase;
+        return true;
+    }
+    const Addr vpn = pageOf(pc);
+    const Asn asn = t.space->asn();
+    AccessInfo who{t.id, m, c.id};
+    const std::int64_t frame = itlb_.lookup(vpn, asn, who);
+    if (frame >= 0) {
+        paddr = PhysMem::frameAddr(static_cast<Frame>(frame)) +
+                pageOffset(pc);
+        return true;
+    }
+    if (appOnlyTlb_) {
+        paddr = os_->magicTranslate(t, pc, true);
+        itlb_.insert(vpn, asn, paddr >> pageShift, who,
+                     pc >= kernelBase);
+        return true;
+    }
+    if (t.cursor.wrongPath()) {
+        // Speculative fetch down a wrong path hit an unmapped page:
+        // stall until the mispredicted branch squashes us.
+        t.cursor.setStuck(true);
+        return false;
+    }
+    stats_.kernelEntries.add("itlb_miss");
+    os_->itlbMiss(t, pc);
+    c.fetchResumeAt = now_ + 1;
+    c.stallReason = FetchStall::TrapDrain;
+    return false;
+}
+
+int
+Pipeline::fetchFrom(Context &c, int budget)
+{
+    ThreadState &t = *c.thread;
+    const ImageSet is = imagesFor(t);
+    Cursor &cur = t.cursor;
+    int n = 0;
+
+    while (n < budget) {
+        if (cur.stuck()) {
+            if (n == 0)
+                stats_.kernelEntries.add("fs_stuck");
+            break;
+        }
+        const Mode cursor_mode = cur.mode(is);
+        const Mode stat_mode =
+            (t.isIdleThread && cursor_mode != Mode::User)
+                ? Mode::Idle
+                : cursor_mode;
+        const Addr pc = cur.currentPc(is);
+
+        // Instruction cache, one access per line touched.
+        const Addr line =
+            pc / static_cast<Addr>(hier_->l1i().params().lineBytes);
+        if (line != c.lastFetchLine) {
+            Addr paddr = 0;
+            if (!translateFetch(c, t, cursor_mode, pc, paddr))
+                break;
+            AccessInfo who{t.id, cursor_mode, c.id};
+            MemResult r = hier_->fetch(paddr, who, now_);
+            if (!r.l1Hit) {
+                c.fetchResumeAt = r.readyAt;
+                c.stallReason = FetchStall::IcacheMiss;
+                if (n == 0)
+                    stats_.kernelEntries.add("fs_imiss");
+                break;
+            }
+            c.lastFetchLine = line;
+        }
+
+        // Shared resources: issue queues and renaming registers.
+        if (unissuedInt_ >= params_.intQueue ||
+            unissuedFp_ >= params_.fpQueue) {
+            if (n == 0)
+                stats_.kernelEntries.add("fs_iq");
+            break;
+        }
+        if (intRegsUsed_ >= params_.intRenameRegs ||
+            fpRegsUsed_ >= params_.fpRenameRegs) {
+            if (n == 0)
+                stats_.kernelEntries.add("fs_rename");
+            break;
+        }
+        if (c.inflight >= params_.maxInflightPerCtx) {
+            if (n == 0)
+                stats_.kernelEntries.add("fs_inflight");
+            break;
+        }
+
+        const Instr &in = cur.currentInstr(is);
+        Uop u;
+        u.instr = &in;
+        u.pc = pc;
+        u.mode = stat_mode;
+        u.thread = t.id;
+        u.seq = nextSeq_++;
+        u.wrongPath = cur.wrongPath();
+        u.eligibleAt = now_ + params_.issueDelay();
+        {
+            const CallFrame &f = cur.top();
+            if (f.inKernel)
+                u.tag = kernelImage_->func(f.func).tag;
+        }
+        if (in.dest != regNone)
+            u.destType = isFpReg(in.dest) ? 2 : 1;
+
+        // Rename: bind sources to their producing uops.
+        {
+            auto &ws = writerSeq_[static_cast<size_t>(c.id)];
+            if (in.srcA != regNone)
+                u.depA = ws[in.srcA];
+            if (in.srcB != regNone)
+                u.depB = ws[in.srcB];
+            if (in.dest != regNone) {
+                ws[in.dest] = u.seq;
+                pendingDone_[static_cast<size_t>(c.id)].emplace(
+                    u.seq, ~Cycle{0});
+            }
+        }
+
+        bool ends_run = false;
+
+        if (in.isSerializing()) {
+            u.serializing = true;
+            cur.setStuck(true);
+            ends_run = true;
+        } else if (in.isBranch()) {
+            const bool was_wrong = cur.wrongPath();
+            AccessInfo who{t.id, cursor_mode, c.id};
+            const bool filtered =
+                filterPrivBr_ && cursor_mode != Mode::User;
+            BranchPreview bp = cur.previewBranch(is, t.iprs);
+
+            switch (bp.kind) {
+              case BranchPreview::Kind::Cond: {
+                u.isCondBranch = true;
+                u.actualTaken = bp.taken;
+                bool pred_taken;
+                if (filtered) {
+                    pred_taken = bp.taken;
+                } else {
+                    pred_taken = mcf_.predict(pc);
+                    BtbResult br = btb_.lookup(pc, who);
+                    if (!was_wrong) {
+                        mcf_.train(pc, bp.taken);
+                        if (bp.taken)
+                            btb_.update(pc, bp.targetPc, who);
+                    } else {
+                        mcf_.pushHistory(pred_taken);
+                    }
+                    if (pred_taken && !br.hit) {
+                        // Predicted taken with no target: decode-time
+                        // redirect bubble.
+                        c.fetchResumeAt = now_ + params_.btbMissPenalty;
+                        ends_run = true;
+                    }
+                }
+                u.predTaken = pred_taken;
+                if (!was_wrong && pred_taken != bp.taken) {
+                    // Direction mispredict: checkpoint the correct
+                    // successor, then fetch down the wrong path.
+                    u.mispredicted = true;
+                    u.hasCheckpoint = true;
+                    u.cp = cur;
+                    u.cp.followBranch(is, bp, bp.taken);
+                    u.rasCp = c.ras.save();
+                    u.ghrCp = mcf_.ghr();
+                    cur.setWrongPath(true);
+                    cur.followBranch(is, bp, pred_taken);
+                } else {
+                    cur.followBranch(is, bp,
+                                     was_wrong ? pred_taken : bp.taken);
+                }
+                if (pred_taken)
+                    ends_run = true;
+                break;
+              }
+              case BranchPreview::Kind::Jump: {
+                if (!filtered) {
+                    BtbResult br = btb_.lookup(pc, who);
+                    if (!was_wrong)
+                        btb_.update(pc, bp.targetPc, who);
+                    if (!br.hit) {
+                        c.fetchResumeAt = now_ + params_.btbMissPenalty;
+                    }
+                }
+                cur.followBranch(is, bp, true);
+                ends_run = true;
+                break;
+              }
+              case BranchPreview::Kind::Indirect: {
+                u.actualTaken = true;
+                bool target_ok = true;
+                if (!filtered) {
+                    BtbResult br = btb_.lookup(pc, who);
+                    target_ok = br.hit && br.target == bp.targetPc;
+                    if (!was_wrong) {
+                        if (br.hit && !target_ok)
+                            btb_.noteWrongTarget();
+                        btb_.update(pc, bp.targetPc, who);
+                    }
+                }
+                cur.followBranch(is, bp, true);
+                if (!target_ok && !was_wrong) {
+                    // Target mispredict: hold fetch until resolve; we
+                    // already steered the cursor down the true path,
+                    // so no squash will be needed.
+                    u.redirectOnly = true;
+                    waitBranch_[static_cast<size_t>(c.id)] = u.seq;
+                }
+                ends_run = true;
+                break;
+              }
+              case BranchPreview::Kind::Call: {
+                if (!filtered) {
+                    BtbResult br = btb_.lookup(pc, who);
+                    if (!was_wrong)
+                        btb_.update(pc, bp.targetPc, who);
+                    if (!br.hit)
+                        c.fetchResumeAt = now_ + params_.btbMissPenalty;
+                }
+                cur.followBranch(is, bp, true);
+                if (!cur.stuck())
+                    c.ras.push(cur.parentPc(is));
+                ends_run = true;
+                break;
+              }
+              case BranchPreview::Kind::Ret:
+              case BranchPreview::Kind::PalRet: {
+                const Addr pred_target = c.ras.pop();
+                cur.followBranch(is, bp, true);
+                if (!was_wrong && pred_target != bp.targetPc &&
+                    !filtered) {
+                    u.redirectOnly = true;
+                    waitBranch_[static_cast<size_t>(c.id)] = u.seq;
+                }
+                ends_run = true;
+                break;
+              }
+            }
+        } else {
+            // Straight-line instruction.
+            if (in.isMem()) {
+                if (!cur.takeRetryVaddr(u.vaddr))
+                    u.vaddr = cur.memAddress(in, t.regions, t.iprs);
+                if (!u.wrongPath && !in.isPhysMem()) {
+                    // Checkpoint post-draw, armed to replay the same
+                    // address, so a DTLB trap retries this access
+                    // rather than generating a fresh one.
+                    u.hasCheckpoint = true;
+                    u.cp = cur;
+                    u.cp.setRetryVaddr(u.vaddr);
+                    u.rasCp = c.ras.save();
+                    u.ghrCp = mcf_.ghr();
+                }
+            }
+            cur.stepSequential(is);
+        }
+
+        q_[static_cast<size_t>(c.id)].push_back(u);
+        ++c.inflight;
+        ++c.unissued;
+        if (u.destType == 2 || in.op == Op::FpAdd || in.op == Op::FpMul)
+            ++unissuedFp_;
+        else
+            ++unissuedInt_;
+        if (u.destType == 1)
+            ++intRegsUsed_;
+        else if (u.destType == 2)
+            ++fpRegsUsed_;
+        ++stats_.fetched;
+        if (u.wrongPath)
+            ++stats_.fetchedWrongPath;
+        ++n;
+        if (ends_run)
+            break;
+    }
+    return n;
+}
+
+void
+Pipeline::fetchStage()
+{
+    // Reset per-cycle line tracking so each cycle re-touches the cache.
+    for (Context &c : ctxs_)
+        c.lastFetchLine = ~0ull;
+
+    int fetchable = 0;
+    std::vector<std::pair<int, CtxId>> cands;
+    cands.reserve(ctxs_.size());
+    for (Context &c : ctxs_) {
+        if (canFetch(c)) {
+            ++fetchable;
+            cands.emplace_back(c.unissued, c.id);
+        }
+    }
+    stats_.fetchableContexts.sample(fetchable);
+
+    if (params_.fetchPolicy == FetchPolicy::Icount) {
+        std::sort(cands.begin(), cands.end());
+    } else {
+        // Round-robin: rotate the candidate order each cycle.
+        if (!cands.empty())
+            std::rotate(cands.begin(),
+                        cands.begin() +
+                            static_cast<long>(now_ % cands.size()),
+                        cands.end());
+    }
+    int budget = params_.fetchWidth;
+    int total = 0;
+    int picked = 0;
+    for (const auto &[unissued, id] : cands) {
+        if (picked >= params_.fetchContexts || budget <= 0)
+            break;
+        ++picked;
+        const int n = fetchFrom(ctx(id), budget);
+        budget -= n;
+        total += n;
+    }
+    if (total == 0)
+        ++stats_.zeroFetchCycles;
+}
+
+void
+Pipeline::issueStage()
+{
+    int int_left = params_.intUnits;
+    int mem_left = params_.memUnits;
+    int fp_left = params_.fpUnits;
+    int ports_left = params_.dcachePorts;
+
+    // Gather ready candidates oldest-first across contexts.
+    struct Cand
+    {
+        std::uint64_t seq;
+        CtxId ctx;
+        std::uint32_t idx;
+    };
+    std::vector<Cand> cands;
+    for (Context &c : ctxs_) {
+        auto &dq = q_[static_cast<size_t>(c.id)];
+        int examined = 0;
+        for (std::uint32_t i = 0; i < dq.size() && examined < 24; ++i) {
+            Uop &u = dq[i];
+            if (u.stage != Uop::Stage::Fetched || u.serializing)
+                continue;
+            ++examined;
+            if (u.eligibleAt > now_)
+                continue;
+            // Operand readiness via renamed producer completion.
+            const auto &pd = pendingDone_[static_cast<size_t>(c.id)];
+            auto op_ready = [&](std::uint64_t dep) {
+                if (dep == 0)
+                    return true;
+                auto it = pd.find(dep);
+                // Absent: the producer committed (or was squashed,
+                // in which case this consumer is doomed anyway).
+                return it == pd.end() || it->second <= now_;
+            };
+            if (!op_ready(u.depA) || !op_ready(u.depB))
+                continue;
+            cands.push_back(Cand{u.seq, c.id, i});
+        }
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Cand &a, const Cand &b) { return a.seq < b.seq; });
+
+    int issued = 0;
+    for (const Cand &cd : cands) {
+        Context &c = ctx(cd.ctx);
+        Uop &u = q_[static_cast<size_t>(cd.ctx)][cd.idx];
+        const Instr &in = *u.instr;
+        const bool is_fp = (in.op == Op::FpAdd || in.op == Op::FpMul);
+        const bool is_mem = in.isMem();
+
+        if (is_fp) {
+            if (fp_left <= 0)
+                continue;
+        } else if (is_mem) {
+            if (int_left <= 0 || mem_left <= 0)
+                continue;
+            if (in.isLoad() && ports_left <= 0)
+                continue;
+        } else {
+            if (int_left <= 0)
+                continue;
+        }
+
+        // Compute completion time.
+        Cycle done = now_ + 1;
+        if (is_mem) {
+            ThreadState &t = *c.thread;
+            AccessInfo who{u.thread,
+                           u.mode == Mode::Idle ? Mode::Kernel : u.mode,
+                           c.id};
+            Addr paddr = 0;
+            bool translated = true;
+            if (in.isPhysMem()) {
+                paddr = u.vaddr;
+            } else {
+                const std::int64_t fr = dtlb_.lookup(
+                    pageOf(u.vaddr), t.space->asn(), who);
+                if (fr >= 0) {
+                    paddr = PhysMem::frameAddr(static_cast<Frame>(fr)) +
+                            pageOffset(u.vaddr);
+                } else if (appOnlyTlb_) {
+                    paddr = os_->magicTranslate(t, u.vaddr, false);
+                    dtlb_.insert(pageOf(u.vaddr), t.space->asn(),
+                                 paddr >> pageShift, who,
+                                 u.vaddr >= kernelBase);
+                } else if (u.wrongPath) {
+                    translated = false;
+                    done = now_ + 20;
+                } else {
+                    // Correct-path miss: precise trap at resolve.
+                    u.trapDtlb = true;
+                    translated = false;
+                    done = now_ + 1;
+                }
+            }
+            if (translated) {
+                u.paddr = paddr;
+                MemResult r =
+                    hier_->data(paddr, who, in.isStore(), now_);
+                if (in.isLoad()) {
+                    done = r.readyAt;
+                } else {
+                    done = now_ + 1;
+                    u.drainAt = r.readyAt;
+                }
+            }
+            if (in.isLoad())
+                --ports_left;
+            --mem_left;
+            --int_left;
+        } else if (is_fp) {
+            done = now_ + params_.fpLatency;
+            --fp_left;
+        } else {
+            done = now_ + (in.op == Op::IntMul ? params_.intMulLatency
+                                               : 1);
+            --int_left;
+        }
+
+        u.stage = Uop::Stage::Issued;
+        u.doneAt = done;
+        if (in.dest != regNone)
+            pendingDone_[static_cast<size_t>(cd.ctx)][u.seq] = done;
+        --c.unissued;
+        if (is_fp)
+            --unissuedFp_;
+        else
+            --unissuedInt_;
+        ++issued;
+        ++stats_.issued;
+    }
+
+    if (issued == 0)
+        ++stats_.zeroIssueCycles;
+    if (issued >= params_.intUnits)
+        ++stats_.maxIssueCycles;
+}
+
+void
+Pipeline::releaseUop(const Uop &u)
+{
+    if (u.destType == 1)
+        --intRegsUsed_;
+    else if (u.destType == 2)
+        --fpRegsUsed_;
+}
+
+void
+Pipeline::squashTail(Context &c, std::uint64_t from_seq)
+{
+    auto &dq = q_[static_cast<size_t>(c.id)];
+    auto &ws = writerSeq_[static_cast<size_t>(c.id)];
+    auto &pd = pendingDone_[static_cast<size_t>(c.id)];
+    while (!dq.empty() && dq.back().seq >= from_seq) {
+        const Uop &u = dq.back();
+        releaseUop(u);
+        ++stats_.squashed;
+        --c.inflight;
+        if (u.stage == Uop::Stage::Fetched) {
+            --c.unissued;
+            const bool is_fp = (u.instr->op == Op::FpAdd ||
+                                u.instr->op == Op::FpMul ||
+                                u.destType == 2);
+            if (is_fp)
+                --unissuedFp_;
+            else
+                --unissuedInt_;
+        }
+        if (u.instr->dest != regNone) {
+            pd.erase(u.seq);
+            if (ws[u.instr->dest] == u.seq)
+                ws[u.instr->dest] = 0; // re-bound as refetch proceeds
+        }
+        dq.pop_back();
+    }
+    if (waitBranch_[static_cast<size_t>(c.id)] >= from_seq)
+        waitBranch_[static_cast<size_t>(c.id)] = 0;
+}
+
+void
+Pipeline::executeStage()
+{
+    for (Context &c : ctxs_) {
+        auto &dq = q_[static_cast<size_t>(c.id)];
+        for (std::uint32_t i = 0; i < dq.size(); ++i) {
+            Uop &u = dq[i];
+            if (u.stage != Uop::Stage::Issued || u.doneAt > now_)
+                continue;
+            u.stage = Uop::Stage::Done;
+
+            if (u.trapDtlb && !u.wrongPath) {
+                // Precise DTLB trap: rewind to re-execute this op,
+                // then enter the PAL refill path.
+                ThreadState &t = *c.thread;
+                const int cls = u.mode == Mode::User ? 0 : 1;
+                (void)cls;
+                smtos_assert(u.hasCheckpoint);
+                const Addr fault_vaddr = u.vaddr;
+                t.cursor = u.cp;
+                c.ras.restore(u.rasCp);
+                mcf_.setGhr(u.ghrCp);
+                squashTail(c, u.seq);
+                c.fetchResumeAt = now_ + params_.redirectPenalty();
+                c.stallReason = FetchStall::TrapDrain;
+                stats_.kernelEntries.add("dtlb_miss");
+                smtos_trace(TraceCat::Tlb,
+                            "ctx%d dtlb miss vaddr=0x%llx", c.id,
+                            (unsigned long long)fault_vaddr);
+                os_->dtlbMiss(t, fault_vaddr);
+                break; // queue shape changed; next context
+            }
+
+            if (u.instr->isBranch() && !u.wrongPath) {
+                const int cls = u.mode == Mode::User ? 0 : 1;
+                if (u.mispredicted) {
+                    ++stats_.condMispred[cls];
+                    smtos_trace(TraceCat::Squash,
+                                "ctx%d mispredict pc=0x%llx seq=%llu",
+                                c.id,
+                                (unsigned long long)u.pc,
+                                (unsigned long long)u.seq);
+                    ThreadState &t = *c.thread;
+                    t.cursor = u.cp;
+                    c.ras.restore(u.rasCp);
+                    mcf_.setGhr(u.ghrCp);
+                    squashTail(c, u.seq + 1);
+                    c.fetchResumeAt =
+                        now_ + params_.redirectPenalty();
+                    c.stallReason = FetchStall::Redirect;
+                    break;
+                }
+                if (u.redirectOnly) {
+                    ++stats_.targetMispred[cls];
+                    waitBranch_[static_cast<size_t>(c.id)] = 0;
+                    c.fetchResumeAt = std::max(c.fetchResumeAt,
+                                               now_ + 1);
+                }
+            }
+        }
+    }
+}
+
+void
+Pipeline::commitStage()
+{
+    int budget = params_.retireWidth;
+    // Rotate the starting context for fairness.
+    const int nc = static_cast<int>(ctxs_.size());
+    const int start = static_cast<int>(now_ % static_cast<Cycle>(nc));
+    for (int k = 0; k < nc && budget > 0; ++k) {
+        Context &c = ctxs_[static_cast<size_t>((start + k) % nc)];
+        auto &dq = q_[static_cast<size_t>(c.id)];
+        while (budget > 0 && !dq.empty()) {
+            Uop &u = dq.front();
+            if (u.stage == Uop::Stage::Done) {
+                commitUop(c, u);
+                --c.inflight;
+                --budget;
+                dq.pop_front();
+                continue;
+            }
+            if (u.serializing && u.stage == Uop::Stage::Fetched &&
+                u.eligibleAt <= now_) {
+                smtos_assert(!u.wrongPath);
+                ThreadState &t = *c.thread;
+                // Retire accounting first; the OS hook may rebind the
+                // context's thread.
+                commitUop(c, u);
+                --c.inflight;
+                --c.unissued;
+                --unissuedInt_;
+                --budget;
+                const Instr in = *u.instr;
+                dq.pop_front();
+                os_->serializing(c, t, in);
+                continue;
+            }
+            break;
+        }
+    }
+
+    // Deliver pending interrupts to drained contexts.
+    for (Context &c : ctxs_) {
+        if (c.interruptPending && c.inflight == 0 && c.hasThread()) {
+            c.interruptPending = false;
+            stats_.kernelEntries.add("interrupt");
+            os_->interrupt(c, *c.thread, c.interruptVector);
+        }
+    }
+}
+
+void
+Pipeline::commitUop(Context &c, Uop &u)
+{
+    releaseUop(u);
+    const Instr &in = *u.instr;
+    if (in.dest != regNone)
+        pendingDone_[static_cast<size_t>(c.id)].erase(u.seq);
+    ++stats_.retired[static_cast<int>(u.mode)];
+    if (u.tag >= 0 && u.tag < 64)
+        ++stats_.retiredByTag[u.tag];
+
+    const int cls = u.mode == Mode::User ? 0 : 1;
+    ++stats_.mix[cls][static_cast<int>(in.mixClass())];
+    if (in.isPhysMem())
+        ++stats_.physMem[cls][in.isStore() ? 1 : 0];
+    if (u.isCondBranch) {
+        ++stats_.condRetired[cls];
+        if (u.actualTaken)
+            ++stats_.condTaken[cls];
+    }
+    if (in.isStore() && u.drainAt > 0)
+        hier_->storeBuffer().push(now_, u.drainAt);
+    c.thread->cursor.retired++;
+}
+
+void
+Pipeline::cycle()
+{
+    ++now_;
+    ++stats_.cycles;
+    Trace::setCycle(now_);
+    if (os_)
+        os_->cycleHook(now_);
+    commitStage();
+    executeStage();
+    issueStage();
+    fetchStage();
+}
+
+void
+Pipeline::runInstrs(std::uint64_t retired)
+{
+    const std::uint64_t target = stats_.totalRetired() + retired;
+    std::uint64_t last = stats_.totalRetired();
+    Cycle last_progress = now_;
+    while (stats_.totalRetired() < target) {
+        cycle();
+        if (stats_.totalRetired() != last) {
+            last = stats_.totalRetired();
+            last_progress = now_;
+        } else if (now_ - last_progress > 200000) {
+            smtos_panic("pipeline made no progress for 200k cycles "
+                        "(cycle %llu)",
+                        static_cast<unsigned long long>(now_));
+        }
+    }
+}
+
+void
+Pipeline::runCycles(Cycle n)
+{
+    const Cycle end = now_ + n;
+    while (now_ < end)
+        cycle();
+}
+
+} // namespace smtos

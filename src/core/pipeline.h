@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The SMT out-of-order pipeline (Table 1).
+ *
+ * A cycle-driven model with ICOUNT-2.8 fetch from up to two contexts,
+ * wrong-path fetching down mispredicted conditional branches, shared
+ * issue queues / renaming registers / functional units, per-context
+ * precise squash, software-managed TLB traps, and commit-time
+ * serializing instructions that hand control to the OS model. The
+ * superscalar baseline is the same pipeline with one context and two
+ * fewer stages.
+ */
+
+#ifndef SMTOS_CORE_PIPELINE_H
+#define SMTOS_CORE_PIPELINE_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "bp/btb.h"
+#include "bp/mcfarling.h"
+#include "core/context.h"
+#include "mem/hierarchy.h"
+#include "vm/tlb.h"
+
+namespace smtos {
+
+/** An in-flight instruction. */
+struct Uop
+{
+    const Instr *instr = nullptr;
+    Addr pc = 0;
+    Addr vaddr = 0;   ///< data address (mem ops)
+    Addr paddr = 0;   ///< translated data address when known
+    Mode mode = Mode::User;
+    std::int16_t tag = -1; ///< kernel service tag of enclosing function
+    ThreadId thread = invalidThread;
+    std::uint64_t seq = 0;
+
+    enum class Stage : std::uint8_t { Fetched, Issued, Done, };
+    Stage stage = Stage::Fetched;
+
+    bool wrongPath = false;
+    bool serializing = false;
+    bool mispredicted = false; ///< direction mispredict: wrong-path fetch
+    bool redirectOnly = false; ///< target mispredict: fetch held, no squash
+    bool hasCheckpoint = false;
+    bool isCondBranch = false;
+    bool predTaken = false;
+    bool actualTaken = false;
+    bool trapDtlb = false;     ///< correct-path DTLB miss: trap at resolve
+    std::uint8_t destType = 0; ///< 0 none, 1 int, 2 fp
+
+    Cycle eligibleAt = 0;
+    Cycle doneAt = 0;
+    Cycle drainAt = 0;         ///< store-buffer drain completion (stores)
+
+    /** Producer uop seqs bound at rename (0 = no dependence). */
+    std::uint64_t depA = 0;
+    std::uint64_t depB = 0;
+
+    // Recovery state (valid when hasCheckpoint).
+    Cursor cp;
+    Ras::Checkpoint rasCp{0, 0};
+    std::uint64_t ghrCp = 0;
+};
+
+/** The SMT/superscalar core. */
+class Pipeline
+{
+  public:
+    Pipeline(const CoreParams &params, Hierarchy &hier,
+             const CodeImage *kernel_image);
+
+    /** The OS model must be attached before the first cycle. */
+    void setOs(OsCallbacks *os) { os_ = os; }
+
+    /** Bind a software thread to a hardware context. The context must
+     *  be drained (no in-flight uops) unless it never ran. */
+    void bindThread(CtxId ctx, ThreadState *t);
+
+    /** Advance one cycle. */
+    void cycle();
+
+    /** Run until @p retired instructions have committed in total. */
+    void runInstrs(std::uint64_t retired);
+
+    /** Run for @p n cycles. */
+    void runCycles(Cycle n);
+
+    Cycle now() const { return now_; }
+
+    Context &ctx(CtxId id) { return ctxs_[static_cast<size_t>(id)]; }
+    int numContexts() const { return static_cast<int>(ctxs_.size()); }
+
+    /** Raise a device interrupt on a context (delivered after drain). */
+    void raiseInterrupt(CtxId id, std::uint16_t vector);
+
+    CoreStats &stats() { return stats_; }
+    const CoreStats &stats() const { return stats_; }
+
+    McFarling &predictor() { return mcf_; }
+    Btb &btb() { return btb_; }
+    Tlb &itlb() { return itlb_; }
+    Tlb &dtlb() { return dtlb_; }
+    const Tlb &itlb() const { return itlb_; }
+    const Tlb &dtlb() const { return dtlb_; }
+    Hierarchy &hierarchy() { return *hier_; }
+
+    const CoreParams &params() const { return params_; }
+
+    /** Table 9 mode: privileged branches bypass predictor and BTB. */
+    void setFilterPrivilegedBranches(bool on) { filterPrivBr_ = on; }
+
+    /** Table 4 application-only mode: TLB misses refill instantly
+     *  (no handler code, no trap), via OsCallbacks::magicTranslate. */
+    void setAppOnlyTlb(bool on) { appOnlyTlb_ = on; }
+
+  private:
+    ImageSet imagesFor(const ThreadState &t) const
+    {
+        return ImageSet{t.userImage, kernelImage_};
+    }
+
+    bool canFetch(const Context &c) const;
+    void fetchStage();
+    int fetchFrom(Context &c, int budget);
+    void issueStage();
+    void executeStage();
+    void commitStage();
+
+    /** Translate a fetch PC; returns false on ITLB miss (trap raised). */
+    bool translateFetch(Context &c, ThreadState &t, Mode m, Addr pc,
+                        Addr &paddr);
+
+    /** Squash all uops of @p c with seq >= @p from_seq. */
+    void squashTail(Context &c, std::uint64_t from_seq);
+
+    void releaseUop(const Uop &u);
+    void commitUop(Context &c, Uop &u);
+
+    CoreParams params_;
+    Hierarchy *hier_;
+    const CodeImage *kernelImage_;
+    OsCallbacks *os_ = nullptr;
+
+    std::vector<Context> ctxs_;
+    std::vector<std::deque<Uop>> q_;
+    /** Per-context wait-for-branch-resolve fetch hold (0 = none). */
+    std::vector<std::uint64_t> waitBranch_;
+    /**
+     * Rename state per context: last writer seq of each architectural
+     * register, and completion times of in-flight producers. Binding
+     * readers to producer seqs at fetch models register renaming
+     * (no false WAW/WAR dependences through architectural names).
+     */
+    std::vector<std::array<std::uint64_t, numIntRegs + numFpRegs>>
+        writerSeq_;
+    std::vector<std::unordered_map<std::uint64_t, Cycle>> pendingDone_;
+
+    McFarling mcf_;
+    Btb btb_;
+    Tlb itlb_;
+    Tlb dtlb_;
+
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    int intRegsUsed_ = 0;
+    int fpRegsUsed_ = 0;
+    int unissuedInt_ = 0;
+    int unissuedFp_ = 0;
+    bool filterPrivBr_ = false;
+    bool appOnlyTlb_ = false;
+
+    CoreStats stats_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_CORE_PIPELINE_H

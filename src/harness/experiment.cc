@@ -1,0 +1,97 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/config.h"
+
+namespace smtos {
+
+RunResult
+runExperiment(const RunSpec &spec)
+{
+    SystemConfig cfg =
+        spec.smt ? smtConfig() : superscalarConfig();
+    cfg.kernel.seed = spec.seed;
+    cfg.kernel.appOnly = !spec.withOs;
+    cfg.kernel.enableNetwork =
+        (spec.workload == RunSpec::Workload::Apache);
+    cfg.mem.filterPrivileged = spec.filterKernelRefs;
+    if (spec.numContexts > 0) {
+        cfg.core.numContexts = spec.numContexts;
+        cfg.core.fetchContexts = std::min(2, spec.numContexts);
+    }
+    if (spec.fetchContexts > 0)
+        cfg.core.fetchContexts = spec.fetchContexts;
+    if (spec.roundRobinFetch)
+        cfg.core.fetchPolicy = FetchPolicy::RoundRobin;
+    cfg.kernel.sharedTlbIpr = spec.sharedTlbIpr;
+    if (spec.affinitySched)
+        cfg.kernel.schedPolicy =
+            Kernel::SchedPolicy::Affinity;
+
+    System sys(cfg);
+    if (spec.filterKernelRefs)
+        sys.pipeline().setFilterPrivilegedBranches(true);
+
+    // Workload objects must outlive the run.
+    SpecIntWorkload spec_w;
+    ApacheWorkload apache_w;
+    if (spec.workload == RunSpec::Workload::SpecInt) {
+        SpecIntParams p = spec.spec;
+        p.seed ^= spec.seed;
+        spec_w = buildSpecInt(p);
+        installSpecInt(sys.kernel(), spec_w);
+    } else {
+        ApacheParams p = spec.apache;
+        p.seed ^= spec.seed;
+        apache_w = buildApache(p);
+        installApache(sys.kernel(), apache_w);
+    }
+    sys.start();
+
+    RunResult res;
+    MetricsSnapshot s0 = MetricsSnapshot::capture(sys);
+
+    // Start-up phase.
+    if (spec.startupInstrs > 0) {
+        sys.run(spec.startupInstrs);
+    } else if (spec.workload == RunSpec::Workload::SpecInt) {
+        const std::uint64_t chunk = 200'000;
+        std::uint64_t guard = 0;
+        while (!sys.kernel().startupComplete() && guard < 400) {
+            sys.run(chunk);
+            ++guard;
+        }
+        if (guard >= 400)
+            smtos_warn("start-up did not complete within guard");
+    }
+    MetricsSnapshot s1 = MetricsSnapshot::capture(sys);
+    res.startup = s1.delta(s0);
+
+    // Measurement phase.
+    if (spec.windowInstrs > 0) {
+        MetricsSnapshot prev = s1;
+        std::uint64_t done = 0;
+        while (done < spec.measureInstrs) {
+            const std::uint64_t step =
+                std::min(spec.windowInstrs,
+                         spec.measureInstrs - done);
+            sys.run(step);
+            done += step;
+            MetricsSnapshot cur = MetricsSnapshot::capture(sys);
+            res.windows.push_back(cur.delta(prev));
+            prev = cur;
+        }
+        res.steady = MetricsSnapshot::capture(sys).delta(s1);
+    } else {
+        sys.run(spec.measureInstrs);
+        res.steady = MetricsSnapshot::capture(sys).delta(s1);
+    }
+
+    res.requestsServed = sys.kernel().requestsServed();
+    res.cycles = sys.pipeline().now();
+    return res;
+}
+
+} // namespace smtos

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment harness shared by the benchmark binaries and examples:
+ * builds a configured system + workload, runs warm-up/start-up and
+ * measurement phases, and returns metric deltas per phase and per
+ * window.
+ */
+
+#ifndef SMTOS_HARNESS_EXPERIMENT_H
+#define SMTOS_HARNESS_EXPERIMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "workload/apache.h"
+#include "workload/specint.h"
+
+namespace smtos {
+
+/** What to simulate and how long. */
+struct RunSpec
+{
+    enum class Workload { SpecInt, Apache };
+    Workload workload = Workload::SpecInt;
+    bool smt = true;          ///< false: superscalar baseline
+    bool withOs = true;       ///< false: application-only (Table 4)
+    bool filterKernelRefs = false; ///< Table 9 reference filter
+
+    /**
+     * Start-up phase length in retired instructions. 0 for SPECInt
+     * means "run until every app finished its input reads".
+     */
+    std::uint64_t startupInstrs = 0;
+    std::uint64_t measureInstrs = 2'000'000;
+    /** When nonzero, split measurement into windows of this size. */
+    std::uint64_t windowInstrs = 0;
+
+    SpecIntParams spec;
+    ApacheParams apache;
+    std::uint64_t seed = 99;
+    /** Optional overrides (0 = keep the preset's value). */
+    int numContexts = 0;
+    int fetchContexts = 0;
+    bool roundRobinFetch = false;
+    bool affinitySched = false;
+    bool sharedTlbIpr = false;
+};
+
+/** Phase deltas of one run. */
+struct RunResult
+{
+    MetricsSnapshot startup;  ///< the start-up interval
+    MetricsSnapshot steady;   ///< the measurement interval
+    std::vector<MetricsSnapshot> windows;
+    std::uint64_t requestsServed = 0;
+    Cycle cycles = 0;
+};
+
+/** Build, run, and measure one configuration. */
+RunResult runExperiment(const RunSpec &spec);
+
+} // namespace smtos
+
+#endif // SMTOS_HARNESS_EXPERIMENT_H

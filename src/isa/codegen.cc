@@ -1,0 +1,348 @@
+#include "isa/codegen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+CodeGen::CodeGen(CodeImage &image, const CodeProfile &profile,
+                 std::uint64_t seed)
+    : image_(image), profile_(profile), rng_(seed)
+{
+}
+
+std::uint8_t
+CodeGen::pickDest(bool fp)
+{
+    std::uint8_t r;
+    if (fp) {
+        r = static_cast<std::uint8_t>(numIntRegs + rng_.below(numFpRegs));
+        recentFp_[recentFpPtr_] = r;
+        recentFpPtr_ = (recentFpPtr_ + 1) & 3;
+    } else {
+        // r0 reserved as "zero"-ish: skip it for dests.
+        r = static_cast<std::uint8_t>(1 + rng_.below(numIntRegs - 1));
+        recentInt_[recentIntPtr_] = r;
+        recentIntPtr_ = (recentIntPtr_ + 1) & 3;
+    }
+    return r;
+}
+
+std::uint8_t
+CodeGen::pickSrc(bool fp)
+{
+    // Bias toward recently written registers to create dependence
+    // chains of realistic length.
+    if (rng_.chance(0.40))
+        return fp ? recentFp_[rng_.below(4)] : recentInt_[rng_.below(4)];
+    if (fp)
+        return static_cast<std::uint8_t>(numIntRegs +
+                                         rng_.below(numFpRegs));
+    return static_cast<std::uint8_t>(rng_.below(numIntRegs));
+}
+
+Instr
+CodeGen::makeAlu()
+{
+    Instr in;
+    const bool mul = rng_.chance(profile_.mulFrac);
+    in.op = mul ? Op::IntMul : Op::IntAlu;
+    in.srcA = pickSrc(false);
+    in.srcB = pickSrc(false);
+    in.dest = pickDest(false);
+    return in;
+}
+
+Instr
+CodeGen::makeLoad(MemPattern p, int region, int stream,
+                  std::uint32_t stride, bool physical)
+{
+    Instr in;
+    in.op = physical ? Op::LoadPhys : Op::Load;
+    in.pattern = p;
+    in.region = static_cast<std::uint8_t>(region);
+    in.stream = static_cast<std::uint8_t>(stream);
+    in.stride = stride;
+    in.srcA = pickSrc(false);
+    in.dest = pickDest(false);
+    return in;
+}
+
+Instr
+CodeGen::makeStore(MemPattern p, int region, int stream,
+                   std::uint32_t stride, bool physical)
+{
+    Instr in;
+    in.op = physical ? Op::StorePhys : Op::Store;
+    in.pattern = p;
+    in.region = static_cast<std::uint8_t>(region);
+    in.stream = static_cast<std::uint8_t>(stream);
+    in.stride = stride;
+    in.srcA = pickSrc(false);
+    in.srcB = pickSrc(false);
+    return in;
+}
+
+Instr
+CodeGen::makeWorkInstr(double phys_frac)
+{
+    if (rng_.chance(profile_.midBranchFrac)) {
+        // Never-taken error-check branch: falls through on the
+        // correct path (target only reachable by wrong-path fetch).
+        return makeCond(0, 0.0);
+    }
+    const double u = rng_.uniform();
+    const bool is_load = u < profile_.loadFrac;
+    const bool is_store = !is_load &&
+        u < profile_.loadFrac + profile_.storeFrac;
+    if (is_load || is_store) {
+        bool physical =
+            rng_.chance(phys_frac) && !profile_.physRegions.empty();
+        MemPattern p;
+        int region = 0;
+        const double m = rng_.uniform();
+        if (physical || m >= profile_.seqFrac + profile_.stackFrac) {
+            p = MemPattern::RandomInRegion;
+        } else if (m < profile_.seqFrac) {
+            p = MemPattern::SeqStream;
+        } else {
+            p = MemPattern::StackFrame;
+        }
+        if (p == MemPattern::StackFrame) {
+            region = profile_.stackRegion;
+        } else {
+            const auto &choices =
+                physical ? profile_.physRegions : profile_.virtRegions;
+            double total = 0.0;
+            for (const auto &rc : choices)
+                total += rc.weight;
+            double pick = rng_.uniform() * total;
+            region = choices.front().region;
+            for (const auto &rc : choices) {
+                pick -= rc.weight;
+                if (pick <= 0.0) {
+                    region = rc.region;
+                    break;
+                }
+            }
+        }
+        const auto stride = static_cast<std::uint32_t>(
+            rng_.range(profile_.strideMin, profile_.strideMax) & ~7);
+        // One stream per region keeps each thread's hot footprint at
+        // one window/segment per region (realistic TLB/cache reach).
+        const int stream = region & 3;
+        return is_load
+            ? makeLoad(p, region, stream, std::max(8u, stride), physical)
+            : makeStore(p, region, stream, std::max(8u, stride),
+                        physical);
+    }
+    if (u < profile_.loadFrac + profile_.storeFrac + profile_.fpFrac) {
+        Instr in;
+        in.op = rng_.chance(0.5) ? Op::FpAdd : Op::FpMul;
+        in.srcA = pickSrc(true);
+        in.srcB = pickSrc(true);
+        in.dest = pickDest(true);
+        return in;
+    }
+    return makeAlu();
+}
+
+void
+CodeGen::emitWork(int n)
+{
+    emitWork(n, profile_.physMemFrac);
+}
+
+void
+CodeGen::emitWork(int n, double phys_frac)
+{
+    for (int i = 0; i < n; ++i)
+        image_.emit(makeWorkInstr(phys_frac));
+}
+
+Instr
+CodeGen::makeCond(int target_block, double taken_chance)
+{
+    Instr in;
+    in.op = Op::CondBranch;
+    in.srcA = pickSrc(false);
+    in.targetBlock = target_block;
+    in.takenChance1024 = static_cast<std::uint16_t>(
+        std::clamp(taken_chance, 0.0, 1.0) * 1024.0);
+    return in;
+}
+
+Instr
+CodeGen::makeLoop(int target_block, std::uint16_t trip, int slot,
+                  std::uint16_t dyn_payload)
+{
+    Instr in;
+    in.op = Op::CondBranch;
+    in.srcA = pickSrc(false);
+    in.targetBlock = target_block;
+    in.loopTrip = trip;
+    in.loopSlot = static_cast<std::uint8_t>(slot & 3);
+    in.payload = dyn_payload;
+    return in;
+}
+
+Instr
+CodeGen::makeJump(int target_block)
+{
+    Instr in;
+    in.op = Op::Jump;
+    in.targetBlock = target_block;
+    return in;
+}
+
+Instr
+CodeGen::makeCall(int callee)
+{
+    Instr in;
+    in.op = Op::Call;
+    in.callee = callee;
+    return in;
+}
+
+Instr
+CodeGen::makeReturn()
+{
+    Instr in;
+    in.op = Op::Return;
+    return in;
+}
+
+Instr
+CodeGen::makePalReturn()
+{
+    Instr in;
+    in.op = Op::PalReturn;
+    return in;
+}
+
+Instr
+CodeGen::makeSyscall(std::uint16_t number)
+{
+    Instr in;
+    in.op = Op::Syscall;
+    in.payload = number;
+    return in;
+}
+
+Instr
+CodeGen::makeMagic(MagicOp op, std::uint16_t payload)
+{
+    Instr in;
+    in.op = Op::Magic;
+    in.magic = op;
+    in.payload = payload;
+    return in;
+}
+
+Instr
+CodeGen::makeTlbWrite()
+{
+    Instr in;
+    in.op = Op::TlbWrite;
+    return in;
+}
+
+void
+CodeGen::genPadding(int n)
+{
+    static int pad_counter = 0;
+    image_.beginFunction("pad" + std::to_string(pad_counter++), -1);
+    image_.beginBlock();
+    for (int i = 0; i < n; ++i) {
+        Instr nop;
+        nop.op = Op::Nop;
+        image_.emit(nop);
+    }
+    image_.emit(makeReturn());
+}
+
+int
+CodeGen::genFunction(const std::string &name, int num_blocks,
+                     const std::vector<int> &callees, int tag,
+                     bool infinite_loop, bool pal)
+{
+    smtos_assert(num_blocks >= 1);
+    const int f = image_.beginFunction(name, tag, pal);
+
+    // Plan terminators first so forward targets stay in range.
+    for (int b = 0; b < num_blocks; ++b) {
+        image_.beginBlock();
+        const int body = static_cast<int>(
+            rng_.range(profile_.instrsPerBlockMin,
+                       profile_.instrsPerBlockMax));
+        emitWork(body);
+
+        const bool last = (b == num_blocks - 1);
+        if (last) {
+            if (infinite_loop)
+                image_.emit(makeJump(0));
+            else
+                image_.emit(makeReturn());
+            break;
+        }
+
+        const double u = rng_.uniform();
+        double acc = profile_.loopFrac;
+        if (u < acc) {
+            // Self-loop: re-executes this block trip times.
+            const auto trip = static_cast<std::uint16_t>(
+                rng_.range(profile_.loopTripMin, profile_.loopTripMax));
+            image_.emit(makeLoop(b, trip, static_cast<int>(b) & 3));
+            continue;
+        }
+        acc += profile_.diamondFrac;
+        if (u < acc && b + 2 < num_blocks) {
+            // Forward skip over the next block. Real branches are
+            // mostly strongly biased (and thus predictable); mix
+            // strong-taken / strong-not-taken / moderate so the
+            // aggregate taken rate matches the profile while the
+            // misprediction rate stays realistic.
+            const int span = static_cast<int>(
+                1 + rng_.below(std::min(3, num_blocks - 1 - (b + 1))));
+            const double t_frac = std::clamp(
+                (profile_.takenBias - 0.1175) / 0.9, 0.05, 0.9);
+            const double d = rng_.uniform();
+            double chance;
+            if (d < t_frac)
+                chance = 0.95;
+            else if (d < 0.85)
+                chance = 0.05;
+            else
+                chance = 0.5;
+            image_.emit(makeCond(b + 1 + span, chance));
+            continue;
+        }
+        acc += profile_.indirectFrac;
+        if (u < acc && b + 2 < num_blocks) {
+            const int max_fan =
+                std::min<int>(profile_.indirectFanMax,
+                              num_blocks - 1 - b);
+            const int fan = std::max(
+                1, static_cast<int>(rng_.range(
+                       std::min(profile_.indirectFanMin, max_fan),
+                       max_fan)));
+            Instr in;
+            in.op = Op::IndirectJump;
+            in.srcA = pickSrc(false);
+            in.targetBlock = b + 1;
+            in.indirectFan = static_cast<std::uint8_t>(fan);
+            image_.emit(in);
+            continue;
+        }
+        if (!callees.empty() && rng_.chance(0.5)) {
+            image_.emit(
+                makeCall(callees[rng_.below(callees.size())]));
+            continue;
+        }
+        // Plain fall-through into the next block.
+    }
+    return f;
+}
+
+} // namespace smtos

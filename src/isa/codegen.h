@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Synthetic code generation.
+ *
+ * Generates program images whose instruction mix, locality, and
+ * control-flow behavior are driven by a profile, so workloads can be
+ * matched to the paper's measured mixes (Tables 2 and 5). The kernel
+ * image builder also uses the low-level emit helpers to hand-craft
+ * individual OS routines.
+ */
+
+#ifndef SMTOS_ISA_CODEGEN_H
+#define SMTOS_ISA_CODEGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/program.h"
+
+namespace smtos {
+
+/** Statistical shape of generated code. */
+struct CodeProfile
+{
+    // Instruction mix (fractions of non-terminator instructions).
+    double loadFrac = 0.20;
+    double storeFrac = 0.11;
+    double fpFrac = 0.025;
+    double mulFrac = 0.05;      ///< of remaining integer ops
+
+    // Memory behavior.
+    double physMemFrac = 0.0;   ///< memory ops using physical addresses
+    double seqFrac = 0.35;      ///< sequential-stream accesses
+    double stackFrac = 0.25;    ///< stack-frame accesses
+    /** Weighted region choices for virtual and physical accesses. */
+    struct RegionChoice
+    {
+        int region;
+        double weight;
+    };
+    std::vector<RegionChoice> virtRegions = {{0, 1.0}, {1, 2.0}};
+    std::vector<RegionChoice> physRegions = {};
+    int stackRegion = 2;
+    int strideMin = 8;
+    int strideMax = 64;
+
+    // Control flow (fractions over block terminators).
+    double loopFrac = 0.25;     ///< single-block loops
+    double diamondFrac = 0.45;  ///< forward conditional skips
+    double indirectFrac = 0.04; ///< indirect jumps (switches)
+    double takenBias = 0.56;    ///< cond taken rate target
+    int loopTripMin = 3;
+    int loopTripMax = 24;
+    int indirectFanMin = 2;
+    int indirectFanMax = 6;
+
+    /**
+     * Fraction of straight-line work instructions that are
+     * never-taken conditional branches (error/assert checks). They
+     * fall through on the correct path, so they may sit mid-block;
+     * they give generated code realistic branch density and the
+     * fall-through-biased kernel conditionals the paper observes.
+     */
+    double midBranchFrac = 0.10;
+
+    // Shape.
+    int instrsPerBlockMin = 4;
+    int instrsPerBlockMax = 12;
+};
+
+/**
+ * Generator of functions within a CodeImage. One CodeGen is created
+ * per image being built and shares its rng across functions so layout
+ * is deterministic per seed.
+ */
+class CodeGen
+{
+  public:
+    CodeGen(CodeImage &image, const CodeProfile &profile,
+            std::uint64_t seed);
+
+    /** Access the profile (mutable: workloads tweak between phases). */
+    CodeProfile &profile() { return profile_; }
+
+    /**
+     * Generate a whole function of @p num_blocks blocks. Block
+     * terminators follow the profile; call sites target @p callees
+     * uniformly. The final block ends with Return (or an infinite
+     * jump back to block 0 when @p infinite_loop).
+     */
+    int genFunction(const std::string &name, int num_blocks,
+                    const std::vector<int> &callees, int tag = -1,
+                    bool infinite_loop = false, bool pal = false);
+
+    /**
+     * Emit an unreachable padding function of @p n instructions.
+     * Spreads subsequent functions across the address space so hot
+     * code occupies sparse cache lines, as large real binaries do.
+     */
+    void genPadding(int n);
+
+    // --- low-level emit helpers (used by the kernel image builder) ---
+
+    /** Emit @p n mix-driven straight-line instructions. */
+    void emitWork(int n);
+
+    /** Emit straight-line instructions with an override of the
+     *  physical-memory fraction (kernel paths). */
+    void emitWork(int n, double phys_frac);
+
+    /** A single mix-driven instruction (no control transfers). */
+    Instr makeWorkInstr(double phys_frac);
+
+    Instr makeAlu();
+    Instr makeLoad(MemPattern p, int region, int stream,
+                   std::uint32_t stride, bool physical);
+    Instr makeStore(MemPattern p, int region, int stream,
+                    std::uint32_t stride, bool physical);
+
+    /** Conditional branch with explicit bias and target. */
+    Instr makeCond(int target_block, double taken_chance);
+
+    /** Loop-back conditional branch. */
+    Instr makeLoop(int target_block, std::uint16_t trip, int slot,
+                   std::uint16_t dyn_payload = 0);
+
+    Instr makeJump(int target_block);
+    Instr makeCall(int callee);
+    Instr makeReturn();
+    Instr makePalReturn();
+    Instr makeSyscall(std::uint16_t number);
+    Instr makeMagic(MagicOp op, std::uint16_t payload = 0);
+    Instr makeTlbWrite();
+
+    Rng &rng() { return rng_; }
+
+  private:
+    std::uint8_t pickDest(bool fp);
+    std::uint8_t pickSrc(bool fp);
+
+    CodeImage &image_;
+    CodeProfile profile_;
+    Rng rng_;
+    std::uint8_t recentInt_[4] = {1, 2, 3, 4};
+    std::uint8_t recentFp_[4] = {33, 34, 35, 36};
+    int recentIntPtr_ = 0;
+    int recentFpPtr_ = 0;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_ISA_CODEGEN_H

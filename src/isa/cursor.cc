@@ -1,0 +1,319 @@
+#include "isa/cursor.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+void
+Cursor::reset(int func, bool in_kernel, std::uint64_t seed)
+{
+    depth_ = 1;
+    frames_[0] = CallFrame{};
+    frames_[0].func = func;
+    frames_[0].inKernel = in_kernel ? 1 : 0;
+    wrongPath_ = false;
+    stuck_ = false;
+    rng_ = Rng(seed);
+    for (std::uint32_t &s : stream_)
+        s = 0;
+    retired = 0;
+}
+
+Mode
+Cursor::mode(const ImageSet &is) const
+{
+    const CallFrame &f = top();
+    if (!f.inKernel)
+        return Mode::User;
+    return is.kernel->func(f.func).pal ? Mode::Pal : Mode::Kernel;
+}
+
+const Instr &
+Cursor::currentInstr(const ImageSet &is) const
+{
+    const CallFrame &f = top();
+    return image(is).instrAt(f.func, f.block, f.instrIdx);
+}
+
+Addr
+Cursor::currentPc(const ImageSet &is) const
+{
+    const CallFrame &f = top();
+    return image(is).pcOf(f.func, f.block, f.instrIdx);
+}
+
+Addr
+Cursor::parentPc(const ImageSet &is) const
+{
+    smtos_assert(depth_ >= 2);
+    const CallFrame &p = frames_[depth_ - 2];
+    const CodeImage &img = p.inKernel ? *is.kernel : *is.user;
+    return img.pcOf(p.func, p.block, p.instrIdx);
+}
+
+void
+Cursor::stepSequential(const ImageSet &is)
+{
+    CallFrame &f = frames_[depth_ - 1];
+    const CodeImage &img = image(is);
+    const BasicBlock &bb = img.block(f.func, f.block);
+    ++f.instrIdx;
+    if (f.instrIdx >= bb.numInstrs) {
+        // Fall through to the next block of the function.
+        if (f.block + 1 >= img.numBlocks(f.func)) {
+            // Ran off the function end: only legal on the wrong path.
+            if (wrongPath_) {
+                stuck_ = true;
+                f.instrIdx = static_cast<std::uint16_t>(bb.numInstrs - 1);
+                return;
+            }
+            smtos_panic("cursor fell off end of %s",
+                        img.func(f.func).name.c_str());
+        }
+        ++f.block;
+        f.instrIdx = 0;
+    }
+}
+
+BranchPreview
+Cursor::previewBranch(const ImageSet &is, const ThreadIprs &iprs)
+{
+    CallFrame &f = frames_[depth_ - 1];
+    const CodeImage &img = image(is);
+    const Instr &in = img.instrAt(f.func, f.block, f.instrIdx);
+    BranchPreview bp;
+
+    switch (in.op) {
+      case Op::CondBranch: {
+        bp.kind = BranchPreview::Kind::Cond;
+        if (in.loopTrip > 0) {
+            std::uint32_t trip = in.loopTrip;
+            if (in.loopTrip == dynamicTrip) {
+                trip = in.payload == 1
+                           ? iprs.serviceTrip
+                           : (in.payload == 2 ? iprs.intrTrip
+                                              : iprs.copyTrip);
+            }
+            std::uint16_t &ctr = f.loop[in.loopSlot & 3];
+            if (static_cast<std::uint32_t>(ctr) + 1 < trip) {
+                ++ctr;
+                bp.taken = true;
+            } else {
+                ctr = 0;
+                bp.taken = false;
+            }
+        } else {
+            bp.taken = rng_.below(1024) < in.takenChance1024;
+        }
+        bp.targetFunc = f.func;
+        bp.targetBlock = in.targetBlock;
+        bp.targetPc = img.pcOf(f.func, in.targetBlock, 0);
+        return bp;
+      }
+      case Op::Jump:
+        bp.kind = BranchPreview::Kind::Jump;
+        bp.taken = true;
+        bp.targetFunc = f.func;
+        bp.targetBlock = in.targetBlock;
+        bp.targetPc = img.pcOf(f.func, in.targetBlock, 0);
+        return bp;
+      case Op::IndirectJump: {
+        bp.kind = BranchPreview::Kind::Indirect;
+        bp.taken = true;
+        int k = 0;
+        if (in.indirectFan > 1) {
+            // Skewed: a favorite target, then a uniform tail.
+            if (!rng_.chance(0.6))
+                k = static_cast<int>(rng_.below(in.indirectFan));
+        }
+        bp.targetFunc = f.func;
+        bp.targetBlock = in.targetBlock + k;
+        bp.targetPc = img.pcOf(f.func, bp.targetBlock, 0);
+        return bp;
+      }
+      case Op::Call: {
+        bp.kind = BranchPreview::Kind::Call;
+        bp.taken = true;
+        bp.targetFunc = in.callee;
+        bp.targetBlock = 0;
+        bp.targetPc = img.pcOf(in.callee, 0, 0);
+        return bp;
+      }
+      case Op::Return:
+      case Op::PalReturn: {
+        bp.kind = in.op == Op::Return ? BranchPreview::Kind::Ret
+                                      : BranchPreview::Kind::PalRet;
+        bp.taken = true;
+        if (depth_ >= 2) {
+            const CallFrame &parent = frames_[depth_ - 2];
+            const CodeImage &pimg =
+                parent.inKernel ? *is.kernel : *is.user;
+            bp.targetFunc = parent.func;
+            bp.targetBlock = parent.block;
+            bp.targetPc =
+                pimg.pcOf(parent.func, parent.block, parent.instrIdx);
+        }
+        return bp;
+      }
+      default:
+        smtos_panic("previewBranch on non-branch %s", opName(in.op));
+    }
+}
+
+void
+Cursor::followBranch(const ImageSet &is, const BranchPreview &bp,
+                     bool take_it)
+{
+    CallFrame &f = frames_[depth_ - 1];
+    switch (bp.kind) {
+      case BranchPreview::Kind::Cond:
+        if (take_it) {
+            f.block = bp.targetBlock;
+            f.instrIdx = 0;
+        } else {
+            stepSequential(is);
+        }
+        return;
+      case BranchPreview::Kind::Jump:
+      case BranchPreview::Kind::Indirect:
+        f.block = bp.targetBlock;
+        f.instrIdx = 0;
+        return;
+      case BranchPreview::Kind::Call:
+        // Advance the caller past the call, then enter the callee.
+        stepSequential(is);
+        push(bp.targetFunc, frames_[depth_ - 1].inKernel != 0);
+        return;
+      case BranchPreview::Kind::Ret:
+      case BranchPreview::Kind::PalRet:
+        if (depth_ <= 1) {
+            // Return from the outermost frame: only legal while
+            // speculating down a wrong path.
+            stuck_ = true;
+            return;
+        }
+        pop();
+        return;
+    }
+}
+
+void
+Cursor::push(int func, bool in_kernel)
+{
+    if (depth_ >= maxFrames) {
+        if (wrongPath_) {
+            stuck_ = true;
+            return;
+        }
+        for (int i = 0; i < depth_; ++i) {
+            std::fprintf(stderr, "  frame[%d]: func=%d kernel=%d "
+                         "block=%d idx=%d\n", i, frames_[i].func,
+                         frames_[i].inKernel, frames_[i].block,
+                         frames_[i].instrIdx);
+        }
+        smtos_panic("cursor frame overflow (depth %d)", depth_);
+    }
+    CallFrame &f = frames_[depth_];
+    f = CallFrame{};
+    f.func = func;
+    f.inKernel = in_kernel ? 1 : 0;
+    ++depth_;
+}
+
+void
+Cursor::pop()
+{
+    smtos_assert(depth_ >= 1);
+    --depth_;
+}
+
+void
+Cursor::pushFault(const FaultRec &r)
+{
+    if (faultDepth_ >= maxFaultDepth)
+        smtos_panic("fault stack overflow (depth %d)", faultDepth_);
+    faults_[faultDepth_++] = r;
+}
+
+FaultRec
+Cursor::popFault()
+{
+    smtos_assert(faultDepth_ >= 1);
+    return faults_[--faultDepth_];
+}
+
+FaultRec &
+Cursor::topFault()
+{
+    smtos_assert(faultDepth_ >= 1);
+    return faults_[faultDepth_ - 1];
+}
+
+Addr
+Cursor::memAddress(const Instr &in, const MemRegion *regions,
+                   const ThreadIprs &iprs)
+{
+    const CallFrame &f = top();
+    switch (in.pattern) {
+      case MemPattern::SeqStream: {
+        // Strided walk over a 32KB segment, re-walked several times
+        // before advancing to the next segment: models loop nests
+        // re-traversing arrays (spatial locality plus reuse).
+        const MemRegion &r = regions[in.region & (maxRegions - 1)];
+        std::uint32_t &s = stream_[in.stream & 3];
+        s += in.stride;
+        const Addr seg = r.bytes < (4ull << 10) ? r.bytes
+                                                : (4ull << 10);
+        const Addr pos = static_cast<Addr>(s) % seg;
+        const Addr seg_base =
+            r.sharedHot ? 0
+                        : (static_cast<Addr>(s) / (seg * 32)) * seg;
+        return r.base + ((seg_base + pos) % r.bytes & ~7ull);
+      }
+      case MemPattern::RandomInRegion: {
+        // Random within a slowly drifting hot window, so accesses have
+        // the page-level temporal locality real programs exhibit while
+        // still spreading over the whole region over time.
+        const MemRegion &r = regions[in.region & (maxRegions - 1)];
+        std::uint32_t &s = stream_[in.stream & 3];
+        s += in.stride;
+        const Addr window =
+            r.bytes < (4ull << 10) ? r.bytes : (4ull << 10);
+        const Addr anchor =
+            r.sharedHot ? 0
+                        : (static_cast<Addr>(s) / 160) % r.bytes;
+        return r.base +
+               ((anchor + rng_.below(window)) % r.bytes & ~7ull);
+      }
+      case MemPattern::StackFrame: {
+        const MemRegion &r = regions[in.region & (maxRegions - 1)];
+        const Addr frame_base =
+            static_cast<Addr>(depth_ - 1) * 256 % r.bytes;
+        return r.base + (frame_base + rng_.below(32) * 8) % r.bytes;
+      }
+      case MemPattern::PteWalk:
+        return faultDepth_ > 0 ? faults_[faultDepth_ - 1].pteAddr
+                               : 0;
+      case MemPattern::FrameTouch: {
+        const Addr base =
+            faultDepth_ > 0
+                ? (faults_[faultDepth_ - 1].frame << pageShift)
+                : 0;
+        return base +
+               static_cast<Addr>(f.loop[in.loopSlot & 3]) * in.stride;
+      }
+      case MemPattern::CopySrc:
+        return iprs.copySrc +
+               static_cast<Addr>(f.loop[in.loopSlot & 3]) * in.stride;
+      case MemPattern::CopyDst:
+        return iprs.copyDst +
+               static_cast<Addr>(f.loop[in.loopSlot & 3]) * in.stride;
+      case MemPattern::None:
+        break;
+    }
+    smtos_panic("memAddress: instruction has no pattern");
+}
+
+} // namespace smtos

@@ -1,0 +1,125 @@
+#include "isa/disasm.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace smtos {
+
+namespace {
+
+const char *
+patternName(MemPattern p)
+{
+    switch (p) {
+      case MemPattern::None: return "";
+      case MemPattern::SeqStream: return "seq";
+      case MemPattern::RandomInRegion: return "rand";
+      case MemPattern::StackFrame: return "stack";
+      case MemPattern::PteWalk: return "pte";
+      case MemPattern::FrameTouch: return "frame";
+      case MemPattern::CopySrc: return "csrc";
+      case MemPattern::CopyDst: return "cdst";
+    }
+    return "?";
+}
+
+std::string
+regName(std::uint8_t r)
+{
+    if (r == regNone)
+        return "-";
+    std::ostringstream os;
+    if (isFpReg(r))
+        os << "f" << static_cast<int>(r - numIntRegs);
+    else
+        os << "r" << static_cast<int>(r);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disasm(const Instr &in)
+{
+    std::ostringstream os;
+    os << opName(in.op);
+    if (in.isMem()) {
+        os << " " << regName(in.dest) << ", ["
+           << patternName(in.pattern) << ":" << int(in.region)
+           << " s" << int(in.stream) << " +" << in.stride << "]";
+    } else if (in.op == Op::CondBranch) {
+        if (in.loopTrip > 0) {
+            os << " ->b" << in.targetBlock << " loop(";
+            if (in.loopTrip == dynamicTrip)
+                os << "dyn:" << in.payload;
+            else
+                os << in.loopTrip;
+            os << ", slot " << int(in.loopSlot) << ")";
+        } else {
+            os << " ->b" << in.targetBlock << " p="
+               << in.takenChance1024 << "/1024";
+        }
+    } else if (in.op == Op::Jump) {
+        os << " ->b" << in.targetBlock;
+    } else if (in.op == Op::IndirectJump) {
+        os << " ->b" << in.targetBlock << "..b"
+           << in.targetBlock + in.indirectFan - 1;
+    } else if (in.op == Op::Call) {
+        os << " f" << in.callee;
+    } else if (in.op == Op::Syscall) {
+        os << " #" << in.payload;
+    } else if (in.op == Op::Magic) {
+        os << " op=" << static_cast<int>(in.magic) << " arg="
+           << in.payload;
+    } else if (in.dest != regNone) {
+        os << " " << regName(in.dest) << ", " << regName(in.srcA)
+           << ", " << regName(in.srcB);
+    }
+    return os.str();
+}
+
+void
+listFunction(std::ostream &os, const CodeImage &img, int func)
+{
+    const Function &f = img.func(func);
+    os << "function " << func << " '" << f.name << "' tag=" << f.tag
+       << (f.pal ? " [pal]" : "") << "\n";
+    for (int b = 0; b < f.numBlocks; ++b) {
+        const BasicBlock &bb = img.block(func, b);
+        os << "  block " << b << ":\n";
+        for (int i = 0; i < bb.numInstrs; ++i) {
+            os << "    0x" << std::hex << img.pcOf(func, b, i)
+               << std::dec << "  "
+               << disasm(img.instrAt(func, b, i)) << "\n";
+        }
+    }
+}
+
+void
+imageSummary(std::ostream &os, const CodeImage &img)
+{
+    os << "image '" << img.name() << "': " << img.numFunctions()
+       << " functions, " << img.numInstrs() << " instructions, "
+       << img.textBytes() / 1024 << " KiB text @0x" << std::hex
+       << img.textBase() << std::dec << "\n";
+    std::uint32_t pad_instrs = 0;
+    for (int f = 0; f < img.numFunctions(); ++f) {
+        const Function &fn = img.func(f);
+        const BasicBlock &first = img.block(f, 0);
+        std::uint32_t n = 0;
+        for (int b = 0; b < fn.numBlocks; ++b)
+            n += img.block(f, b).numInstrs;
+        if (fn.name.rfind("pad", 0) == 0) {
+            pad_instrs += n;
+            continue;
+        }
+        os << "  f" << f << " " << fn.name << ": " << fn.numBlocks
+           << " blocks, " << n << " instrs, tag " << fn.tag
+           << ", entry 0x" << std::hex
+           << img.textBase() + first.firstInstr * instrBytes
+           << std::dec << "\n";
+    }
+    os << "  (padding: " << pad_instrs << " unreachable instrs)\n";
+}
+
+} // namespace smtos

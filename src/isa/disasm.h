@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Disassembly of synthetic instructions and image listings, for
+ * debugging workloads and the kernel image.
+ */
+
+#ifndef SMTOS_ISA_DISASM_H
+#define SMTOS_ISA_DISASM_H
+
+#include <iosfwd>
+#include <string>
+
+#include "isa/program.h"
+
+namespace smtos {
+
+/** One-line rendering of a static instruction. */
+std::string disasm(const Instr &in);
+
+/** Listing of one function: blocks, PCs, instructions. */
+void listFunction(std::ostream &os, const CodeImage &img, int func);
+
+/** Summary of a whole image: functions, sizes, tags, footprint. */
+void imageSummary(std::ostream &os, const CodeImage &img);
+
+} // namespace smtos
+
+#endif // SMTOS_ISA_DISASM_H

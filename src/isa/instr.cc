@@ -1,0 +1,92 @@
+#include "isa/instr.h"
+
+namespace smtos {
+
+bool
+Instr::isBranch() const
+{
+    switch (op) {
+      case Op::CondBranch:
+      case Op::Jump:
+      case Op::IndirectJump:
+      case Op::Call:
+      case Op::Return:
+      case Op::Syscall:
+      case Op::PalReturn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instr::isMem() const
+{
+    switch (op) {
+      case Op::Load:
+      case Op::Store:
+      case Op::LoadPhys:
+      case Op::StorePhys:
+        return true;
+      default:
+        return false;
+    }
+}
+
+MixClass
+Instr::mixClass() const
+{
+    switch (op) {
+      case Op::Load:
+      case Op::LoadPhys:
+        return MixClass::Load;
+      case Op::Store:
+      case Op::StorePhys:
+        return MixClass::Store;
+      case Op::CondBranch:
+        return MixClass::CondBranch;
+      case Op::Jump:
+      case Op::Call:
+      case Op::Return:
+        return MixClass::UncondBranch;
+      case Op::IndirectJump:
+        return MixClass::IndirectJump;
+      case Op::Syscall:
+      case Op::PalReturn:
+        return MixClass::PalCallReturn;
+      case Op::FpAdd:
+      case Op::FpMul:
+        return MixClass::Fp;
+      default:
+        return MixClass::OtherInt;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::IntAlu: return "intalu";
+      case Op::IntMul: return "intmul";
+      case Op::FpAdd: return "fpadd";
+      case Op::FpMul: return "fpmul";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::LoadPhys: return "ldphys";
+      case Op::StorePhys: return "stphys";
+      case Op::CondBranch: return "br";
+      case Op::Jump: return "jmp";
+      case Op::IndirectJump: return "ijmp";
+      case Op::Call: return "call";
+      case Op::Return: return "ret";
+      case Op::Syscall: return "syscall";
+      case Op::PalReturn: return "palret";
+      case Op::TlbWrite: return "tlbwrite";
+      case Op::Magic: return "magic";
+      case Op::Nop: return "nop";
+      case Op::Halt: return "halt";
+    }
+    return "?";
+}
+
+} // namespace smtos

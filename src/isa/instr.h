@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The synthetic RISC instruction model.
+ *
+ * Instructions carry the attributes the paper's metrics depend on —
+ * operation class, register dependences, memory addressing behavior
+ * (including Alpha-style physical-address references that bypass the
+ * TLB), and control-flow behavior — without committing to a concrete
+ * binary encoding. PAL entry/return, `tlbwrite`, cache flushes and
+ * kernel-model "magic" operations are first-class instructions so that
+ * every privileged operation executes on the simulated pipeline.
+ */
+
+#ifndef SMTOS_ISA_INSTR_H
+#define SMTOS_ISA_INSTR_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace smtos {
+
+/** Operation classes. */
+enum class Op : std::uint8_t
+{
+    IntAlu = 0, ///< 1-cycle integer op
+    IntMul,     ///< long-latency integer op
+    FpAdd,      ///< floating point add/sub
+    FpMul,      ///< floating point mul/div
+    Load,       ///< load, virtual address (uses DTLB)
+    Store,      ///< store, virtual address (uses DTLB)
+    LoadPhys,   ///< kernel load with physical address (bypasses DTLB)
+    StorePhys,  ///< kernel store with physical address (bypasses DTLB)
+    CondBranch, ///< conditional branch
+    Jump,       ///< unconditional direct branch
+    IndirectJump, ///< register-indirect jump (switch/fn pointer)
+    Call,       ///< direct subroutine call (pushes RAS)
+    Return,     ///< subroutine return (pops RAS)
+    Syscall,    ///< PAL call entering the kernel (serializing)
+    PalReturn,  ///< return from PAL/kernel to interrupted stream
+    TlbWrite,   ///< PAL op: install the pending TLB entry
+    Magic,      ///< kernel-model operation (serializing; see MagicOp)
+    Nop,
+    Halt,       ///< thread termination
+};
+
+/** Number of Op values. */
+constexpr int numOps = static_cast<int>(Op::Halt) + 1;
+
+/** Coarse class used by the paper's instruction-mix tables. */
+enum class MixClass : std::uint8_t
+{
+    Load = 0,
+    Store,
+    CondBranch,
+    UncondBranch,
+    IndirectJump,
+    PalCallReturn,
+    OtherInt,
+    Fp,
+};
+
+constexpr int numMixClasses = 8;
+
+/** Kernel-model operations attached to Op::Magic instructions. */
+enum class MagicOp : std::uint8_t
+{
+    None = 0,
+    KernelDispatch,  ///< run the kernel model's service dispatcher
+    MaybeBlock,      ///< service point that may block the thread
+    AllocPage,       ///< page-allocation decision point
+    NetDeliver,      ///< netisr: consume one packet from the queue
+    NetSend,         ///< enqueue an outbound packet
+    SpinAcquire,     ///< kernel spin lock acquire
+    SpinRelease,
+    Reschedule,      ///< scheduler: pick the next thread
+    IcacheFlush,     ///< flush the shared instruction cache
+    TlbFlushAsn,     ///< invalidate TLB entries of a dying ASN
+    ServiceBody,     ///< generic parameterized service-work marker
+    UserStage,       ///< user-model stage marker (e.g. Apache parse)
+};
+
+/** Memory address generation pattern for loads/stores. */
+enum class MemPattern : std::uint8_t
+{
+    None = 0,
+    SeqStream,   ///< sequential stream k (stride walks a region)
+    RandomInRegion, ///< hashed-uniform within a region
+    StackFrame,  ///< within the current stack frame
+    PteWalk,     ///< address = pending-fault PTE physical address (IPR)
+    FrameTouch,  ///< address walks the pending frame (page zeroing)
+    CopySrc,     ///< address walks the pending copy source buffer
+    CopyDst,     ///< address walks the pending copy destination
+};
+
+/** Register name space: 0-31 integer, 32-63 floating point. */
+constexpr std::uint8_t regNone = 255;
+constexpr int numIntRegs = 32;
+constexpr int numFpRegs = 32;
+
+inline bool
+isFpReg(std::uint8_t r)
+{
+    return r != regNone && r >= numIntRegs;
+}
+
+/** Loop trip count sentinel: take trip count from the pending op IPR. */
+constexpr std::uint16_t dynamicTrip = 0xffff;
+
+/** A static instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+    MagicOp magic = MagicOp::None;
+
+    std::uint8_t srcA = regNone;
+    std::uint8_t srcB = regNone;
+    std::uint8_t dest = regNone;
+
+    // -- memory behavior --
+    MemPattern pattern = MemPattern::None;
+    std::uint8_t region = 0;    ///< region table index
+    std::uint8_t stream = 0;    ///< sequential stream id (0-3)
+    std::uint32_t stride = 8;
+
+    // -- control-flow behavior --
+    /** Taken probability in 1/1024 units for conditional branches. */
+    std::uint16_t takenChance1024 = 0;
+    /** Loop-back trip count; 0 = not a loop, dynamicTrip = from IPR. */
+    std::uint16_t loopTrip = 0;
+    /** Loop nesting slot (0-3) used for the per-frame trip counter. */
+    std::uint8_t loopSlot = 0;
+    /** Relative target: block index within the current function. */
+    std::int32_t targetBlock = -1;
+    /** Number of alternative targets for indirect jumps (>= 1). */
+    std::uint8_t indirectFan = 1;
+    /** Callee function index for Call. */
+    std::int32_t callee = -1;
+
+    /** Syscall number / magic argument. */
+    std::uint16_t payload = 0;
+
+    /** True for ops that classify as control transfers. */
+    bool isBranch() const;
+    /** True for memory references. */
+    bool isMem() const;
+    /** True for memory references that bypass the TLB. */
+    bool isPhysMem() const
+    {
+        return op == Op::LoadPhys || op == Op::StorePhys;
+    }
+    bool isLoad() const { return op == Op::Load || op == Op::LoadPhys; }
+    bool isStore() const
+    {
+        return op == Op::Store || op == Op::StorePhys;
+    }
+    /** Instructions that must reach the head of the window and execute
+     *  non-speculatively before fetch may proceed. */
+    bool isSerializing() const
+    {
+        return op == Op::Syscall || op == Op::Magic ||
+               op == Op::TlbWrite || op == Op::Halt;
+    }
+
+    /** Paper Table 2/5 mix class of this instruction. */
+    MixClass mixClass() const;
+};
+
+/** Human-readable op name (disassembly, tests). */
+const char *opName(Op op);
+
+} // namespace smtos
+
+#endif // SMTOS_ISA_INSTR_H

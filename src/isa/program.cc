@@ -1,0 +1,129 @@
+#include "isa/program.h"
+
+#include "common/logging.h"
+
+namespace smtos {
+
+CodeImage::CodeImage(std::string name, Addr text_base)
+    : name_(std::move(name)), textBase_(text_base)
+{
+}
+
+int
+CodeImage::beginFunction(const std::string &name, int tag, bool pal)
+{
+    smtos_assert(!finalized_);
+    Function f;
+    f.firstBlock = static_cast<std::uint32_t>(blocks_.size());
+    f.numBlocks = 0;
+    f.tag = static_cast<std::int16_t>(tag);
+    f.pal = pal;
+    f.name = name;
+    funcs_.push_back(std::move(f));
+    const int idx = static_cast<int>(funcs_.size()) - 1;
+    if (!name.empty()) {
+        smtos_assert(funcIndex_.count(name) == 0);
+        funcIndex_.emplace(name, idx);
+    }
+    funcOpen_ = true;
+    return idx;
+}
+
+int
+CodeImage::beginBlock()
+{
+    smtos_assert(!finalized_ && funcOpen_);
+    BasicBlock b;
+    b.firstInstr = static_cast<std::uint32_t>(instrs_.size());
+    b.numInstrs = 0;
+    blocks_.push_back(b);
+    Function &f = funcs_.back();
+    ++f.numBlocks;
+    return f.numBlocks - 1;
+}
+
+void
+CodeImage::emit(const Instr &in)
+{
+    smtos_assert(!finalized_ && !blocks_.empty());
+    instrs_.push_back(in);
+    ++blocks_.back().numInstrs;
+}
+
+void
+CodeImage::finalize()
+{
+    smtos_assert(!finalized_);
+    finalized_ = true;
+    // Validate: blocks non-empty, targets and callees within range.
+    for (const Function &f : funcs_) {
+        smtos_assert(f.numBlocks > 0);
+        for (int b = 0; b < f.numBlocks; ++b) {
+            const BasicBlock &bb = blocks_[f.firstBlock + b];
+            if (bb.numInstrs == 0)
+                smtos_panic("image %s: empty block in %s",
+                            name_.c_str(), f.name.c_str());
+            for (int i = 0; i < bb.numInstrs; ++i) {
+                const Instr &in = instrs_[bb.firstInstr + i];
+                if (in.op == Op::CondBranch || in.op == Op::Jump ||
+                    in.op == Op::IndirectJump) {
+                    smtos_assert(in.targetBlock >= 0);
+                    smtos_assert(in.targetBlock +
+                                 (in.op == Op::IndirectJump
+                                  ? in.indirectFan - 1 : 0)
+                                 < f.numBlocks);
+                }
+                if (in.op == Op::Call) {
+                    smtos_assert(in.callee >= 0 &&
+                                 in.callee <
+                                 static_cast<int>(funcs_.size()));
+                }
+                const bool is_terminator = (i == bb.numInstrs - 1);
+                const bool never_taken =
+                    in.op == Op::CondBranch &&
+                    in.takenChance1024 == 0 && in.loopTrip == 0;
+                if (in.isBranch() && !in.isSerializing() &&
+                    !never_taken && !is_terminator) {
+                    smtos_panic("image %s: branch mid-block in %s",
+                                name_.c_str(), f.name.c_str());
+                }
+            }
+        }
+    }
+}
+
+int
+CodeImage::funcByName(const std::string &name) const
+{
+    auto it = funcIndex_.find(name);
+    if (it == funcIndex_.end())
+        smtos_fatal("image %s: no function named %s", name_.c_str(),
+                    name.c_str());
+    return it->second;
+}
+
+const BasicBlock &
+CodeImage::block(int f, int rel_block) const
+{
+    const Function &fn = funcs_.at(f);
+    smtos_assert(rel_block >= 0 && rel_block < fn.numBlocks);
+    return blocks_[fn.firstBlock + rel_block];
+}
+
+const Instr &
+CodeImage::instrAt(int f, int rel_block, int idx) const
+{
+    const BasicBlock &bb = block(f, rel_block);
+    smtos_assert(idx >= 0 && idx < bb.numInstrs);
+    return instrs_[bb.firstInstr + idx];
+}
+
+Addr
+CodeImage::pcOf(int f, int rel_block, int idx) const
+{
+    const BasicBlock &bb = block(f, rel_block);
+    return textBase_ +
+           static_cast<Addr>(bb.firstInstr + idx) * instrBytes;
+}
+
+} // namespace smtos

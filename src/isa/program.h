@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Program images: synthetic code laid out as functions of basic blocks
+ * at concrete virtual addresses, so instruction-cache, BTB and ITLB
+ * behavior derives from real code placement.
+ */
+
+#ifndef SMTOS_ISA_PROGRAM_H
+#define SMTOS_ISA_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instr.h"
+
+namespace smtos {
+
+/** Instruction size in bytes. */
+constexpr Addr instrBytes = 4;
+
+/** Virtual base of user program text. */
+constexpr Addr userTextBase = 0x0000'0010'0000ull;
+
+/** Virtual base of the kernel (its text starts here). */
+constexpr Addr kernelBase = 0x0000'8000'0000ull;
+
+/** A basic block: a contiguous run of instructions. */
+struct BasicBlock
+{
+    std::uint32_t firstInstr = 0; ///< global index into the image
+    std::uint16_t numInstrs = 0;
+};
+
+/** A function: a contiguous run of basic blocks; entry is block 0. */
+struct Function
+{
+    std::uint32_t firstBlock = 0;
+    std::uint16_t numBlocks = 0;
+    /** Service tag for kernel time accounting (kernel images). */
+    std::int16_t tag = -1;
+    /** True for PAL routines: fetched with physical addresses. */
+    bool pal = false;
+    std::string name;
+};
+
+/**
+ * An immutable-after-build code image. Build with
+ * beginFunction()/beginBlock()/emit(), then finalize().
+ */
+class CodeImage
+{
+  public:
+    CodeImage(std::string name, Addr text_base);
+
+    // --- builder interface ---
+
+    /** Start a function; returns its index. */
+    int beginFunction(const std::string &name, int tag = -1,
+                      bool pal = false);
+
+    /** Start a basic block in the open function; returns its
+     *  function-relative index. */
+    int beginBlock();
+
+    /** Append an instruction to the open block. */
+    void emit(const Instr &in);
+
+    /** Close the image and validate all control-flow targets. */
+    void finalize();
+
+    // --- accessors ---
+
+    const std::string &name() const { return name_; }
+    Addr textBase() const { return textBase_; }
+    bool finalized() const { return finalized_; }
+
+    int numFunctions() const { return static_cast<int>(funcs_.size()); }
+    std::uint32_t numInstrs() const
+    {
+        return static_cast<std::uint32_t>(instrs_.size());
+    }
+
+    const Function &func(int f) const { return funcs_.at(f); }
+
+    /** Index of the named function; fatal when missing. */
+    int funcByName(const std::string &name) const;
+
+    const BasicBlock &block(int f, int rel_block) const;
+    int numBlocks(int f) const { return funcs_.at(f).numBlocks; }
+
+    const Instr &instrAt(int f, int rel_block, int idx) const;
+
+    /** Virtual PC of an instruction. */
+    Addr pcOf(int f, int rel_block, int idx) const;
+
+    /** Total image text footprint in bytes. */
+    Addr textBytes() const { return numInstrs() * instrBytes; }
+
+  private:
+    std::string name_;
+    Addr textBase_;
+    bool finalized_ = false;
+    bool funcOpen_ = false;
+    std::vector<Instr> instrs_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<Function> funcs_;
+    std::unordered_map<std::string, int> funcIndex_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_ISA_PROGRAM_H

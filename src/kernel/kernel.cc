@@ -1,0 +1,262 @@
+#include "kernel/kernel.h"
+
+#include "common/logging.h"
+#include "common/trace.h"
+#include "kernel/tags.h"
+
+namespace smtos {
+
+Kernel::Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
+               const KernelCode &kc)
+    : params_(params), pipe_(pipe), mem_(mem), kc_(kc),
+      kernelIs_{nullptr, &kc.image}, rng_(params.seed)
+{
+    waiters_.resize(4);
+    conns_.resize(512);
+    idleForCtx_.assign(static_cast<size_t>(pipe_.numContexts()),
+                       nullptr);
+    curProc_.assign(static_cast<size_t>(pipe_.numContexts()), nullptr);
+    nextTimerAt_.assign(static_cast<size_t>(pipe_.numContexts()), 0);
+    bootKernelSpace();
+    if (params_.enableNetwork)
+        clients_ = std::make_unique<ClientPopulation>(
+            params_.web, params_.seed ^ 0xc11e47ull);
+    pipe_.setOs(this);
+}
+
+void
+Kernel::bootKernelSpace()
+{
+    kernelSpace_ = std::make_unique<AddrSpace>(0, mem_);
+    kernelSpace_->setAsn(0);
+
+    // Kernel text: identity-mapped global pages over the low reserved
+    // physical region.
+    const Addr text_pages =
+        (kc_.image.textBytes() + pageBytes - 1) / pageBytes;
+    for (Addr i = 0; i < text_pages; ++i)
+        kernelSpace_->mapShared(pageOf(kernelBase) + i, i);
+
+    // Kernel virtual heap: allocate real frames.
+    for (Addr i = 0; i < kernelVirtHeapBytes / pageBytes; ++i)
+        kernelSpace_->mapNew(pageOf(kernelVirtHeapBase) + i);
+}
+
+void
+Kernel::setupRegions(Process &p)
+{
+    ThreadState &ts = p.ts;
+    if (p.isUser()) {
+        ts.regions[regUserGlobals] =
+            MemRegion{userGlobalsBase, userGlobalsBytes};
+        ts.regions[regUserHeap] = MemRegion{userHeapBase,
+                                            p.cfg.heapBytes};
+        ts.regions[regUserStack] =
+            MemRegion{userStackBase, userStackBytes};
+        ts.regions[regUserAux] = MemRegion{userAuxBase, userAuxBytes};
+    }
+    // Kernel data structures are shared-hot: every thread touches
+    // the same proc/socket/vm tables, so their windows overlap.
+    ts.regions[regKVirt] =
+        MemRegion{kernelVirtHeapBase, kernelVirtHeapBytes, true};
+    ts.regions[regKPhys] =
+        MemRegion{kernelPhysHeapBase, kernelPhysHeapBytes, true};
+    ts.regions[regKStack] =
+        MemRegion{kernelStackBase(p.pid), kernelStackBytes, false};
+    ts.regions[regMbuf] = MemRegion{mbufPoolBase, mbufPoolBytes, true};
+
+    // Map this thread's kernel stack (global, present).
+    for (Addr i = 0; i < kernelStackBytes / pageBytes; ++i) {
+        const Addr vpn = pageOf(kernelStackBase(p.pid)) + i;
+        if (!kernelSpace_->mapped(vpn))
+            kernelSpace_->mapNew(vpn);
+    }
+}
+
+Process &
+Kernel::createInternal(const ProcParams &cfg, bool idle)
+{
+    auto up = std::make_unique<Process>();
+    Process &p = *up;
+    p.pid = static_cast<int>(procs_.size());
+    p.cfg = cfg;
+    p.ts.id = p.pid;
+    p.ts.seed = cfg.seed;
+    p.ts.isIdleThread = idle;
+    if (cfg.kind == ProcKind::SpecIntApp ||
+        cfg.kind == ProcKind::ApacheServer) {
+        p.space = std::make_unique<AddrSpace>(p.pid + 1, mem_);
+        p.ts.space = p.space.get();
+        p.ts.userImage = cfg.image;
+        p.ts.cursor.reset(cfg.entryFunc, false, cfg.seed);
+    } else {
+        p.ts.space = kernelSpace_.get();
+        p.ts.userImage = nullptr;
+        p.ts.cursor.reset(cfg.entryFunc, true, cfg.seed);
+    }
+    p.ts.iprs.serviceTrip = cfg.inputChunks;
+    setupRegions(p);
+
+    // Text mapping: shared (Apache) processes map the image's shared
+    // frames eagerly; private (SPECInt) text pages fault in lazily.
+    if (p.isUser() && cfg.shareText) {
+        auto &frames = sharedText_[cfg.image];
+        const Addr text_pages =
+            (cfg.image->textBytes() + pageBytes - 1) / pageBytes;
+        if (frames.empty()) {
+            for (Addr i = 0; i < text_pages; ++i)
+                frames.push_back(mem_.allocFrame());
+        }
+        for (Addr i = 0; i < text_pages; ++i)
+            p.space->mapShared(pageOf(cfg.image->textBase()) + i,
+                               frames[i]);
+    }
+
+    procs_.push_back(std::move(up));
+    return p;
+}
+
+Process &
+Kernel::createProcess(const ProcParams &cfg)
+{
+    Process &p = createInternal(cfg, false);
+    if (p.isUser() || cfg.kind == ProcKind::KernelThread) {
+        p.state = Process::State::Ready;
+        enqueue(&p, cfg.kind == ProcKind::KernelThread);
+    }
+    return p;
+}
+
+void
+Kernel::start()
+{
+    // Netisr protocol threads (kernel threads, scheduled first).
+    if (params_.enableNetwork) {
+        for (int i = 0; i < params_.numNetisr; ++i) {
+            ProcParams cfg;
+            cfg.kind = ProcKind::KernelThread;
+            cfg.entryFunc = kc_.netisrLoop[i % netisrVariants];
+            cfg.seed = params_.seed ^ (0x9e37ull + i);
+            createProcess(cfg);
+        }
+    }
+    // Per-context idle threads.
+    for (int c = 0; c < pipe_.numContexts(); ++c) {
+        ProcParams cfg;
+        cfg.kind = ProcKind::IdleThread;
+        cfg.entryFunc = kc_.idleLoop;
+        cfg.seed = params_.seed ^ (0x1d1eull + c);
+        idleForCtx_[static_cast<size_t>(c)] =
+            &createInternal(cfg, true);
+    }
+    // Bind initial threads.
+    for (int c = 0; c < pipe_.numContexts(); ++c) {
+        switchTo(pipe_.ctx(c), pickNext());
+        nextTimerAt_[static_cast<size_t>(c)] =
+            params_.timerQuantum + static_cast<Cycle>(c) * 1013;
+    }
+    nextNicAt_ = params_.nicInterval;
+}
+
+Process *
+Kernel::procOf(ThreadState &t)
+{
+    smtos_assert(t.id >= 0 &&
+                 t.id < static_cast<int>(procs_.size()));
+    return procs_[static_cast<size_t>(t.id)].get();
+}
+
+bool
+Kernel::startupComplete() const
+{
+    for (const auto &p : procs_) {
+        if (p->cfg.kind == ProcKind::SpecIntApp &&
+            p->filePage < p->cfg.inputChunks)
+            return false;
+    }
+    return true;
+}
+
+void
+Kernel::serializing(Context &ctx, ThreadState &t, const Instr &in)
+{
+    Process &p = *procOf(t);
+    const ImageSet is{t.userImage, &kc_.image};
+    t.cursor.setStuck(false);
+    t.cursor.stepSequential(is);
+
+    switch (in.op) {
+      case Op::Syscall:
+        p.pendingSyscall = in.payload;
+        syscalls_.add(sysnoName(in.payload));
+        smtos_trace(TraceCat::Syscall, "pid%d %s", p.pid,
+                    sysnoName(in.payload));
+        if (params_.appOnly)
+            appOnlySyscall(p);
+        else
+            t.cursor.push(kc_.sysEntry[p.pid % serviceVariants],
+                          true);
+        return;
+      case Op::Magic:
+        doMagic(ctx, p, in);
+        return;
+      case Op::TlbWrite: {
+        if (!t.cursor.hasFault())
+            return; // stale handler re-entry; nothing to install
+        const FaultRec r = t.cursor.popFault();
+        Tlb &tlb = r.itlb ? pipe_.itlb() : pipe_.dtlb();
+        AddrSpace &sp = r.global ? *kernelSpace_ : *p.space;
+        AccessInfo who{p.pid, Mode::Pal, ctx.id};
+        tlb.insert(r.vpn, sp.asn(), r.frame, who, r.global != 0);
+        return;
+      }
+      case Op::Halt:
+        p.state = Process::State::Exited;
+        switchTo(ctx, pickNext(ctx.id));
+        return;
+      default:
+        smtos_panic("unexpected serializing op %s", opName(in.op));
+    }
+}
+
+void
+Kernel::interrupt(Context &ctx, ThreadState &t, std::uint16_t vector)
+{
+    Process &p = *procOf(t);
+    if (params_.appOnly) {
+        // Application-only mode: interrupts have no code cost; timer
+        // interrupts still rotate threads so multiprogramming works.
+        if (vector == VecTimer || vector == VecResched) {
+            if (!runq_.empty())
+                switchTo(ctx, pickNext(ctx.id));
+        }
+        return;
+    }
+    (void)p;
+    int func = kc_.intrResched;
+    if (vector == VecNic)
+        func = kc_.intrNet;
+    else if (vector == VecTimer)
+        func = kc_.intrTimer;
+    t.cursor.push(func, true);
+}
+
+void
+Kernel::cycleHook(Cycle now)
+{
+    nowCycle_ = now;
+    if (params_.enableNetwork && now >= nextNicAt_) {
+        nicTick(now);
+        nextNicAt_ = now + params_.nicInterval;
+    }
+    for (int c = 0; c < pipe_.numContexts(); ++c) {
+        auto &next_at = nextTimerAt_[static_cast<size_t>(c)];
+        if (next_at != 0 && now >= next_at) {
+            next_at = now + params_.timerQuantum;
+            if (!params_.appOnly || !runq_.empty())
+                pipe_.raiseInterrupt(c, VecTimer);
+        }
+    }
+}
+
+} // namespace smtos

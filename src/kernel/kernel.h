@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The MiniOS kernel model.
+ *
+ * Plays the role Digital Unix 4.0d plays in the paper: it owns
+ * processes, address spaces and ASNs, the run queue, sockets and the
+ * protocol queue, the buffer-cache file system (zero-latency disk, as
+ * the paper configures), and the NIC/timer devices. All of its *code*
+ * executes on the simulated pipeline via the kernel image; this class
+ * supplies the semantics at the magic/serializing points and decides
+ * which handler the hardware vectors to on TLB misses and interrupts.
+ */
+
+#ifndef SMTOS_KERNEL_KERNEL_H
+#define SMTOS_KERNEL_KERNEL_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/pipeline.h"
+#include "kernel/image.h"
+#include "kernel/layout.h"
+#include "net/clients.h"
+#include "net/network.h"
+#include "vm/physmem.h"
+
+namespace smtos {
+
+/** What kind of software thread a Process is. */
+enum class ProcKind
+{
+    SpecIntApp,
+    ApacheServer,
+    KernelThread,
+    IdleThread,
+};
+
+/** Per-process configuration installed by the workload builders. */
+struct ProcParams
+{
+    ProcKind kind = ProcKind::SpecIntApp;
+    const CodeImage *image = nullptr; ///< user image (kernel: null)
+    int entryFunc = 0;
+    std::uint64_t seed = 1;
+    Addr heapBytes = 6ull << 20;
+    std::uint32_t inputChunks = 256;  ///< SPECInt start-up read loop
+    int inputFileId = -1;             ///< SPECInt input file
+    /** Share text frames with other processes of the same image. */
+    bool shareText = false;
+};
+
+/** A software thread (process, kernel thread, or idle thread). */
+struct Process
+{
+    int pid = -1;
+    ProcParams cfg;
+    ThreadState ts;
+    std::unique_ptr<AddrSpace> space;
+
+    enum class State { Ready, Running, Blocked, Exited };
+    State state = State::Ready;
+    /** Last context this process ran on (scheduler affinity). */
+    CtxId lastCtx = invalidCtx;
+    std::uint16_t waitChan = WaitNone;
+    CtxId runningOn = invalidCtx;
+
+    std::uint16_t pendingSyscall = 0;
+
+    // Apache per-request state.
+    int conn = -1;
+    bool reqConsumed = false;
+    std::uint32_t fileBytesLeft = 0;
+    std::uint32_t filePage = 0;
+    std::uint32_t lastChunk = 0;
+    std::uint64_t requestsServed = 0;
+
+    // Pending TX packet (prepared at writev, sent at NetSend).
+    Packet txPacket;
+
+    bool isUser() const
+    {
+        return cfg.kind == ProcKind::SpecIntApp ||
+               cfg.kind == ProcKind::ApacheServer;
+    }
+};
+
+/** A server-side connection/socket. */
+struct Connection
+{
+    bool inUse = false;
+    int client = -1;
+    int fileId = -1;
+    std::uint32_t reqBytes = 0;
+    std::uint32_t recvAvail = 0;
+    Addr mbuf = 0;
+    int owner = -1; ///< pid after accept
+};
+
+/** The OS model. */
+class Kernel : public OsCallbacks
+{
+  public:
+    /**
+     * Run-queue policies: plain FIFO (Digital Unix-like round robin)
+     * or cache-affinity preference — the SMT-aware scheduling
+     * direction the paper cites as future work [30, 36].
+     */
+    enum class SchedPolicy { Fifo, Affinity };
+
+    struct Params
+    {
+        int numNetisr = 2;
+        SchedPolicy schedPolicy = SchedPolicy::Fifo;
+        bool enableNetwork = false;
+        Cycle nicInterval = 8000;   ///< NIC interrupt coalescing
+        Cycle timerQuantum = 150000; ///< scheduling quantum per context
+        int maxAsn = 127;
+        std::uint64_t seed = 1234;
+        /**
+         * Table 4 application-only mode: system calls and TLB misses
+         * complete instantly with no effect on hardware state.
+         */
+        bool appOnly = false;
+        /**
+         * Ablation of the paper's OS modification #2: when true, the
+         * TLB-miss IPRs are shared (unmodified SMP OS), so concurrent
+         * TLB-miss handlers serialize behind a spin lock. When false
+         * (default, the paper's modified OS), per-context IPRs let
+         * handlers run in parallel.
+         */
+        bool sharedTlbIpr = false;
+        SpecWebParams web;
+    };
+
+    Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
+           const KernelCode &kc);
+
+    /** Create a user process (workload API). */
+    Process &createProcess(const ProcParams &cfg);
+
+    /** Create idle/netisr threads and bind initial threads. */
+    void start();
+
+    // --- OsCallbacks ---
+    void dtlbMiss(ThreadState &t, Addr vaddr) override;
+    void itlbMiss(ThreadState &t, Addr pc) override;
+    void serializing(Context &ctx, ThreadState &t,
+                     const Instr &in) override;
+    void interrupt(Context &ctx, ThreadState &t,
+                   std::uint16_t vector) override;
+    void cycleHook(Cycle now) override;
+
+    // --- introspection for metrics/benches ---
+    const CounterMap &mmEntries() const { return mmEntries_; }
+    const CounterMap &syscallEntries() const { return syscalls_; }
+    Network &network() { return net_; }
+    ClientPopulation &clients() { return *clients_; }
+    std::uint64_t requestsServed() const { return requestsServed_; }
+    std::uint64_t diskReads() const { return diskReads_; }
+    std::uint64_t contextSwitches() const { return switches_; }
+    std::uint64_t tlbWraparounds() const { return wraparounds_; }
+    const Params &params() const { return params_; }
+    Process &proc(int pid) { return *procs_.at(pid); }
+    int numProcs() const { return static_cast<int>(procs_.size()); }
+
+    /** All SPECInt processes finished their start-up read loop. */
+    bool startupComplete() const;
+
+  private:
+    // boot
+    void bootKernelSpace();
+    void setupRegions(Process &p);
+    Process &createInternal(const ProcParams &cfg, bool idle);
+
+    // scheduling (scheduler.cc)
+    void enqueue(Process *p, bool front = false);
+    Process *pickNext(CtxId preferred = invalidCtx);
+    void switchTo(Context &ctx, Process *next);
+    void assignAsn(AddrSpace &space);
+    void wakeWaiters(std::uint16_t chan);
+    void blockCurrent(Context &ctx, Process &p, std::uint16_t chan);
+    void nudgeIdleContext();
+
+    // faults (pal.cc)
+    void handleTlbFault(Process &p, Addr vaddr, bool itlb);
+    AddrSpace &spaceFor(Process &p, Addr vaddr, bool &global);
+    Addr magicTranslate(ThreadState &t, Addr vaddr, bool itlb);
+
+    // syscall dispatch and magic ops (syscalls.cc)
+    void dispatchSyscall(Context &ctx, Process &p);
+    void doMagic(Context &ctx, Process &p, const Instr &in);
+    void appOnlySyscall(Process &p);
+    bool wouldBlock(Process &p, std::uint16_t chan) const;
+    void deliverWait(Process &p, std::uint16_t chan);
+
+    // fs (fs.cc)
+    Addr bufcachePagePhys(int file_id, std::uint32_t page);
+
+    // net stack (netstack.cc)
+    Addr allocMbuf(std::uint32_t bytes);
+    void driverRx(Process &p);
+    void netisrDeliver(Process &p);
+    void netSend(Process &p);
+    void nicTick(Cycle now);
+
+    Process *procOf(ThreadState &t);
+
+    friend class KernelTestPeer;
+
+    Params params_;
+    Pipeline &pipe_;
+    PhysMem &mem_;
+    const KernelCode &kc_;
+    ImageSet kernelIs_; ///< image set for kernel-only threads
+
+    std::unique_ptr<AddrSpace> kernelSpace_;
+    std::vector<std::unique_ptr<Process>> procs_;
+    std::deque<Process *> runq_;
+    std::vector<Process *> idleForCtx_;
+    std::vector<Process *> curProc_;
+    std::vector<std::deque<Process *>> waiters_; // by WaitChan
+
+    Network net_;
+    std::unique_ptr<ClientPopulation> clients_;
+    std::vector<Connection> conns_;
+    std::deque<int> acceptQ_;
+    std::deque<Packet> nicRing_;
+    std::deque<Packet> protoQ_;
+    std::unordered_map<std::uint64_t, Frame> bufcache_;
+    /** Shared text frames per image (for shareText processes). */
+    std::unordered_map<const CodeImage *, std::vector<Frame>>
+        sharedText_;
+
+    Asn nextAsn_ = 1;
+    Addr mbufCursor_ = 0;
+    Cycle nextNicAt_ = 0;
+    Cycle nowCycle_ = 0;
+    Cycle tlbLockFreeAt_ = 0;
+    std::vector<Cycle> nextTimerAt_;
+    int nextIntrCtx_ = 0;
+    Rng rng_;
+
+    CounterMap mmEntries_;
+    CounterMap syscalls_;
+    std::uint64_t requestsServed_ = 0;
+    std::uint64_t diskReads_ = 0;
+    std::uint64_t switches_ = 0;
+    std::uint64_t wraparounds_ = 0;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_KERNEL_KERNEL_H

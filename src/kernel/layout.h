@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Address-space and region-table layout conventions shared by the
+ * kernel image, the kernel model, and the workload builders.
+ *
+ * Every thread's region table uses the same slot assignment so kernel
+ * code (which executes on whatever thread entered the kernel) always
+ * finds kernel data in the upper slots.
+ */
+
+#ifndef SMTOS_KERNEL_LAYOUT_H
+#define SMTOS_KERNEL_LAYOUT_H
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace smtos {
+
+// Region-table slots.
+constexpr int regUserGlobals = 0;
+constexpr int regUserHeap = 1;
+constexpr int regUserStack = 2;
+constexpr int regUserAux = 3;   ///< request/response buffers
+constexpr int regKVirt = 4;     ///< kernel virtual heap (mapped global)
+constexpr int regKPhys = 5;     ///< kernel physical heap
+constexpr int regKStack = 6;    ///< per-thread kernel stack (virtual)
+constexpr int regMbuf = 7;      ///< mbuf pool (physical)
+
+// User virtual layout (identical across processes; ASNs distinguish).
+constexpr Addr userGlobalsBase = 0x2000'0000ull;
+constexpr Addr userGlobalsBytes = 1ull << 20;
+constexpr Addr userHeapBase = 0x3000'0000ull;
+constexpr Addr userAuxBase = 0x4000'0000ull;
+constexpr Addr userAuxBytes = 64ull << 10;
+constexpr Addr userStackBase = 0x7000'0000ull;
+constexpr Addr userStackBytes = 64ull << 10;
+
+// Kernel virtual layout (kernelBase is the text base; see program.h).
+constexpr Addr kernelVirtHeapBase = 0x9000'0000ull;
+constexpr Addr kernelVirtHeapBytes = 2ull << 20;
+constexpr Addr kernelStackArea = 0xa000'0000ull;
+constexpr Addr kernelStackBytes = 16ull << 10;
+
+// Physical layout. The low reservedPhysBytes are the kernel's.
+constexpr Addr kernelPhysHeapBase = 2ull << 20;
+constexpr Addr kernelPhysHeapBytes = 512ull << 10;
+constexpr Addr mbufPoolBase = 6ull << 20;
+constexpr Addr mbufPoolBytes = 256ull << 10;
+constexpr Addr reservedPhysBytes = 16ull << 20;
+
+/** Kernel stack virtual base for a thread. */
+inline Addr
+kernelStackBase(int thread_id)
+{
+    return kernelStackArea +
+           static_cast<Addr>(thread_id) * kernelStackBytes;
+}
+
+} // namespace smtos
+
+#endif // SMTOS_KERNEL_LAYOUT_H

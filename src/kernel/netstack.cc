@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Network stack model: NIC interrupt generation, the driver receive
+ * path, netisr delivery into sockets, and transmit.
+ */
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/trace.h"
+#include "kernel/kernel.h"
+
+namespace smtos {
+
+Addr
+Kernel::allocMbuf(std::uint32_t bytes)
+{
+    const Addr need =
+        (static_cast<Addr>(bytes) + 2047ull) & ~2047ull; // 2KB mbufs
+    if (mbufCursor_ + need > mbufPoolBytes)
+        mbufCursor_ = 0;
+    const Addr a = mbufPoolBase + mbufCursor_;
+    mbufCursor_ += need;
+    return a;
+}
+
+void
+Kernel::nicTick(Cycle now)
+{
+    clients_->tick(now, net_);
+    int moved = 0;
+    while (net_.serverHasRx() && moved < 64) {
+        nicRing_.push_back(net_.popServerRx());
+        ++moved;
+    }
+    if (!nicRing_.empty()) {
+        const CtxId target =
+            static_cast<CtxId>(nextIntrCtx_ % pipe_.numContexts());
+        nextIntrCtx_ = (nextIntrCtx_ + 1) % pipe_.numContexts();
+        pipe_.raiseInterrupt(target, VecNic);
+    }
+}
+
+void
+Kernel::driverRx(Process &p)
+{
+    const std::uint32_t batch =
+        static_cast<std::uint32_t>(nicRing_.size());
+    p.ts.iprs.intrTrip = std::max<std::uint32_t>(1, batch);
+    while (!nicRing_.empty()) {
+        Packet pkt = nicRing_.front();
+        nicRing_.pop_front();
+        pkt.mbuf = allocMbuf(pkt.bytes);
+        protoQ_.push_back(pkt);
+    }
+    wakeWaiters(WaitProtoQ);
+}
+
+void
+Kernel::netisrDeliver(Process &p)
+{
+    ThreadIprs &iprs = p.ts.iprs;
+    if (protoQ_.empty()) {
+        iprs.copyTrip = 1;
+        return;
+    }
+    Packet pkt = protoQ_.front();
+    protoQ_.pop_front();
+    iprs.copySrc = pkt.mbuf;
+    iprs.copyTrip = std::max<std::uint32_t>(1, pkt.bytes / 64);
+
+    if (pkt.open) {
+        // New connection carrying the request.
+        int id = -1;
+        for (size_t i = 0; i < conns_.size(); ++i) {
+            if (!conns_[i].inUse) {
+                id = static_cast<int>(i);
+                break;
+            }
+        }
+        if (id < 0) {
+            smtos_warn("connection table full; dropping request");
+            return;
+        }
+        Connection &cn = conns_[static_cast<size_t>(id)];
+        cn = Connection{};
+        cn.inUse = true;
+        cn.client = pkt.client;
+        cn.fileId = pkt.fileId;
+        cn.reqBytes = pkt.bytes;
+        cn.recvAvail = pkt.bytes;
+        cn.mbuf = pkt.mbuf;
+        acceptQ_.push_back(id);
+        wakeWaiters(WaitAccept);
+        wakeWaiters(WaitRecv);
+    }
+}
+
+void
+Kernel::netSend(Process &p)
+{
+    if (p.txPacket.bytes == 0)
+        return;
+    smtos_trace(TraceCat::Net, "pid%d tx %u bytes conn %d", p.pid,
+                p.txPacket.bytes, p.txPacket.conn);
+    net_.serverSend(p.txPacket);
+    p.txPacket = Packet{};
+}
+
+} // namespace smtos

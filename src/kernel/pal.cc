@@ -1,0 +1,100 @@
+/**
+ * @file
+ * TLB fault vectoring: decide between the PAL fast-refill path and the
+ * kernel page-fault/allocation path, and implement the magic
+ * translation used by the application-only simulator mode.
+ */
+
+#include "common/logging.h"
+#include "kernel/kernel.h"
+
+namespace smtos {
+
+AddrSpace &
+Kernel::spaceFor(Process &p, Addr vaddr, bool &global)
+{
+    if (vaddr >= kernelBase) {
+        global = true;
+        return *kernelSpace_;
+    }
+    global = false;
+    smtos_assert(p.isUser());
+    return *p.space;
+}
+
+void
+Kernel::handleTlbFault(Process &p, Addr vaddr, bool itlb)
+{
+    bool global = false;
+    AddrSpace &sp = spaceFor(p, vaddr, global);
+    const Addr vpn = pageOf(vaddr);
+
+    FaultRec r;
+    r.vpn = vpn;
+    r.itlb = itlb ? 1 : 0;
+    r.global = global ? 1 : 0;
+    r.isText = itlb ? 1 : 0;
+    r.pteAddr = sp.ptePhysAddr(vpn);
+
+    if (sp.mapped(vpn)) {
+        r.frame = sp.frameOf(vpn);
+        p.ts.cursor.pushFault(r);
+        p.ts.cursor.push(itlb ? kc_.palItlbRefill : kc_.palDtlbRefill,
+                         true);
+        mmEntries_.add(itlb ? "itlb_refill" : "dtlb_refill");
+    } else {
+        // First touch: the long path through the allocator.
+        smtos_assert(!global); // kernel mappings are always present
+        p.ts.cursor.pushFault(r);
+        p.ts.cursor.push(kc_.vmPageFault, true);
+        mmEntries_.add("page_fault");
+    }
+
+    if (params_.sharedTlbIpr) {
+        // Unmodified-SMP-OS ablation: handlers serialize on the
+        // shared TLB-miss IPRs. Acquire the virtual lock and spin for
+        // the time the current holder still needs.
+        const Cycle handler_cost = 140;
+        const Cycle wait = tlbLockFreeAt_ > nowCycle_
+                               ? tlbLockFreeAt_ - nowCycle_
+                               : 0;
+        tlbLockFreeAt_ =
+            (tlbLockFreeAt_ > nowCycle_ ? tlbLockFreeAt_ : nowCycle_) +
+            handler_cost;
+        if (wait > 0) {
+            p.ts.iprs.intrTrip =
+                static_cast<std::uint32_t>(wait / 4 + 1);
+            p.ts.cursor.push(kc_.spinWait, true);
+            mmEntries_.add("tlb_lock_spin");
+        }
+    }
+}
+
+void
+Kernel::dtlbMiss(ThreadState &t, Addr vaddr)
+{
+    smtos_assert(!params_.appOnly);
+    handleTlbFault(*procOf(t), vaddr, false);
+}
+
+void
+Kernel::itlbMiss(ThreadState &t, Addr pc)
+{
+    smtos_assert(!params_.appOnly);
+    handleTlbFault(*procOf(t), pc, true);
+}
+
+Addr
+Kernel::magicTranslate(ThreadState &t, Addr vaddr, bool itlb)
+{
+    (void)itlb;
+    Process &p = *procOf(t);
+    bool global = false;
+    AddrSpace &sp = spaceFor(p, vaddr, global);
+    const Addr vpn = pageOf(vaddr);
+    if (!sp.mapped(vpn))
+        sp.mapNew(vpn);
+    return PhysMem::frameAddr(sp.frameOf(vpn)) + pageOffset(vaddr);
+}
+
+} // namespace smtos

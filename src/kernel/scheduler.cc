@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Scheduling: run queue, context binding, ASN management.
+ */
+
+#include "common/logging.h"
+#include "common/trace.h"
+#include "kernel/kernel.h"
+
+namespace smtos {
+
+void
+Kernel::enqueue(Process *p, bool front)
+{
+    smtos_assert(p->state == Process::State::Ready);
+    if (front)
+        runq_.push_front(p);
+    else
+        runq_.push_back(p);
+}
+
+Process *
+Kernel::pickNext(CtxId preferred)
+{
+    const bool kthread_first =
+        !runq_.empty() &&
+        runq_.front()->state == Process::State::Ready &&
+        runq_.front()->cfg.kind == ProcKind::KernelThread;
+    if (params_.schedPolicy == SchedPolicy::Affinity &&
+        preferred != invalidCtx && !kthread_first) {
+        // Kernel (netisr) threads keep strict priority; affinity
+        // only reorders user processes.
+        // Prefer a ready process that last ran here (warm caches);
+        // bounded scan so the policy stays O(1)-ish.
+        int scanned = 0;
+        for (auto it = runq_.begin();
+             it != runq_.end() && scanned < 8; ++it, ++scanned) {
+            Process *p = *it;
+            if (p->state == Process::State::Ready &&
+                p->lastCtx == preferred) {
+                runq_.erase(it);
+                return p;
+            }
+        }
+    }
+    while (!runq_.empty()) {
+        Process *p = runq_.front();
+        runq_.pop_front();
+        if (p->state == Process::State::Ready)
+            return p;
+    }
+    return nullptr;
+}
+
+void
+Kernel::assignAsn(AddrSpace &space)
+{
+    if (nextAsn_ > params_.maxAsn) {
+        // ASN wraparound: flush both shared TLBs and restart the
+        // numbering. Running processes get fresh ASNs immediately.
+        ++wraparounds_;
+        pipe_.itlb().flushAll();
+        pipe_.dtlb().flushAll();
+        nextAsn_ = 1;
+        for (auto &pp : procs_) {
+            if (pp->isUser())
+                pp->space->setAsn(-1);
+        }
+        kernelSpace_->setAsn(0);
+        for (Process *cur : curProc_) {
+            if (cur && cur->isUser() && cur->space->asn() < 0)
+                cur->space->setAsn(nextAsn_++);
+        }
+        if (space.asn() >= 0)
+            return; // got one as a running process
+    }
+    space.setAsn(nextAsn_++);
+}
+
+void
+Kernel::switchTo(Context &ctx, Process *next)
+{
+    Process *old = curProc_[static_cast<size_t>(ctx.id)];
+    if (!next)
+        next = idleForCtx_[static_cast<size_t>(ctx.id)];
+    smtos_assert(next != nullptr);
+    if (next == old)
+        return;
+
+    if (old && old->state == Process::State::Running) {
+        old->state = Process::State::Ready;
+        old->lastCtx = ctx.id;
+        old->runningOn = invalidCtx;
+        if (old->cfg.kind != ProcKind::IdleThread)
+            enqueue(old, old->cfg.kind == ProcKind::KernelThread);
+    } else if (old) {
+        old->lastCtx = ctx.id;
+        old->runningOn = invalidCtx;
+    }
+
+    next->state = Process::State::Running;
+    next->runningOn = ctx.id;
+    if (next->isUser() && next->space->asn() < 0)
+        assignAsn(*next->space);
+    pipe_.bindThread(ctx.id, &next->ts);
+    curProc_[static_cast<size_t>(ctx.id)] = next;
+    ++switches_;
+    smtos_trace(TraceCat::Sched, "ctx%d: pid%d -> pid%d", ctx.id,
+                old ? old->pid : -1, next->pid);
+
+    // The incoming thread pays the context-switch cost.
+    if (!params_.appOnly)
+        next->ts.cursor.push(kc_.schedSwitch, true);
+}
+
+void
+Kernel::blockCurrent(Context &ctx, Process &p, std::uint16_t chan)
+{
+    p.state = Process::State::Blocked;
+    p.waitChan = chan;
+    waiters_[chan].push_back(&p);
+    switchTo(ctx, pickNext(ctx.id));
+}
+
+void
+Kernel::deliverWait(Process &p, std::uint16_t chan)
+{
+    if (chan == WaitAccept) {
+        smtos_assert(!acceptQ_.empty());
+        const int conn = acceptQ_.front();
+        acceptQ_.pop_front();
+        p.conn = conn;
+        p.reqConsumed = false;
+        conns_[static_cast<size_t>(conn)].owner = p.pid;
+    }
+}
+
+bool
+Kernel::wouldBlock(Process &p, std::uint16_t chan) const
+{
+    switch (chan) {
+      case WaitAccept:
+        return acceptQ_.empty();
+      case WaitRecv:
+        return p.conn < 0 ||
+               conns_[static_cast<size_t>(p.conn)].recvAvail == 0;
+      case WaitProtoQ:
+        return protoQ_.empty();
+      default:
+        return false;
+    }
+}
+
+void
+Kernel::wakeWaiters(std::uint16_t chan)
+{
+    auto &ws = waiters_[chan];
+    if (chan == WaitRecv) {
+        for (auto it = ws.begin(); it != ws.end();) {
+            Process *p = *it;
+            if (p->conn >= 0 &&
+                conns_[static_cast<size_t>(p->conn)].recvAvail > 0) {
+                it = ws.erase(it);
+                p->state = Process::State::Ready;
+                p->waitChan = WaitNone;
+                enqueue(p);
+                nudgeIdleContext();
+            } else {
+                ++it;
+            }
+        }
+        return;
+    }
+
+    auto available = [&]() {
+        return chan == WaitAccept ? !acceptQ_.empty()
+                                  : !protoQ_.empty();
+    };
+    while (!ws.empty() && available()) {
+        Process *p = ws.front();
+        ws.pop_front();
+        deliverWait(*p, chan);
+        p->state = Process::State::Ready;
+        p->waitChan = WaitNone;
+        enqueue(p, p->cfg.kind == ProcKind::KernelThread);
+        nudgeIdleContext();
+    }
+}
+
+void
+Kernel::nudgeIdleContext()
+{
+    for (int c = 0; c < pipe_.numContexts(); ++c) {
+        Process *cur = curProc_[static_cast<size_t>(c)];
+        Context &ctx = pipe_.ctx(c);
+        if (cur && cur->cfg.kind == ProcKind::IdleThread &&
+            !ctx.interruptPending) {
+            pipe_.raiseInterrupt(c, VecResched);
+            return;
+        }
+    }
+}
+
+} // namespace smtos

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * System call dispatch and magic-operation semantics: the kernel-model
+ * side effects behind the code paths in the kernel image.
+ */
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "kernel/kernel.h"
+#include "kernel/tags.h"
+
+namespace smtos {
+
+void
+Kernel::dispatchSyscall(Context &ctx, Process &p)
+{
+    (void)ctx;
+    const int v = p.pid % serviceVariants;
+    int func = -1;
+    switch (p.pendingSyscall) {
+      case SysRead:
+        func = (p.cfg.kind == ProcKind::ApacheServer && !p.reqConsumed)
+                   ? kc_.svcReadSock[v]
+                   : kc_.svcReadFile[v];
+        break;
+      case SysWrite:
+        func = kc_.svcWrite;
+        break;
+      case SysWritev:
+        func = kc_.svcWritev[v];
+        break;
+      case SysStat:
+        func = kc_.svcStat[v];
+        break;
+      case SysOpen:
+        func = kc_.svcOpen[v];
+        break;
+      case SysClose:
+        func = kc_.svcClose[v];
+        // Model effect: tear down the connection.
+        if (p.conn >= 0) {
+            conns_[static_cast<size_t>(p.conn)].inUse = false;
+            p.conn = -1;
+            ++requestsServed_;
+            ++p.requestsServed;
+        }
+        break;
+      case SysAccept:
+        func = kc_.svcAccept[v];
+        break;
+      case SysSelect:
+        func = kc_.svcSelect;
+        break;
+      case SysMmap:
+        func = kc_.svcMmap;
+        mmEntries_.add("smmap");
+        break;
+      case SysMunmap:
+        func = kc_.svcMunmap;
+        break;
+      case SysBrk:
+        func = kc_.svcBrk;
+        mmEntries_.add("obreak");
+        break;
+      case SysGetPid:
+        func = kc_.svcGetPid;
+        break;
+      default:
+        smtos_panic("unknown syscall %u", p.pendingSyscall);
+    }
+    p.ts.cursor.push(func, true);
+}
+
+void
+Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
+{
+    ThreadIprs &iprs = p.ts.iprs;
+    switch (in.magic) {
+      case MagicOp::KernelDispatch:
+        dispatchSyscall(ctx, p);
+        return;
+
+      case MagicOp::MaybeBlock:
+        if (wouldBlock(p, in.payload))
+            blockCurrent(ctx, p, in.payload);
+        else
+            deliverWait(p, in.payload);
+        return;
+
+      case MagicOp::ServiceBody:
+        switch (in.payload) {
+          case ActReadFileChunk: {
+            int file;
+            std::uint32_t chunk;
+            if (p.cfg.kind == ProcKind::SpecIntApp) {
+                file = p.cfg.inputFileId;
+                chunk = 1024; // stdio-sized input reads
+                iprs.copySrc = bufcachePagePhys(file, p.filePage);
+                ++p.filePage;
+            } else {
+                smtos_assert(p.conn >= 0);
+                file = conns_[static_cast<size_t>(p.conn)].fileId;
+                chunk = std::min<std::uint32_t>(
+                    static_cast<std::uint32_t>(pageBytes),
+                    std::max<std::uint32_t>(p.fileBytesLeft, 64));
+                iprs.copySrc = bufcachePagePhys(file, p.filePage);
+                ++p.filePage;
+                p.fileBytesLeft -= std::min(p.fileBytesLeft, chunk);
+            }
+            p.lastChunk = chunk;
+            iprs.copyDst = userAuxBase;
+            iprs.copyTrip = std::max<std::uint32_t>(1, chunk / 64);
+            return;
+          }
+          case ActReadSockData: {
+            smtos_assert(p.conn >= 0);
+            Connection &cn = conns_[static_cast<size_t>(p.conn)];
+            iprs.copySrc = cn.mbuf;
+            iprs.copyDst = userAuxBase;
+            iprs.copyTrip =
+                std::max<std::uint32_t>(1, cn.recvAvail / 64);
+            cn.recvAvail = 0;
+            p.reqConsumed = true;
+            return;
+          }
+          case ActStatCopyout:
+            iprs.copySrc = kernelPhysHeapBase +
+                           (mixHash(static_cast<std::uint64_t>(
+                                p.conn >= 0
+                                    ? conns_[static_cast<size_t>(
+                                          p.conn)].fileId
+                                    : p.pid)) %
+                            (kernelPhysHeapBytes - 64) &
+                            ~7ull);
+            iprs.copyDst = userStackBase;
+            return;
+          case ActOpenFile: {
+            int file = p.cfg.inputFileId;
+            if (p.cfg.kind == ProcKind::ApacheServer) {
+                smtos_assert(p.conn >= 0);
+                file = conns_[static_cast<size_t>(p.conn)].fileId;
+            }
+            const std::uint32_t size = specWebFileBytes(file);
+            p.fileBytesLeft = size;
+            p.filePage = 0;
+            iprs.serviceTrip = std::max<std::uint32_t>(
+                1, (size + pageBytes - 1) / pageBytes);
+            return;
+          }
+          case ActWritevChunk: {
+            const std::uint32_t chunk =
+                std::max<std::uint32_t>(64, p.lastChunk);
+            iprs.copySrc = userAuxBase;
+            iprs.copyDst = allocMbuf(chunk);
+            iprs.copyTrip = std::max<std::uint32_t>(1, chunk / 64);
+            Packet &tx = p.txPacket;
+            tx = Packet{};
+            if (p.conn >= 0) {
+                const Connection &cn =
+                    conns_[static_cast<size_t>(p.conn)];
+                tx.client = cn.client;
+                tx.conn = p.conn;
+            }
+            tx.bytes = chunk;
+            tx.mbuf = iprs.copyDst;
+            tx.fin = (p.fileBytesLeft == 0);
+            return;
+          }
+          case ActDriverRx:
+            driverRx(p);
+            return;
+          case ActLogWrite:
+            iprs.copySrc = userGlobalsBase;
+            iprs.copyDst = kernelPhysHeapBase + kernelPhysHeapBytes -
+                           (64 << 10);
+            iprs.copyTrip = 2;
+            return;
+          default:
+            smtos_panic("unknown service action %u", in.payload);
+        }
+
+      case MagicOp::NetDeliver:
+        netisrDeliver(p);
+        return;
+
+      case MagicOp::NetSend:
+        netSend(p);
+        return;
+
+      case MagicOp::AllocPage: {
+        smtos_assert(p.ts.cursor.hasFault());
+        FaultRec &r = p.ts.cursor.topFault();
+        AddrSpace &sp = r.global ? *kernelSpace_ : *p.space;
+        // Re-check under the "VM lock": a racing fault may have
+        // mapped the page already.
+        if (sp.mapped(r.vpn)) {
+            r.frame = sp.frameOf(r.vpn);
+        } else {
+            r.frame = sp.mapNew(r.vpn);
+            mmEntries_.add("page_alloc");
+        }
+        if (r.isText)
+            pipe_.hierarchy().flushIcache();
+        return;
+      }
+
+      case MagicOp::Reschedule:
+        if (in.payload == 1) {
+            // Timer preemption: round-robin if someone is waiting.
+            if (!runq_.empty())
+                switchTo(ctx, pickNext(ctx.id));
+        } else {
+            // Voluntary / idle poll: only leave idle or yield to a
+            // waiting thread.
+            if (!runq_.empty() &&
+                (p.cfg.kind == ProcKind::IdleThread ||
+                 in.payload == 0))
+                switchTo(ctx, pickNext(ctx.id));
+        }
+        return;
+
+      case MagicOp::TlbFlushAsn: {
+        // munmap model: drop one mapped heap page and its TLB entry.
+        if (p.isUser()) {
+            const Addr heap_pages = p.cfg.heapBytes / pageBytes;
+            const Addr vpn = pageOf(userHeapBase) +
+                             rng_.below(heap_pages ? heap_pages : 1);
+            if (p.space->mapped(vpn)) {
+                p.space->unmap(vpn, true);
+                pipe_.dtlb().flushPage(vpn, p.space->asn());
+                mmEntries_.add("munmap");
+            }
+        }
+        return;
+      }
+
+      case MagicOp::IcacheFlush:
+        pipe_.hierarchy().flushIcache();
+        return;
+
+      case MagicOp::SpinAcquire:
+      case MagicOp::SpinRelease:
+      case MagicOp::UserStage:
+      case MagicOp::None:
+        return;
+    }
+}
+
+void
+Kernel::appOnlySyscall(Process &p)
+{
+    // Application-only simulator: the syscall's semantic effect
+    // happens with no kernel code and no hardware-state impact.
+    ThreadIprs &iprs = p.ts.iprs;
+    switch (p.pendingSyscall) {
+      case SysRead:
+        if (p.cfg.kind == ProcKind::SpecIntApp) {
+            ++p.filePage;
+            iprs.copyTrip = 64;
+        }
+        return;
+      case SysOpen:
+        if (p.cfg.kind == ProcKind::SpecIntApp && p.cfg.inputFileId >= 0)
+            iprs.serviceTrip = std::max<std::uint32_t>(
+                1, (specWebFileBytes(p.cfg.inputFileId) + pageBytes - 1)
+                       / pageBytes);
+        return;
+      default:
+        return;
+    }
+}
+
+} // namespace smtos

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Kernel service tags: every kernel/PAL function is tagged so retired
+ * instructions can be attributed to the OS services the paper's
+ * figures break out (TLB handling, system calls by name, interrupts,
+ * netisr threads, scheduling, idle).
+ */
+
+#ifndef SMTOS_KERNEL_TAGS_H
+#define SMTOS_KERNEL_TAGS_H
+
+namespace smtos {
+
+/** Attribution tags for kernel time (Function::tag). */
+enum ServiceTag : int
+{
+    TagIdle = 0,
+    TagPalDtlb,        ///< PAL DTLB refill handler
+    TagPalItlb,        ///< PAL ITLB refill handler
+    TagVmFault,        ///< page-fault path (needs allocation)
+    TagPageAlloc,      ///< page allocator proper
+    TagPageZero,       ///< new-frame zeroing loop
+    TagSysPreamble,    ///< syscall entry/dispatch/exit
+    TagRead,
+    TagReadSock,
+    TagWrite,
+    TagWritev,
+    TagStat,
+    TagOpen,
+    TagClose,
+    TagAccept,
+    TagSelect,
+    TagMmap,
+    TagMunmap,
+    TagProcCtl,        ///< brk/getpid/misc process control
+    TagNetProto,       ///< protocol output path (within writev)
+    TagInterrupt,      ///< device/timer interrupt processing
+    TagNetIsr,         ///< netisr protocol threads
+    TagSched,          ///< context switch / scheduler
+    TagSpin,           ///< spin lock acquire/release paths
+    NumServiceTags
+};
+
+/** Human-readable tag name. */
+const char *serviceTagName(int tag);
+
+/** Coarse groups used by Figures 2 and 6. */
+enum class ServiceGroup : int
+{
+    Idle = 0,
+    TlbHandling,   ///< PAL refills + fault path + allocation + zeroing
+    Syscall,       ///< preamble and all service routines
+    Interrupt,
+    NetIsr,
+    Sched,
+    NumGroups
+};
+
+/** Map a ServiceTag to its Figure-2/6 group. */
+ServiceGroup serviceGroupOf(int tag);
+
+/** Group display name. */
+const char *serviceGroupName(ServiceGroup g);
+
+} // namespace smtos
+
+#endif // SMTOS_KERNEL_TAGS_H

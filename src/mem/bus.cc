@@ -1,0 +1,37 @@
+#include "mem/bus.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+Bus::Bus(std::string name, int bytes_per_cycle, Cycle latency)
+    : name_(std::move(name)), bytesPerCycle_(bytes_per_cycle),
+      latency_(latency)
+{
+    smtos_assert(bytes_per_cycle > 0);
+}
+
+Cycle
+Bus::transfer(Cycle now, int bytes)
+{
+    const Cycle occupancy = static_cast<Cycle>(
+        (bytes + bytesPerCycle_ - 1) / bytesPerCycle_);
+    const Cycle start = std::max(now, nextFree_);
+    queueingDelay_ += start - now;
+    ++transactions_;
+    nextFree_ = start + occupancy;
+    return start + occupancy + latency_;
+}
+
+double
+Bus::avgDelay() const
+{
+    return transactions_ == 0
+        ? 0.0
+        : static_cast<double>(queueingDelay_) /
+              static_cast<double>(transactions_);
+}
+
+} // namespace smtos

@@ -1,0 +1,149 @@
+#include "mem/cache.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace smtos {
+
+namespace {
+
+std::uint64_t
+threadBit(ThreadId t)
+{
+    return 1ull << (static_cast<std::uint64_t>(t) & 63);
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    smtos_assert(params_.assoc >= 1);
+    smtos_assert(params_.lineBytes > 0);
+    const std::uint64_t num_lines = params_.sizeBytes / params_.lineBytes;
+    smtos_assert(num_lines % params_.assoc == 0);
+    numSets_ = static_cast<int>(num_lines / params_.assoc);
+    smtos_assert(numSets_ >= 1);
+    lines_.assign(num_lines, Line{});
+}
+
+CacheOutcome
+Cache::access(Addr addr, const AccessInfo &who, bool is_write)
+{
+    CacheOutcome out;
+    const Addr block = blockOf(addr);
+    const int set = setOf(block);
+    Line *base = &lines_[static_cast<size_t>(set) *
+                         static_cast<size_t>(params_.assoc)];
+    ++tick_;
+
+    const int cls = who.isKernel() ? 1 : 0;
+    ++stats_.accesses[cls];
+
+    // Search the set.
+    for (int w = 0; w < params_.assoc; ++w) {
+        Line &ln = base[w];
+        if (ln.valid && ln.blockAddr == block) {
+            // Hit. Detect constructive sharing: first touch by this
+            // thread on a block another thread filled.
+            if (ln.fillerThread != who.thread &&
+                !(ln.touchedMask & threadBit(who.thread))) {
+                out.sharedAvoidance = true;
+                out.fillerKernel = ln.fillerKernel;
+                stats_.avoided[cls][ln.fillerKernel ? 1 : 0]++;
+            }
+            ln.touchedMask |= threadBit(who.thread);
+            ln.lruStamp = tick_;
+            ln.dirty = ln.dirty || is_write;
+            out.hit = true;
+            return out;
+        }
+    }
+
+    // Miss: pick the victim (first invalid way, else true LRU).
+    Line *victim = &base[0];
+    for (int w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+
+    // Classify, then fill over the victim.
+    ++stats_.misses[cls];
+    out.cause = classifier_.classify(block, who);
+    stats_.cause[cls][static_cast<int>(out.cause)]++;
+
+    smtos_assert(victim != nullptr);
+    if (victim->valid) {
+        classifier_.recordEviction(victim->blockAddr, who);
+        out.dirtyEviction = victim->dirty;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->blockAddr = block;
+    victim->lruStamp = tick_;
+    victim->fillerThread = who.thread;
+    victim->fillerKernel = who.isKernel();
+    victim->touchedMask = threadBit(who.thread);
+    return out;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr block = blockOf(addr);
+    const int set = setOf(block);
+    const Line *base = &lines_[static_cast<size_t>(set) *
+                               static_cast<size_t>(params_.assoc)];
+    for (int w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].blockAddr == block)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &ln : lines_) {
+        if (ln.valid) {
+            classifier_.recordInvalidation(ln.blockAddr);
+            ln.valid = false;
+            ln.dirty = false;
+        }
+    }
+}
+
+void
+Cache::invalidateBlock(Addr addr)
+{
+    const Addr block = blockOf(addr);
+    const int set = setOf(block);
+    Line *base = &lines_[static_cast<size_t>(set) *
+                         static_cast<size_t>(params_.assoc)];
+    for (int w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].blockAddr == block) {
+            classifier_.recordInvalidation(block);
+            base[w].valid = false;
+            base[w].dirty = false;
+        }
+    }
+}
+
+double
+Cache::missRatePct() const
+{
+    return pct(static_cast<double>(stats_.totalMisses()),
+               static_cast<double>(stats_.totalAccesses()));
+}
+
+double
+Cache::missRatePct(bool kernel) const
+{
+    const int cls = kernel ? 1 : 0;
+    return pct(static_cast<double>(stats_.misses[cls]),
+               static_cast<double>(stats_.accesses[cls]));
+}
+
+} // namespace smtos

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Set-associative cache tag model with interference classification.
+ *
+ * The cache is a tag-array-only (functional) model: data movement is
+ * represented by timing in the Hierarchy, while this class answers
+ * hit/miss, performs LRU replacement, and attributes every miss and
+ * every constructively-shared hit per the paper's methodology.
+ */
+
+#ifndef SMTOS_MEM_CACHE_H
+#define SMTOS_MEM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/missclass.h"
+
+namespace smtos {
+
+/** Geometry and identity of a cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 128 * 1024;
+    int assoc = 2;
+    int lineBytes = 64;
+};
+
+/** Result of a single cache access. */
+struct CacheOutcome
+{
+    bool hit = false;
+    /** Valid only when !hit. */
+    MissCause cause = MissCause::Compulsory;
+    /** Hit that would have been a miss without another thread's fill. */
+    bool sharedAvoidance = false;
+    /** Privilege class of the filler, valid when sharedAvoidance. */
+    bool fillerKernel = false;
+    /** Dirty block displaced by the fill (writeback traffic). */
+    bool dirtyEviction = false;
+};
+
+/**
+ * A write-back, write-allocate set-associative cache with true-LRU
+ * replacement and per-line filler metadata.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Perform one access. On a miss the block is filled (allocated) and
+     * the victim's eviction is recorded for future classification.
+     *
+     * @param addr byte address (any address within the block)
+     * @param who accessing thread/mode identity
+     * @param is_write true for stores
+     */
+    CacheOutcome access(Addr addr, const AccessInfo &who, bool is_write);
+
+    /** Probe without side effects (tests, snoop checks). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Invalidate the entire cache as an explicit OS operation (e.g. the
+     * Alpha I-cache flush on instruction page remapping). All resident
+     * blocks are recorded as OS-invalidated for later classification.
+     */
+    void invalidateAll();
+
+    /** Invalidate a single block as an explicit OS operation. */
+    void invalidateBlock(Addr addr);
+
+    const CacheParams &params() const { return params_; }
+    const InterferenceStats &stats() const { return stats_; }
+    InterferenceStats &stats() { return stats_; }
+
+    /** Total/user/kernel miss rates in percent. */
+    double missRatePct() const;
+    double missRatePct(bool kernel) const;
+
+    int numSets() const { return numSets_; }
+
+    /** Reset statistics (not contents). */
+    void resetStats() { stats_.reset(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr blockAddr = 0;
+        std::uint64_t lruStamp = 0;
+        ThreadId fillerThread = invalidThread;
+        bool fillerKernel = false;
+        /** Threads (id mod 64) that touched the block since fill. */
+        std::uint64_t touchedMask = 0;
+    };
+
+    Addr blockOf(Addr addr) const { return addr / params_.lineBytes; }
+    int setOf(Addr blockAddr) const
+    {
+        return static_cast<int>(blockAddr % numSets_);
+    }
+
+    CacheParams params_;
+    int numSets_;
+    std::vector<Line> lines_; // numSets_ * assoc, set-major
+    std::uint64_t tick_ = 0;
+    MissClassifier classifier_;
+    InterferenceStats stats_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_MEM_CACHE_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Physical memory timing model: fixed latency, fully pipelined
+ * (Table 1: 128MB, 90-cycle latency).
+ */
+
+#ifndef SMTOS_MEM_DRAM_H
+#define SMTOS_MEM_DRAM_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace smtos {
+
+/** Fully pipelined fixed-latency DRAM. */
+class Dram
+{
+  public:
+    explicit Dram(Cycle latency = 90) : latency_(latency) {}
+
+    /** @return completion cycle of an access arriving at @p now. */
+    Cycle
+    access(Cycle now)
+    {
+        ++accesses_;
+        return now + latency_;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+    Cycle latency() const { return latency_; }
+
+  private:
+    Cycle latency_;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_MEM_DRAM_H

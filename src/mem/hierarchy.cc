@@ -1,0 +1,165 @@
+#include "mem/hierarchy.h"
+
+#include <algorithm>
+
+namespace smtos {
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : params_(params),
+      l1i_(params.l1i),
+      l1d_(params.l1d),
+      l2_(params.l2),
+      l1Mshr_("L1-MSHR", params.l1MshrEntries),
+      l2Mshr_("L2-MSHR", params.l2MshrEntries),
+      storeBuffer_(params.storeBufferEntries),
+      l1l2Bus_("L1-L2", params.l1l2BusBytesPerCycle,
+               params.l1l2BusLatency),
+      memBus_("memory", params.memBusBytesPerCycle,
+              params.memBusLatency),
+      dram_(params.dramLatency)
+{
+}
+
+MemResult
+Hierarchy::missPath(Cache &l1, Addr paddr, const AccessInfo &who,
+                    bool is_write, Cycle now, bool is_ifetch)
+{
+    MemResult res;
+    const Addr block = paddr / static_cast<Addr>(l1.params().lineBytes);
+
+    MshrGrant grant = l1Mshr_.request(block, now);
+    if (grant.merged) {
+        res.readyAt = std::max(grant.mergedReadyAt,
+                               now + params_.l1HitLatency);
+        return res;
+    }
+    const Cycle start = grant.startAt;
+
+    // L2 lookup (address travels the L1-L2 bus; response carries the
+    // line back over the same bus).
+    const Cycle l2_done = start + params_.l2Latency;
+    CacheOutcome l2_out = l2_.access(paddr, who, is_write);
+    Cycle fill_at;
+    if (l2_out.hit) {
+        res.l2Hit = true;
+        fill_at = l1l2Bus_.transfer(l2_done, l1.params().lineBytes);
+    } else {
+        MshrGrant g2 = l2Mshr_.request(
+            paddr / static_cast<Addr>(l2_.params().lineBytes), l2_done);
+        Cycle l2_ready;
+        if (g2.merged) {
+            l2_ready = std::max(g2.mergedReadyAt, l2_done);
+        } else {
+            const Cycle req = memBus_.transfer(g2.startAt, 8);
+            const Cycle mem_done = dram_.access(req);
+            l2_ready = memBus_.transfer(mem_done,
+                                        l2_.params().lineBytes);
+            l2Mshr_.complete(
+                paddr / static_cast<Addr>(l2_.params().lineBytes),
+                g2.startAt, l2_ready);
+            l2missIntegral_ +=
+                static_cast<double>(l2_ready - g2.startAt);
+            if (l2_out.dirtyEviction)
+                memBus_.transfer(l2_ready, l2_.params().lineBytes);
+        }
+        fill_at = l1l2Bus_.transfer(l2_ready, l1.params().lineBytes);
+    }
+
+    res.readyAt = fill_at + params_.l1FillPenalty;
+    l1Mshr_.complete(block, start, res.readyAt);
+    if (is_ifetch)
+        imissIntegral_ += static_cast<double>(res.readyAt - start);
+    else
+        dmissIntegral_ += static_cast<double>(res.readyAt - start);
+    return res;
+}
+
+MemResult
+Hierarchy::data(Addr paddr, const AccessInfo &who, bool is_write,
+                Cycle now)
+{
+    if (params_.filterPrivileged && who.isKernel()) {
+        MemResult res;
+        res.l1Hit = true;
+        res.readyAt = now + params_.l1HitLatency;
+        return res;
+    }
+
+    CacheOutcome out = l1d_.access(paddr, who, is_write);
+    if (out.hit) {
+        MemResult res;
+        res.l1Hit = true;
+        const Cycle fill = l1Mshr_.hitUnderFill(
+            paddr / static_cast<Addr>(l1d_.params().lineBytes), now);
+        res.readyAt = std::max(now + params_.l1HitLatency, fill);
+        return res;
+    }
+    if (out.dirtyEviction)
+        l1l2Bus_.transfer(now, l1d_.params().lineBytes);
+    if (is_write) {
+        // Store misses allocate without fetching the line from
+        // memory (write-validate, as the Alpha's write buffers and
+        // write hints achieve): the L2 is probed/allocated for tag
+        // state, but no DRAM round trip or MSHR entry is consumed.
+        // The store buffer hides the L2 write latency.
+        l2_.access(paddr, who, true);
+        MemResult res;
+        res.readyAt = now + params_.l2Latency;
+        return res;
+    }
+    return missPath(l1d_, paddr, who, is_write, now, false);
+}
+
+MemResult
+Hierarchy::fetch(Addr paddr, const AccessInfo &who, Cycle now)
+{
+    if (params_.filterPrivileged && who.isKernel()) {
+        MemResult res;
+        res.l1Hit = true;
+        res.readyAt = now + params_.l1HitLatency;
+        return res;
+    }
+
+    CacheOutcome out = l1i_.access(paddr, who, false);
+    if (out.hit) {
+        MemResult res;
+        res.l1Hit = true;
+        const Cycle fill = l1Mshr_.hitUnderFill(
+            paddr / static_cast<Addr>(l1i_.params().lineBytes), now);
+        res.readyAt = std::max(now + params_.l1HitLatency, fill);
+        return res;
+    }
+    return missPath(l1i_, paddr, who, false, now, true);
+}
+
+Cycle
+Hierarchy::retireStore(Addr paddr, const AccessInfo &who, Cycle now)
+{
+    MemResult res = data(paddr, who, true, now);
+    return storeBuffer_.push(now, res.readyAt);
+}
+
+void
+Hierarchy::flushIcache()
+{
+    l1i_.invalidateAll();
+}
+
+void
+Hierarchy::flushDcache()
+{
+    l1d_.invalidateAll();
+}
+
+void
+Hierarchy::dmaWrite(Addr paddr, int bytes)
+{
+    const int line = l2_.params().lineBytes;
+    for (Addr a = paddr; a < paddr + static_cast<Addr>(bytes);
+         a += static_cast<Addr>(line)) {
+        l2_.invalidateBlock(a);
+        l1d_.invalidateBlock(a);
+    }
+}
+
+} // namespace smtos

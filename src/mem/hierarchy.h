@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The full memory hierarchy of Table 1: split 128KB 2-way L1s, a 16MB
+ * direct-mapped L2, MSHRs, a store buffer, the L1-L2 and memory buses,
+ * and DRAM. Timing is computed by latency composition over the shared
+ * structural resources (buses, MSHRs), which captures queueing and
+ * bandwidth contention without a full event queue.
+ */
+
+#ifndef SMTOS_MEM_HIERARCHY_H
+#define SMTOS_MEM_HIERARCHY_H
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "mem/bus.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/mshr.h"
+#include "mem/storebuffer.h"
+
+namespace smtos {
+
+/** All memory-system parameters (Table 1 defaults). */
+struct HierarchyParams
+{
+    CacheParams l1i{"L1I", 128 * 1024, 2, 64};
+    CacheParams l1d{"L1D", 128 * 1024, 2, 64};
+    CacheParams l2{"L2", 16 * 1024 * 1024, 1, 64};
+    Cycle l1HitLatency = 1;
+    Cycle l1FillPenalty = 2;
+    Cycle l2Latency = 20;
+    int l1MshrEntries = 32;
+    int l2MshrEntries = 32;
+    int storeBufferEntries = 32;
+    int l1l2BusBytesPerCycle = 32;  // 256 bits
+    Cycle l1l2BusLatency = 2;
+    int memBusBytesPerCycle = 16;   // 128 bits
+    Cycle memBusLatency = 4;
+    Cycle dramLatency = 90;
+    /**
+     * Table 9 mode: kernel and PAL references complete at L1 hit
+     * latency without touching any cache state, isolating user-only
+     * behavior of the hardware structures.
+     */
+    bool filterPrivileged = false;
+};
+
+/** Timing/result of one memory reference. */
+struct MemResult
+{
+    bool l1Hit = false;
+    bool l2Hit = false;
+    Cycle readyAt = 0;
+};
+
+/** The composed memory system. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyParams &params);
+
+    /** Data reference (load or store) to physical address @p paddr. */
+    MemResult data(Addr paddr, const AccessInfo &who, bool is_write,
+                   Cycle now);
+
+    /** Instruction fetch reference to physical address @p paddr. */
+    MemResult fetch(Addr paddr, const AccessInfo &who, Cycle now);
+
+    /**
+     * Retired store enters the store buffer; returns the cycle the
+     * store occupied a slot (delayed when the buffer was full).
+     */
+    Cycle retireStore(Addr paddr, const AccessInfo &who, Cycle now);
+
+    /** OS instruction-cache flush (e.g. on instruction page remap). */
+    void flushIcache();
+
+    /** OS data-cache flush. */
+    void flushDcache();
+
+    /** DMA write into memory (disk reads): invalidates stale L2/L1D. */
+    void dmaWrite(Addr paddr, int bytes);
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    MshrFile &l1Mshr() { return l1Mshr_; }
+    MshrFile &l2Mshr() { return l2Mshr_; }
+    const MshrFile &l1Mshr() const { return l1Mshr_; }
+    const MshrFile &l2Mshr() const { return l2Mshr_; }
+    StoreBuffer &storeBuffer() { return storeBuffer_; }
+    Bus &l1l2Bus() { return l1l2Bus_; }
+    Bus &memBus() { return memBus_; }
+    const Bus &memBus() const { return memBus_; }
+    Dram &dram() { return dram_; }
+
+    /** Occupancy integrals split per L1 for Table 6 reporting. */
+    double imissIntegral() const { return imissIntegral_; }
+    double dmissIntegral() const { return dmissIntegral_; }
+    double l2missIntegral() const { return l2missIntegral_; }
+
+    const HierarchyParams &params() const { return params_; }
+
+    /** Enable/disable the Table 9 privileged-reference filter. */
+    void setFilterPrivileged(bool on) { params_.filterPrivileged = on; }
+
+  private:
+    /** Common L1-miss path; returns fill completion time. */
+    MemResult missPath(Cache &l1, Addr paddr, const AccessInfo &who,
+                       bool is_write, Cycle now, bool is_ifetch);
+
+    HierarchyParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    MshrFile l1Mshr_;
+    MshrFile l2Mshr_;
+    StoreBuffer storeBuffer_;
+    Bus l1l2Bus_;
+    Bus memBus_;
+    Dram dram_;
+    double imissIntegral_ = 0.0;
+    double dmissIntegral_ = 0.0;
+    double l2missIntegral_ = 0.0;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_MEM_HIERARCHY_H

@@ -1,0 +1,51 @@
+#include "mem/missclass.h"
+
+namespace smtos {
+
+const char *
+missCauseName(MissCause c)
+{
+    switch (c) {
+      case MissCause::Compulsory: return "compulsory";
+      case MissCause::Intrathread: return "intrathread";
+      case MissCause::Interthread: return "interthread";
+      case MissCause::UserKernel: return "user-kernel";
+      case MissCause::OsInvalidation: return "os-invalidation";
+    }
+    return "?";
+}
+
+MissCause
+MissClassifier::classify(Addr blockAddr, const AccessInfo &who) const
+{
+    auto it = evictors_.find(blockAddr);
+    if (it == evictors_.end())
+        return MissCause::Compulsory;
+    const Evictor &ev = it->second;
+    if (ev.byInvalidation)
+        return MissCause::OsInvalidation;
+    if (ev.kernel != who.isKernel())
+        return MissCause::UserKernel;
+    if (ev.thread == who.thread)
+        return MissCause::Intrathread;
+    return MissCause::Interthread;
+}
+
+void
+MissClassifier::recordEviction(Addr blockAddr, const AccessInfo &who)
+{
+    evictors_[blockAddr] = Evictor{who.thread, who.isKernel(), false};
+}
+
+void
+MissClassifier::recordInvalidation(Addr blockAddr)
+{
+    auto it = evictors_.find(blockAddr);
+    if (it == evictors_.end()) {
+        evictors_[blockAddr] = Evictor{invalidThread, true, true};
+    } else {
+        it->second.byInvalidation = true;
+    }
+}
+
+} // namespace smtos

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Miss-cause classification and constructive-sharing accounting.
+ *
+ * Tables 3 and 7 of the paper break every miss in a hardware structure
+ * (BTB, caches, TLBs) into: intrathread conflict, interthread conflict,
+ * user-kernel conflict, invalidation by the OS, and compulsory.
+ * Table 8 reports misses *avoided* because another thread prefetched a
+ * block. This header provides the shared machinery for both.
+ */
+
+#ifndef SMTOS_MEM_MISSCLASS_H
+#define SMTOS_MEM_MISSCLASS_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace smtos {
+
+/** Identity of an access for interference accounting. */
+struct AccessInfo
+{
+    ThreadId thread = invalidThread;
+    Mode mode = Mode::User;
+    CtxId ctx = invalidCtx;
+
+    /** PAL references are accounted as kernel in the paper's tables. */
+    bool isKernel() const { return mode != Mode::User; }
+};
+
+/** Why a miss happened (the paper's five conflict rows). */
+enum class MissCause : std::uint8_t
+{
+    Compulsory = 0,     ///< first ever reference to the block
+    Intrathread,        ///< evicted earlier by the same thread, same mode
+    Interthread,        ///< evicted by a different thread, same mode class
+    UserKernel,         ///< evicted by the other privilege class
+    OsInvalidation,     ///< discarded by an explicit OS flush/invalidate
+};
+
+/** Number of MissCause values. */
+constexpr int numMissCauses = 5;
+
+/** Human-readable cause label matching the paper's row names. */
+const char *missCauseName(MissCause c);
+
+/**
+ * Per-structure interference statistics, split by the privilege class
+ * of the *missing* (or would-have-missed) reference as in the paper's
+ * User / Kernel column pairs.
+ */
+struct InterferenceStats
+{
+    /** accesses[1] counts kernel+PAL references, accesses[0] user. */
+    std::uint64_t accesses[2] = {0, 0};
+    /** misses by privilege class of the missing reference. */
+    std::uint64_t misses[2] = {0, 0};
+    /** cause[missing class][MissCause]. */
+    std::uint64_t cause[2][numMissCauses] = {{0}, {0}};
+    /**
+     * Misses avoided by constructive sharing:
+     * avoided[accessor class][filler class].
+     */
+    std::uint64_t avoided[2][2] = {{0, 0}, {0, 0}};
+
+    std::uint64_t totalAccesses() const { return accesses[0] + accesses[1]; }
+    std::uint64_t totalMisses() const { return misses[0] + misses[1]; }
+
+    void reset() { *this = InterferenceStats(); }
+};
+
+/**
+ * Tracks, for every block address ever evicted from a structure, who
+ * evicted it, so the next miss on that block can be classified.
+ */
+class MissClassifier
+{
+  public:
+    /**
+     * Classify a miss by @p who on @p blockAddr. Returns Compulsory when
+     * the block has never been resident.
+     */
+    MissCause classify(Addr blockAddr, const AccessInfo &who) const;
+
+    /** Record that @p who evicted @p blockAddr (capacity/conflict). */
+    void recordEviction(Addr blockAddr, const AccessInfo &who);
+
+    /** Record that the OS invalidated @p blockAddr via an explicit op. */
+    void recordInvalidation(Addr blockAddr);
+
+    /** Number of distinct blocks tracked (for tests). */
+    std::size_t trackedBlocks() const { return evictors_.size(); }
+
+    void clear() { evictors_.clear(); }
+
+  private:
+    struct Evictor
+    {
+        ThreadId thread;
+        bool kernel;
+        bool byInvalidation;
+    };
+
+    std::unordered_map<Addr, Evictor> evictors_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_MEM_MISSCLASS_H

@@ -1,0 +1,73 @@
+#include "mem/storebuffer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+StoreBuffer::StoreBuffer(int entries)
+{
+    smtos_assert(entries > 0);
+    drains_.assign(static_cast<size_t>(entries), 0);
+    valid_.assign(static_cast<size_t>(entries), false);
+}
+
+void
+StoreBuffer::releaseExpired(Cycle now)
+{
+    for (size_t i = 0; i < drains_.size(); ++i)
+        if (valid_[i] && drains_[i] <= now)
+            valid_[i] = false;
+}
+
+Cycle
+StoreBuffer::push(Cycle now, Cycle drain_done)
+{
+    releaseExpired(now);
+    ++stores_;
+
+    Cycle enter = now;
+    size_t slot = drains_.size();
+    for (size_t i = 0; i < drains_.size(); ++i) {
+        if (!valid_[i]) {
+            slot = i;
+            break;
+        }
+    }
+    if (slot == drains_.size()) {
+        // Full: wait for the earliest drain.
+        ++fullStalls_;
+        Cycle earliest = drains_[0];
+        size_t earliest_i = 0;
+        for (size_t i = 1; i < drains_.size(); ++i) {
+            if (drains_[i] < earliest) {
+                earliest = drains_[i];
+                earliest_i = i;
+            }
+        }
+        enter = std::max(now, earliest);
+        slot = earliest_i;
+    }
+    valid_[slot] = true;
+    drains_[slot] = std::max(drain_done, enter);
+    return enter;
+}
+
+int
+StoreBuffer::occupancy(Cycle now) const
+{
+    int n = 0;
+    for (size_t i = 0; i < drains_.size(); ++i)
+        if (valid_[i] && drains_[i] > now)
+            ++n;
+    return n;
+}
+
+bool
+StoreBuffer::full(Cycle now) const
+{
+    return occupancy(now) == size();
+}
+
+} // namespace smtos

@@ -1,0 +1,95 @@
+#include "net/clients.h"
+
+#include <cmath>
+
+namespace smtos {
+
+std::uint32_t
+specWebFileBytes(int file_id)
+{
+    // SPECWeb96 classes: files within a class step linearly through
+    // nine sizes (0.1..0.9KB, 1..9KB, 10..90KB, 100..900KB).
+    static const std::uint32_t base[4] = {102, 1024, 10240, 102400};
+    const int cls = file_id & 3;
+    const int step = 1 + (file_id >> 2) % 9;
+    return base[cls] * static_cast<std::uint32_t>(step);
+}
+
+int
+specWebPickFile(Rng &rng, int num_files)
+{
+    // Class access mix: 35% / 50% / 14% / 1%.
+    const double u = rng.uniform();
+    int cls;
+    if (u < 0.35)
+        cls = 0;
+    else if (u < 0.85)
+        cls = 1;
+    else if (u < 0.99)
+        cls = 2;
+    else
+        cls = 3;
+    const int per_class = num_files / 4;
+    const int idx = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(per_class > 0 ? per_class : 1)));
+    return idx * 4 + cls;
+}
+
+ClientPopulation::ClientPopulation(const SpecWebParams &params,
+                                   std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    clients_.resize(static_cast<size_t>(params_.numClients));
+    // Stagger the first requests so load ramps in smoothly.
+    for (size_t i = 0; i < clients_.size(); ++i)
+        clients_[i].nextRequestAt = rng_.below(params_.thinkMean + 1);
+}
+
+void
+ClientPopulation::tick(Cycle now, Network &net)
+{
+    // Consume response packets first.
+    while (net.clientHasRx()) {
+        Packet p = net.popClientRx();
+        if (p.client < 0 ||
+            p.client >= static_cast<int>(clients_.size()))
+            continue;
+        Client &c = clients_[static_cast<size_t>(p.client)];
+        if (c.state != Client::State::Waiting)
+            continue;
+        if (c.respRemaining <= p.bytes || p.fin) {
+            c.respRemaining = 0;
+            c.state = Client::State::Thinking;
+            // Exponential-ish think time.
+            const double u = rng_.uniform();
+            const auto think = static_cast<Cycle>(
+                -static_cast<double>(params_.thinkMean) *
+                (u > 0.0001 ? std::log(u) : -9.0));
+            c.nextRequestAt = now + 1 + think;
+            ++responses_;
+        } else {
+            c.respRemaining -= p.bytes;
+        }
+    }
+
+    // Issue due requests.
+    for (size_t i = 0; i < clients_.size(); ++i) {
+        Client &c = clients_[i];
+        if (c.state != Client::State::Thinking ||
+            c.nextRequestAt > now)
+            continue;
+        const int file = specWebPickFile(rng_, params_.numFiles);
+        Packet p;
+        p.client = static_cast<int>(i);
+        p.open = true;
+        p.fileId = file;
+        p.bytes = static_cast<std::uint32_t>(
+            rng_.range(params_.requestBytesMin, params_.requestBytesMax));
+        net.clientSend(p);
+        c.state = Client::State::Waiting;
+        c.respRemaining = specWebFileBytes(file);
+        ++requestsIssued_;
+    }
+}
+
+} // namespace smtos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SPECWeb96-like client population.
+ *
+ * 128 clients issue HTTP-like requests against a file set whose sizes
+ * follow the SPECWeb96 class mix (35% under 1KB, 50% 1-10KB, 14%
+ * 10-100KB, 1% 100KB-1MB). Clients run "outside" the simulated CPU,
+ * exactly as the paper's separately simulated driver machines did:
+ * their work costs no server cycles; they only produce and consume
+ * packets at NIC-interrupt granularity.
+ */
+
+#ifndef SMTOS_NET_CLIENTS_H
+#define SMTOS_NET_CLIENTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace smtos {
+
+/** Client population configuration. */
+struct SpecWebParams
+{
+    int numClients = 128;
+    int numFiles = 120;          ///< distinct files in the file set
+    Cycle thinkMean = 30000;     ///< mean think time between requests
+    std::uint32_t requestBytesMin = 192;
+    std::uint32_t requestBytesMax = 512;
+};
+
+/** Deterministic size of a file (shared with the server's FS). */
+std::uint32_t specWebFileBytes(int file_id);
+
+/** Pick a file id with the SPECWeb96 class mix. */
+int specWebPickFile(Rng &rng, int num_files);
+
+/** The client population driving the Apache workload. */
+class ClientPopulation
+{
+  public:
+    ClientPopulation(const SpecWebParams &params, std::uint64_t seed);
+
+    /**
+     * Advance the population to @p now: emit due requests into the
+     * network and consume any completed response bytes.
+     */
+    void tick(Cycle now, Network &net);
+
+    std::uint64_t requestsIssued() const { return requestsIssued_; }
+    std::uint64_t responsesCompleted() const { return responses_; }
+
+    const SpecWebParams &params() const { return params_; }
+
+  private:
+    struct Client
+    {
+        enum class State { Thinking, Waiting } state = State::Thinking;
+        Cycle nextRequestAt = 0;
+        std::uint64_t respRemaining = 0;
+    };
+
+    SpecWebParams params_;
+    Rng rng_;
+    std::vector<Client> clients_;
+    std::uint64_t requestsIssued_ = 0;
+    std::uint64_t responses_ = 0;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_NET_CLIENTS_H

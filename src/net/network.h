@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The simulated LAN between the SPECWeb-like clients and the server.
+ *
+ * Mirrors the paper's setup: a direct connection that transmits
+ * packets with no loss and no latency, with NIC interrupts delivered
+ * to the CPU at a coarse, configurable interval (the paper's 10 ms
+ * barrier, scaled to simulation length).
+ */
+
+#ifndef SMTOS_NET_NETWORK_H
+#define SMTOS_NET_NETWORK_H
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+
+namespace smtos {
+
+/** A network packet (request or response). */
+struct Packet
+{
+    int client = -1;        ///< originating/destination client
+    int conn = -1;          ///< server connection id (-1 until accepted)
+    std::uint32_t bytes = 0;
+    bool open = false;      ///< carries a new connection + request
+    bool fin = false;       ///< closes the connection
+    int fileId = -1;        ///< requested file (request packets)
+    Addr mbuf = 0;          ///< physical address of the backing mbuf
+};
+
+/** Lossless zero-latency link with per-direction queues. */
+class Network
+{
+  public:
+    void
+    clientSend(const Packet &p)
+    {
+        toServer_.push_back(p);
+        ++reqPackets_;
+        reqBytes_ += p.bytes;
+    }
+
+    void
+    serverSend(const Packet &p)
+    {
+        toClient_.push_back(p);
+        ++respPackets_;
+        respBytes_ += p.bytes;
+    }
+
+    bool serverHasRx() const { return !toServer_.empty(); }
+    std::size_t serverRxDepth() const { return toServer_.size(); }
+
+    Packet
+    popServerRx()
+    {
+        Packet p = toServer_.front();
+        toServer_.pop_front();
+        return p;
+    }
+
+    bool clientHasRx() const { return !toClient_.empty(); }
+
+    Packet
+    popClientRx()
+    {
+        Packet p = toClient_.front();
+        toClient_.pop_front();
+        return p;
+    }
+
+    std::uint64_t requestPackets() const { return reqPackets_; }
+    std::uint64_t responsePackets() const { return respPackets_; }
+    std::uint64_t requestBytes() const { return reqBytes_; }
+    std::uint64_t responseBytes() const { return respBytes_; }
+
+  private:
+    std::deque<Packet> toServer_;
+    std::deque<Packet> toClient_;
+    std::uint64_t reqPackets_ = 0;
+    std::uint64_t respPackets_ = 0;
+    std::uint64_t reqBytes_ = 0;
+    std::uint64_t respBytes_ = 0;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_NET_NETWORK_H

@@ -1,0 +1,38 @@
+#include "sim/config.h"
+
+namespace smtos {
+
+SystemConfig
+smtConfig()
+{
+    SystemConfig cfg;
+    // CoreParams and HierarchyParams default to Table 1 already;
+    // restated here so the preset is explicit and greppable.
+    cfg.core.numContexts = 8;
+    cfg.core.fetchWidth = 8;
+    cfg.core.fetchContexts = 2;
+    cfg.core.pipelineStages = 9;
+    cfg.core.intUnits = 6;
+    cfg.core.memUnits = 4;
+    cfg.core.fpUnits = 4;
+    cfg.core.intQueue = 32;
+    cfg.core.fpQueue = 32;
+    cfg.core.intRenameRegs = 100;
+    cfg.core.fpRenameRegs = 100;
+    cfg.core.retireWidth = 12;
+    cfg.core.itlbEntries = 128;
+    cfg.core.dtlbEntries = 128;
+    return cfg;
+}
+
+SystemConfig
+superscalarConfig()
+{
+    SystemConfig cfg = smtConfig();
+    cfg.core.numContexts = 1;
+    cfg.core.fetchContexts = 1;
+    cfg.core.pipelineStages = 7; // smaller register file
+    return cfg;
+}
+
+} // namespace smtos

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ready-made system configurations: the Table-1 SMT and the
+ * resource-equivalent out-of-order superscalar baseline.
+ */
+
+#ifndef SMTOS_SIM_CONFIG_H
+#define SMTOS_SIM_CONFIG_H
+
+#include <cstdint>
+
+#include "core/context.h"
+#include "kernel/kernel.h"
+#include "mem/hierarchy.h"
+
+namespace smtos {
+
+/** Everything needed to instantiate a System. */
+struct SystemConfig
+{
+    CoreParams core;
+    HierarchyParams mem;
+    Kernel::Params kernel;
+};
+
+/** The paper's 8-context SMT (Table 1). */
+SystemConfig smtConfig();
+
+/**
+ * The out-of-order superscalar baseline: identical resources, one
+ * hardware context, two fewer pipeline stages.
+ */
+SystemConfig superscalarConfig();
+
+} // namespace smtos
+
+#endif // SMTOS_SIM_CONFIG_H

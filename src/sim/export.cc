@@ -1,0 +1,114 @@
+#include "sim/export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace smtos {
+
+namespace {
+
+void
+jsonInterference(std::ostream &os, const char *name,
+                 const InterferenceStats &s)
+{
+    os << "\"" << name << "\":{";
+    os << "\"accesses\":[" << s.accesses[0] << "," << s.accesses[1]
+       << "],";
+    os << "\"misses\":[" << s.misses[0] << "," << s.misses[1] << "],";
+    os << "\"causes\":[[";
+    for (int c = 0; c < 2; ++c) {
+        for (int k = 0; k < numMissCauses; ++k) {
+            os << s.cause[c][k];
+            if (k + 1 < numMissCauses)
+                os << ",";
+        }
+        os << (c == 0 ? "],[" : "]],");
+    }
+    os << "\"avoided\":[[" << s.avoided[0][0] << ","
+       << s.avoided[0][1] << "],[" << s.avoided[1][0] << ","
+       << s.avoided[1][1] << "]]}";
+}
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const MetricsSnapshot &d)
+{
+    const ArchMetrics a = archMetrics(d);
+    const ModeShares m = modeShares(d);
+    os << "{";
+    os << "\"cycles\":" << d.core.cycles << ",";
+    os << "\"instructions\":" << d.core.totalRetired() << ",";
+    os << "\"ipc\":" << a.ipc << ",";
+    os << "\"modes\":{\"user\":" << m.userPct
+       << ",\"kernel\":" << m.kernelPct << ",\"pal\":" << m.palPct
+       << ",\"idle\":" << m.idlePct << "},";
+    os << "\"rates\":{\"l1i\":" << a.l1iMissPct
+       << ",\"l1d\":" << a.l1dMissPct << ",\"l2\":" << a.l2MissPct
+       << ",\"itlb\":" << a.itlbMissPct
+       << ",\"dtlb\":" << a.dtlbMissPct
+       << ",\"btb\":" << a.btbMissPct
+       << ",\"br_mispred\":" << a.branchMispredPct
+       << ",\"squashed\":" << a.squashedPct << "},";
+    os << "\"fetch\":{\"zero_fetch\":" << a.zeroFetchPct
+       << ",\"zero_issue\":" << a.zeroIssuePct
+       << ",\"max_issue\":" << a.maxIssuePct
+       << ",\"fetchable\":" << a.fetchableContexts << "},";
+    os << "\"outstanding\":{\"imiss\":" << a.outstandingImiss
+       << ",\"dmiss\":" << a.outstandingDmiss
+       << ",\"l2miss\":" << a.outstandingL2miss << "},";
+    os << "\"tags\":{";
+    bool first = true;
+    for (int t = 0; t < NumServiceTags; ++t) {
+        if (d.core.retiredByTag[t] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << serviceTagName(t)
+           << "\":" << d.core.retiredByTag[t];
+    }
+    os << "},";
+    jsonInterference(os, "l1i", d.l1i);
+    os << ",";
+    jsonInterference(os, "l1d", d.l1d);
+    os << ",";
+    jsonInterference(os, "l2", d.l2);
+    os << ",";
+    jsonInterference(os, "dtlb", d.dtlb);
+    os << ",";
+    jsonInterference(os, "btb", d.btb);
+    os << ",\"requests_served\":" << d.requestsServed;
+    os << ",\"context_switches\":" << d.contextSwitches;
+    os << "}";
+}
+
+std::string
+toJson(const MetricsSnapshot &d)
+{
+    std::ostringstream os;
+    writeJson(os, d);
+    return os.str();
+}
+
+void
+writeCsvRow(std::ostream &os, const std::string &label,
+            const MetricsSnapshot &d, bool with_header)
+{
+    if (with_header) {
+        os << "label,cycles,instructions,ipc,user_pct,kernel_pct,"
+              "pal_pct,idle_pct,l1i_miss,l1d_miss,l2_miss,itlb_miss,"
+              "dtlb_miss,br_mispred,squashed_pct\n";
+    }
+    const ArchMetrics a = archMetrics(d);
+    const ModeShares m = modeShares(d);
+    os << label << "," << d.core.cycles << ","
+       << d.core.totalRetired() << "," << a.ipc << "," << m.userPct
+       << "," << m.kernelPct << "," << m.palPct << "," << m.idlePct
+       << "," << a.l1iMissPct << "," << a.l1dMissPct << ","
+       << a.l2MissPct << "," << a.itlbMissPct << ","
+       << a.dtlbMissPct << "," << a.branchMispredPct << ","
+       << a.squashedPct << "\n";
+}
+
+} // namespace smtos

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Metrics export: serialize a MetricsSnapshot (or delta) as JSON or
+ * CSV so downstream tooling can plot the reproduced figures.
+ */
+
+#ifndef SMTOS_SIM_EXPORT_H
+#define SMTOS_SIM_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace smtos {
+
+/** Write a snapshot delta as a single JSON object. */
+void writeJson(std::ostream &os, const MetricsSnapshot &d);
+
+/** JSON string convenience wrapper. */
+std::string toJson(const MetricsSnapshot &d);
+
+/**
+ * Append one CSV row of headline metrics (with a header row first
+ * when @p with_header). Columns: label, cycles, instructions, ipc,
+ * user_pct, kernel_pct, pal_pct, idle_pct, l1i_miss, l1d_miss,
+ * l2_miss, itlb_miss, dtlb_miss, br_mispred, squashed_pct.
+ */
+void writeCsvRow(std::ostream &os, const std::string &label,
+                 const MetricsSnapshot &d, bool with_header = false);
+
+} // namespace smtos
+
+#endif // SMTOS_SIM_EXPORT_H

@@ -1,0 +1,277 @@
+#include "sim/metrics.h"
+
+#include "common/stats.h"
+#include "kernel/tags.h"
+
+namespace smtos {
+
+namespace {
+
+InterferenceStats
+diffInterference(const InterferenceStats &a, const InterferenceStats &b)
+{
+    InterferenceStats d;
+    for (int c = 0; c < 2; ++c) {
+        d.accesses[c] = a.accesses[c] - b.accesses[c];
+        d.misses[c] = a.misses[c] - b.misses[c];
+        for (int k = 0; k < numMissCauses; ++k)
+            d.cause[c][k] = a.cause[c][k] - b.cause[c][k];
+        for (int f = 0; f < 2; ++f)
+            d.avoided[c][f] = a.avoided[c][f] - b.avoided[c][f];
+    }
+    return d;
+}
+
+std::map<std::string, std::uint64_t>
+diffMap(const std::map<std::string, std::uint64_t> &a,
+        const std::map<std::string, std::uint64_t> &b)
+{
+    std::map<std::string, std::uint64_t> d = a;
+    for (const auto &kv : b) {
+        auto it = d.find(kv.first);
+        if (it != d.end())
+            it->second -= kv.second;
+    }
+    return d;
+}
+
+} // namespace
+
+MetricsSnapshot
+MetricsSnapshot::capture(System &sys)
+{
+    MetricsSnapshot s;
+    Pipeline &p = sys.pipeline();
+    s.core = p.stats();
+    s.btb = p.btb().stats();
+    s.btbWrongTarget = p.btb().wrongTargetHits();
+    s.l1i = sys.hierarchy().l1i().stats();
+    s.l1d = sys.hierarchy().l1d().stats();
+    s.l2 = sys.hierarchy().l2().stats();
+    s.itlb = p.itlb().stats();
+    s.dtlb = p.dtlb().stats();
+    s.imissIntegral = sys.hierarchy().imissIntegral();
+    s.dmissIntegral = sys.hierarchy().dmissIntegral();
+    s.l2missIntegral = sys.hierarchy().l2missIntegral();
+    s.mmEntries = sys.kernel().mmEntries().all();
+    s.syscalls = sys.kernel().syscallEntries().all();
+    s.requestsServed = sys.kernel().requestsServed();
+    s.contextSwitches = sys.kernel().contextSwitches();
+    return s;
+}
+
+MetricsSnapshot
+MetricsSnapshot::delta(const MetricsSnapshot &e) const
+{
+    MetricsSnapshot d = *this;
+
+    d.core.cycles = core.cycles - e.core.cycles;
+    d.core.fetched = core.fetched - e.core.fetched;
+    d.core.fetchedWrongPath =
+        core.fetchedWrongPath - e.core.fetchedWrongPath;
+    d.core.squashed = core.squashed - e.core.squashed;
+    d.core.issued = core.issued - e.core.issued;
+    for (int m = 0; m < numModes; ++m)
+        d.core.retired[m] = core.retired[m] - e.core.retired[m];
+    for (int t = 0; t < 64; ++t)
+        d.core.retiredByTag[t] =
+            core.retiredByTag[t] - e.core.retiredByTag[t];
+    for (int c = 0; c < 2; ++c) {
+        for (int k = 0; k < numMixClasses; ++k)
+            d.core.mix[c][k] = core.mix[c][k] - e.core.mix[c][k];
+        for (int k = 0; k < 2; ++k)
+            d.core.physMem[c][k] =
+                core.physMem[c][k] - e.core.physMem[c][k];
+        d.core.condRetired[c] =
+            core.condRetired[c] - e.core.condRetired[c];
+        d.core.condTaken[c] = core.condTaken[c] - e.core.condTaken[c];
+        d.core.condMispred[c] =
+            core.condMispred[c] - e.core.condMispred[c];
+        d.core.targetMispred[c] =
+            core.targetMispred[c] - e.core.targetMispred[c];
+    }
+    d.core.zeroFetchCycles =
+        core.zeroFetchCycles - e.core.zeroFetchCycles;
+    d.core.zeroIssueCycles =
+        core.zeroIssueCycles - e.core.zeroIssueCycles;
+    d.core.maxIssueCycles =
+        core.maxIssueCycles - e.core.maxIssueCycles;
+    d.core.fetchableContexts = Sampler::fromSumCount(
+        core.fetchableContexts.sum() - e.core.fetchableContexts.sum(),
+        core.fetchableContexts.count() -
+            e.core.fetchableContexts.count());
+
+    d.btb = diffInterference(btb, e.btb);
+    d.btbWrongTarget = btbWrongTarget - e.btbWrongTarget;
+    d.l1i = diffInterference(l1i, e.l1i);
+    d.l1d = diffInterference(l1d, e.l1d);
+    d.l2 = diffInterference(l2, e.l2);
+    d.itlb = diffInterference(itlb, e.itlb);
+    d.dtlb = diffInterference(dtlb, e.dtlb);
+    d.imissIntegral = imissIntegral - e.imissIntegral;
+    d.dmissIntegral = dmissIntegral - e.dmissIntegral;
+    d.l2missIntegral = l2missIntegral - e.l2missIntegral;
+    d.mmEntries = diffMap(mmEntries, e.mmEntries);
+    d.syscalls = diffMap(syscalls, e.syscalls);
+    d.requestsServed = requestsServed - e.requestsServed;
+    d.contextSwitches = contextSwitches - e.contextSwitches;
+    return d;
+}
+
+ModeShares
+modeShares(const MetricsSnapshot &d)
+{
+    const double total = static_cast<double>(d.core.totalRetired());
+    ModeShares s;
+    s.userPct = pct(static_cast<double>(
+                        d.core.retired[static_cast<int>(Mode::User)]),
+                    total);
+    s.kernelPct = pct(
+        static_cast<double>(d.core.retired[static_cast<int>(
+            Mode::Kernel)]),
+        total);
+    s.palPct = pct(static_cast<double>(
+                       d.core.retired[static_cast<int>(Mode::Pal)]),
+                   total);
+    s.idlePct = pct(static_cast<double>(
+                        d.core.retired[static_cast<int>(Mode::Idle)]),
+                    total);
+    return s;
+}
+
+double
+tagSharePct(const MetricsSnapshot &d, int tag)
+{
+    return pct(static_cast<double>(d.core.retiredByTag[tag]),
+               static_cast<double>(d.core.totalRetired()));
+}
+
+double
+groupSharePct(const MetricsSnapshot &d, ServiceGroup g)
+{
+    double sum = 0.0;
+    for (int t = 0; t < NumServiceTags; ++t)
+        if (serviceGroupOf(t) == g)
+            sum += tagSharePct(d, t);
+    return sum;
+}
+
+ArchMetrics
+archMetrics(const MetricsSnapshot &d)
+{
+    ArchMetrics a;
+    const double cycles = static_cast<double>(d.core.cycles);
+    a.ipc = ratio(static_cast<double>(d.core.totalRetired()), cycles);
+    a.fetchableContexts = d.core.fetchableContexts.mean();
+    a.branchMispredPct =
+        pct(static_cast<double>(d.core.condMispred[0] +
+                                d.core.condMispred[1]),
+            static_cast<double>(d.core.condRetired[0] +
+                                d.core.condRetired[1]));
+    a.squashedPct = pct(static_cast<double>(d.core.squashed),
+                        static_cast<double>(d.core.fetched));
+    auto rate = [](const InterferenceStats &s) {
+        return pct(static_cast<double>(s.totalMisses()),
+                   static_cast<double>(s.totalAccesses()));
+    };
+    a.btbMissPct = rate(d.btb);
+    a.l1iMissPct = rate(d.l1i);
+    a.l1dMissPct = rate(d.l1d);
+    a.l2MissPct = rate(d.l2);
+    a.itlbMissPct = rate(d.itlb);
+    a.dtlbMissPct = rate(d.dtlb);
+    a.zeroFetchPct =
+        pct(static_cast<double>(d.core.zeroFetchCycles), cycles);
+    a.zeroIssuePct =
+        pct(static_cast<double>(d.core.zeroIssueCycles), cycles);
+    a.maxIssuePct =
+        pct(static_cast<double>(d.core.maxIssueCycles), cycles);
+    a.outstandingImiss = ratio(d.imissIntegral, cycles);
+    a.outstandingDmiss = ratio(d.dmissIntegral, cycles);
+    a.outstandingL2miss = ratio(d.l2missIntegral, cycles);
+    return a;
+}
+
+MixRow
+mixRow(const MetricsSnapshot &d, bool kernel_class)
+{
+    const int c = kernel_class ? 1 : 0;
+    double total = 0.0;
+    for (int k = 0; k < numMixClasses; ++k)
+        total += static_cast<double>(d.core.mix[c][k]);
+    auto share = [&](MixClass mc) {
+        return pct(static_cast<double>(
+                       d.core.mix[c][static_cast<int>(mc)]),
+                   total);
+    };
+    MixRow r;
+    r.loadPct = share(MixClass::Load);
+    r.storePct = share(MixClass::Store);
+    r.loadPhysPct =
+        pct(static_cast<double>(d.core.physMem[c][0]),
+            static_cast<double>(
+                d.core.mix[c][static_cast<int>(MixClass::Load)]));
+    r.storePhysPct =
+        pct(static_cast<double>(d.core.physMem[c][1]),
+            static_cast<double>(
+                d.core.mix[c][static_cast<int>(MixClass::Store)]));
+    const double branches =
+        static_cast<double>(
+            d.core.mix[c][static_cast<int>(MixClass::CondBranch)] +
+            d.core.mix[c][static_cast<int>(MixClass::UncondBranch)] +
+            d.core.mix[c][static_cast<int>(MixClass::IndirectJump)] +
+            d.core.mix[c][static_cast<int>(MixClass::PalCallReturn)]);
+    r.branchPct = pct(branches, total);
+    r.condPct = pct(
+        static_cast<double>(
+            d.core.mix[c][static_cast<int>(MixClass::CondBranch)]),
+        branches);
+    r.uncondPct = pct(
+        static_cast<double>(
+            d.core.mix[c][static_cast<int>(MixClass::UncondBranch)]),
+        branches);
+    r.indirectPct = pct(
+        static_cast<double>(
+            d.core.mix[c][static_cast<int>(MixClass::IndirectJump)]),
+        branches);
+    r.palPct = pct(
+        static_cast<double>(
+            d.core.mix[c][static_cast<int>(MixClass::PalCallReturn)]),
+        branches);
+    r.condTakenPct =
+        pct(static_cast<double>(d.core.condTaken[c]),
+            static_cast<double>(d.core.condRetired[c]));
+    r.otherIntPct = share(MixClass::OtherInt);
+    r.fpPct = share(MixClass::Fp);
+    return r;
+}
+
+MissBreakdown
+missBreakdown(const InterferenceStats &s)
+{
+    MissBreakdown b;
+    const double all_misses = static_cast<double>(s.totalMisses());
+    for (int c = 0; c < 2; ++c) {
+        b.totalMissRate[c] =
+            pct(static_cast<double>(s.misses[c]),
+                static_cast<double>(s.accesses[c]));
+        for (int k = 0; k < numMissCauses; ++k)
+            b.causePct[c][k] =
+                pct(static_cast<double>(s.cause[c][k]), all_misses);
+    }
+    return b;
+}
+
+SharingBreakdown
+sharingBreakdown(const InterferenceStats &s)
+{
+    SharingBreakdown b;
+    const double all_misses = static_cast<double>(s.totalMisses());
+    for (int a = 0; a < 2; ++a)
+        for (int f = 0; f < 2; ++f)
+            b.avoidedPct[a][f] =
+                pct(static_cast<double>(s.avoided[a][f]), all_misses);
+    return b;
+}
+
+} // namespace smtos

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Metrics: snapshots and derived statistics matching every table and
+ * figure in the paper's evaluation. Benches capture a snapshot, run a
+ * measurement interval, capture again, and compute on the delta.
+ */
+
+#ifndef SMTOS_SIM_METRICS_H
+#define SMTOS_SIM_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/context.h"
+#include "kernel/tags.h"
+#include "mem/missclass.h"
+#include "sim/system.h"
+
+namespace smtos {
+
+/** Point-in-time copy of every counter the paper's tables need. */
+struct MetricsSnapshot
+{
+    CoreStats core;
+    InterferenceStats btb, l1i, l1d, l2, itlb, dtlb;
+    std::uint64_t btbWrongTarget = 0;
+    double imissIntegral = 0.0;
+    double dmissIntegral = 0.0;
+    double l2missIntegral = 0.0;
+    std::map<std::string, std::uint64_t> mmEntries;
+    std::map<std::string, std::uint64_t> syscalls;
+    std::uint64_t requestsServed = 0;
+    std::uint64_t contextSwitches = 0;
+
+    static MetricsSnapshot capture(System &sys);
+
+    /** Counter-wise difference (this minus @p earlier). */
+    MetricsSnapshot delta(const MetricsSnapshot &earlier) const;
+};
+
+/** Execution-cycle shares by mode (Figures 1 and 5 series). */
+struct ModeShares
+{
+    double userPct = 0;
+    double kernelPct = 0; ///< kernel proper (excluding PAL)
+    double palPct = 0;
+    double idlePct = 0;
+};
+
+ModeShares modeShares(const MetricsSnapshot &d);
+
+/** Kernel share attributed to each service tag, as % of all
+ *  retired instructions (Figures 2, 4, 6, 7). */
+double tagSharePct(const MetricsSnapshot &d, int tag);
+
+/** Kernel share by Figure-2/6 group. */
+double groupSharePct(const MetricsSnapshot &d, ServiceGroup g);
+
+/** One column of Tables 4 and 6. */
+struct ArchMetrics
+{
+    double ipc = 0;
+    double fetchableContexts = 0;
+    double branchMispredPct = 0;   ///< conditional direction mispredicts
+    double squashedPct = 0;        ///< % of fetched instructions
+    double btbMissPct = 0;
+    double l1iMissPct = 0;
+    double l1dMissPct = 0;
+    double l2MissPct = 0;
+    double itlbMissPct = 0;
+    double dtlbMissPct = 0;
+    double zeroFetchPct = 0;
+    double zeroIssuePct = 0;
+    double maxIssuePct = 0;
+    double outstandingImiss = 0;
+    double outstandingDmiss = 0;
+    double outstandingL2miss = 0;
+};
+
+ArchMetrics archMetrics(const MetricsSnapshot &d);
+
+/** Mix-table row values for one privilege class (Tables 2 and 5). */
+struct MixRow
+{
+    double loadPct = 0, loadPhysPct = 0;
+    double storePct = 0, storePhysPct = 0;
+    double branchPct = 0;
+    double condPct = 0, condTakenPct = 0;
+    double uncondPct = 0;
+    double indirectPct = 0;
+    double palPct = 0;
+    double otherIntPct = 0;
+    double fpPct = 0;
+};
+
+/** @param kernel_class false = user, true = kernel+PAL */
+MixRow mixRow(const MetricsSnapshot &d, bool kernel_class);
+
+/** Conflict-cause percentages for one structure (Tables 3 and 7):
+ *  cause[cls][MissCause] as % of all misses; columns sum to 100. */
+struct MissBreakdown
+{
+    double totalMissRate[2] = {0, 0}; ///< per-class miss rate %
+    double causePct[2][numMissCauses] = {{0}, {0}};
+};
+
+MissBreakdown missBreakdown(const InterferenceStats &s);
+
+/** Avoided-miss percentages (Table 8): [accessor][filler] as % of all
+ *  misses in the structure. */
+struct SharingBreakdown
+{
+    double avoidedPct[2][2] = {{0, 0}, {0, 0}};
+};
+
+SharingBreakdown sharingBreakdown(const InterferenceStats &s);
+
+} // namespace smtos
+
+#endif // SMTOS_SIM_METRICS_H

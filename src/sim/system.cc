@@ -1,0 +1,17 @@
+#include "sim/system.h"
+
+namespace smtos {
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg),
+      mem_(128ull * 1024 * 1024, reservedPhysBytes),
+      kc_(buildKernelImage(cfg.kernel.seed ^ 0xfeedull)),
+      hier_(cfg.mem)
+{
+    pipe_ = std::make_unique<Pipeline>(cfg.core, hier_, &kc_->image);
+    kernel_ = std::make_unique<Kernel>(cfg.kernel, *pipe_, mem_, *kc_);
+    if (cfg.kernel.appOnly)
+        pipe_->setAppOnlyTlb(true);
+}
+
+} // namespace smtos

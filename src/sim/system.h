@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The full-system simulator facade: physical memory, the memory
+ * hierarchy, the SMT core, the kernel image, and the MiniOS model,
+ * wired together. This is the role SimOS-Alpha plays in the paper.
+ */
+
+#ifndef SMTOS_SIM_SYSTEM_H
+#define SMTOS_SIM_SYSTEM_H
+
+#include <memory>
+
+#include "core/pipeline.h"
+#include "kernel/kernel.h"
+#include "sim/config.h"
+
+namespace smtos {
+
+/** A complete simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /** Bind initial threads; call after workloads are installed. */
+    void start() { kernel_->start(); }
+
+    /** Run until @p n more instructions retire. */
+    void run(std::uint64_t n) { pipe_->runInstrs(n); }
+
+    /** Run for @p n cycles. */
+    void runCycles(Cycle n) { pipe_->runCycles(n); }
+
+    Pipeline &pipeline() { return *pipe_; }
+    Kernel &kernel() { return *kernel_; }
+    Hierarchy &hierarchy() { return hier_; }
+    PhysMem &physMem() { return mem_; }
+    const KernelCode &kernelCode() const { return *kc_; }
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    PhysMem mem_;
+    std::unique_ptr<KernelCode> kc_;
+    Hierarchy hier_;
+    std::unique_ptr<Pipeline> pipe_;
+    std::unique_ptr<Kernel> kernel_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_SIM_SYSTEM_H

@@ -1,0 +1,58 @@
+#include "vm/addrspace.h"
+
+#include "common/logging.h"
+
+namespace smtos {
+
+Frame
+AddrSpace::frameOf(Addr vpn) const
+{
+    auto it = pages_.find(vpn);
+    if (it == pages_.end())
+        smtos_panic("addrspace %d: unmapped vpn 0x%llx", id_,
+                    static_cast<unsigned long long>(vpn));
+    return it->second;
+}
+
+Frame
+AddrSpace::mapNew(Addr vpn)
+{
+    smtos_assert(!mapped(vpn));
+    Frame f = mem_->allocFrame();
+    pages_.emplace(vpn, f);
+    return f;
+}
+
+void
+AddrSpace::mapShared(Addr vpn, Frame f)
+{
+    smtos_assert(!mapped(vpn));
+    pages_.emplace(vpn, f);
+}
+
+void
+AddrSpace::unmap(Addr vpn, bool free_frame)
+{
+    auto it = pages_.find(vpn);
+    smtos_assert(it != pages_.end());
+    if (free_frame)
+        mem_->freeFrame(it->second);
+    pages_.erase(it);
+}
+
+Addr
+AddrSpace::ptePhysAddr(Addr vpn)
+{
+    const Addr pt_index = vpn / ptesPerPage;
+    auto it = ptPages_.find(pt_index);
+    Frame f;
+    if (it == ptPages_.end()) {
+        f = mem_->allocFrame();
+        ptPages_.emplace(pt_index, f);
+    } else {
+        f = it->second;
+    }
+    return PhysMem::frameAddr(f) + (vpn % ptesPerPage) * 8;
+}
+
+} // namespace smtos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-process address spaces with real (frame-backed) page tables.
+ *
+ * Translations are stored in page-table pages whose physical addresses
+ * are visible, so the software TLB-miss handler's PTE loads hit the
+ * actual memory hierarchy at the actual PTE locations.
+ */
+
+#ifndef SMTOS_VM_ADDRSPACE_H
+#define SMTOS_VM_ADDRSPACE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "vm/physmem.h"
+
+namespace smtos {
+
+/** PTEs per page-table page (4KB / 8B). */
+constexpr Addr ptesPerPage = pageBytes / 8;
+
+/** One virtual address space (a process, or the kernel). */
+class AddrSpace
+{
+  public:
+    /**
+     * @param id stable address-space identifier
+     * @param mem backing frame allocator (must outlive this object)
+     */
+    AddrSpace(int id, PhysMem &mem) : id_(id), mem_(&mem) {}
+
+    /** Stable identity (not the ASN; ASNs are assigned by the OS). */
+    int id() const { return id_; }
+
+    /** Currently assigned ASN (set by the scheduler). */
+    Asn asn() const { return asn_; }
+    void setAsn(Asn a) { asn_ = a; }
+
+    /** True when @p vpn has a valid translation. */
+    bool mapped(Addr vpn) const { return pages_.count(vpn) != 0; }
+
+    /** Translate; panics when unmapped (callers must check/fault). */
+    Frame frameOf(Addr vpn) const;
+
+    /** Map @p vpn to a freshly allocated frame; returns the frame. */
+    Frame mapNew(Addr vpn);
+
+    /** Map @p vpn to an existing frame (shared mappings). */
+    void mapShared(Addr vpn, Frame f);
+
+    /** Remove a translation; frees the frame when @p free_frame. */
+    void unmap(Addr vpn, bool free_frame);
+
+    /**
+     * Physical address of the PTE for @p vpn. Allocates the backing
+     * page-table page on first use (counted as kernel metadata).
+     */
+    Addr ptePhysAddr(Addr vpn);
+
+    /** Number of mapped pages. */
+    std::size_t residentPages() const { return pages_.size(); }
+
+  private:
+    int id_;
+    PhysMem *mem_;
+    Asn asn_ = -1;
+    std::unordered_map<Addr, Frame> pages_;
+    std::unordered_map<Addr, Frame> ptPages_; // vpn>>9 -> PT frame
+};
+
+} // namespace smtos
+
+#endif // SMTOS_VM_ADDRSPACE_H

@@ -1,0 +1,45 @@
+#include "vm/physmem.h"
+
+#include "common/logging.h"
+
+namespace smtos {
+
+PhysMem::PhysMem(std::uint64_t bytes, std::uint64_t reserved_bytes)
+    : totalFrames_(bytes >> pageShift),
+      firstAlloc_(reserved_bytes >> pageShift),
+      bump_(firstAlloc_)
+{
+    smtos_assert(reserved_bytes < bytes);
+}
+
+Frame
+PhysMem::allocFrame()
+{
+    ++allocated_;
+    if (!freeList_.empty()) {
+        Frame f = freeList_.back();
+        freeList_.pop_back();
+        return f;
+    }
+    if (bump_ >= totalFrames_)
+        smtos_fatal("physical memory exhausted (%llu frames)",
+                    static_cast<unsigned long long>(totalFrames_));
+    return bump_++;
+}
+
+void
+PhysMem::freeFrame(Frame f)
+{
+    smtos_assert(f >= firstAlloc_ && f < totalFrames_);
+    smtos_assert(allocated_ > 0);
+    --allocated_;
+    freeList_.push_back(f);
+}
+
+std::uint64_t
+PhysMem::freeFrames() const
+{
+    return (totalFrames_ - bump_) + freeList_.size();
+}
+
+} // namespace smtos

@@ -1,0 +1,120 @@
+#include "vm/tlb.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace smtos {
+
+Tlb::Tlb(std::string name, int entries) : name_(std::move(name))
+{
+    smtos_assert(entries > 0);
+    entries_.assign(static_cast<size_t>(entries), Entry{});
+}
+
+std::int64_t
+Tlb::lookup(Addr vpn, Asn asn, const AccessInfo &who)
+{
+    const int cls = who.isKernel() ? 1 : 0;
+    ++stats_.accesses[cls];
+    for (Entry &e : entries_) {
+        if (e.valid && e.vpn == vpn && (e.global || e.asn == asn)) {
+            // Constructive sharing: first use by a thread of an entry
+            // another thread installed (Table 8's TLB columns).
+            const std::uint64_t bit =
+                1ull << (static_cast<std::uint64_t>(who.thread) & 63);
+            if (e.filler != who.thread && !(e.touchedMask & bit))
+                ++stats_.avoided[cls][e.fillerKernel ? 1 : 0];
+            e.touchedMask |= bit;
+            return static_cast<std::int64_t>(e.frame);
+        }
+    }
+    ++stats_.misses[cls];
+    MissCause cause = classifier_.classify(key(vpn, asn), who);
+    stats_.cause[cls][static_cast<int>(cause)]++;
+    return -1;
+}
+
+bool
+Tlb::present(Addr vpn, Asn asn) const
+{
+    for (const Entry &e : entries_)
+        if (e.valid && e.vpn == vpn && (e.global || e.asn == asn))
+            return true;
+    return false;
+}
+
+void
+Tlb::insert(Addr vpn, Asn asn, Frame frame, const AccessInfo &who,
+            bool global)
+{
+    // Refuse duplicate installs (can happen when two contexts miss on
+    // the same page concurrently; the second install is a no-op).
+    if (present(vpn, asn))
+        return;
+
+    Entry &victim = entries_[static_cast<size_t>(replacePtr_)];
+    replacePtr_ = (replacePtr_ + 1) % static_cast<int>(entries_.size());
+    if (victim.valid)
+        classifier_.recordEviction(key(victim.vpn, victim.asn), who);
+    victim.valid = true;
+    victim.global = global;
+    victim.asn = asn;
+    victim.vpn = vpn;
+    victim.frame = frame;
+    victim.filler = who.thread;
+    victim.fillerKernel = who.isKernel();
+    victim.touchedMask =
+        1ull << (static_cast<std::uint64_t>(who.thread) & 63);
+}
+
+void
+Tlb::flushAsn(Asn asn)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && !e.global && e.asn == asn) {
+            classifier_.recordInvalidation(key(e.vpn, e.asn));
+            e.valid = false;
+        }
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (Entry &e : entries_) {
+        if (e.valid) {
+            classifier_.recordInvalidation(key(e.vpn, e.asn));
+            e.valid = false;
+        }
+    }
+}
+
+void
+Tlb::flushPage(Addr vpn, Asn asn)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.vpn == vpn && (e.global || e.asn == asn)) {
+            classifier_.recordInvalidation(key(e.vpn, e.asn));
+            e.valid = false;
+        }
+    }
+}
+
+double
+Tlb::missRatePct() const
+{
+    return pct(static_cast<double>(stats_.totalMisses()),
+               static_cast<double>(stats_.totalAccesses()));
+}
+
+int
+Tlb::validEntries() const
+{
+    int n = 0;
+    for (const Entry &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+} // namespace smtos

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Software-managed, ASN-tagged TLB (Alpha-style).
+ *
+ * The TLB is shared by all hardware contexts of the SMT (the paper's
+ * key SMT-vs-SMP difference); entries carry an address space number so
+ * multiple address spaces coexist without flushes. Misses are serviced
+ * in software by the PAL/kernel handler, which installs entries via
+ * insert() — the hardware never walks page tables itself.
+ */
+
+#ifndef SMTOS_VM_TLB_H
+#define SMTOS_VM_TLB_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/missclass.h"
+#include "vm/physmem.h"
+
+namespace smtos {
+
+/** A fully associative, round-robin-replacement, ASN-tagged TLB. */
+class Tlb
+{
+  public:
+    Tlb(std::string name, int entries);
+
+    /**
+     * Look up @p vpn under @p asn for @p who.
+     * @return the mapped frame, or a negative value on miss.
+     * Statistics (including the paper's conflict classification) are
+     * updated as a side effect.
+     */
+    std::int64_t lookup(Addr vpn, Asn asn, const AccessInfo &who);
+
+    /** Probe without statistics side effects. */
+    bool present(Addr vpn, Asn asn) const;
+
+    /**
+     * Install a translation (the `tlbwrite` PAL operation). The
+     * displaced entry, if any, is recorded for miss classification
+     * against @p who.
+     */
+    void insert(Addr vpn, Asn asn, Frame frame, const AccessInfo &who,
+                bool global = false);
+
+    /** Invalidate every entry with the given ASN (OS operation). */
+    void flushAsn(Asn asn);
+
+    /** Invalidate everything (OS operation, e.g. ASN wraparound). */
+    void flushAll();
+
+    /** Invalidate one translation (OS unmap). */
+    void flushPage(Addr vpn, Asn asn);
+
+    const InterferenceStats &stats() const { return stats_; }
+    InterferenceStats &stats() { return stats_; }
+    double missRatePct() const;
+
+    int size() const { return static_cast<int>(entries_.size()); }
+    int validEntries() const;
+
+    const std::string &name() const { return name_; }
+
+    void resetStats() { stats_.reset(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool global = false; // matches any ASN (kernel mappings)
+        Asn asn = -1;
+        Addr vpn = 0;
+        Frame frame = 0;
+        ThreadId filler = invalidThread;
+        bool fillerKernel = false;
+        std::uint64_t touchedMask = 0;
+    };
+
+    /** Classification key folds the ASN with the VPN. */
+    static Addr key(Addr vpn, Asn asn)
+    {
+        return (static_cast<Addr>(static_cast<std::uint32_t>(asn))
+                << 44) | vpn;
+    }
+
+    std::string name_;
+    std::vector<Entry> entries_;
+    int replacePtr_ = 0;
+    MissClassifier classifier_;
+    InterferenceStats stats_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_VM_TLB_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The Apache-like web server workload: 64 server processes sharing
+ * one text image, each looping accept / read-request / parse / stat /
+ * open / {read,writev} per chunk / close, driven by the SPECWeb-like
+ * client population through the simulated network.
+ */
+
+#ifndef SMTOS_WORKLOAD_APACHE_H
+#define SMTOS_WORKLOAD_APACHE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "isa/program.h"
+#include "kernel/kernel.h"
+
+namespace smtos {
+
+/** Configuration of the Apache-like server. */
+struct ApacheParams
+{
+    int numServers = 64;
+    Addr heapBytes = 1ull << 20;
+    std::uint64_t seed = 4242;
+};
+
+/** A built server workload. */
+struct ApacheWorkload
+{
+    std::unique_ptr<CodeImage> image;
+    int entryFunc = -1;
+    ApacheParams params;
+};
+
+/** Generate the server image. */
+ApacheWorkload buildApache(const ApacheParams &params);
+
+/** Create the server processes in @p k. */
+void installApache(Kernel &k, const ApacheWorkload &w);
+
+} // namespace smtos
+
+#endif // SMTOS_WORKLOAD_APACHE_H

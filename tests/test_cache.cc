@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Cache model tests: hits/misses, LRU, miss-cause classification
+ * (Tables 3/7 machinery), constructive sharing (Table 8 machinery),
+ * and parameterized geometry sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mem/cache.h"
+
+using namespace smtos;
+
+namespace {
+
+AccessInfo
+user(ThreadId t)
+{
+    return AccessInfo{t, Mode::User, 0};
+}
+
+AccessInfo
+kern(ThreadId t)
+{
+    return AccessInfo{t, Mode::Kernel, 0};
+}
+
+CacheParams
+tiny()
+{
+    CacheParams p;
+    p.name = "tiny";
+    p.sizeBytes = 1024; // 16 lines
+    p.assoc = 2;        // 8 sets
+    p.lineBytes = 64;
+    return p;
+}
+
+} // namespace
+
+TEST(Cache, FirstAccessIsCompulsoryMiss)
+{
+    Cache c(tiny());
+    auto out = c.access(0x1000, user(1), false);
+    EXPECT_FALSE(out.hit);
+    EXPECT_EQ(out.cause, MissCause::Compulsory);
+}
+
+TEST(Cache, SecondAccessHits)
+{
+    Cache c(tiny());
+    c.access(0x1000, user(1), false);
+    EXPECT_TRUE(c.access(0x1000, user(1), false).hit);
+    EXPECT_TRUE(c.access(0x1038, user(1), false).hit); // same line
+}
+
+TEST(Cache, DifferentLineMisses)
+{
+    Cache c(tiny());
+    c.access(0x1000, user(1), false);
+    EXPECT_FALSE(c.access(0x1040, user(1), false).hit);
+}
+
+TEST(Cache, AssociativityHoldsConflictingLines)
+{
+    Cache c(tiny()); // 8 sets: addresses 512B apart map to same set
+    const Addr a = 0x0000, b = a + 8 * 64;
+    c.access(a, user(1), false);
+    c.access(b, user(1), false);
+    EXPECT_TRUE(c.access(a, user(1), false).hit);
+    EXPECT_TRUE(c.access(b, user(1), false).hit);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(tiny());
+    const Addr a = 0, b = 8 * 64, d = 16 * 64; // same set, 3 lines
+    c.access(a, user(1), false);
+    c.access(b, user(1), false);
+    c.access(d, user(1), false); // evicts a
+    EXPECT_FALSE(c.probe(a));
+    EXPECT_TRUE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, IntrathreadConflictClassified)
+{
+    Cache c(tiny());
+    const Addr a = 0, b = 8 * 64, d = 16 * 64;
+    c.access(a, user(1), false);
+    c.access(b, user(1), false);
+    c.access(d, user(1), false); // thread 1 evicts its own a
+    auto out = c.access(a, user(1), false);
+    EXPECT_FALSE(out.hit);
+    EXPECT_EQ(out.cause, MissCause::Intrathread);
+}
+
+TEST(Cache, InterthreadConflictClassified)
+{
+    Cache c(tiny());
+    const Addr a = 0, b = 8 * 64, d = 16 * 64;
+    c.access(a, user(1), false);
+    c.access(b, user(2), false);
+    c.access(d, user(2), false); // thread 2 evicts thread 1's a
+    auto out = c.access(a, user(1), false);
+    EXPECT_EQ(out.cause, MissCause::Interthread);
+}
+
+TEST(Cache, UserKernelConflictClassified)
+{
+    Cache c(tiny());
+    const Addr a = 0, b = 8 * 64, d = 16 * 64;
+    c.access(a, user(1), false);
+    c.access(b, kern(2), false);
+    c.access(d, kern(2), false); // kernel evicts user line
+    auto out = c.access(a, user(1), false);
+    EXPECT_EQ(out.cause, MissCause::UserKernel);
+}
+
+TEST(Cache, PalCountsAsKernelForClassification)
+{
+    Cache c(tiny());
+    const Addr a = 0, b = 8 * 64, d = 16 * 64;
+    AccessInfo pal{3, Mode::Pal, 0};
+    c.access(a, pal, false);
+    c.access(b, pal, false);
+    c.access(d, pal, false); // pal evicts its own: same class
+    auto out = c.access(a, pal, false);
+    EXPECT_EQ(out.cause, MissCause::Intrathread);
+    EXPECT_EQ(c.stats().misses[1], 4u); // counted as kernel class
+}
+
+TEST(Cache, OsInvalidationClassified)
+{
+    Cache c(tiny());
+    c.access(0x1000, user(1), false);
+    c.invalidateAll();
+    auto out = c.access(0x1000, user(1), false);
+    EXPECT_EQ(out.cause, MissCause::OsInvalidation);
+}
+
+TEST(Cache, InvalidateBlockOnlyKillsThatBlock)
+{
+    Cache c(tiny());
+    c.access(0x1000, user(1), false);
+    c.access(0x2000, user(1), false);
+    c.invalidateBlock(0x1000);
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_TRUE(c.probe(0x2000));
+}
+
+TEST(Cache, ConstructiveSharingDetected)
+{
+    Cache c(tiny());
+    c.access(0x1000, kern(1), false);
+    auto out = c.access(0x1000, kern(2), false); // prefetched by 1
+    EXPECT_TRUE(out.hit);
+    EXPECT_TRUE(out.sharedAvoidance);
+    EXPECT_TRUE(out.fillerKernel);
+    EXPECT_EQ(c.stats().avoided[1][1], 1u);
+}
+
+TEST(Cache, SharingCountedOncePerThread)
+{
+    Cache c(tiny());
+    c.access(0x1000, user(1), false);
+    c.access(0x1000, user(2), false); // counts
+    auto out = c.access(0x1000, user(2), false); // already touched
+    EXPECT_FALSE(out.sharedAvoidance);
+    EXPECT_EQ(c.stats().avoided[0][0], 1u);
+}
+
+TEST(Cache, UserKernelSharingMatrix)
+{
+    Cache c(tiny());
+    c.access(0x1000, kern(1), false);
+    c.access(0x1000, user(2), false); // user saved by kernel fill
+    EXPECT_EQ(c.stats().avoided[0][1], 1u);
+    c.access(0x2000, user(3), false);
+    c.access(0x2000, kern(4), false); // kernel saved by user fill
+    EXPECT_EQ(c.stats().avoided[1][0], 1u);
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache c(tiny());
+    const Addr a = 0, b = 8 * 64, d = 16 * 64;
+    c.access(a, user(1), true); // dirty
+    c.access(b, user(1), false);
+    auto out = c.access(d, user(1), false); // evicts dirty a
+    EXPECT_TRUE(out.dirtyEviction);
+}
+
+TEST(Cache, CleanEvictionNotDirty)
+{
+    Cache c(tiny());
+    const Addr a = 0, b = 8 * 64, d = 16 * 64;
+    c.access(a, user(1), false);
+    c.access(b, user(1), false);
+    auto out = c.access(d, user(1), false);
+    EXPECT_FALSE(out.dirtyEviction);
+}
+
+TEST(Cache, MissRatesByClass)
+{
+    Cache c(tiny());
+    c.access(0x1000, user(1), false); // user miss
+    c.access(0x1000, user(1), false); // user hit
+    c.access(0x2000, kern(2), false); // kernel miss
+    EXPECT_DOUBLE_EQ(c.missRatePct(false), 50.0);
+    EXPECT_DOUBLE_EQ(c.missRatePct(true), 100.0);
+    EXPECT_NEAR(c.missRatePct(), 100.0 * 2 / 3, 1e-9);
+}
+
+TEST(Cache, StatsCausesSumToMisses)
+{
+    Cache c(tiny());
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        AccessInfo who = (i % 3 == 0) ? kern(i % 5) : user(i % 7);
+        c.access(rng.below(64 * 1024) & ~7ull, who, rng.chance(0.3));
+    }
+    const InterferenceStats &s = c.stats();
+    for (int cls = 0; cls < 2; ++cls) {
+        std::uint64_t sum = 0;
+        for (int k = 0; k < numMissCauses; ++k)
+            sum += s.cause[cls][k];
+        EXPECT_EQ(sum, s.misses[cls]);
+    }
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    CacheParams p = tiny();
+    p.assoc = 1;
+    Cache c(p); // 16 sets direct mapped
+    const Addr a = 0, b = 16 * 64;
+    c.access(a, user(1), false);
+    c.access(b, user(1), false); // evicts a immediately
+    EXPECT_FALSE(c.probe(a));
+}
+
+TEST(MissClassifier, TracksDistinctBlocks)
+{
+    MissClassifier mc;
+    mc.recordEviction(1, AccessInfo{1, Mode::User, 0});
+    mc.recordEviction(2, AccessInfo{2, Mode::Kernel, 0});
+    EXPECT_EQ(mc.trackedBlocks(), 2u);
+    EXPECT_EQ(mc.classify(3, AccessInfo{1, Mode::User, 0}),
+              MissCause::Compulsory);
+}
+
+TEST(MissClassifier, InvalidationSticky)
+{
+    MissClassifier mc;
+    mc.recordEviction(1, AccessInfo{1, Mode::User, 0});
+    mc.recordInvalidation(1);
+    EXPECT_EQ(mc.classify(1, AccessInfo{1, Mode::User, 0}),
+              MissCause::OsInvalidation);
+}
+
+TEST(MissCauseNames, AllDistinct)
+{
+    EXPECT_STREQ(missCauseName(MissCause::Compulsory), "compulsory");
+    EXPECT_STREQ(missCauseName(MissCause::Intrathread), "intrathread");
+    EXPECT_STREQ(missCauseName(MissCause::Interthread), "interthread");
+    EXPECT_STREQ(missCauseName(MissCause::UserKernel), "user-kernel");
+    EXPECT_STREQ(missCauseName(MissCause::OsInvalidation),
+                 "os-invalidation");
+}
+
+// --- parameterized geometry sweep -----------------------------------
+
+struct GeoParam
+{
+    std::uint64_t size;
+    int assoc;
+};
+
+class CacheGeometry : public testing::TestWithParam<GeoParam>
+{
+};
+
+TEST_P(CacheGeometry, SequentialWorkingSetFitsOrThrashes)
+{
+    CacheParams p;
+    p.sizeBytes = GetParam().size;
+    p.assoc = GetParam().assoc;
+    p.lineBytes = 64;
+    Cache c(p);
+    // Walk a working set equal to half the cache twice: the second
+    // pass must hit every line.
+    const int lines = static_cast<int>(p.sizeBytes / 64 / 2);
+    for (int pass = 0; pass < 2; ++pass)
+        for (int i = 0; i < lines; ++i)
+            c.access(static_cast<Addr>(i) * 64, user(1), false);
+    EXPECT_EQ(c.stats().totalMisses(),
+              static_cast<std::uint64_t>(lines));
+}
+
+TEST_P(CacheGeometry, OversizedWorkingSetAlwaysMisses)
+{
+    CacheParams p;
+    p.sizeBytes = GetParam().size;
+    p.assoc = GetParam().assoc;
+    p.lineBytes = 64;
+    Cache c(p);
+    // A strided set 4x the cache size revisited in order defeats LRU.
+    const int lines = static_cast<int>(p.sizeBytes / 64 * 4);
+    for (int pass = 0; pass < 3; ++pass)
+        for (int i = 0; i < lines; ++i)
+            c.access(static_cast<Addr>(i) * 64, user(1), false);
+    EXPECT_EQ(c.stats().totalMisses(),
+              static_cast<std::uint64_t>(3 * lines));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    testing::Values(GeoParam{1024, 1}, GeoParam{1024, 2},
+                    GeoParam{4096, 2}, GeoParam{4096, 4},
+                    GeoParam{16384, 1}, GeoParam{16384, 4}));

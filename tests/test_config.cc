@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Configuration contract tests: the presets must match Table 1 of the
+ * paper exactly, and the derived pipeline quantities must follow the
+ * stated 9-stage (SMT) / 7-stage (superscalar) design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bp/mcfarling.h"
+#include "sim/config.h"
+
+using namespace smtos;
+
+TEST(Table1, SmtCoreParameters)
+{
+    const SystemConfig c = smtConfig();
+    EXPECT_EQ(c.core.numContexts, 8);
+    EXPECT_EQ(c.core.fetchWidth, 8);      // 8 instructions per cycle
+    EXPECT_EQ(c.core.fetchContexts, 2);   // the 2.8 ICOUNT scheme
+    EXPECT_EQ(c.core.pipelineStages, 9);
+    EXPECT_EQ(c.core.intUnits, 6);        // 6 integer units
+    EXPECT_EQ(c.core.memUnits, 4);        // of which 4 load/store
+    EXPECT_EQ(c.core.fpUnits, 4);
+    EXPECT_EQ(c.core.intQueue, 32);       // 32-entry queues
+    EXPECT_EQ(c.core.fpQueue, 32);
+    EXPECT_EQ(c.core.intRenameRegs, 100); // 100 renaming registers
+    EXPECT_EQ(c.core.fpRenameRegs, 100);
+    EXPECT_EQ(c.core.retireWidth, 12);    // 12 instructions/cycle
+    EXPECT_EQ(c.core.itlbEntries, 128);   // 128-entry TLBs
+    EXPECT_EQ(c.core.dtlbEntries, 128);
+    EXPECT_EQ(c.core.dcachePorts, 2);     // dual-ported D-cache
+}
+
+TEST(Table1, MemoryHierarchy)
+{
+    const SystemConfig c = smtConfig();
+    EXPECT_EQ(c.mem.l1i.sizeBytes, 128u * 1024);
+    EXPECT_EQ(c.mem.l1i.assoc, 2);
+    EXPECT_EQ(c.mem.l1d.sizeBytes, 128u * 1024);
+    EXPECT_EQ(c.mem.l1d.assoc, 2);
+    EXPECT_EQ(c.mem.l2.sizeBytes, 16u * 1024 * 1024);
+    EXPECT_EQ(c.mem.l2.assoc, 1); // direct mapped
+    EXPECT_EQ(c.mem.l1i.lineBytes, 64);
+    EXPECT_EQ(c.mem.l2Latency, 20u);
+    EXPECT_EQ(c.mem.l1FillPenalty, 2u);
+    EXPECT_EQ(c.mem.l1MshrEntries, 32);
+    EXPECT_EQ(c.mem.l2MshrEntries, 32);
+    EXPECT_EQ(c.mem.storeBufferEntries, 32);
+    EXPECT_EQ(c.mem.l1l2BusBytesPerCycle, 32); // 256 bits
+    EXPECT_EQ(c.mem.l1l2BusLatency, 2u);
+    EXPECT_EQ(c.mem.memBusBytesPerCycle, 16);  // 128 bits
+    EXPECT_EQ(c.mem.memBusLatency, 4u);
+    EXPECT_EQ(c.mem.dramLatency, 90u);
+}
+
+TEST(Table1, BranchHardwareDefaults)
+{
+    McFarlingParams p;
+    EXPECT_EQ(p.localHistEntries, 2048); // 2K-entry history table
+    EXPECT_EQ(p.localPredEntries, 4096); // 4K-entry prediction table
+    EXPECT_EQ(p.globalEntries, 8192);    // 8K entries
+    EXPECT_EQ(p.chooserEntries, 8192);   // 8K-entry selection table
+}
+
+TEST(Superscalar, DiffersOnlyWhereThePaperSays)
+{
+    const SystemConfig smt = smtConfig();
+    const SystemConfig ss = superscalarConfig();
+    EXPECT_EQ(ss.core.numContexts, 1);
+    EXPECT_EQ(ss.core.pipelineStages, 7); // 2 fewer stages
+    // Everything else identical.
+    EXPECT_EQ(ss.core.intUnits, smt.core.intUnits);
+    EXPECT_EQ(ss.core.intQueue, smt.core.intQueue);
+    EXPECT_EQ(ss.core.intRenameRegs, smt.core.intRenameRegs);
+    EXPECT_EQ(ss.core.retireWidth, smt.core.retireWidth);
+    EXPECT_EQ(ss.mem.l1d.sizeBytes, smt.mem.l1d.sizeBytes);
+    EXPECT_EQ(ss.mem.l2.sizeBytes, smt.mem.l2.sizeBytes);
+}
+
+TEST(DerivedTiming, FrontEndDepths)
+{
+    CoreParams nine;
+    nine.pipelineStages = 9;
+    CoreParams seven;
+    seven.pipelineStages = 7;
+    EXPECT_EQ(nine.issueDelay(), 4u);
+    EXPECT_EQ(seven.issueDelay(), 2u);
+    EXPECT_EQ(nine.redirectPenalty(), seven.redirectPenalty() + 2);
+}
+
+TEST(KernelDefaults, PaperFaithfulKnobs)
+{
+    Kernel::Params p;
+    EXPECT_FALSE(p.appOnly);
+    EXPECT_FALSE(p.sharedTlbIpr);   // paper's modified OS by default
+    EXPECT_EQ(p.numNetisr, 2);      // netisr thread pool
+    EXPECT_GT(p.maxAsn, 64);        // ASNs outnumber server processes
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Metrics-export tests: JSON structure and CSV rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/export.h"
+
+using namespace smtos;
+
+namespace {
+
+MetricsSnapshot
+sample()
+{
+    MetricsSnapshot s;
+    s.core.cycles = 500;
+    s.core.retired[0] = 800;
+    s.core.retired[1] = 200;
+    s.core.retiredByTag[TagRead] = 120;
+    s.core.condRetired[0] = 50;
+    s.core.condMispred[0] = 5;
+    s.l1d.accesses[0] = 100;
+    s.l1d.misses[0] = 10;
+    s.requestsServed = 4;
+    return s;
+}
+
+} // namespace
+
+TEST(Export, JsonContainsHeadlineFields)
+{
+    const std::string j = toJson(sample());
+    EXPECT_NE(j.find("\"cycles\":500"), std::string::npos);
+    EXPECT_NE(j.find("\"instructions\":1000"), std::string::npos);
+    EXPECT_NE(j.find("\"ipc\":2"), std::string::npos);
+    EXPECT_NE(j.find("\"user\":80"), std::string::npos);
+    EXPECT_NE(j.find("\"requests_served\":4"), std::string::npos);
+}
+
+TEST(Export, JsonContainsTagBreakdown)
+{
+    const std::string j = toJson(sample());
+    EXPECT_NE(j.find("\"read\":120"), std::string::npos);
+}
+
+TEST(Export, JsonBalancedBraces)
+{
+    const std::string j = toJson(sample());
+    int depth = 0;
+    for (char c : j) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+}
+
+TEST(Export, JsonInterferenceArrays)
+{
+    const std::string j = toJson(sample());
+    EXPECT_NE(j.find("\"l1d\":{\"accesses\":[100,0]"),
+              std::string::npos);
+}
+
+TEST(Export, CsvHeaderAndRow)
+{
+    std::ostringstream os;
+    writeCsvRow(os, "run1", sample(), true);
+    writeCsvRow(os, "run2", sample(), false);
+    const std::string csv = os.str();
+    // Exactly one header plus two data rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+    EXPECT_NE(csv.find("label,cycles"), std::string::npos);
+    EXPECT_NE(csv.find("run1,500,1000,2"), std::string::npos);
+    EXPECT_NE(csv.find("run2,"), std::string::npos);
+}
+
+TEST(Export, CsvColumnCountConsistent)
+{
+    std::ostringstream os;
+    writeCsvRow(os, "x", sample(), true);
+    std::string header, row;
+    std::istringstream in(os.str());
+    std::getline(in, header);
+    std::getline(in, row);
+    EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+              std::count(row.begin(), row.end(), ','));
+}

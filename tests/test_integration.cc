@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Cross-module integration tests: full fault round trips, ASN
+ * wraparound, scheduler policies, icache-flush effects, determinism
+ * of the composed system under nontrivial configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "net/clients.h"
+#include "sim/system.h"
+#include "workload/apache.h"
+#include "workload/specint.h"
+
+using namespace smtos;
+
+TEST(Integration, AsnWraparoundFlushesAndRecovers)
+{
+    SystemConfig cfg = smtConfig();
+    cfg.kernel.enableNetwork = true;
+    cfg.kernel.maxAsn = 5; // force frequent wraparound
+    cfg.kernel.web.numClients = 16;
+    System sys(cfg);
+    ApacheParams p;
+    p.numServers = 16;
+    ApacheWorkload w = buildApache(p);
+    installApache(sys.kernel(), w);
+    sys.start();
+    sys.run(2'600'000);
+    EXPECT_GT(sys.kernel().tlbWraparounds(), 0u);
+    EXPECT_GT(sys.kernel().requestsServed(), 0u);
+    // Wraparound flushes show up as OS invalidations in the TLBs.
+    const auto &dtlb = sys.pipeline().dtlb().stats();
+    const auto inval =
+        dtlb.cause[0][static_cast<int>(MissCause::OsInvalidation)] +
+        dtlb.cause[1][static_cast<int>(MissCause::OsInvalidation)];
+    EXPECT_GT(inval, 0u);
+}
+
+TEST(Integration, IcacheFlushesFollowTextFaults)
+{
+    // SPECInt text pages fault in lazily; each text-page allocation
+    // flushes the shared I-cache (Alpha imb on mapping executable
+    // pages), which the paper identifies as the source of the
+    // kernel-induced I-cache misses at start-up.
+    SystemConfig cfg = smtConfig();
+    System sys(cfg);
+    SpecIntParams p;
+    p.numApps = 4;
+    p.inputChunks = 8;
+    SpecIntWorkload w = buildSpecInt(p);
+    installSpecInt(sys.kernel(), w);
+    sys.start();
+    sys.run(600'000);
+    const auto &l1i = sys.hierarchy().l1i().stats();
+    const auto inval =
+        l1i.cause[0][static_cast<int>(MissCause::OsInvalidation)] +
+        l1i.cause[1][static_cast<int>(MissCause::OsInvalidation)];
+    EXPECT_GT(inval, 0u);
+}
+
+TEST(Integration, AffinitySchedulerReducesNothingButWorks)
+{
+    // The affinity policy must preserve correctness: same requests
+    // served ballpark, all servers progress.
+    RunSpec base;
+    base.workload = RunSpec::Workload::Apache;
+    base.apache.numServers = 16; // concentrate so requests finish
+    base.startupInstrs = 1'200'000;
+    base.measureInstrs = 1'200'000;
+    RunSpec aff = base;
+    aff.affinitySched = true;
+    RunResult r1 = runExperiment(base);
+    RunResult r2 = runExperiment(aff);
+    EXPECT_GT(r2.requestsServed, 0u);
+    // Throughput within a sane band of each other.
+    const double a = archMetrics(r1.steady).ipc;
+    const double b = archMetrics(r2.steady).ipc;
+    EXPECT_GT(b, 0.5 * a);
+    EXPECT_LT(b, 2.0 * a);
+}
+
+TEST(Integration, FilterKernelRefsLowersUserVisibleMissRates)
+{
+    RunSpec full;
+    full.workload = RunSpec::Workload::Apache;
+    full.startupInstrs = 600'000;
+    full.measureInstrs = 600'000;
+    RunSpec filt = full;
+    filt.filterKernelRefs = true;
+    const ArchMetrics a = archMetrics(runExperiment(filt).steady);
+    const ArchMetrics b = archMetrics(runExperiment(full).steady);
+    // Removing kernel references must not increase the I-cache or
+    // branch mispredict rates (Table 9's direction).
+    EXPECT_LE(a.l1iMissPct, b.l1iMissPct + 0.05);
+    EXPECT_LE(a.branchMispredPct, b.branchMispredPct + 0.5);
+}
+
+TEST(Integration, NicIntervalControlsInterruptRate)
+{
+    auto run_with = [](Cycle interval) {
+        SystemConfig cfg = smtConfig();
+        cfg.kernel.enableNetwork = true;
+        cfg.kernel.nicInterval = interval;
+        System sys(cfg);
+        ApacheParams p;
+        ApacheWorkload w = buildApache(p);
+        installApache(sys.kernel(), w);
+        sys.start();
+        sys.run(800'000);
+        return sys.pipeline().stats().kernelEntries.get("interrupt");
+    };
+    const auto fast = run_with(4000);
+    const auto slow = run_with(32000);
+    EXPECT_GT(fast, slow);
+}
+
+TEST(Integration, KernelThreadsRunKernelOnlyCode)
+{
+    SystemConfig cfg = smtConfig();
+    cfg.kernel.enableNetwork = true;
+    System sys(cfg);
+    ApacheParams p;
+    p.numServers = 4;
+    ApacheWorkload w = buildApache(p);
+    installApache(sys.kernel(), w);
+    sys.start();
+    sys.run(600'000);
+    for (int pid = 0; pid < sys.kernel().numProcs(); ++pid) {
+        Process &pr = sys.kernel().proc(pid);
+        if (pr.cfg.kind == ProcKind::KernelThread) {
+            EXPECT_TRUE(pr.ts.cursor.top().inKernel);
+            EXPECT_GT(pr.ts.cursor.retired, 0u);
+        }
+    }
+}
+
+TEST(Integration, BufferCacheHitsAfterWarmup)
+{
+    SystemConfig cfg = smtConfig();
+    cfg.kernel.enableNetwork = true;
+    cfg.kernel.web.numFiles = 8; // tiny file set: warms fast
+    System sys(cfg);
+    ApacheParams p;
+    ApacheWorkload w = buildApache(p);
+    installApache(sys.kernel(), w);
+    sys.start();
+    sys.run(2'500'000);
+    sys.run(2'500'000);
+    // Every (file, page) is read from disk at most once: total disk
+    // reads are bounded by the file set's page count, regardless of
+    // how many requests were served.
+    std::uint64_t total_pages = 0;
+    for (int f = 0; f < 8; ++f)
+        total_pages += (specWebFileBytes(f) + pageBytes - 1) /
+                       pageBytes;
+    EXPECT_GT(sys.kernel().requestsServed(), 4u);
+    EXPECT_LE(sys.kernel().diskReads(), total_pages);
+}
+
+TEST(Integration, SuperscalarApacheMatchesPaperBallpark)
+{
+    RunSpec ss;
+    ss.workload = RunSpec::Workload::Apache;
+    ss.smt = false;
+    ss.startupInstrs = 700'000;
+    ss.measureInstrs = 700'000;
+    const double ipc = archMetrics(runExperiment(ss).steady).ipc;
+    // Paper: 1.1 IPC. Accept a generous band around it.
+    EXPECT_GT(ipc, 0.4);
+    EXPECT_LT(ipc, 2.2);
+}
+
+TEST(Integration, RequestsRequireNetisrActivity)
+{
+    SystemConfig cfg = smtConfig();
+    cfg.kernel.enableNetwork = true;
+    System sys(cfg);
+    ApacheParams p;
+    ApacheWorkload w = buildApache(p);
+    installApache(sys.kernel(), w);
+    sys.start();
+    sys.run(900'000);
+    const auto &s = sys.pipeline().stats();
+    EXPECT_GT(s.retiredByTag[TagNetIsr], 0u);
+    EXPECT_GT(s.retiredByTag[TagInterrupt], 0u);
+    EXPECT_GT(s.retiredByTag[TagAccept], 0u);
+}
+
+TEST(Integration, PhysicalFramesNeverDoubleAllocated)
+{
+    // Run a heavy mixed workload and verify the frame accounting
+    // stays consistent (alloc - free == live).
+    SystemConfig cfg = smtConfig();
+    System sys(cfg);
+    SpecIntParams p;
+    p.numApps = 8;
+    p.inputChunks = 16;
+    SpecIntWorkload w = buildSpecInt(p);
+    installSpecInt(sys.kernel(), w);
+    sys.start();
+    sys.run(1'500'000);
+    EXPECT_LE(sys.physMem().allocated(),
+              sys.physMem().totalFrames() -
+                  sys.physMem().firstAllocatable());
+    EXPECT_GT(sys.physMem().freeFrames(), 0u);
+}
+
+TEST(Integration, SharedTlbIprSerializesHandlers)
+{
+    // With shared TLB-miss IPRs (the unmodified-SMP-OS ablation),
+    // concurrent faults spin on the virtual IPR lock; the paper's
+    // per-context replication removes that time entirely.
+    RunSpec fast;
+    fast.workload = RunSpec::Workload::SpecInt;
+    fast.spec.inputChunks = 24;
+    fast.measureInstrs = 200'000;
+    RunSpec slow = fast;
+    slow.sharedTlbIpr = true;
+    RunResult r_fast = runExperiment(fast);
+    RunResult r_slow = runExperiment(slow);
+    // Spin time exists only in the shared-IPR configuration.
+    EXPECT_EQ(tagSharePct(r_fast.startup, TagSpin), 0.0);
+    EXPECT_GT(tagSharePct(r_slow.startup, TagSpin), 0.0);
+    // And it costs start-up cycles.
+    EXPECT_GE(r_slow.startup.core.cycles,
+              r_fast.startup.core.cycles);
+}

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * ISA and code-generation tests: instruction properties, image
+ * building/validation, generated-code statistical properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/codegen.h"
+#include "isa/instr.h"
+#include "isa/program.h"
+
+using namespace smtos;
+
+TEST(Instr, BranchClassification)
+{
+    Instr in;
+    in.op = Op::CondBranch;
+    EXPECT_TRUE(in.isBranch());
+    in.op = Op::IntAlu;
+    EXPECT_FALSE(in.isBranch());
+    in.op = Op::Syscall;
+    EXPECT_TRUE(in.isBranch());
+    EXPECT_TRUE(in.isSerializing());
+}
+
+TEST(Instr, MemClassification)
+{
+    Instr in;
+    in.op = Op::LoadPhys;
+    EXPECT_TRUE(in.isMem());
+    EXPECT_TRUE(in.isPhysMem());
+    EXPECT_TRUE(in.isLoad());
+    EXPECT_FALSE(in.isStore());
+    in.op = Op::Store;
+    EXPECT_TRUE(in.isStore());
+    EXPECT_FALSE(in.isPhysMem());
+}
+
+TEST(Instr, SerializingSet)
+{
+    for (Op op : {Op::Syscall, Op::Magic, Op::TlbWrite, Op::Halt}) {
+        Instr in;
+        in.op = op;
+        EXPECT_TRUE(in.isSerializing()) << opName(op);
+    }
+    Instr in;
+    in.op = Op::CondBranch;
+    EXPECT_FALSE(in.isSerializing());
+}
+
+TEST(Instr, MixClassMapping)
+{
+    Instr in;
+    in.op = Op::Load;
+    EXPECT_EQ(in.mixClass(), MixClass::Load);
+    in.op = Op::StorePhys;
+    EXPECT_EQ(in.mixClass(), MixClass::Store);
+    in.op = Op::Call;
+    EXPECT_EQ(in.mixClass(), MixClass::UncondBranch);
+    in.op = Op::IndirectJump;
+    EXPECT_EQ(in.mixClass(), MixClass::IndirectJump);
+    in.op = Op::Syscall;
+    EXPECT_EQ(in.mixClass(), MixClass::PalCallReturn);
+    in.op = Op::FpMul;
+    EXPECT_EQ(in.mixClass(), MixClass::Fp);
+    in.op = Op::IntMul;
+    EXPECT_EQ(in.mixClass(), MixClass::OtherInt);
+}
+
+TEST(Instr, FpRegisterNamespace)
+{
+    EXPECT_FALSE(isFpReg(0));
+    EXPECT_FALSE(isFpReg(31));
+    EXPECT_TRUE(isFpReg(32));
+    EXPECT_TRUE(isFpReg(63));
+    EXPECT_FALSE(isFpReg(regNone));
+}
+
+TEST(CodeImage, BuildAndAccess)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1);
+    const int f = img.beginFunction("fn", 7);
+    img.beginBlock();
+    img.emit(g.makeAlu());
+    img.emit(g.makeReturn());
+    img.finalize();
+    EXPECT_EQ(img.numFunctions(), 1);
+    EXPECT_EQ(img.numInstrs(), 2u);
+    EXPECT_EQ(img.func(f).tag, 7);
+    EXPECT_EQ(img.funcByName("fn"), f);
+    EXPECT_EQ(img.pcOf(f, 0, 1), 0x1000u + 4u);
+    EXPECT_EQ(img.textBytes(), 8u);
+}
+
+TEST(CodeImage, PalFlag)
+{
+    CodeImage img("t", kernelBase);
+    CodeGen g(img, CodeProfile{}, 1);
+    img.beginFunction("p", 0, true);
+    img.beginBlock();
+    img.emit(g.makePalReturn());
+    img.finalize();
+    EXPECT_TRUE(img.func(0).pal);
+}
+
+TEST(CodeImageDeath, BranchMidBlockRejected)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1);
+    img.beginFunction("fn", -1);
+    img.beginBlock();
+    img.emit(g.makeJump(0));
+    img.emit(g.makeAlu()); // branch not at block end
+    EXPECT_DEATH(img.finalize(), "branch mid-block");
+}
+
+TEST(CodeImageDeath, MissingFunctionIsFatal)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1);
+    img.beginFunction("fn", -1);
+    img.beginBlock();
+    img.emit(g.makeReturn());
+    img.finalize();
+    EXPECT_EXIT(img.funcByName("nope"), testing::ExitedWithCode(1),
+                "no function");
+}
+
+TEST(CodeImage, SerializingMidBlockAllowed)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1);
+    img.beginFunction("fn", -1);
+    img.beginBlock();
+    img.emit(g.makeSyscall(3));
+    img.emit(g.makeAlu());
+    img.emit(g.makeReturn());
+    img.finalize();
+    SUCCEED();
+}
+
+TEST(CodeGen, DeterministicPerSeed)
+{
+    auto build = [](std::uint64_t seed) {
+        CodeImage img("t", 0x1000);
+        CodeGen g(img, CodeProfile{}, seed);
+        g.genFunction("f", 20, {});
+        img.finalize();
+        return img.numInstrs();
+    };
+    EXPECT_EQ(build(5), build(5));
+}
+
+TEST(CodeGen, GeneratedFunctionValidates)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 77);
+    std::vector<int> leaves;
+    for (int i = 0; i < 3; ++i)
+        leaves.push_back(
+            g.genFunction("leaf" + std::to_string(i), 10, {}));
+    g.genFunction("mid", 30, leaves);
+    img.finalize(); // would panic on invalid targets
+    EXPECT_EQ(img.numFunctions(), 4);
+}
+
+TEST(CodeGen, InfiniteLoopFunctionEndsWithJump)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 3);
+    const int f = g.genFunction("loop", 5, {}, -1, true);
+    img.finalize();
+    const int last = img.numBlocks(f) - 1;
+    const BasicBlock &bb = img.block(f, last);
+    const Instr &in = img.instrAt(f, last, bb.numInstrs - 1);
+    EXPECT_EQ(in.op, Op::Jump);
+    EXPECT_EQ(in.targetBlock, 0);
+}
+
+TEST(CodeGen, PaddingIsUnreachableButPresent)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 3);
+    const auto before = img.numInstrs();
+    g.genPadding(100);
+    img.finalize();
+    EXPECT_EQ(img.numInstrs(), before + 101); // 100 nops + return
+}
+
+TEST(CodeGen, MixMatchesProfile)
+{
+    CodeProfile prof;
+    prof.loadFrac = 0.25;
+    prof.storeFrac = 0.15;
+    prof.fpFrac = 0.05;
+    prof.midBranchFrac = 0.0;
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, prof, 99);
+    img.beginFunction("f", -1);
+    img.beginBlock();
+    const int n = 20000;
+    g.emitWork(n);
+    img.emit(g.makeReturn());
+    img.finalize();
+
+    int loads = 0, stores = 0, fp = 0;
+    const BasicBlock &bb = img.block(0, 0);
+    for (int i = 0; i < bb.numInstrs; ++i) {
+        const Instr &in = img.instrAt(0, 0, i);
+        loads += in.isLoad();
+        stores += in.isStore();
+        fp += (in.op == Op::FpAdd || in.op == Op::FpMul);
+    }
+    EXPECT_NEAR(loads / double(n), 0.25, 0.02);
+    EXPECT_NEAR(stores / double(n), 0.15, 0.02);
+    EXPECT_NEAR(fp / double(n), 0.05, 0.01);
+}
+
+TEST(CodeGen, PhysFractionRespected)
+{
+    CodeProfile prof;
+    prof.physMemFrac = 0.5;
+    prof.midBranchFrac = 0.0;
+    prof.physRegions = {{5, 1.0}};
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, prof, 11);
+    img.beginFunction("f", -1);
+    img.beginBlock();
+    const int n = 20000;
+    g.emitWork(n);
+    img.emit(g.makeReturn());
+    img.finalize();
+
+    int mem = 0, phys = 0;
+    const BasicBlock &bb = img.block(0, 0);
+    for (int i = 0; i < bb.numInstrs; ++i) {
+        const Instr &in = img.instrAt(0, 0, i);
+        if (in.isMem()) {
+            ++mem;
+            phys += in.isPhysMem();
+        }
+    }
+    EXPECT_NEAR(phys / double(mem), 0.5, 0.05);
+}
+
+TEST(CodeGen, NoPhysWithoutPhysRegions)
+{
+    CodeProfile prof;
+    prof.physMemFrac = 0.9;
+    prof.physRegions.clear();
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, prof, 12);
+    img.beginFunction("f", -1);
+    img.beginBlock();
+    g.emitWork(2000);
+    img.emit(g.makeReturn());
+    img.finalize();
+    const BasicBlock &bb = img.block(0, 0);
+    for (int i = 0; i < bb.numInstrs; ++i)
+        EXPECT_FALSE(img.instrAt(0, 0, i).isPhysMem());
+}
+
+TEST(CodeGen, MakersSetExpectedFields)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 13);
+    Instr c = g.makeCond(3, 0.5);
+    EXPECT_EQ(c.op, Op::CondBranch);
+    EXPECT_EQ(c.targetBlock, 3);
+    EXPECT_EQ(c.takenChance1024, 512);
+
+    Instr l = g.makeLoop(1, 7, 2, 1);
+    EXPECT_EQ(l.loopTrip, 7);
+    EXPECT_EQ(l.loopSlot, 2);
+    EXPECT_EQ(l.payload, 1);
+
+    Instr call = g.makeCall(9);
+    EXPECT_EQ(call.op, Op::Call);
+    EXPECT_EQ(call.callee, 9);
+
+    Instr m = g.makeMagic(MagicOp::NetSend, 42);
+    EXPECT_EQ(m.op, Op::Magic);
+    EXPECT_EQ(m.magic, MagicOp::NetSend);
+    EXPECT_EQ(m.payload, 42);
+
+    Instr s = g.makeSyscall(5);
+    EXPECT_EQ(s.op, Op::Syscall);
+    EXPECT_EQ(s.payload, 5);
+}
+
+// Parameterized sweep: generated functions of any size validate and
+// respect block-count requests.
+class GenSize : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(GenSize, FunctionShapeHolds)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1234 + GetParam());
+    const int f = g.genFunction("f", GetParam(), {});
+    img.finalize();
+    EXPECT_EQ(img.numBlocks(f), GetParam());
+    // Last block must end in Return.
+    const BasicBlock &bb = img.block(f, GetParam() - 1);
+    EXPECT_EQ(img.instrAt(f, GetParam() - 1, bb.numInstrs - 1).op,
+              Op::Return);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GenSize,
+                         testing::Values(1, 2, 3, 5, 8, 16, 40));

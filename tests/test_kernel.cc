@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Kernel-model integration tests: boot, process creation, syscall
+ * dispatch, TLB fault round trips, scheduling/blocking, munmap
+ * invalidation, ASN management.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "kernel/tags.h"
+#include "sim/system.h"
+#include "workload/apache.h"
+#include "workload/specint.h"
+
+using namespace smtos;
+
+namespace {
+
+/** A system with the SPECInt workload, small for test speed. */
+struct SpecFixture
+{
+    SpecFixture()
+    {
+        SystemConfig cfg = smtConfig();
+        sys = std::make_unique<System>(cfg);
+        SpecIntParams p;
+        p.numApps = 4;
+        p.inputChunks = 8;
+        w = buildSpecInt(p);
+        installSpecInt(sys->kernel(), w);
+        sys->start();
+    }
+
+    std::unique_ptr<System> sys;
+    SpecIntWorkload w;
+};
+
+/** A system with the Apache workload, small for test speed. */
+struct ApacheFixture
+{
+    explicit ApacheFixture(int servers = 8)
+    {
+        SystemConfig cfg = smtConfig();
+        cfg.kernel.enableNetwork = true;
+        cfg.kernel.web.numClients = 16;
+        sys = std::make_unique<System>(cfg);
+        ApacheParams p;
+        p.numServers = servers;
+        w = buildApache(p);
+        installApache(sys->kernel(), w);
+        sys->start();
+    }
+
+    std::unique_ptr<System> sys;
+    ApacheWorkload w;
+};
+
+} // namespace
+
+TEST(KernelBoot, IdleThreadsBoundToAllContexts)
+{
+    SystemConfig cfg = smtConfig();
+    System sys(cfg);
+    sys.start();
+    for (int c = 0; c < sys.pipeline().numContexts(); ++c)
+        EXPECT_TRUE(sys.pipeline().ctx(c).hasThread());
+    // With no user work, the machine idles.
+    sys.run(2000);
+    const auto &s = sys.pipeline().stats();
+    EXPECT_GT(s.retired[static_cast<int>(Mode::Idle)],
+              s.totalRetired() / 2);
+}
+
+TEST(KernelBoot, KernelTextFetchesViaKseg)
+{
+    SystemConfig cfg = smtConfig();
+    System sys(cfg);
+    sys.start();
+    sys.run(1000);
+    // Kernel text executes from the unmapped KSEG region (as on a
+    // real Alpha): the idle loops run without any ITLB traffic, and
+    // the I-cache still sees the fetches.
+    EXPECT_EQ(sys.pipeline().itlb().stats().totalAccesses(), 0u);
+    EXPECT_GT(sys.hierarchy().l1i().stats().totalAccesses(), 0u);
+}
+
+TEST(KernelSpec, ProcessesMakeProgress)
+{
+    SpecFixture f;
+    f.sys->run(200000);
+    for (int pid = 0; pid < f.sys->kernel().numProcs(); ++pid) {
+        const Process &p = f.sys->kernel().proc(pid);
+        if (p.cfg.kind == ProcKind::SpecIntApp) {
+            EXPECT_GT(p.ts.cursor.retired, 0u);
+        }
+    }
+}
+
+TEST(KernelSpec, InputReadsHitTheBufferCache)
+{
+    SpecFixture f;
+    f.sys->run(400000);
+    EXPECT_GT(f.sys->kernel().diskReads(), 0u);
+    EXPECT_GT(f.sys->kernel().syscallEntries().get("read"), 0u);
+}
+
+TEST(KernelSpec, PageFaultsAllocateFrames)
+{
+    SpecFixture f;
+    const auto before = f.sys->physMem().allocated();
+    f.sys->run(400000);
+    EXPECT_GT(f.sys->physMem().allocated(), before);
+    EXPECT_GT(f.sys->kernel().mmEntries().get("page_alloc"), 0u);
+    EXPECT_GT(f.sys->kernel().mmEntries().get("dtlb_refill"), 0u);
+}
+
+TEST(KernelSpec, StartupCompletes)
+{
+    SpecFixture f;
+    for (int i = 0; i < 50 && !f.sys->kernel().startupComplete(); ++i)
+        f.sys->run(100000);
+    EXPECT_TRUE(f.sys->kernel().startupComplete());
+}
+
+TEST(KernelSpec, KernelTimeAttributedToTags)
+{
+    SpecFixture f;
+    f.sys->run(300000);
+    const auto &s = f.sys->pipeline().stats();
+    std::uint64_t tagged = 0;
+    for (int t = 0; t < NumServiceTags; ++t)
+        tagged += s.retiredByTag[t];
+    const std::uint64_t privileged =
+        s.retired[static_cast<int>(Mode::Kernel)] +
+        s.retired[static_cast<int>(Mode::Pal)] +
+        s.retired[static_cast<int>(Mode::Idle)];
+    EXPECT_EQ(tagged, privileged);
+}
+
+TEST(KernelApache, ServesRequests)
+{
+    ApacheFixture f;
+    f.sys->run(600000);
+    EXPECT_GT(f.sys->kernel().requestsServed(), 0u);
+    EXPECT_GT(f.sys->kernel().clients().responsesCompleted(), 0u);
+}
+
+TEST(KernelApache, SyscallMixCoversRequestPath)
+{
+    ApacheFixture f;
+    f.sys->run(800000);
+    const auto &sc = f.sys->kernel().syscallEntries();
+    EXPECT_GT(sc.get("naccept"), 0u);
+    EXPECT_GT(sc.get("read"), 0u);
+    EXPECT_GT(sc.get("stat"), 0u);
+    EXPECT_GT(sc.get("open"), 0u);
+    EXPECT_GT(sc.get("writev"), 0u);
+    EXPECT_GT(sc.get("close"), 0u);
+    // Reads outnumber accepts (request read + per-chunk file reads).
+    EXPECT_GT(sc.get("read"), sc.get("naccept"));
+}
+
+TEST(KernelApache, KernelDominatesExecution)
+{
+    ApacheFixture f;
+    f.sys->run(800000);
+    const auto &s = f.sys->pipeline().stats();
+    const double kern = static_cast<double>(
+        s.retired[static_cast<int>(Mode::Kernel)] +
+        s.retired[static_cast<int>(Mode::Pal)]);
+    EXPECT_GT(kern / s.totalRetired(), 0.5);
+}
+
+TEST(KernelApache, BlockingAndWakeupCycle)
+{
+    ApacheFixture f(8);
+    f.sys->run(600000);
+    // Servers must block (accept) and be rescheduled repeatedly.
+    EXPECT_GT(f.sys->kernel().contextSwitches(), 20u);
+}
+
+TEST(KernelApache, MoreServersThanContextsAllRun)
+{
+    ApacheFixture f(24);
+    f.sys->run(1200000);
+    int ran = 0;
+    for (int pid = 0; pid < f.sys->kernel().numProcs(); ++pid) {
+        const Process &p = f.sys->kernel().proc(pid);
+        if (p.cfg.kind == ProcKind::ApacheServer &&
+            p.ts.cursor.retired > 0)
+            ++ran;
+    }
+    EXPECT_GT(ran, 12);
+}
+
+TEST(KernelApache, NetworkConservation)
+{
+    ApacheFixture f;
+    f.sys->run(800000);
+    Network &n = f.sys->kernel().network();
+    // Every served request produced at least one response packet.
+    EXPECT_GE(n.responsePackets(),
+              f.sys->kernel().requestsServed());
+    EXPECT_GT(n.requestBytes(), 0u);
+    EXPECT_GT(n.responseBytes(), n.requestBytes());
+}
+
+TEST(KernelApache, SharedTextFramesAcrossServers)
+{
+    ApacheFixture f;
+    Kernel &k = f.sys->kernel();
+    // All apache processes map the image base page to the same frame.
+    Frame first = 0;
+    bool have = false;
+    for (int pid = 0; pid < k.numProcs(); ++pid) {
+        Process &p = k.proc(pid);
+        if (p.cfg.kind != ProcKind::ApacheServer)
+            continue;
+        const Frame fr = p.space->frameOf(pageOf(userTextBase));
+        if (!have) {
+            first = fr;
+            have = true;
+        } else {
+            EXPECT_EQ(fr, first);
+        }
+    }
+    EXPECT_TRUE(have);
+}
+
+TEST(KernelAppOnly, SyscallsCompleteWithoutKernelCode)
+{
+    SystemConfig cfg = smtConfig();
+    cfg.kernel.appOnly = true;
+    System sys(cfg);
+    SpecIntParams p;
+    p.numApps = 4;
+    p.inputChunks = 8;
+    SpecIntWorkload w = buildSpecInt(p);
+    installSpecInt(sys.kernel(), w);
+    sys.start();
+    sys.run(300000);
+    const auto &s = sys.pipeline().stats();
+    // No kernel or PAL instructions retire in app-only mode.
+    EXPECT_EQ(s.retired[static_cast<int>(Mode::Kernel)], 0u);
+    EXPECT_EQ(s.retired[static_cast<int>(Mode::Pal)], 0u);
+    EXPECT_GT(s.retired[static_cast<int>(Mode::User)], 0u);
+}
+
+TEST(KernelSched, TimerPreemptionSharesOneContext)
+{
+    // Superscalar: 4 apps must time-share the single context.
+    SystemConfig cfg = superscalarConfig();
+    System sys(cfg);
+    SpecIntParams p;
+    p.numApps = 4;
+    p.inputChunks = 4;
+    SpecIntWorkload w = buildSpecInt(p);
+    installSpecInt(sys.kernel(), w);
+    sys.start();
+    sys.run(1500000);
+    int progressed = 0;
+    for (int pid = 0; pid < sys.kernel().numProcs(); ++pid) {
+        const Process &pr = sys.kernel().proc(pid);
+        if (pr.cfg.kind == ProcKind::SpecIntApp &&
+            pr.ts.cursor.retired > 1000)
+            ++progressed;
+    }
+    EXPECT_EQ(progressed, 4);
+    EXPECT_GT(sys.kernel().contextSwitches(), 4u);
+}
+
+TEST(KernelVm, MunmapInvalidatesTlb)
+{
+    SpecFixture f;
+    f.sys->run(1500000);
+    // munmap/mmap apps issue occasional unmaps; the DTLB must see
+    // OS invalidations (or at least munmap entries counted).
+    const auto &mm = f.sys->kernel().mmEntries();
+    EXPECT_GT(mm.get("munmap") + mm.get("smmap") + mm.get("obreak"),
+              0u);
+}

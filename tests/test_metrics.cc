@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Metrics tests: snapshot deltas, mode shares, mix rows, miss
+ * breakdowns, sharing breakdowns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+
+using namespace smtos;
+
+namespace {
+
+MetricsSnapshot
+synthetic()
+{
+    MetricsSnapshot s;
+    s.core.cycles = 1000;
+    s.core.retired[0] = 600; // user
+    s.core.retired[1] = 300; // kernel
+    s.core.retired[2] = 50;  // pal
+    s.core.retired[3] = 50;  // idle
+    s.core.fetched = 1200;
+    s.core.squashed = 120;
+    s.core.condRetired[0] = 100;
+    s.core.condMispred[0] = 9;
+    s.core.condTaken[0] = 60;
+    s.core.mix[0][static_cast<int>(MixClass::Load)] = 120;
+    s.core.mix[0][static_cast<int>(MixClass::Store)] = 60;
+    s.core.mix[0][static_cast<int>(MixClass::CondBranch)] = 100;
+    s.core.mix[0][static_cast<int>(MixClass::OtherInt)] = 320;
+    s.core.physMem[0][0] = 30;
+    s.core.zeroFetchCycles = 100;
+    s.l1d.accesses[0] = 200;
+    s.l1d.misses[0] = 20;
+    s.l1d.accesses[1] = 100;
+    s.l1d.misses[1] = 30;
+    s.l1d.cause[0][0] = 5;
+    s.l1d.cause[0][2] = 15;
+    s.l1d.cause[1][1] = 30;
+    s.l1d.avoided[0][1] = 10;
+    s.mmEntries["page_alloc"] = 7;
+    s.requestsServed = 3;
+    return s;
+}
+
+} // namespace
+
+TEST(Metrics, DeltaSubtractsCounters)
+{
+    MetricsSnapshot a = synthetic();
+    MetricsSnapshot b = synthetic();
+    b.core.cycles = 3000;
+    b.core.retired[0] = 1600;
+    b.core.squashed = 150;
+    b.mmEntries["page_alloc"] = 17;
+    b.requestsServed = 13;
+    MetricsSnapshot d = b.delta(a);
+    EXPECT_EQ(d.core.cycles, 2000u);
+    EXPECT_EQ(d.core.retired[0], 1000u);
+    EXPECT_EQ(d.core.squashed, 30u);
+    EXPECT_EQ(d.mmEntries["page_alloc"], 10u);
+    EXPECT_EQ(d.requestsServed, 10u);
+}
+
+TEST(Metrics, ModeSharesSumTo100)
+{
+    ModeShares m = modeShares(synthetic());
+    EXPECT_NEAR(m.userPct + m.kernelPct + m.palPct + m.idlePct, 100.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(m.userPct, 60.0);
+    EXPECT_DOUBLE_EQ(m.kernelPct, 30.0);
+}
+
+TEST(Metrics, ArchMetricsDerivations)
+{
+    ArchMetrics a = archMetrics(synthetic());
+    EXPECT_DOUBLE_EQ(a.ipc, 1.0);
+    EXPECT_DOUBLE_EQ(a.branchMispredPct, 9.0);
+    EXPECT_DOUBLE_EQ(a.squashedPct, 10.0);
+    EXPECT_DOUBLE_EQ(a.zeroFetchPct, 10.0);
+    EXPECT_DOUBLE_EQ(a.l1dMissPct, 100.0 * 50 / 300);
+}
+
+TEST(Metrics, MixRowUserClass)
+{
+    MixRow r = mixRow(synthetic(), false);
+    EXPECT_DOUBLE_EQ(r.loadPct, 20.0);
+    EXPECT_DOUBLE_EQ(r.storePct, 10.0);
+    EXPECT_DOUBLE_EQ(r.loadPhysPct, 25.0); // 30 of 120 loads
+    EXPECT_DOUBLE_EQ(r.condTakenPct, 60.0);
+    EXPECT_DOUBLE_EQ(r.condPct, 100.0); // all branches conditional
+}
+
+TEST(Metrics, MissBreakdownSumsTo100)
+{
+    MissBreakdown b = missBreakdown(synthetic().l1d);
+    double sum = 0;
+    for (int c = 0; c < 2; ++c)
+        for (int k = 0; k < numMissCauses; ++k)
+            sum += b.causePct[c][k];
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(b.totalMissRate[0], 10.0);
+    EXPECT_DOUBLE_EQ(b.totalMissRate[1], 30.0);
+}
+
+TEST(Metrics, SharingBreakdownRelativeToMisses)
+{
+    SharingBreakdown b = sharingBreakdown(synthetic().l1d);
+    EXPECT_DOUBLE_EQ(b.avoidedPct[0][1], 20.0); // 10 of 50 misses
+}
+
+TEST(Metrics, TagShare)
+{
+    MetricsSnapshot s = synthetic();
+    s.core.retiredByTag[TagRead] = 100;
+    EXPECT_DOUBLE_EQ(tagSharePct(s, TagRead), 10.0);
+}
+
+TEST(Metrics, GroupShareAggregatesTags)
+{
+    MetricsSnapshot s = synthetic();
+    s.core.retiredByTag[TagPalDtlb] = 50;
+    s.core.retiredByTag[TagVmFault] = 30;
+    s.core.retiredByTag[TagPageZero] = 20;
+    EXPECT_DOUBLE_EQ(groupSharePct(s, ServiceGroup::TlbHandling),
+                     10.0);
+}
+
+TEST(Metrics, CaptureFromLiveSystem)
+{
+    SystemConfig cfg = smtConfig();
+    System sys(cfg);
+    sys.start();
+    MetricsSnapshot s0 = MetricsSnapshot::capture(sys);
+    sys.run(20000);
+    MetricsSnapshot s1 = MetricsSnapshot::capture(sys);
+    MetricsSnapshot d = s1.delta(s0);
+    EXPECT_GE(d.core.totalRetired(), 20000u);
+    EXPECT_GT(d.core.cycles, 0u);
+    ArchMetrics a = archMetrics(d);
+    EXPECT_GT(a.ipc, 0.0);
+}
+
+TEST(Metrics, ServiceGroupNamesResolve)
+{
+    for (int t = 0; t < NumServiceTags; ++t) {
+        EXPECT_STRNE(serviceTagName(t), "?");
+        EXPECT_STRNE(serviceGroupName(serviceGroupOf(t)), "?");
+    }
+}

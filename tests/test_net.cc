@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Network and SPECWeb-like client tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/clients.h"
+#include "net/network.h"
+
+using namespace smtos;
+
+TEST(Network, FifoPerDirection)
+{
+    Network n;
+    Packet a;
+    a.client = 1;
+    Packet b;
+    b.client = 2;
+    n.clientSend(a);
+    n.clientSend(b);
+    EXPECT_EQ(n.popServerRx().client, 1);
+    EXPECT_EQ(n.popServerRx().client, 2);
+    EXPECT_FALSE(n.serverHasRx());
+}
+
+TEST(Network, CountsBytesAndPackets)
+{
+    Network n;
+    Packet p;
+    p.bytes = 100;
+    n.clientSend(p);
+    p.bytes = 300;
+    n.serverSend(p);
+    EXPECT_EQ(n.requestPackets(), 1u);
+    EXPECT_EQ(n.responsePackets(), 1u);
+    EXPECT_EQ(n.requestBytes(), 100u);
+    EXPECT_EQ(n.responseBytes(), 300u);
+}
+
+TEST(SpecWebFiles, SizesDeterministic)
+{
+    for (int f = 0; f < 100; ++f)
+        EXPECT_EQ(specWebFileBytes(f), specWebFileBytes(f));
+}
+
+TEST(SpecWebFiles, ClassSizeRanges)
+{
+    // Class 0 (file_id % 4 == 0): 0.1-0.9KB; class 3: 100-900KB.
+    for (int i = 0; i < 36; i += 4) {
+        EXPECT_GE(specWebFileBytes(i), 102u);
+        EXPECT_LE(specWebFileBytes(i), 102u * 9);
+    }
+    for (int i = 3; i < 36; i += 4) {
+        EXPECT_GE(specWebFileBytes(i), 102400u);
+        EXPECT_LE(specWebFileBytes(i), 102400u * 9);
+    }
+}
+
+TEST(SpecWebFiles, ClassMixMatchesSpec)
+{
+    Rng rng(5);
+    std::map<int, int> by_class;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        by_class[specWebPickFile(rng, 120) & 3]++;
+    EXPECT_NEAR(by_class[0] / double(n), 0.35, 0.02);
+    EXPECT_NEAR(by_class[1] / double(n), 0.50, 0.02);
+    EXPECT_NEAR(by_class[2] / double(n), 0.14, 0.02);
+    EXPECT_NEAR(by_class[3] / double(n), 0.01, 0.005);
+}
+
+TEST(SpecWebFiles, PickStaysInFileSet)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(specWebPickFile(rng, 120), 120);
+}
+
+TEST(Clients, IssueRequestsOverTime)
+{
+    SpecWebParams p;
+    p.numClients = 8;
+    p.thinkMean = 100;
+    ClientPopulation cp(p, 42);
+    Network net;
+    for (Cycle t = 0; t < 5000; t += 50)
+        cp.tick(t, net);
+    EXPECT_GE(cp.requestsIssued(), 8u);
+    EXPECT_TRUE(net.serverHasRx());
+}
+
+TEST(Clients, WaitUntilResponseComplete)
+{
+    SpecWebParams p;
+    p.numClients = 1;
+    p.thinkMean = 10;
+    ClientPopulation cp(p, 43);
+    Network net;
+    // Issue the first request.
+    Cycle t = 0;
+    while (!net.serverHasRx()) {
+        t += 20;
+        cp.tick(t, net);
+        ASSERT_LT(t, 10000u);
+    }
+    Packet req = net.popServerRx();
+    const auto issued = cp.requestsIssued();
+    // No new request while the response is outstanding.
+    for (int i = 0; i < 50; ++i) {
+        t += 20;
+        cp.tick(t, net);
+    }
+    EXPECT_EQ(cp.requestsIssued(), issued);
+    // Complete the response in one full-size packet.
+    Packet resp;
+    resp.client = req.client;
+    resp.bytes = specWebFileBytes(req.fileId);
+    resp.fin = true;
+    net.serverSend(resp);
+    for (int i = 0; i < 400 && cp.requestsIssued() == issued; ++i) {
+        t += 20;
+        cp.tick(t, net);
+    }
+    EXPECT_EQ(cp.responsesCompleted(), 1u);
+    EXPECT_GT(cp.requestsIssued(), issued); // thinking, then re-asks
+}
+
+TEST(Clients, PartialResponsesAccumulate)
+{
+    SpecWebParams p;
+    p.numClients = 1;
+    p.thinkMean = 10;
+    ClientPopulation cp(p, 44);
+    Network net;
+    Cycle t = 0;
+    while (!net.serverHasRx()) {
+        t += 20;
+        cp.tick(t, net);
+    }
+    Packet req = net.popServerRx();
+    const std::uint32_t total = specWebFileBytes(req.fileId);
+    // Send in 1KB chunks without fin until the last one.
+    std::uint32_t sent = 0;
+    while (sent < total) {
+        Packet resp;
+        resp.client = req.client;
+        resp.bytes = std::min<std::uint32_t>(1024, total - sent);
+        sent += resp.bytes;
+        resp.fin = (sent >= total);
+        net.serverSend(resp);
+        t += 20;
+        cp.tick(t, net);
+    }
+    EXPECT_EQ(cp.responsesCompleted(), 1u);
+}
+
+TEST(Clients, RequestSizesWithinBounds)
+{
+    SpecWebParams p;
+    p.numClients = 16;
+    p.thinkMean = 50;
+    ClientPopulation cp(p, 45);
+    Network net;
+    for (Cycle t = 0; t < 4000; t += 25)
+        cp.tick(t, net);
+    while (net.serverHasRx()) {
+        Packet pk = net.popServerRx();
+        EXPECT_GE(pk.bytes, p.requestBytesMin);
+        EXPECT_LE(pk.bytes, p.requestBytesMax);
+        EXPECT_TRUE(pk.open);
+        EXPECT_GE(pk.fileId, 0);
+    }
+}

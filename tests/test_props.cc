@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Broad property sweeps (TEST_P) across hardware parameters: the
+ * invariants that must hold for any configuration — classification
+ * accounting, monotonic capacity effects, queue conservation, and
+ * pipeline-parameter sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "common/rng.h"
+#include "harness/experiment.h"
+#include "mem/cache.h"
+#include "vm/tlb.h"
+
+using namespace smtos;
+
+// ---------------------------------------------------------------
+// Cache classification invariants across geometry x thread count.
+// ---------------------------------------------------------------
+
+using CacheSweepParam = std::tuple<int, int, int>; // sizeKB, assoc, thr
+
+class CacheSweep : public testing::TestWithParam<CacheSweepParam>
+{
+};
+
+TEST_P(CacheSweep, AccountingInvariants)
+{
+    const auto [size_kb, assoc, threads] = GetParam();
+    CacheParams p;
+    p.sizeBytes = static_cast<std::uint64_t>(size_kb) * 1024;
+    p.assoc = assoc;
+    p.lineBytes = 64;
+    Cache c(p);
+    Rng rng(size_kb * 131 + assoc * 17 + threads);
+    for (int i = 0; i < 20000; ++i) {
+        const ThreadId t = static_cast<ThreadId>(rng.below(threads));
+        const Mode m = rng.chance(0.3) ? Mode::Kernel : Mode::User;
+        c.access(rng.below(256 * 1024) & ~7ull,
+                 AccessInfo{t, m, 0}, rng.chance(0.25));
+    }
+    const InterferenceStats &s = c.stats();
+    // 1) misses never exceed accesses, per class.
+    EXPECT_LE(s.misses[0], s.accesses[0]);
+    EXPECT_LE(s.misses[1], s.accesses[1]);
+    // 2) causes partition the misses exactly.
+    for (int cls = 0; cls < 2; ++cls) {
+        std::uint64_t sum = 0;
+        for (int k = 0; k < numMissCauses; ++k)
+            sum += s.cause[cls][k];
+        EXPECT_EQ(sum, s.misses[cls]);
+    }
+    // 3) single-thread runs can have no interthread conflicts.
+    if (threads == 1) {
+        EXPECT_EQ(s.cause[0][static_cast<int>(
+                      MissCause::Interthread)],
+                  0u);
+        EXPECT_EQ(s.cause[1][static_cast<int>(
+                      MissCause::Interthread)],
+                  0u);
+    }
+    // 4) avoided misses only possible with >1 thread.
+    const std::uint64_t avoided = s.avoided[0][0] + s.avoided[0][1] +
+                                  s.avoided[1][0] + s.avoided[1][1];
+    if (threads == 1) {
+        EXPECT_EQ(avoided, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    testing::Combine(testing::Values(1, 4, 16, 128),
+                     testing::Values(1, 2, 4),
+                     testing::Values(1, 2, 8)));
+
+// ---------------------------------------------------------------
+// Bigger caches never miss more on an identical trace.
+// ---------------------------------------------------------------
+
+class CacheMonotone : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(CacheMonotone, FullyAssocCapacityMonotonic)
+{
+    // LRU with full associativity has the stack property: a larger
+    // cache never misses more on the same reference trace.
+    auto run = [&](std::uint64_t kb) {
+        CacheParams p;
+        p.sizeBytes = kb * 1024;
+        p.assoc = static_cast<int>(p.sizeBytes / 64); // fully assoc
+        Cache c(p);
+        Rng rng(GetParam());
+        for (int i = 0; i < 30000; ++i)
+            c.access(rng.below(64 * 1024) & ~7ull,
+                     AccessInfo{1, Mode::User, 0}, false);
+        return c.stats().totalMisses();
+    };
+    const auto m_small = run(2);
+    const auto m_big = run(8);
+    EXPECT_GE(m_small, m_big);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheMonotone,
+                         testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------
+// TLB invariants across sizes and ASN counts.
+// ---------------------------------------------------------------
+
+using TlbSweepParam = std::tuple<int, int>; // entries, spaces
+
+class TlbSweep : public testing::TestWithParam<TlbSweepParam>
+{
+};
+
+TEST_P(TlbSweep, LookupInsertConsistency)
+{
+    const auto [entries, spaces] = GetParam();
+    Tlb t("T", entries);
+    Rng rng(entries * 31 + spaces);
+    for (int i = 0; i < 5000; ++i) {
+        const Asn asn = static_cast<Asn>(rng.below(spaces));
+        const Addr vpn = rng.below(256);
+        AccessInfo who{static_cast<ThreadId>(asn), Mode::User, 0};
+        if (t.lookup(vpn, asn, who) < 0)
+            t.insert(vpn, asn, vpn * 7 + asn, who);
+        // Immediately after an insert, the translation must resolve
+        // to the inserted frame.
+        EXPECT_EQ(t.lookup(vpn, asn, who),
+                  static_cast<std::int64_t>(vpn * 7 + asn));
+    }
+    EXPECT_LE(t.validEntries(), entries);
+    const auto &s = t.stats();
+    for (int cls = 0; cls < 2; ++cls) {
+        std::uint64_t sum = 0;
+        for (int k = 0; k < numMissCauses; ++k)
+            sum += s.cause[cls][k];
+        EXPECT_EQ(sum, s.misses[cls]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TlbSweep,
+    testing::Combine(testing::Values(4, 16, 64, 128),
+                     testing::Values(1, 3, 9)));
+
+// ---------------------------------------------------------------
+// System-level parameter sanity sweeps.
+// ---------------------------------------------------------------
+
+class ContextSweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ContextSweep, SpecIntRunsAtAnyContextCount)
+{
+    RunSpec s;
+    s.workload = RunSpec::Workload::SpecInt;
+    s.spec.numApps = 4;
+    s.spec.inputChunks = 8;
+    s.numContexts = GetParam();
+    s.startupInstrs = 150'000;
+    s.measureInstrs = 250'000;
+    RunResult r = runExperiment(s);
+    EXPECT_GE(r.steady.core.totalRetired(), 250'000u);
+    EXPECT_GT(archMetrics(r.steady).ipc, 0.1);
+    // Fetchable contexts can never exceed the configured count.
+    EXPECT_LE(archMetrics(r.steady).fetchableContexts,
+              static_cast<double>(GetParam()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ContextSweep,
+                         testing::Values(1, 2, 3, 5, 8));
+
+class SeedSweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(SeedSweep, ApacheServesUnderAnySeed)
+{
+    RunSpec s;
+    s.workload = RunSpec::Workload::Apache;
+    s.apache.numServers = 16;
+    s.seed = 1000 + GetParam();
+    s.startupInstrs = 900'000;
+    s.measureInstrs = 900'000;
+    RunResult r = runExperiment(s);
+    EXPECT_GT(r.requestsServed, 0u);
+    const ModeShares m = modeShares(r.steady);
+    EXPECT_GT(m.kernelPct + m.palPct, 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------
+// Mode accounting: retired-by-mode always partitions the total.
+// ---------------------------------------------------------------
+
+class ModePartition : public testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ModePartition, RetiredModesSumExactly)
+{
+    RunSpec s;
+    s.workload = GetParam() ? RunSpec::Workload::Apache
+                            : RunSpec::Workload::SpecInt;
+    s.spec.inputChunks = 8;
+    s.startupInstrs = 200'000;
+    s.measureInstrs = 300'000;
+    RunResult r = runExperiment(s);
+    const auto &c = r.steady.core;
+    EXPECT_EQ(c.retired[0] + c.retired[1] + c.retired[2] +
+                  c.retired[3],
+              c.totalRetired());
+    const ModeShares m = modeShares(r.steady);
+    EXPECT_NEAR(m.userPct + m.kernelPct + m.palPct + m.idlePct,
+                100.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ModePartition,
+                         testing::Values(false, true));

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * End-to-end system properties: the orderings the paper reports must
+ * hold on the simulator (SMT beats superscalar, Apache is more
+ * OS-intensive than SPECInt, kernel misses exceed user misses, ...).
+ * These are the headline shape checks; the benches print the numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+using namespace smtos;
+
+namespace {
+
+RunSpec
+specSpec()
+{
+    RunSpec s;
+    s.workload = RunSpec::Workload::SpecInt;
+    s.spec.inputChunks = 24;
+    s.measureInstrs = 700000;
+    return s;
+}
+
+RunSpec
+apacheSpec()
+{
+    RunSpec s;
+    s.workload = RunSpec::Workload::Apache;
+    s.startupInstrs = 400000;
+    s.measureInstrs = 700000;
+    return s;
+}
+
+} // namespace
+
+TEST(SystemProps, SpecIntSmtReachesHighIpc)
+{
+    RunResult r = runExperiment(specSpec());
+    EXPECT_GT(archMetrics(r.steady).ipc, 3.0);
+}
+
+TEST(SystemProps, SpecIntStartupHasMoreOsThanSteady)
+{
+    RunResult r = runExperiment(specSpec());
+    const ModeShares st = modeShares(r.startup);
+    const ModeShares sd = modeShares(r.steady);
+    const double os_start = st.kernelPct + st.palPct;
+    const double os_steady = sd.kernelPct + sd.palPct;
+    EXPECT_GT(os_start, os_steady);
+    EXPECT_LT(os_steady, 25.0);
+}
+
+TEST(SystemProps, ApacheIsKernelDominated)
+{
+    RunResult r = runExperiment(apacheSpec());
+    const ModeShares m = modeShares(r.steady);
+    EXPECT_GT(m.kernelPct + m.palPct, 55.0);
+    EXPECT_LT(m.userPct, 40.0);
+}
+
+TEST(SystemProps, SmtBeatsSuperscalarOnApache)
+{
+    RunSpec smt = apacheSpec();
+    RunSpec ss = apacheSpec();
+    ss.smt = false;
+    ss.measureInstrs = 400000;
+    RunResult r_smt = runExperiment(smt);
+    RunResult r_ss = runExperiment(ss);
+    const double ipc_smt = archMetrics(r_smt.steady).ipc;
+    const double ipc_ss = archMetrics(r_ss.steady).ipc;
+    EXPECT_GT(ipc_smt, 1.5 * ipc_ss);
+}
+
+TEST(SystemProps, SmtBeatsSuperscalarOnSpecInt)
+{
+    RunSpec smt = specSpec();
+    RunSpec ss = specSpec();
+    ss.smt = false;
+    ss.measureInstrs = 400000;
+    RunResult r_smt = runExperiment(smt);
+    RunResult r_ss = runExperiment(ss);
+    EXPECT_GT(archMetrics(r_smt.steady).ipc,
+              archMetrics(r_ss.steady).ipc);
+}
+
+TEST(SystemProps, ApacheStressesCachesMoreThanSpecInt)
+{
+    RunResult ra = runExperiment(apacheSpec());
+    RunResult rs = runExperiment(specSpec());
+    const ArchMetrics a = archMetrics(ra.steady);
+    const ArchMetrics s = archMetrics(rs.steady);
+    EXPECT_GT(a.l1dMissPct, s.l1dMissPct);
+}
+
+TEST(SystemProps, AppOnlyRemovesKernelWork)
+{
+    RunSpec with_os = specSpec();
+    RunSpec app_only = specSpec();
+    app_only.withOs = false;
+    RunResult r1 = runExperiment(with_os);
+    RunResult r2 = runExperiment(app_only);
+    const ModeShares m2 = modeShares(r2.steady);
+    EXPECT_NEAR(m2.userPct, 100.0, 0.1);
+    // Throughput stays within the same band (the paper reports a
+    // 5% delta; our scaled simulation diverges more — see
+    // EXPERIMENTS.md, Table 4).
+    EXPECT_GE(archMetrics(r2.steady).ipc,
+              archMetrics(r1.steady).ipc * 0.5);
+    EXPECT_LE(archMetrics(r2.steady).ipc,
+              archMetrics(r1.steady).ipc * 1.5);
+}
+
+TEST(SystemProps, KernelCacheBehaviorWorseThanUser)
+{
+    RunResult r = runExperiment(specSpec());
+    const MissBreakdown b = missBreakdown(r.steady.l1d);
+    EXPECT_GT(b.totalMissRate[1], b.totalMissRate[0]);
+}
+
+TEST(SystemProps, ApacheShowsConstructiveSharing)
+{
+    RunResult r = runExperiment(apacheSpec());
+    const SharingBreakdown icache = sharingBreakdown(r.steady.l1i);
+    const SharingBreakdown dcache = sharingBreakdown(r.steady.l1d);
+    const double total =
+        icache.avoidedPct[1][1] + dcache.avoidedPct[1][1];
+    EXPECT_GT(total, 0.0); // kernel-kernel prefetching exists
+}
+
+TEST(SystemProps, MissCausePercentagesSumTo100)
+{
+    RunResult r = runExperiment(apacheSpec());
+    for (const InterferenceStats *s :
+         {&r.steady.l1d, &r.steady.l1i, &r.steady.l2,
+          &r.steady.dtlb}) {
+        if (s->totalMisses() == 0)
+            continue;
+        const MissBreakdown b = missBreakdown(*s);
+        double sum = 0;
+        for (int c = 0; c < 2; ++c)
+            for (int k = 0; k < numMissCauses; ++k)
+                sum += b.causePct[c][k];
+        EXPECT_NEAR(sum, 100.0, 0.2);
+    }
+}
+
+TEST(SystemProps, WindowsPartitionTheMeasurement)
+{
+    RunSpec s = specSpec();
+    s.measureInstrs = 300000;
+    s.windowInstrs = 100000;
+    RunResult r = runExperiment(s);
+    ASSERT_EQ(r.windows.size(), 3u);
+    std::uint64_t sum = 0;
+    for (const auto &w : r.windows)
+        sum += w.core.totalRetired();
+    EXPECT_EQ(sum, r.steady.core.totalRetired());
+}
+
+TEST(SystemProps, DeterministicAcrossRuns)
+{
+    RunSpec s = specSpec();
+    s.measureInstrs = 200000;
+    RunResult a = runExperiment(s);
+    RunResult b = runExperiment(s);
+    EXPECT_EQ(a.steady.core.cycles, b.steady.core.cycles);
+    EXPECT_EQ(a.steady.l1d.totalMisses(),
+              b.steady.l1d.totalMisses());
+}
+
+// Parameterized: IPC rises with hardware contexts (the core SMT
+// claim, also the basis of the context-count ablation bench).
+class ContextScale : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ContextScale, ApacheThroughputScalesWithContexts)
+{
+    RunSpec s = apacheSpec();
+    s.measureInstrs = 350000;
+    s.startupInstrs = 250000;
+    RunResult one;
+    {
+        RunSpec base = s;
+        base.smt = false; // 1 context
+        one = runExperiment(base);
+    }
+    // Custom context count via the harness is not exposed; compare
+    // the 8-context SMT against the superscalar for each seed.
+    s.seed = 99 + GetParam();
+    RunResult many = runExperiment(s);
+    EXPECT_GT(archMetrics(many.steady).ipc,
+              archMetrics(one.steady).ipc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContextScale, testing::Values(1, 2));

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the tracing subsystem and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/trace.h"
+#include "isa/codegen.h"
+#include "isa/disasm.h"
+#include "kernel/image.h"
+
+using namespace smtos;
+
+namespace {
+
+struct TraceGuard
+{
+    TraceGuard()
+    {
+        Trace::setMask(0);
+        Trace::setSink(&os);
+    }
+    ~TraceGuard()
+    {
+        Trace::setSink(nullptr);
+        Trace::setMask(0);
+    }
+    std::ostringstream os;
+};
+
+} // namespace
+
+TEST(Trace, DisabledByDefault)
+{
+    TraceGuard g;
+    smtos_trace(TraceCat::Fetch, "should not appear %d", 1);
+    EXPECT_TRUE(g.os.str().empty());
+}
+
+TEST(Trace, EnabledCategoryEmitsWithCyclePrefix)
+{
+    TraceGuard g;
+    Trace::enable(TraceCat::Tlb);
+    Trace::setCycle(123);
+    smtos_trace(TraceCat::Tlb, "vpn=%d", 42);
+    EXPECT_NE(g.os.str().find("123: tlb: vpn=42"), std::string::npos);
+}
+
+TEST(Trace, OtherCategoriesStaySilent)
+{
+    TraceGuard g;
+    Trace::enable(TraceCat::Sched);
+    smtos_trace(TraceCat::Net, "nope");
+    EXPECT_TRUE(g.os.str().empty());
+    smtos_trace(TraceCat::Sched, "yes");
+    EXPECT_NE(g.os.str().find("sched: yes"), std::string::npos);
+}
+
+TEST(Trace, DisableRemovesCategory)
+{
+    TraceGuard g;
+    Trace::enable(TraceCat::Fault);
+    Trace::disable(TraceCat::Fault);
+    smtos_trace(TraceCat::Fault, "nope");
+    EXPECT_TRUE(g.os.str().empty());
+}
+
+TEST(Trace, ParseCategoryList)
+{
+    EXPECT_EQ(Trace::parseCats("fetch"),
+              static_cast<std::uint32_t>(TraceCat::Fetch));
+    EXPECT_EQ(Trace::parseCats("fetch,tlb"),
+              static_cast<std::uint32_t>(TraceCat::Fetch) |
+                  static_cast<std::uint32_t>(TraceCat::Tlb));
+    EXPECT_EQ(Trace::parseCats("all"),
+              static_cast<std::uint32_t>(TraceCat::All));
+    EXPECT_EQ(Trace::parseCats(""), 0u);
+}
+
+TEST(Disasm, AluRendering)
+{
+    Instr in;
+    in.op = Op::IntAlu;
+    in.srcA = 1;
+    in.srcB = 2;
+    in.dest = 3;
+    EXPECT_EQ(disasm(in), "intalu r3, r1, r2");
+}
+
+TEST(Disasm, FpRegisters)
+{
+    Instr in;
+    in.op = Op::FpAdd;
+    in.srcA = 33;
+    in.srcB = 34;
+    in.dest = 35;
+    EXPECT_EQ(disasm(in), "fpadd f3, f1, f2");
+}
+
+TEST(Disasm, LoadRendering)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1);
+    Instr ld = g.makeLoad(MemPattern::SeqStream, 1, 2, 64, false);
+    const std::string s = disasm(ld);
+    EXPECT_NE(s.find("load"), std::string::npos);
+    EXPECT_NE(s.find("seq:1"), std::string::npos);
+    EXPECT_NE(s.find("+64"), std::string::npos);
+}
+
+TEST(Disasm, BranchRendering)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1);
+    EXPECT_NE(disasm(g.makeCond(3, 0.5)).find("->b3"),
+              std::string::npos);
+    EXPECT_NE(disasm(g.makeLoop(1, 7, 2)).find("loop(7, slot 2)"),
+              std::string::npos);
+    EXPECT_NE(disasm(g.makeCall(9)).find("call f9"),
+              std::string::npos);
+    EXPECT_NE(disasm(g.makeSyscall(4)).find("syscall #4"),
+              std::string::npos);
+}
+
+TEST(Disasm, FunctionListingContainsPcs)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1);
+    const int f = g.genFunction("fn", 3, {});
+    img.finalize();
+    std::ostringstream os;
+    listFunction(os, img, f);
+    EXPECT_NE(os.str().find("function 0 'fn'"), std::string::npos);
+    EXPECT_NE(os.str().find("0x1000"), std::string::npos);
+    EXPECT_NE(os.str().find("block 2"), std::string::npos);
+}
+
+TEST(Disasm, ImageSummaryCountsPadding)
+{
+    CodeImage img("t", 0x1000);
+    CodeGen g(img, CodeProfile{}, 1);
+    g.genPadding(50);
+    g.genFunction("hot", 2, {});
+    img.finalize();
+    std::ostringstream os;
+    imageSummary(os, img);
+    EXPECT_NE(os.str().find("2 functions"), std::string::npos);
+    EXPECT_NE(os.str().find("padding: 51"), std::string::npos);
+    EXPECT_NE(os.str().find("hot"), std::string::npos);
+}
+
+TEST(Disasm, KernelImageListsEverySummaryLine)
+{
+    auto kc = buildKernelImage(3);
+    std::ostringstream os;
+    imageSummary(os, kc->image);
+    EXPECT_NE(os.str().find("svc_read_file"), std::string::npos);
+    EXPECT_NE(os.str().find("netisr_loop"), std::string::npos);
+    EXPECT_NE(os.str().find("idle_loop"), std::string::npos);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_contexts.dir/ablation_contexts.cpp.o"
+  "CMakeFiles/ablation_contexts.dir/ablation_contexts.cpp.o.d"
+  "ablation_contexts"
+  "ablation_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

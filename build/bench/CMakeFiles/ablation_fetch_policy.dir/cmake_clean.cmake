@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fetch_policy.dir/ablation_fetch_policy.cpp.o"
+  "CMakeFiles/ablation_fetch_policy.dir/ablation_fetch_policy.cpp.o.d"
+  "ablation_fetch_policy"
+  "ablation_fetch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fetch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tlb_ipr.dir/ablation_tlb_ipr.cpp.o"
+  "CMakeFiles/ablation_tlb_ipr.dir/ablation_tlb_ipr.cpp.o.d"
+  "ablation_tlb_ipr"
+  "ablation_tlb_ipr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tlb_ipr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simspeed.dir/bench_simspeed.cpp.o"
+  "CMakeFiles/bench_simspeed.dir/bench_simspeed.cpp.o.d"
+  "bench_simspeed"
+  "bench_simspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

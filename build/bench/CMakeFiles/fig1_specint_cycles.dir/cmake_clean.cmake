@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_specint_cycles.dir/fig1_specint_cycles.cpp.o"
+  "CMakeFiles/fig1_specint_cycles.dir/fig1_specint_cycles.cpp.o.d"
+  "fig1_specint_cycles"
+  "fig1_specint_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_specint_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_specint_kernel_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mm_incursions.dir/fig3_mm_incursions.cpp.o"
+  "CMakeFiles/fig3_mm_incursions.dir/fig3_mm_incursions.cpp.o.d"
+  "fig3_mm_incursions"
+  "fig3_mm_incursions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mm_incursions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_specint_syscalls.dir/fig4_specint_syscalls.cpp.o"
+  "CMakeFiles/fig4_specint_syscalls.dir/fig4_specint_syscalls.cpp.o.d"
+  "fig4_specint_syscalls"
+  "fig4_specint_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_specint_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_apache_cycles.dir/fig5_apache_cycles.cpp.o"
+  "CMakeFiles/fig5_apache_cycles.dir/fig5_apache_cycles.cpp.o.d"
+  "fig5_apache_cycles"
+  "fig5_apache_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_apache_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

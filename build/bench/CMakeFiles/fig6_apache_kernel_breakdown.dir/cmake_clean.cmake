@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_apache_kernel_breakdown.dir/fig6_apache_kernel_breakdown.cpp.o"
+  "CMakeFiles/fig6_apache_kernel_breakdown.dir/fig6_apache_kernel_breakdown.cpp.o.d"
+  "fig6_apache_kernel_breakdown"
+  "fig6_apache_kernel_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_apache_kernel_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

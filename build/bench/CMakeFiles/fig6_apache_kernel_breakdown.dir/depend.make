@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_apache_kernel_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_apache_syscalls.dir/fig7_apache_syscalls.cpp.o"
+  "CMakeFiles/fig7_apache_syscalls.dir/fig7_apache_syscalls.cpp.o.d"
+  "fig7_apache_syscalls"
+  "fig7_apache_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_apache_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_apache_syscalls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_specint_mix.dir/table2_specint_mix.cpp.o"
+  "CMakeFiles/table2_specint_mix.dir/table2_specint_mix.cpp.o.d"
+  "table2_specint_mix"
+  "table2_specint_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_specint_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

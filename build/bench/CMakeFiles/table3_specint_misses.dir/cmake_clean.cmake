@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_specint_misses.dir/table3_specint_misses.cpp.o"
+  "CMakeFiles/table3_specint_misses.dir/table3_specint_misses.cpp.o.d"
+  "table3_specint_misses"
+  "table3_specint_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_specint_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

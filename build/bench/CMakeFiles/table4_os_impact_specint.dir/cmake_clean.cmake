@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_os_impact_specint.dir/table4_os_impact_specint.cpp.o"
+  "CMakeFiles/table4_os_impact_specint.dir/table4_os_impact_specint.cpp.o.d"
+  "table4_os_impact_specint"
+  "table4_os_impact_specint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_os_impact_specint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_apache_mix.dir/table5_apache_mix.cpp.o"
+  "CMakeFiles/table5_apache_mix.dir/table5_apache_mix.cpp.o.d"
+  "table5_apache_mix"
+  "table5_apache_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_apache_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

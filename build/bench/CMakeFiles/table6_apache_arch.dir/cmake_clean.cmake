@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_apache_arch.dir/table6_apache_arch.cpp.o"
+  "CMakeFiles/table6_apache_arch.dir/table6_apache_arch.cpp.o.d"
+  "table6_apache_arch"
+  "table6_apache_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_apache_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_apache_misses.dir/table7_apache_misses.cpp.o"
+  "CMakeFiles/table7_apache_misses.dir/table7_apache_misses.cpp.o.d"
+  "table7_apache_misses"
+  "table7_apache_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_apache_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_sharing.dir/table8_sharing.cpp.o"
+  "CMakeFiles/table8_sharing.dir/table8_sharing.cpp.o.d"
+  "table8_sharing"
+  "table8_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_os_impact_apache.dir/table9_os_impact_apache.cpp.o"
+  "CMakeFiles/table9_os_impact_apache.dir/table9_os_impact_apache.cpp.o.d"
+  "table9_os_impact_apache"
+  "table9_os_impact_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_os_impact_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table9_os_impact_apache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_dump.dir/debug_dump.cpp.o"
+  "CMakeFiles/debug_dump.dir/debug_dump.cpp.o.d"
+  "debug_dump"
+  "debug_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

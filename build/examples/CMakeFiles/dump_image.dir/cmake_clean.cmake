@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_image.dir/dump_image.cpp.o"
+  "CMakeFiles/dump_image.dir/dump_image.cpp.o.d"
+  "dump_image"
+  "dump_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprog_study.dir/multiprog_study.cpp.o"
+  "CMakeFiles/multiprog_study.dir/multiprog_study.cpp.o.d"
+  "multiprog_study"
+  "multiprog_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprog_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

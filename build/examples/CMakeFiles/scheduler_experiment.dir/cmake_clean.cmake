@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_experiment.dir/scheduler_experiment.cpp.o"
+  "CMakeFiles/scheduler_experiment.dir/scheduler_experiment.cpp.o.d"
+  "scheduler_experiment"
+  "scheduler_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

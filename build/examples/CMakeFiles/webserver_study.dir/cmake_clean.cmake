@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_study.dir/webserver_study.cpp.o"
+  "CMakeFiles/webserver_study.dir/webserver_study.cpp.o.d"
+  "webserver_study"
+  "webserver_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bp/btb.cc" "src/CMakeFiles/smtos.dir/bp/btb.cc.o" "gcc" "src/CMakeFiles/smtos.dir/bp/btb.cc.o.d"
+  "/root/repo/src/bp/mcfarling.cc" "src/CMakeFiles/smtos.dir/bp/mcfarling.cc.o" "gcc" "src/CMakeFiles/smtos.dir/bp/mcfarling.cc.o.d"
+  "/root/repo/src/bp/ras.cc" "src/CMakeFiles/smtos.dir/bp/ras.cc.o" "gcc" "src/CMakeFiles/smtos.dir/bp/ras.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/smtos.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/smtos.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/smtos.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/smtos.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/smtos.dir/common/table.cc.o" "gcc" "src/CMakeFiles/smtos.dir/common/table.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/CMakeFiles/smtos.dir/common/trace.cc.o" "gcc" "src/CMakeFiles/smtos.dir/common/trace.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/smtos.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/smtos.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/smtos.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/smtos.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/isa/codegen.cc" "src/CMakeFiles/smtos.dir/isa/codegen.cc.o" "gcc" "src/CMakeFiles/smtos.dir/isa/codegen.cc.o.d"
+  "/root/repo/src/isa/cursor.cc" "src/CMakeFiles/smtos.dir/isa/cursor.cc.o" "gcc" "src/CMakeFiles/smtos.dir/isa/cursor.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/smtos.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/smtos.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/instr.cc" "src/CMakeFiles/smtos.dir/isa/instr.cc.o" "gcc" "src/CMakeFiles/smtos.dir/isa/instr.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/smtos.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/smtos.dir/isa/program.cc.o.d"
+  "/root/repo/src/kernel/fs.cc" "src/CMakeFiles/smtos.dir/kernel/fs.cc.o" "gcc" "src/CMakeFiles/smtos.dir/kernel/fs.cc.o.d"
+  "/root/repo/src/kernel/image.cc" "src/CMakeFiles/smtos.dir/kernel/image.cc.o" "gcc" "src/CMakeFiles/smtos.dir/kernel/image.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/smtos.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/smtos.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/netstack.cc" "src/CMakeFiles/smtos.dir/kernel/netstack.cc.o" "gcc" "src/CMakeFiles/smtos.dir/kernel/netstack.cc.o.d"
+  "/root/repo/src/kernel/pal.cc" "src/CMakeFiles/smtos.dir/kernel/pal.cc.o" "gcc" "src/CMakeFiles/smtos.dir/kernel/pal.cc.o.d"
+  "/root/repo/src/kernel/scheduler.cc" "src/CMakeFiles/smtos.dir/kernel/scheduler.cc.o" "gcc" "src/CMakeFiles/smtos.dir/kernel/scheduler.cc.o.d"
+  "/root/repo/src/kernel/syscalls.cc" "src/CMakeFiles/smtos.dir/kernel/syscalls.cc.o" "gcc" "src/CMakeFiles/smtos.dir/kernel/syscalls.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/smtos.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/smtos.dir/mem/bus.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/smtos.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/smtos.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/smtos.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/smtos.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/missclass.cc" "src/CMakeFiles/smtos.dir/mem/missclass.cc.o" "gcc" "src/CMakeFiles/smtos.dir/mem/missclass.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/CMakeFiles/smtos.dir/mem/mshr.cc.o" "gcc" "src/CMakeFiles/smtos.dir/mem/mshr.cc.o.d"
+  "/root/repo/src/mem/storebuffer.cc" "src/CMakeFiles/smtos.dir/mem/storebuffer.cc.o" "gcc" "src/CMakeFiles/smtos.dir/mem/storebuffer.cc.o.d"
+  "/root/repo/src/net/clients.cc" "src/CMakeFiles/smtos.dir/net/clients.cc.o" "gcc" "src/CMakeFiles/smtos.dir/net/clients.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/smtos.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/smtos.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/export.cc" "src/CMakeFiles/smtos.dir/sim/export.cc.o" "gcc" "src/CMakeFiles/smtos.dir/sim/export.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/smtos.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/smtos.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/smtos.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/smtos.dir/sim/system.cc.o.d"
+  "/root/repo/src/vm/addrspace.cc" "src/CMakeFiles/smtos.dir/vm/addrspace.cc.o" "gcc" "src/CMakeFiles/smtos.dir/vm/addrspace.cc.o.d"
+  "/root/repo/src/vm/physmem.cc" "src/CMakeFiles/smtos.dir/vm/physmem.cc.o" "gcc" "src/CMakeFiles/smtos.dir/vm/physmem.cc.o.d"
+  "/root/repo/src/vm/tlb.cc" "src/CMakeFiles/smtos.dir/vm/tlb.cc.o" "gcc" "src/CMakeFiles/smtos.dir/vm/tlb.cc.o.d"
+  "/root/repo/src/workload/apache.cc" "src/CMakeFiles/smtos.dir/workload/apache.cc.o" "gcc" "src/CMakeFiles/smtos.dir/workload/apache.cc.o.d"
+  "/root/repo/src/workload/specint.cc" "src/CMakeFiles/smtos.dir/workload/specint.cc.o" "gcc" "src/CMakeFiles/smtos.dir/workload/specint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

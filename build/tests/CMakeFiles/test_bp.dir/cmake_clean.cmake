@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bp.dir/test_bp.cc.o"
+  "CMakeFiles/test_bp.dir/test_bp.cc.o.d"
+  "test_bp"
+  "test_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cursor.dir/test_cursor.cc.o"
+  "CMakeFiles/test_cursor.dir/test_cursor.cc.o.d"
+  "test_cursor"
+  "test_cursor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cursor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

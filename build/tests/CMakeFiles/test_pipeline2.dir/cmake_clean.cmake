@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline2.dir/test_pipeline2.cc.o"
+  "CMakeFiles/test_pipeline2.dir/test_pipeline2.cc.o.d"
+  "test_pipeline2"
+  "test_pipeline2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_disasm.dir/test_trace_disasm.cc.o"
+  "CMakeFiles/test_trace_disasm.dir/test_trace_disasm.cc.o.d"
+  "test_trace_disasm"
+  "test_trace_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

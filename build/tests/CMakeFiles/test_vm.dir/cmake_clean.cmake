@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm.dir/test_vm.cc.o"
+  "CMakeFiles/test_vm.dir/test_vm.cc.o.d"
+  "test_vm"
+  "test_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# Convenience wrappers over the CMake build. CI runs the same two
+# configurations: Release, and Debug with ASan/UBSan (SMTOS_SANITIZE).
+
+BUILD_RELEASE := build
+BUILD_ASAN := build-asan
+JOBS ?= $(shell nproc 2>/dev/null || echo 4)
+
+.PHONY: all test asan asan-test cosim clean
+
+all:
+	cmake -B $(BUILD_RELEASE) -S . -DCMAKE_BUILD_TYPE=Release
+	cmake --build $(BUILD_RELEASE) -j $(JOBS)
+
+test: all
+	ctest --test-dir $(BUILD_RELEASE) --output-on-failure -j $(JOBS)
+
+asan:
+	cmake -B $(BUILD_ASAN) -S . -DCMAKE_BUILD_TYPE=Debug \
+	    -DSMTOS_SANITIZE=ON
+	cmake --build $(BUILD_ASAN) -j $(JOBS)
+
+asan-test: asan
+	ctest --test-dir $(BUILD_ASAN) --output-on-failure -j $(JOBS)
+
+# Just the reference-model co-simulation suite (Release).
+cosim: all
+	ctest --test-dir $(BUILD_RELEASE) -L cosim --output-on-failure
+
+clean:
+	rm -rf $(BUILD_RELEASE) $(BUILD_ASAN)

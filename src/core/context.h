@@ -14,6 +14,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "isa/cursor.h"
+#include "ref/refvalue.h"
 #include "vm/addrspace.h"
 
 namespace smtos {
@@ -33,6 +34,12 @@ struct ThreadState
     bool isIdleThread = false;
     /** Seed base for this thread's stochastic behavior. */
     std::uint64_t seed = 1;
+    /**
+     * Committed register values under the refvalue.h value model.
+     * Maintained by the pipeline's commit stage only while a
+     * RetireObserver is attached (co-simulation).
+     */
+    ArchRegs archRegs{};
 };
 
 /** Fetch-stall reasons, sampled for the fetchable-contexts metric. */

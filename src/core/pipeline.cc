@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "ref/refvalue.h"
 
 namespace smtos {
 
@@ -35,6 +36,8 @@ Pipeline::bindThread(CtxId id, ThreadState *t)
     c.lastFetchLine = ~0ull;
     writerSeq_[static_cast<size_t>(id)].fill(0);
     pendingDone_[static_cast<size_t>(id)].clear();
+    if (obs_ && t)
+        obs_->onThreadStateSync(*t, nextSeq_);
 }
 
 void
@@ -94,6 +97,8 @@ Pipeline::translateFetch(Context &c, ThreadState &t, Mode m, Addr pc,
     }
     stats_.kernelEntries.add("itlb_miss");
     os_->itlbMiss(t, pc);
+    if (obs_)
+        obs_->onThreadStateSync(t, nextSeq_);
     c.fetchResumeAt = now_ + 1;
     c.stallReason = FetchStall::TrapDrain;
     return false;
@@ -603,6 +608,8 @@ Pipeline::executeStage()
                             "ctx%d dtlb miss vaddr=0x%llx", c.id,
                             (unsigned long long)fault_vaddr);
                 os_->dtlbMiss(t, fault_vaddr);
+                if (obs_)
+                    obs_->onThreadStateSync(t, nextSeq_);
                 break; // queue shape changed; next context
             }
 
@@ -669,6 +676,14 @@ Pipeline::commitStage()
                 const Instr in = *u.instr;
                 dq.pop_front();
                 os_->serializing(c, t, in);
+                if (obs_) {
+                    // The OS advanced t past the serializing op (and
+                    // may have context-switched); both threads'
+                    // functional state is authoritative again.
+                    obs_->onThreadStateSync(t, nextSeq_);
+                    if (c.thread && c.thread != &t)
+                        obs_->onThreadStateSync(*c.thread, nextSeq_);
+                }
                 continue;
             }
             break;
@@ -680,7 +695,13 @@ Pipeline::commitStage()
         if (c.interruptPending && c.inflight == 0 && c.hasThread()) {
             c.interruptPending = false;
             stats_.kernelEntries.add("interrupt");
-            os_->interrupt(c, *c.thread, c.interruptVector);
+            ThreadState &t = *c.thread;
+            os_->interrupt(c, t, c.interruptVector);
+            if (obs_) {
+                obs_->onThreadStateSync(t, nextSeq_);
+                if (c.thread && c.thread != &t)
+                    obs_->onThreadStateSync(*c.thread, nextSeq_);
+            }
         }
     }
 }
@@ -708,6 +729,32 @@ Pipeline::commitUop(Context &c, Uop &u)
     if (in.isStore() && u.drainAt > 0)
         hier_->storeBuffer().push(now_, u.drainAt);
     c.thread->cursor.retired++;
+
+    if (obs_) {
+        RetireEvent e;
+        e.cycle = now_;
+        e.ctx = c.id;
+        e.thread = u.thread;
+        e.seq = u.seq;
+        e.pc = u.pc;
+        e.instr = u.instr;
+        e.mode = u.mode;
+        e.tag = u.tag;
+        e.vaddr = u.vaddr;
+        e.paddr = u.paddr;
+        e.isCondBranch = u.isCondBranch;
+        e.taken = u.actualTaken;
+        e.destValue =
+            archWriteValue(c.thread->archRegs, in, u.pc);
+        if (faultAtRetire_ != 0 &&
+            stats_.totalRetired() == faultAtRetire_) {
+            // Test-only: misreport this retirement so the cosim
+            // oracle has a wrong result to catch.
+            e.pc += instrBytes;
+            faultAtRetire_ = 0;
+        }
+        obs_->onRetire(e);
+    }
 }
 
 void

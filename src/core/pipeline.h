@@ -68,6 +68,48 @@ struct Uop
     std::uint64_t ghrCp = 0;
 };
 
+/**
+ * One architecturally committed instruction, as reported to a
+ * RetireObserver. This is the record the co-simulation oracle diffs
+ * against the functional reference model.
+ */
+struct RetireEvent
+{
+    Cycle cycle = 0;
+    CtxId ctx = invalidCtx;
+    ThreadId thread = invalidThread;
+    std::uint64_t seq = 0;
+    Addr pc = 0;
+    const Instr *instr = nullptr;
+    Mode mode = Mode::User;
+    std::int16_t tag = -1;       ///< kernel service tag, -1 for user
+    Addr vaddr = 0;              ///< memory ops only
+    Addr paddr = 0;              ///< translated address when known
+    bool isCondBranch = false;
+    bool taken = false;          ///< resolved direction (cond branches)
+    std::uint64_t destValue = 0; ///< refvalue.h value model (0: none)
+};
+
+/**
+ * Observer of the architectural (retired) instruction stream.
+ *
+ * onRetire fires for every committed instruction, in commit order.
+ * onThreadStateSync fires whenever software outside the pipeline (the
+ * OS model, or the pipeline's own trap vectoring) rewrote a thread's
+ * functional state: every retirement of that thread with
+ * seq >= firstSeq executes from the state captured at the call, while
+ * retirements with smaller seq (instructions already in flight) still
+ * belong to the previous state.
+ */
+class RetireObserver
+{
+  public:
+    virtual ~RetireObserver() = default;
+    virtual void onRetire(const RetireEvent &e) = 0;
+    virtual void onThreadStateSync(const ThreadState &t,
+                                   std::uint64_t firstSeq) = 0;
+};
+
 /** The SMT/superscalar core. */
 class Pipeline
 {
@@ -111,6 +153,7 @@ class Pipeline
     Hierarchy &hierarchy() { return *hier_; }
 
     const CoreParams &params() const { return params_; }
+    const CodeImage *kernelImage() const { return kernelImage_; }
 
     /** Table 9 mode: privileged branches bypass predictor and BTB. */
     void setFilterPrivilegedBranches(bool on) { filterPrivBr_ = on; }
@@ -118,6 +161,34 @@ class Pipeline
     /** Table 4 application-only mode: TLB misses refill instantly
      *  (no handler code, no trap), via OsCallbacks::magicTranslate. */
     void setAppOnlyTlb(bool on) { appOnlyTlb_ = on; }
+
+    /**
+     * Attach (or detach, with nullptr) the retired-stream observer.
+     * Attach before the first thread binds so the observer sees every
+     * state sync from the start of time.
+     */
+    void setRetireObserver(RetireObserver *o) { obs_ = o; }
+    RetireObserver *retireObserver() const { return obs_; }
+
+    /**
+     * The OS model rewrote @p t's functional state outside a pipeline
+     * callback (e.g. the context-switch frame push in switchTo).
+     * Forwards a state sync to the observer; cheap no-op otherwise.
+     */
+    void
+    noteOsStateSync(ThreadState &t)
+    {
+        if (obs_)
+            obs_->onThreadStateSync(t, nextSeq_);
+    }
+
+    /**
+     * Test-only fault injection: corrupt the PC of the @p nth retired
+     * instruction as reported to the observer (the simulation itself
+     * is untouched). The co-simulation suite uses this to prove the
+     * oracle actually catches wrong results. 0 disarms.
+     */
+    void injectRetireFault(std::uint64_t nth) { faultAtRetire_ = nth; }
 
   private:
     ImageSet imagesFor(const ThreadState &t) const
@@ -146,6 +217,8 @@ class Pipeline
     Hierarchy *hier_;
     const CodeImage *kernelImage_;
     OsCallbacks *os_ = nullptr;
+    RetireObserver *obs_ = nullptr;
+    std::uint64_t faultAtRetire_ = 0;
 
     std::vector<Context> ctxs_;
     std::vector<std::deque<Uop>> q_;

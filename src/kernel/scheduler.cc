@@ -111,6 +111,9 @@ Kernel::switchTo(Context &ctx, Process *next)
     // The incoming thread pays the context-switch cost.
     if (!params_.appOnly)
         next->ts.cursor.push(kc_.schedSwitch, true);
+    // bindThread synced the observer before the frame push above; the
+    // post-push state is the one the incoming thread retires from.
+    pipe_.noteOsStateSync(next->ts);
 }
 
 void

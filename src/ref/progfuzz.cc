@@ -1,0 +1,143 @@
+#include "ref/progfuzz.h"
+
+#include <string>
+#include <vector>
+
+#include "isa/codegen.h"
+#include "kernel/kernel.h"
+#include "kernel/layout.h"
+
+namespace smtos {
+
+namespace {
+
+/** Syscalls that never block a SpecInt-kind process. */
+constexpr std::uint16_t safeSyscalls[] = {
+    SysRead,  SysWrite,  SysWritev, SysStat,   SysOpen,
+    SysClose, SysMmap,   SysMunmap, SysBrk,    SysGetPid,
+};
+constexpr int numSafeSyscalls =
+    static_cast<int>(sizeof(safeSyscalls) / sizeof(safeSyscalls[0]));
+
+/** Randomize the generator profile inside a structurally safe box. */
+CodeProfile
+fuzzProfile(Rng &r)
+{
+    CodeProfile p;
+    p.loadFrac = 0.08 + r.uniform() * 0.25;
+    p.storeFrac = 0.04 + r.uniform() * 0.16;
+    p.fpFrac = r.uniform() * 0.12;
+    p.mulFrac = r.uniform() * 0.15;
+    p.physMemFrac = 0.0; // user code never bypasses the TLB
+    p.seqFrac = r.uniform() * 0.6;
+    p.stackFrac = r.uniform() * 0.4;
+    p.virtRegions = {{regUserGlobals, 0.5 + r.uniform() * 3.0},
+                     {regUserHeap, 0.5 + r.uniform() * 3.0},
+                     {regUserAux, r.uniform()}};
+    p.physRegions = {};
+    p.stackRegion = regUserStack;
+    p.strideMin = 4 << r.below(3);
+    p.strideMax = p.strideMin * static_cast<int>(2 + r.below(7));
+    p.loopFrac = 0.1 + r.uniform() * 0.35;
+    p.diamondFrac = 0.2 + r.uniform() * 0.4;
+    p.indirectFrac = r.uniform() * 0.08;
+    p.takenBias = 0.25 + r.uniform() * 0.6;
+    p.loopTripMin = static_cast<int>(2 + r.below(4));
+    p.loopTripMax = p.loopTripMin + static_cast<int>(2 + r.below(28));
+    p.indirectFanMin = 2;
+    p.indirectFanMax = static_cast<int>(3 + r.below(5));
+    p.midBranchFrac = r.uniform() * 0.2;
+    p.instrsPerBlockMin = static_cast<int>(3 + r.below(4));
+    p.instrsPerBlockMax =
+        p.instrsPerBlockMin + static_cast<int>(2 + r.below(9));
+    return p;
+}
+
+} // namespace
+
+FuzzedProgram
+fuzzProgram(std::uint64_t seed)
+{
+    Rng r(mixHash(seed, 0xf022aull));
+
+    FuzzedProgram fp;
+    fp.seed = seed;
+    fp.image = std::make_unique<CodeImage>(
+        "fuzz" + std::to_string(seed), userTextBase);
+    CodeImage &img = *fp.image;
+    CodeGen g(img, fuzzProfile(r), mixHash(seed, 0xc0dellu));
+
+    // A random call graph: leaves, then mid-level functions over them.
+    auto pad = [&] {
+        if (r.chance(0.7))
+            g.genPadding(static_cast<int>(80 + r.below(700)));
+    };
+    std::vector<int> leaves;
+    const int num_leaves = static_cast<int>(2 + r.below(6));
+    for (int i = 0; i < num_leaves; ++i) {
+        pad();
+        leaves.push_back(g.genFunction(
+            "leaf" + std::to_string(i),
+            static_cast<int>(3 + r.below(10)), {}));
+    }
+    std::vector<int> mids;
+    const int num_mids = static_cast<int>(1 + r.below(4));
+    for (int i = 0; i < num_mids; ++i) {
+        pad();
+        mids.push_back(g.genFunction(
+            "mid" + std::to_string(i),
+            static_cast<int>(4 + r.below(10)), leaves));
+    }
+    std::vector<int> callees = mids;
+    callees.insert(callees.end(), leaves.begin(), leaves.end());
+    pad();
+
+    // Main: setup, then body segments in an infinite steady loop.
+    // Segment i is three blocks (3i+1 .. 3i+3): a work block ending
+    // in an optional call, a diamond head that usually skips over the
+    // tail, and a tail holding a random non-blocking system call; the
+    // final block jumps back to the first segment.
+    fp.entryFunc = img.beginFunction("main", -1);
+    const int num_segs = static_cast<int>(3 + r.below(6));
+    img.beginBlock(); // b0: setup
+    g.emitWork(static_cast<int>(2 + r.below(8)));
+    if (r.chance(0.5))
+        img.emit(g.makeSyscall(SysOpen));
+    for (int i = 0; i < num_segs; ++i) {
+        img.beginBlock(); // 3i+1: work, maybe call
+        g.emitWork(static_cast<int>(3 + r.below(10)));
+        if (!callees.empty() && r.chance(0.75))
+            img.emit(g.makeCall(callees[r.below(callees.size())]));
+        img.beginBlock(); // 3i+2: diamond head
+        g.emitWork(static_cast<int>(1 + r.below(5)));
+        // Usually skip the syscall tail; sometimes fall into it.
+        img.emit(g.makeCond(3 * i + 4, 0.85 + r.uniform() * 0.14));
+        img.beginBlock(); // 3i+3: syscall tail
+        img.emit(g.makeSyscall(
+            safeSyscalls[r.below(numSafeSyscalls)]));
+        g.emitWork(static_cast<int>(1 + r.below(5)));
+    }
+    img.beginBlock(); // closing block: 3*num_segs+1
+    g.emitWork(static_cast<int>(2 + r.below(6)));
+    img.emit(g.makeJump(1));
+
+    img.finalize();
+    return fp;
+}
+
+void
+installFuzzedProc(Kernel &k, const FuzzedProgram &fp, int index)
+{
+    ProcParams cfg;
+    cfg.kind = ProcKind::SpecIntApp;
+    cfg.image = fp.image.get();
+    cfg.entryFunc = fp.entryFunc;
+    cfg.seed = mixHash(fp.seed, 0x9117ull * (index + 1));
+    cfg.heapBytes = (1ull + (mixHash(fp.seed, index) & 7)) << 20;
+    cfg.inputChunks = 16;
+    cfg.inputFileId = 2000 + index;
+    cfg.shareText = false;
+    k.createProcess(cfg);
+}
+
+} // namespace smtos

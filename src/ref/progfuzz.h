@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Seeded random-program generation for co-simulation fuzzing.
+ *
+ * Each seed produces a structurally valid but randomly shaped user
+ * program: randomized instruction mix, memory-region weights, control
+ * flow (loops, diamonds, indirect jumps, calls), and random
+ * non-blocking system calls. Programs end in an infinite steady loop
+ * (like the SPECInt workload) so a run of any length stays on defined
+ * code; blocking syscalls (accept/select) and Halt are never emitted.
+ */
+
+#ifndef SMTOS_REF_PROGFUZZ_H
+#define SMTOS_REF_PROGFUZZ_H
+
+#include <cstdint>
+#include <memory>
+
+#include "isa/program.h"
+
+namespace smtos {
+
+class Kernel;
+
+/** One fuzzed user program. */
+struct FuzzedProgram
+{
+    std::unique_ptr<CodeImage> image;
+    int entryFunc = 0;
+    std::uint64_t seed = 0;
+};
+
+/** Generate a random program from @p seed (deterministic per seed). */
+FuzzedProgram fuzzProgram(std::uint64_t seed);
+
+/** Install @p fp as a user process; @p index diversifies pid-local
+ *  parameters (seed, heap size, input file). */
+void installFuzzedProc(Kernel &k, const FuzzedProgram &fp, int index);
+
+} // namespace smtos
+
+#endif // SMTOS_REF_PROGFUZZ_H

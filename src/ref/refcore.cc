@@ -1,0 +1,76 @@
+#include "ref/refcore.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "core/context.h"
+
+namespace smtos {
+
+RefSyncState
+RefSyncState::capture(const ThreadState &t)
+{
+    RefSyncState s;
+    s.cursor = t.cursor;
+    s.iprs = t.iprs;
+    for (int i = 0; i < maxRegions; ++i)
+        s.regions[i] = t.regions[i];
+    s.userImage = t.userImage;
+    s.isIdleThread = t.isIdleThread;
+    return s;
+}
+
+void
+RefCore::apply(const RefSyncState &s, const CodeImage *kernel_image)
+{
+    cur_ = s.cursor;
+    // The live cursor is never mid-speculation at an OS intervention;
+    // a stale wrong-path/stuck flag would wedge the reference.
+    cur_.setWrongPath(false);
+    cur_.setStuck(false);
+    iprs_ = s.iprs;
+    for (int i = 0; i < maxRegions; ++i)
+        regions_[i] = s.regions[i];
+    is_ = ImageSet{s.userImage, kernel_image};
+    isIdle_ = s.isIdleThread;
+    live_ = true;
+    waitingOs_ = false;
+}
+
+RefRetire
+RefCore::step()
+{
+    smtos_assert(live_ && !waitingOs_);
+    smtos_assert(cur_.valid());
+
+    RefRetire r;
+    const Instr &in = cur_.currentInstr(is_);
+    r.pc = cur_.currentPc(is_);
+    r.instr = &in;
+    const Mode m = cur_.mode(is_);
+    r.mode = (isIdle_ && m != Mode::User) ? Mode::Idle : m;
+    if (cur_.top().inKernel)
+        r.tag = is_.kernel->func(cur_.top().func).tag;
+
+    if (in.isSerializing()) {
+        // The OS model performs this instruction's semantics and
+        // advances the thread; stop here until that sync arrives.
+        waitingOs_ = true;
+    } else if (in.isBranch()) {
+        const BranchPreview bp = cur_.previewBranch(is_, iprs_);
+        r.taken = in.op == Op::CondBranch ? bp.taken : true;
+        cur_.followBranch(is_, bp, bp.taken);
+    } else {
+        if (in.isMem()) {
+            if (!cur_.takeRetryVaddr(r.vaddr))
+                r.vaddr = cur_.memAddress(in, regions_, iprs_);
+        }
+        cur_.stepSequential(is_);
+    }
+
+    r.destValue = archWriteValue(regs_, in, r.pc);
+    ++executed_;
+    return r;
+}
+
+} // namespace smtos

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The architectural register-value model shared by the pipeline's
+ * commit stage and the functional reference interpreter.
+ *
+ * The synthetic ISA carries register *names* (dependences) but no
+ * concrete datapath semantics, so we define one: every retired
+ * instruction that writes a register produces a value that is a hash
+ * of its PC, its operation, and the current values of its source
+ * registers. Both the pipeline (over its committed stream) and the
+ * RefCore (over its functional stream) evaluate this chain
+ * independently; because the chain threads every prior write of every
+ * source register, a single skipped, duplicated, or reordered
+ * retirement poisons all downstream values, so divergences are sticky
+ * and cannot cancel out by accident.
+ */
+
+#ifndef SMTOS_REF_REFVALUE_H
+#define SMTOS_REF_REFVALUE_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "isa/instr.h"
+
+namespace smtos {
+
+/** One architectural register file (0-31 int, 32-63 fp). */
+using ArchRegs = std::array<std::uint64_t, numIntRegs + numFpRegs>;
+
+/**
+ * Evaluate the value model for one retired instruction: read the
+ * sources, compute the defined value, and write the destination.
+ * Returns the written value (0 when the instruction has no dest).
+ */
+inline std::uint64_t
+archWriteValue(ArchRegs &regs, const Instr &in, Addr pc)
+{
+    if (in.dest == regNone)
+        return 0;
+    const std::uint64_t a = in.srcA != regNone ? regs[in.srcA] : 0;
+    const std::uint64_t b = in.srcB != regNone ? regs[in.srcB] : 0;
+    const std::uint64_t v =
+        mixHash(pc ^ (static_cast<std::uint64_t>(in.op) << 56),
+                mixHash(a, b));
+    regs[in.dest] = v;
+    return v;
+}
+
+} // namespace smtos
+
+#endif // SMTOS_REF_REFVALUE_H

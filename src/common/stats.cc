@@ -30,6 +30,48 @@ Histogram::bucketLo(int i) const
     return lo_ + span * i / numBuckets();
 }
 
+std::int64_t
+Histogram::bucketHi(int i) const
+{
+    const std::int64_t span = hi_ - lo_;
+    return lo_ + span * (i + 1) / numBuckets();
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-quantile sample, 1-based: ceil(q * total),
+    // at least 1 so q=0 lands on the first sample.
+    const double exact = q * static_cast<double>(total_);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(exact) +
+        (exact > static_cast<double>(
+                     static_cast<std::uint64_t>(exact)) ? 1 : 0);
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (int i = 0; i < numBuckets(); ++i) {
+        const std::uint64_t n = counts_[static_cast<size_t>(i)];
+        if (cum + n < rank) {
+            cum += n;
+            continue;
+        }
+        // Interpolate the rank's position inside bucket i. Terminal
+        // buckets hold clamped samples, so the reported value never
+        // leaves [lo, hi] even if the raw samples did.
+        const double within =
+            (static_cast<double>(rank - cum) - 0.5) /
+            static_cast<double>(n);
+        const double lo = static_cast<double>(bucketLo(i));
+        const double hi = static_cast<double>(bucketHi(i));
+        return lo + within * (hi - lo);
+    }
+    return static_cast<double>(hi_);
+}
+
 void
 Histogram::reset()
 {

@@ -94,6 +94,22 @@ class Histogram
     /** Inclusive lower bound of bucket i. */
     std::int64_t bucketLo(int i) const;
 
+    /** Exclusive upper bound of bucket i (== bucketLo(i + 1)). */
+    std::int64_t bucketHi(int i) const;
+
+    /**
+     * Quantile estimate from the bucket counts, @p q in [0, 1], with
+     * linear interpolation inside the containing bucket. Because
+     * out-of-range samples are clamped into the terminal buckets, the
+     * estimate is itself clamped to [lo, hi]; an empty histogram
+     * reports 0.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
     double mean() const { return total_ ? weightedSum_ / total_ : 0.0; }
 
     void reset();

@@ -1,5 +1,7 @@
 #include "common/trace.h"
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -10,6 +12,7 @@ namespace smtos {
 std::uint32_t Trace::mask_ = 0;
 std::ostream *Trace::sink_ = nullptr;
 Cycle Trace::cycle_ = 0;
+const Cycle *Trace::clock_ = nullptr;
 
 void
 Trace::enable(TraceCat cats)
@@ -39,7 +42,27 @@ void
 Trace::emit(TraceCat cat, const std::string &msg)
 {
     std::ostream &os = sink_ ? *sink_ : std::cerr;
-    os << cycle_ << ": " << traceCatName(cat) << ": " << msg << "\n";
+    const Cycle c = clock_ ? *clock_ : cycle_;
+    os << c << ": " << traceCatName(cat) << ": " << msg << "\n";
+}
+
+void
+Trace::applyEnv()
+{
+    static bool applied = false;
+    if (applied)
+        return;
+    applied = true;
+    if (const char *cats = std::getenv("SMTOS_TRACE"))
+        setMask(parseCats(cats));
+    if (const char *path = std::getenv("SMTOS_TRACE_FILE")) {
+        static std::ofstream file;
+        file.open(path);
+        if (file)
+            setSink(&file);
+        else
+            smtos_warn("cannot open SMTOS_TRACE_FILE '%s'", path);
+    }
 }
 
 std::uint32_t

@@ -56,8 +56,25 @@ class Trace
     /** Redirect output (default: stderr). Pass nullptr to restore. */
     static void setSink(std::ostream *os);
 
-    /** Set the clock source used for the cycle prefix. */
+    /**
+     * Register the live cycle counter the prefix is read from (the
+     * Pipeline registers its own clock at construction). While a
+     * clock is registered every line carries the current simulated
+     * cycle, even for traces emitted from OS-model code between
+     * pipeline ticks. Pass nullptr to unregister.
+     */
+    static void setClock(const Cycle *src) { clock_ = src; }
+    static const Cycle *clock() { return clock_; }
+
+    /** Set a fixed cycle prefix (used when no clock is registered). */
     static void setCycle(Cycle c) { cycle_ = c; }
+
+    /**
+     * Apply the SMTOS_TRACE / SMTOS_TRACE_FILE environment variables
+     * (category list and output path). Idempotent; does nothing when
+     * the variables are unset, so programmatic enables still win.
+     */
+    static void applyEnv();
 
     /** Emit one line (used by the smtos_trace macro). */
     static void emit(TraceCat cat, const std::string &msg);
@@ -69,6 +86,7 @@ class Trace
     static std::uint32_t mask_;
     static std::ostream *sink_;
     static Cycle cycle_;
+    static const Cycle *clock_;
 };
 
 /** Name of a single category. */

@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "kernel/tags.h"
+#include "obs/profiler.h"
 #include "ref/refvalue.h"
 
 namespace smtos {
@@ -25,6 +27,16 @@ Pipeline::Pipeline(const CoreParams &params, Hierarchy &hier,
         ctxs_[i].ras = Ras(params_.rasDepth);
         writerSeq_[i].fill(0);
     }
+    // Trace lines read the cycle straight from this counter, so
+    // emissions between ticks (OS hooks, tests) carry the live cycle
+    // rather than a stale per-tick copy.
+    Trace::setClock(&now_);
+}
+
+Pipeline::~Pipeline()
+{
+    if (Trace::clock() == &now_)
+        Trace::setClock(nullptr);
 }
 
 void
@@ -93,8 +105,10 @@ Pipeline::translateFetch(Context &c, ThreadState &t, Mode m, Addr pc,
         // Speculative fetch down a wrong path hit an unmapped page:
         // stall until the mispredicted branch squashes us.
         t.cursor.setStuck(true);
+        fetchStop_ = FetchStop::Stuck;
         return false;
     }
+    fetchStop_ = FetchStop::TlbTrap;
     stats_.kernelEntries.add("itlb_miss");
     os_->itlbMiss(t, pc);
     if (obs_)
@@ -111,11 +125,13 @@ Pipeline::fetchFrom(Context &c, int budget)
     const ImageSet is = imagesFor(t);
     Cursor &cur = t.cursor;
     int n = 0;
+    fetchStop_ = FetchStop::None;
 
     while (n < budget) {
         if (cur.stuck()) {
             if (n == 0)
                 stats_.kernelEntries.add("fs_stuck");
+            fetchStop_ = FetchStop::Stuck;
             break;
         }
         const Mode cursor_mode = cur.mode(is);
@@ -139,6 +155,7 @@ Pipeline::fetchFrom(Context &c, int budget)
                 c.stallReason = FetchStall::IcacheMiss;
                 if (n == 0)
                     stats_.kernelEntries.add("fs_imiss");
+                fetchStop_ = FetchStop::IcacheMiss;
                 break;
             }
             c.lastFetchLine = line;
@@ -149,17 +166,20 @@ Pipeline::fetchFrom(Context &c, int budget)
             unissuedFp_ >= params_.fpQueue) {
             if (n == 0)
                 stats_.kernelEntries.add("fs_iq");
+            fetchStop_ = FetchStop::IqFull;
             break;
         }
         if (intRegsUsed_ >= params_.intRenameRegs ||
             fpRegsUsed_ >= params_.fpRenameRegs) {
             if (n == 0)
                 stats_.kernelEntries.add("fs_rename");
+            fetchStop_ = FetchStop::RenameFull;
             break;
         }
         if (c.inflight >= params_.maxInflightPerCtx) {
             if (n == 0)
                 stats_.kernelEntries.add("fs_inflight");
+            fetchStop_ = FetchStop::WindowFull;
             break;
         }
 
@@ -348,8 +368,11 @@ Pipeline::fetchFrom(Context &c, int budget)
         if (u.wrongPath)
             ++stats_.fetchedWrongPath;
         ++n;
-        if (ends_run)
+        if (ends_run) {
+            fetchStop_ = u.serializing ? FetchStop::Serialize
+                                       : FetchStop::TakenBranch;
             break;
+        }
     }
     return n;
 }
@@ -395,6 +418,172 @@ Pipeline::fetchStage()
     }
     if (total == 0)
         ++stats_.zeroFetchCycles;
+
+    if (probes_ && probes_->profiler())
+        profileFetchSlots(cands, picked, budget);
+}
+
+namespace {
+
+/**
+ * When several blocked contexts could be charged for a zero-fetch
+ * cycle, prefer the most specific cause over the catch-alls.
+ */
+int
+causePriority(SlotCause c)
+{
+    switch (c) {
+      case SlotCause::IcacheMiss: return 14;
+      case SlotCause::TlbRefill: return 13;
+      case SlotCause::DcacheStall: return 12;
+      case SlotCause::SquashRecovery: return 11;
+      case SlotCause::Serialize: return 10;
+      case SlotCause::IntrDrain: return 9;
+      case SlotCause::KernelSync: return 8;
+      case SlotCause::BranchHold: return 7;
+      case SlotCause::WindowFull: return 6;
+      case SlotCause::IqFull: return 5;
+      case SlotCause::RenameFull: return 4;
+      case SlotCause::FetchPortLimit: return 3;
+      case SlotCause::Fragmentation: return 2;
+      case SlotCause::Idle: return 1;
+      case SlotCause::NoThread: return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+SlotCause
+Pipeline::windowCause(const Context &c) const
+{
+    for (const Uop &u : q_[static_cast<size_t>(c.id)]) {
+        if (u.stage == Uop::Stage::Issued && u.instr->isLoad() &&
+            u.doneAt > now_)
+            return SlotCause::DcacheStall;
+    }
+    return SlotCause::WindowFull;
+}
+
+SlotCause
+Pipeline::fetchBlockCause(const Context &c) const
+{
+    if (!c.hasThread())
+        return SlotCause::NoThread;
+    if (c.thread->isIdleThread)
+        return SlotCause::Idle;
+    if (c.interruptPending)
+        return SlotCause::IntrDrain;
+    if (now_ < c.fetchResumeAt) {
+        switch (c.stallReason) {
+          case FetchStall::IcacheMiss: return SlotCause::IcacheMiss;
+          case FetchStall::TrapDrain: return SlotCause::TlbRefill;
+          case FetchStall::Redirect: return SlotCause::SquashRecovery;
+          case FetchStall::Serialize: return SlotCause::Serialize;
+          default:
+            // BTB-miss redirect bubbles set fetchResumeAt without a
+            // dedicated reason: the front end waits on a target.
+            return SlotCause::BranchHold;
+        }
+    }
+    if (waitBranch_[static_cast<size_t>(c.id)] != 0)
+        return SlotCause::BranchHold;
+    if (c.thread->cursor.stuck())
+        return c.thread->cursor.wrongPath() ? SlotCause::SquashRecovery
+                                            : SlotCause::Serialize;
+    if (c.inflight >= params_.maxInflightPerCtx)
+        return windowCause(c);
+    return SlotCause::Fragmentation;
+}
+
+int
+Pipeline::currentServiceTag(const Context &c) const
+{
+    if (!c.hasThread())
+        return -1;
+    const Cursor &cur = c.thread->cursor;
+    if (!cur.valid())
+        return -1;
+    const CallFrame &f = cur.top();
+    if (!f.inKernel)
+        return -1;
+    return kernelImage_->func(f.func).tag;
+}
+
+void
+Pipeline::profileFetchSlots(
+    const std::vector<std::pair<int, CtxId>> &cands, int picked,
+    int lost)
+{
+    CycleProfiler *prof = probes_->profiler();
+    prof->fetchUsed(params_.fetchWidth - lost);
+    if (lost <= 0)
+        return;
+
+    SlotCause cause = SlotCause::Fragmentation;
+    CtxId charged = invalidCtx;
+
+    if (picked > 0) {
+        // Some context got fetch slots; the last one picked is the one
+        // that stopped short, so charge the remainder to its stop.
+        charged = cands[static_cast<size_t>(picked - 1)].second;
+        const Context &c = ctxs_[static_cast<size_t>(charged)];
+        switch (fetchStop_) {
+          case FetchStop::Stuck:
+            cause = (c.hasThread() && c.thread->cursor.wrongPath())
+                        ? SlotCause::SquashRecovery
+                        : SlotCause::Serialize;
+            break;
+          case FetchStop::IcacheMiss:
+            cause = SlotCause::IcacheMiss;
+            break;
+          case FetchStop::TlbTrap:
+            cause = SlotCause::TlbRefill;
+            break;
+          case FetchStop::IqFull:
+            cause = SlotCause::IqFull;
+            break;
+          case FetchStop::RenameFull:
+            cause = SlotCause::RenameFull;
+            break;
+          case FetchStop::WindowFull:
+            cause = windowCause(c);
+            break;
+          case FetchStop::Serialize:
+            cause = SlotCause::Serialize;
+            break;
+          case FetchStop::TakenBranch:
+          case FetchStop::None:
+            // The run ended (or the port budget ran out) with fetch
+            // still healthy: more waiting candidates means the 2-port
+            // limit bound us, otherwise it is run fragmentation.
+            cause = (static_cast<int>(cands.size()) > picked)
+                        ? SlotCause::FetchPortLimit
+                        : SlotCause::Fragmentation;
+            break;
+        }
+    } else {
+        // Zero-fetch cycle: every context is blocked; charge the
+        // highest-priority blocked cause.
+        int best = -1;
+        for (const Context &c : ctxs_) {
+            const SlotCause bc = fetchBlockCause(c);
+            const int pr = causePriority(bc);
+            if (pr > best) {
+                best = pr;
+                cause = bc;
+                charged = c.id;
+            }
+        }
+    }
+
+    int tag = -1;
+    if (charged != invalidCtx) {
+        tag = currentServiceTag(ctxs_[static_cast<size_t>(charged)]);
+        if (tag == TagSpin)
+            cause = SlotCause::KernelSync;
+    }
+    prof->fetchLost(cause, lost, charged, tag);
 }
 
 void
@@ -404,6 +593,11 @@ Pipeline::issueStage()
     int mem_left = params_.memUnits;
     int fp_left = params_.fpUnits;
     int ports_left = params_.dcachePorts;
+
+    CycleProfiler *prof = probes_ ? probes_->profiler() : nullptr;
+    bool sawFuBlocked = false;
+    bool sawMemWait = false;
+    bool sawDepWait = false;
 
     // Gather ready candidates oldest-first across contexts.
     struct Cand
@@ -433,8 +627,28 @@ Pipeline::issueStage()
                 // in which case this consumer is doomed anyway).
                 return it == pd.end() || it->second <= now_;
             };
-            if (!op_ready(u.depA) || !op_ready(u.depB))
+            if (!op_ready(u.depA) || !op_ready(u.depB)) {
+                if (prof) {
+                    // Attribution only: is the uop waiting on a
+                    // long-latency (memory-like) producer or a
+                    // short one still in flight?
+                    auto classify = [&](std::uint64_t dep) {
+                        if (dep == 0)
+                            return;
+                        auto it = pd.find(dep);
+                        if (it == pd.end() || it->second <= now_)
+                            return;
+                        if (it->second == ~Cycle{0} ||
+                            it->second - now_ <= 2)
+                            sawDepWait = true;
+                        else
+                            sawMemWait = true;
+                    };
+                    classify(u.depA);
+                    classify(u.depB);
+                }
                 continue;
+            }
             cands.push_back(Cand{u.seq, c.id, i});
         }
     }
@@ -450,16 +664,24 @@ Pipeline::issueStage()
         const bool is_mem = in.isMem();
 
         if (is_fp) {
-            if (fp_left <= 0)
+            if (fp_left <= 0) {
+                sawFuBlocked = true;
                 continue;
+            }
         } else if (is_mem) {
-            if (int_left <= 0 || mem_left <= 0)
+            if (int_left <= 0 || mem_left <= 0) {
+                sawFuBlocked = true;
                 continue;
-            if (in.isLoad() && ports_left <= 0)
+            }
+            if (in.isLoad() && ports_left <= 0) {
+                sawFuBlocked = true;
                 continue;
+            }
         } else {
-            if (int_left <= 0)
+            if (int_left <= 0) {
+                sawFuBlocked = true;
                 continue;
+            }
         }
 
         // Compute completion time.
@@ -500,6 +722,9 @@ Pipeline::issueStage()
                     hier_->data(paddr, who, in.isStore(), now_);
                 if (in.isLoad()) {
                     done = r.readyAt;
+                    if (prof)
+                        prof->loadLatency(done > now_ ? done - now_
+                                                      : 0);
                 } else {
                     done = now_ + 1;
                     u.drainAt = r.readyAt;
@@ -535,6 +760,18 @@ Pipeline::issueStage()
         ++stats_.zeroIssueCycles;
     if (issued >= params_.intUnits)
         ++stats_.maxIssueCycles;
+
+    if (prof) {
+        prof->issueUsed(issued);
+        const int lost = params_.intUnits + params_.fpUnits - issued;
+        if (lost > 0) {
+            const IssueLoss cause = sawFuBlocked ? IssueLoss::FuBusy
+                                    : sawMemWait ? IssueLoss::MemStall
+                                    : sawDepWait ? IssueLoss::DepWait
+                                                 : IssueLoss::FrontEnd;
+            prof->issueLost(cause, lost);
+        }
+    }
 }
 
 void
@@ -607,6 +844,9 @@ Pipeline::executeStage()
                 smtos_trace(TraceCat::Tlb,
                             "ctx%d dtlb miss vaddr=0x%llx", c.id,
                             (unsigned long long)fault_vaddr);
+                if (probes_)
+                    probes_->squash(c.id, u.thread, u.pc,
+                                    "dtlb-trap");
                 os_->dtlbMiss(t, fault_vaddr);
                 if (obs_)
                     obs_->onThreadStateSync(t, nextSeq_);
@@ -622,6 +862,9 @@ Pipeline::executeStage()
                                 c.id,
                                 (unsigned long long)u.pc,
                                 (unsigned long long)u.seq);
+                    if (probes_)
+                        probes_->squash(c.id, u.thread, u.pc,
+                                        "mispredict");
                     ThreadState &t = *c.thread;
                     t.cursor = u.cp;
                     c.ras.restore(u.rasCp);
@@ -755,6 +998,8 @@ Pipeline::commitUop(Context &c, Uop &u)
         }
         obs_->onRetire(e);
     }
+    if (probes_)
+        probes_->retire(c.id, u.thread, u.mode);
 }
 
 void
@@ -762,7 +1007,8 @@ Pipeline::cycle()
 {
     ++now_;
     ++stats_.cycles;
-    Trace::setCycle(now_);
+    if (probes_)
+        probes_->onCycle(now_);
     if (os_)
         os_->cycleHook(now_);
     commitStage();

@@ -24,6 +24,7 @@
 #include "bp/mcfarling.h"
 #include "core/context.h"
 #include "mem/hierarchy.h"
+#include "obs/probes.h"
 #include "vm/tlb.h"
 
 namespace smtos {
@@ -116,9 +117,18 @@ class Pipeline
   public:
     Pipeline(const CoreParams &params, Hierarchy &hier,
              const CodeImage *kernel_image);
+    ~Pipeline();
 
     /** The OS model must be attached before the first cycle. */
     void setOs(OsCallbacks *os) { os_ = os; }
+
+    /**
+     * Attach (or detach, with nullptr) the observability hub. When
+     * null (the default), every probe site is one not-taken branch;
+     * attaching never changes simulated behavior or metrics.
+     */
+    void setProbes(Probes *p) { probes_ = p; }
+    Probes *probes() const { return probes_; }
 
     /** Bind a software thread to a hardware context. The context must
      *  be drained (no in-flight uops) unless it never ran. */
@@ -191,6 +201,24 @@ class Pipeline
     void injectRetireFault(std::uint64_t nth) { faultAtRetire_ = nth; }
 
   private:
+    /**
+     * Why the most recent fetchFrom() call stopped taking
+     * instructions; consumed by the cycle-attribution profiler to
+     * charge the cycle's unused fetch slots.
+     */
+    enum class FetchStop : std::uint8_t
+    {
+        None = 0,    ///< budget exhausted mid-run
+        Stuck,       ///< cursor stuck (serialize drain or wrong path)
+        IcacheMiss,
+        TlbTrap,
+        IqFull,
+        RenameFull,
+        WindowFull,
+        Serialize,
+        TakenBranch, ///< fetch run ended at a taken branch
+    };
+
     ImageSet imagesFor(const ThreadState &t) const
     {
         return ImageSet{t.userImage, kernelImage_};
@@ -210,6 +238,17 @@ class Pipeline
     /** Squash all uops of @p c with seq >= @p from_seq. */
     void squashTail(Context &c, std::uint64_t from_seq);
 
+    /** Charge this cycle's unused fetch slots to one (cause,ctx,tag). */
+    void profileFetchSlots(
+        const std::vector<std::pair<int, CtxId>> &cands, int picked,
+        int lost);
+    /** Why a context that produced no fetch candidate is blocked. */
+    SlotCause fetchBlockCause(const Context &c) const;
+    /** Window-full refinement: stalled behind an in-flight load? */
+    SlotCause windowCause(const Context &c) const;
+    /** Kernel service tag at the context's cursor (-1: user code). */
+    int currentServiceTag(const Context &c) const;
+
     void releaseUop(const Uop &u);
     void commitUop(Context &c, Uop &u);
 
@@ -218,6 +257,8 @@ class Pipeline
     const CodeImage *kernelImage_;
     OsCallbacks *os_ = nullptr;
     RetireObserver *obs_ = nullptr;
+    Probes *probes_ = nullptr;
+    FetchStop fetchStop_ = FetchStop::None;
     std::uint64_t faultAtRetire_ = 0;
 
     std::vector<Context> ctxs_;

@@ -1,8 +1,11 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/trace.h"
+#include "obs/session.h"
 #include "sim/config.h"
 
 namespace smtos {
@@ -10,6 +13,21 @@ namespace smtos {
 RunResult
 runExperiment(const RunSpec &spec)
 {
+    Trace::applyEnv();
+
+    // Observability: an explicit session wins; otherwise honor the
+    // SMTOS_* environment so any example/bench can be instrumented
+    // without code changes.
+    std::unique_ptr<ObsSession> envObs;
+    ObsSession *obs = spec.obs;
+    if (!obs) {
+        ObsConfig oc = ObsSession::configFromEnv();
+        if (oc.any()) {
+            envObs = std::make_unique<ObsSession>(oc);
+            obs = envObs.get();
+        }
+    }
+
     SystemConfig cfg =
         spec.smt ? smtConfig() : superscalarConfig();
     cfg.kernel.seed = spec.seed;
@@ -33,6 +51,8 @@ runExperiment(const RunSpec &spec)
     System sys(cfg);
     if (spec.filterKernelRefs)
         sys.pipeline().setFilterPrivilegedBranches(true);
+    if (obs)
+        obs->attach(sys);
 
     // Workload objects must outlive the run.
     SpecIntWorkload spec_w;
@@ -70,7 +90,34 @@ runExperiment(const RunSpec &spec)
     res.startup = s1.delta(s0);
 
     // Measurement phase.
-    if (spec.windowInstrs > 0) {
+    if (obs && obs->wantsIntervals()) {
+        // Cycle-driven interval sampling: advance in fixed steps and
+        // emit one time-series row per step until the instruction
+        // budget is retired. Deterministic for a given seed/config.
+        const Cycle iv = obs->intervalCycles();
+        const std::uint64_t target =
+            s1.core.totalRetired() + spec.measureInstrs;
+        MetricsSnapshot prev = s1;
+        int idx = 0;
+        int stuck = 0;
+        while (prev.core.totalRetired() < target) {
+            const Cycle c0 = sys.pipeline().now();
+            sys.runCycles(iv);
+            MetricsSnapshot cur = MetricsSnapshot::capture(sys);
+            obs->interval(idx++, c0, sys.pipeline().now(),
+                          cur.delta(prev));
+            if (cur.core.totalRetired() == prev.core.totalRetired()) {
+                if (++stuck >= 1000)
+                    smtos_panic("interval sampling made no progress "
+                                "for %d intervals",
+                                stuck);
+            } else {
+                stuck = 0;
+            }
+            prev = cur;
+        }
+        res.steady = MetricsSnapshot::capture(sys).delta(s1);
+    } else if (spec.windowInstrs > 0) {
         MetricsSnapshot prev = s1;
         std::uint64_t done = 0;
         while (done < spec.measureInstrs) {
@@ -91,6 +138,8 @@ runExperiment(const RunSpec &spec)
 
     res.requestsServed = sys.kernel().requestsServed();
     res.cycles = sys.pipeline().now();
+    if (obs)
+        obs->finish();
     return res;
 }
 

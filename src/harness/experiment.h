@@ -18,6 +18,8 @@
 
 namespace smtos {
 
+class ObsSession;
+
 /** What to simulate and how long. */
 struct RunSpec
 {
@@ -45,6 +47,15 @@ struct RunSpec
     bool roundRobinFetch = false;
     bool affinitySched = false;
     bool sharedTlbIpr = false;
+
+    /**
+     * Observability session to wire into the run (not owned; covers
+     * exactly one run). When null, runExperiment builds one from the
+     * SMTOS_* environment variables if any are set. When the session
+     * enables interval sampling, the measurement phase advances in
+     * intervalCycles() steps and emits one sample row per step.
+     */
+    ObsSession *obs = nullptr;
 };
 
 /** Phase deltas of one run. */

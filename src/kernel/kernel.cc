@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/trace.h"
 #include "kernel/tags.h"
+#include "obs/probes.h"
 
 namespace smtos {
 
@@ -191,6 +192,9 @@ Kernel::serializing(Context &ctx, ThreadState &t, const Instr &in)
         syscalls_.add(sysnoName(in.payload));
         smtos_trace(TraceCat::Syscall, "pid%d %s", p.pid,
                     sysnoName(in.payload));
+        if (probes_)
+            probes_->syscallEnter(ctx.id, p.pid,
+                                  sysnoName(in.payload));
         if (params_.appOnly)
             appOnlySyscall(p);
         else

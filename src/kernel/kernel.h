@@ -139,6 +139,9 @@ class Kernel : public OsCallbacks
     Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
            const KernelCode &kc);
 
+    /** Attach (or detach, with nullptr) the observability hub. */
+    void setProbes(Probes *p) { probes_ = p; }
+
     /** Create a user process (workload API). */
     Process &createProcess(const ProcParams &cfg);
 
@@ -213,6 +216,7 @@ class Kernel : public OsCallbacks
 
     Params params_;
     Pipeline &pipe_;
+    Probes *probes_ = nullptr;
     PhysMem &mem_;
     const KernelCode &kc_;
     ImageSet kernelIs_; ///< image set for kernel-only threads

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/trace.h"
 #include "kernel/kernel.h"
+#include "obs/probes.h"
 
 namespace smtos {
 
@@ -107,6 +108,14 @@ Kernel::switchTo(Context &ctx, Process *next)
     ++switches_;
     smtos_trace(TraceCat::Sched, "ctx%d: pid%d -> pid%d", ctx.id,
                 old ? old->pid : -1, next->pid);
+    if (probes_) {
+        const bool idle = next->cfg.kind == ProcKind::IdleThread;
+        const std::string label =
+            next->cfg.kind == ProcKind::KernelThread
+                ? "netisr" + std::to_string(next->pid)
+                : "pid" + std::to_string(next->pid);
+        probes_->threadSwitch(ctx.id, next->pid, idle, label);
+    }
 
     // The incoming thread pays the context-switch cost.
     if (!params_.appOnly)

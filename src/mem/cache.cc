@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "obs/probes.h"
 
 namespace smtos {
 
@@ -74,6 +75,8 @@ Cache::access(Addr addr, const AccessInfo &who, bool is_write)
     ++stats_.misses[cls];
     out.cause = classifier_.classify(block, who);
     stats_.cause[cls][static_cast<int>(out.cause)]++;
+    if (probes_)
+        probes_->cacheMiss(params_.name.c_str(), who.thread, addr);
 
     smtos_assert(victim != nullptr);
     if (victim->valid) {

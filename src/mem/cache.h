@@ -20,6 +20,8 @@
 
 namespace smtos {
 
+class Probes;
+
 /** Geometry and identity of a cache. */
 struct CacheParams
 {
@@ -51,6 +53,9 @@ class Cache
 {
   public:
     explicit Cache(const CacheParams &params);
+
+    /** Attach (or detach, with nullptr) the observability hub. */
+    void setProbes(Probes *p) { probes_ = p; }
 
     /**
      * Perform one access. On a miss the block is filled (allocated) and
@@ -108,6 +113,7 @@ class Cache
     }
 
     CacheParams params_;
+    Probes *probes_ = nullptr;
     int numSets_;
     std::vector<Line> lines_; // numSets_ * assoc, set-major
     std::uint64_t tick_ = 0;

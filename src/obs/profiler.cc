@@ -1,0 +1,214 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+CycleProfiler::CycleProfiler()
+    : syscallLatency_(0, 50000, 50), loadToUse_(0, 256, 64)
+{
+}
+
+void
+CycleProfiler::configure(int fetch_width, int issue_width,
+                         int num_contexts)
+{
+    fetchWidth_ = fetch_width;
+    issueWidth_ = issue_width;
+    lostByCtx_.assign(static_cast<size_t>(num_contexts), {});
+}
+
+void
+CycleProfiler::fetchLost(SlotCause cause, int n, CtxId ctx, int tag)
+{
+    const std::uint64_t u = static_cast<std::uint64_t>(n);
+    fetchLostTotal_ += u;
+    lost_[static_cast<size_t>(cause)] += u;
+    if (ctx >= 0 && ctx < static_cast<int>(lostByCtx_.size()))
+        lostByCtx_[static_cast<size_t>(ctx)]
+                  [static_cast<size_t>(cause)] += u;
+    const int ti = (tag >= 0 && tag < NumServiceTags) ? tag + 1 : 0;
+    lostByTag_[static_cast<size_t>(ti)][static_cast<size_t>(cause)] +=
+        u;
+}
+
+void
+CycleProfiler::issueLost(IssueLoss cause, int n)
+{
+    const std::uint64_t u = static_cast<std::uint64_t>(n);
+    issueLostTotal_ += u;
+    issueLost_[static_cast<size_t>(cause)] += u;
+}
+
+void
+CycleProfiler::syscallEnter(ThreadId t, Cycle now)
+{
+    syscallStart_[t] = now;
+}
+
+void
+CycleProfiler::modeChange(ThreadId t, Mode to, Cycle now)
+{
+    if (to != Mode::User || syscallStart_.empty())
+        return;
+    auto it = syscallStart_.find(t);
+    if (it == syscallStart_.end())
+        return;
+    syscallLatency_.sample(static_cast<std::int64_t>(now - it->second));
+    syscallStart_.erase(it);
+}
+
+std::uint64_t
+CycleProfiler::fetchSlotsLostByCtx(CtxId ctx) const
+{
+    std::uint64_t sum = 0;
+    if (ctx >= 0 && ctx < static_cast<int>(lostByCtx_.size()))
+        for (std::uint64_t v : lostByCtx_[static_cast<size_t>(ctx)])
+            sum += v;
+    return sum;
+}
+
+std::uint64_t
+CycleProfiler::fetchSlotsLostByTag(int tag) const
+{
+    const int ti = (tag >= 0 && tag < NumServiceTags) ? tag + 1 : 0;
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : lostByTag_[static_cast<size_t>(ti)])
+        sum += v;
+    return sum;
+}
+
+namespace {
+
+double
+pctOf(std::uint64_t part, std::uint64_t whole)
+{
+    return whole
+               ? 100.0 * static_cast<double>(part) /
+                     static_cast<double>(whole)
+               : 0.0;
+}
+
+void
+writeHistLine(std::ostream &os, const char *name, const Histogram &h)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-16s n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f\n",
+                  name,
+                  static_cast<unsigned long long>(h.totalSamples()),
+                  h.mean(), h.p50(), h.p95(), h.p99());
+    os << buf;
+}
+
+} // namespace
+
+void
+CycleProfiler::writeReport(std::ostream &os) const
+{
+    char buf[200];
+    const std::uint64_t total = fetchSlotsTotal();
+    os << "== cycle attribution: fetch slots ==\n";
+    std::snprintf(buf, sizeof(buf),
+                  "cycles %llu, width %d, total slots %llu\n",
+                  static_cast<unsigned long long>(cycles_), fetchWidth_,
+                  static_cast<unsigned long long>(total));
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "%-18s %14llu %6.2f%%\n", "used",
+                  static_cast<unsigned long long>(fetchUsed_),
+                  pctOf(fetchUsed_, total));
+    os << buf;
+
+    // Causes, largest first (ties broken by taxonomy order).
+    std::array<int, numSlotCauses> order;
+    for (int i = 0; i < numSlotCauses; ++i)
+        order[static_cast<size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return lost_[static_cast<size_t>(a)] >
+               lost_[static_cast<size_t>(b)];
+    });
+    for (int i : order) {
+        const std::uint64_t v = lost_[static_cast<size_t>(i)];
+        if (v == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%-18s %14llu %6.2f%%\n",
+                      slotCauseName(static_cast<SlotCause>(i)),
+                      static_cast<unsigned long long>(v),
+                      pctOf(v, total));
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "sum check: used + lost = %llu (of %llu)\n",
+                  static_cast<unsigned long long>(fetchUsed_ +
+                                                  fetchLostTotal_),
+                  static_cast<unsigned long long>(total));
+    os << buf;
+
+    os << "-- lost fetch slots by hardware context --\n";
+    for (size_t c = 0; c < lostByCtx_.size(); ++c) {
+        const std::uint64_t csum =
+            fetchSlotsLostByCtx(static_cast<CtxId>(c));
+        std::snprintf(buf, sizeof(buf), "ctx%-2zu %14llu %6.2f%%", c,
+                      static_cast<unsigned long long>(csum),
+                      pctOf(csum, total));
+        os << buf;
+        // Top contributor for the context.
+        int top = 0;
+        for (int i = 1; i < numSlotCauses; ++i)
+            if (lostByCtx_[c][static_cast<size_t>(i)] >
+                lostByCtx_[c][static_cast<size_t>(top)])
+                top = i;
+        if (csum) {
+            std::snprintf(buf, sizeof(buf), "  (top: %s %.1f%%)",
+                          slotCauseName(static_cast<SlotCause>(top)),
+                          pctOf(lostByCtx_[c][static_cast<size_t>(top)],
+                                csum));
+            os << buf;
+        }
+        os << "\n";
+    }
+
+    os << "-- lost fetch slots by kernel service tag --\n";
+    for (int t = -1; t < NumServiceTags; ++t) {
+        const std::uint64_t tsum = fetchSlotsLostByTag(t);
+        if (tsum == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%-14s %14llu %6.2f%%\n",
+                      t < 0 ? "user" : serviceTagName(t),
+                      static_cast<unsigned long long>(tsum),
+                      pctOf(tsum, total));
+        os << buf;
+    }
+
+    const std::uint64_t itotal = issueSlotsTotal();
+    os << "== cycle attribution: issue slots ==\n";
+    std::snprintf(buf, sizeof(buf),
+                  "cycles %llu, width %d, total slots %llu\n",
+                  static_cast<unsigned long long>(cycles_), issueWidth_,
+                  static_cast<unsigned long long>(itotal));
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "%-18s %14llu %6.2f%%\n", "used",
+                  static_cast<unsigned long long>(issueUsed_),
+                  pctOf(issueUsed_, itotal));
+    os << buf;
+    for (int i = 0; i < numIssueLosses; ++i) {
+        const std::uint64_t v = issueLost_[static_cast<size_t>(i)];
+        if (v == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%-18s %14llu %6.2f%%\n",
+                      issueLossName(static_cast<IssueLoss>(i)),
+                      static_cast<unsigned long long>(v),
+                      pctOf(v, itotal));
+        os << buf;
+    }
+
+    os << "== latency distributions (cycles) ==\n";
+    writeHistLine(os, "syscall", syscallLatency_);
+    writeHistLine(os, "load-to-use", loadToUse_);
+}
+
+} // namespace smtos

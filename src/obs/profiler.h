@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cycle-attribution profiler: the top-down "where did the cycles go"
+ * report that generalizes the paper's Tables 4 and 6.
+ *
+ * Every cycle the pipeline owns `fetchWidth` fetch slots and
+ * `intUnits + fpUnits` issue slots. The pipeline reports, per cycle,
+ * how many of each were used and charges every unused slot to exactly
+ * one taxonomy cause (see SlotCause/IssueLoss in probes.h), so
+ *
+ *     slots used + sum over causes of slots lost == cycles x width
+ *
+ * holds exactly — the report's percentages are a partition, not an
+ * estimate. Fetch losses carry two secondary dimensions: the hardware
+ * context charged, and the kernel service tag the charged context was
+ * executing (user code charges tag -1), which ties front-end losses
+ * back to the OS services of Figures 2/6.
+ */
+
+#ifndef SMTOS_OBS_PROFILER_H
+#define SMTOS_OBS_PROFILER_H
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "kernel/tags.h"
+#include "obs/probes.h"
+
+namespace smtos {
+
+class CycleProfiler
+{
+  public:
+    CycleProfiler();
+
+    /** Geometry, captured at attach time. */
+    void configure(int fetch_width, int issue_width, int num_contexts);
+
+    /** One simulated cycle elapsed. */
+    void tick() { ++cycles_; }
+
+    // --- fetch-slot attribution (pipeline fetch stage) ---
+    void fetchUsed(int n) { fetchUsed_ += static_cast<unsigned>(n); }
+    void fetchLost(SlotCause cause, int n, CtxId ctx, int tag);
+
+    // --- issue-slot attribution (pipeline issue stage) ---
+    void issueUsed(int n) { issueUsed_ += static_cast<unsigned>(n); }
+    void issueLost(IssueLoss cause, int n);
+
+    // --- latency distributions ---
+    void loadLatency(Cycle lat)
+    {
+        loadToUse_.sample(static_cast<std::int64_t>(lat));
+    }
+    void syscallEnter(ThreadId t, Cycle now);
+    /** Mode-change notification; closes a pending syscall on return
+     *  to user mode and samples its latency. */
+    void modeChange(ThreadId t, Mode to, Cycle now);
+
+    // --- accessors (tests, report) ---
+    Cycle cycles() const { return cycles_; }
+    std::uint64_t fetchSlotsTotal() const
+    {
+        return cycles_ * static_cast<std::uint64_t>(fetchWidth_);
+    }
+    std::uint64_t fetchSlotsUsed() const { return fetchUsed_; }
+    std::uint64_t fetchSlotsLost() const { return fetchLostTotal_; }
+    std::uint64_t fetchSlotsLost(SlotCause c) const
+    {
+        return lost_[static_cast<size_t>(c)];
+    }
+    std::uint64_t fetchSlotsLostByCtx(CtxId ctx) const;
+    std::uint64_t fetchSlotsLostByTag(int tag) const;
+    std::uint64_t issueSlotsTotal() const
+    {
+        return cycles_ * static_cast<std::uint64_t>(issueWidth_);
+    }
+    std::uint64_t issueSlotsUsed() const { return issueUsed_; }
+    std::uint64_t issueSlotsLost() const { return issueLostTotal_; }
+    std::uint64_t issueSlotsLost(IssueLoss c) const
+    {
+        return issueLost_[static_cast<size_t>(c)];
+    }
+    const Histogram &syscallLatency() const { return syscallLatency_; }
+    const Histogram &loadToUse() const { return loadToUse_; }
+
+    /** The top-down report (deterministic, plain text). */
+    void writeReport(std::ostream &os) const;
+
+  private:
+    int fetchWidth_ = 0;
+    int issueWidth_ = 0;
+    Cycle cycles_ = 0;
+
+    std::uint64_t fetchUsed_ = 0;
+    std::uint64_t fetchLostTotal_ = 0;
+    std::array<std::uint64_t, numSlotCauses> lost_{};
+    /** [ctx][cause] */
+    std::vector<std::array<std::uint64_t, numSlotCauses>> lostByCtx_;
+    /** [tag + 1][cause]; index 0 is user/none. */
+    std::array<std::array<std::uint64_t, numSlotCauses>,
+               NumServiceTags + 1>
+        lostByTag_{};
+
+    std::uint64_t issueUsed_ = 0;
+    std::uint64_t issueLostTotal_ = 0;
+    std::array<std::uint64_t, numIssueLosses> issueLost_{};
+
+    Histogram syscallLatency_;
+    Histogram loadToUse_;
+    std::unordered_map<ThreadId, Cycle> syscallStart_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_OBS_PROFILER_H

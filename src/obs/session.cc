@@ -1,0 +1,146 @@
+#include "obs/session.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/logging.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
+#include "sim/export.h"
+#include "sim/system.h"
+
+namespace smtos {
+
+namespace {
+
+bool
+truthy(const char *v)
+{
+    return v && *v && std::string(v) != "0";
+}
+
+} // namespace
+
+ObsSession::ObsSession(const ObsConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.profile)
+        profiler_ = std::make_unique<CycleProfiler>();
+    if (!cfg_.timelinePath.empty()) {
+        std::ostream *os = openSink(cfg_.timelinePath, timelineFile_);
+        timeline_ = std::make_unique<TimelineExporter>(
+            *os, cfg_.timelineDetail);
+    }
+    if (cfg_.intervalCycles > 0) {
+        if (!cfg_.intervalJsonlPath.empty())
+            jsonlOs_ = openSink(cfg_.intervalJsonlPath, jsonlFile_);
+        if (!cfg_.intervalCsvPath.empty())
+            csvOs_ = openSink(cfg_.intervalCsvPath, csvFile_);
+        if (!jsonlOs_ && !csvOs_)
+            jsonlOs_ = &std::cout;
+    }
+    probes_.bind(profiler_.get(), timeline_.get());
+}
+
+ObsSession::~ObsSession()
+{
+    finish();
+}
+
+std::ostream *
+ObsSession::openSink(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return &std::cout;
+    file.open(path);
+    if (!file)
+        smtos_panic("obs: cannot open output file '%s'", path.c_str());
+    return &file;
+}
+
+ObsConfig
+ObsSession::configFromEnv()
+{
+    ObsConfig cfg;
+    if (const char *v = std::getenv("SMTOS_PROFILE");
+        v && truthy(v)) {
+        cfg.profile = true;
+        // Any value other than a plain switch is the report path.
+        const std::string s(v);
+        if (s != "1" && s != "true" && s != "yes")
+            cfg.reportPath = s;
+    }
+    if (const char *v = std::getenv("SMTOS_INTERVAL"))
+        cfg.intervalCycles =
+            static_cast<Cycle>(std::strtoull(v, nullptr, 10));
+    if (const char *v = std::getenv("SMTOS_INTERVAL_JSONL"))
+        cfg.intervalJsonlPath = v;
+    if (const char *v = std::getenv("SMTOS_INTERVAL_CSV"))
+        cfg.intervalCsvPath = v;
+    if (const char *v = std::getenv("SMTOS_TIMELINE"))
+        cfg.timelinePath = v;
+    cfg.timelineDetail = truthy(std::getenv("SMTOS_TIMELINE_DETAIL"));
+    return cfg;
+}
+
+bool
+ObsSession::wantsIntervals() const
+{
+    return cfg_.intervalCycles > 0 && (jsonlOs_ || csvOs_);
+}
+
+void
+ObsSession::attach(System &sys)
+{
+    smtos_assert(!attached_);
+    attached_ = true;
+    const CoreParams &p = sys.config().core;
+    if (profiler_)
+        profiler_->configure(p.fetchWidth, p.intUnits + p.fpUnits,
+                             p.numContexts);
+    probes_.begin(p.numContexts);
+    sys.attachProbes(&probes_);
+}
+
+void
+ObsSession::interval(int index, Cycle c0, Cycle c1,
+                     const MetricsSnapshot &delta)
+{
+    if (jsonlOs_) {
+        *jsonlOs_ << "{\"interval\":" << index
+                  << ",\"cycle_start\":" << c0
+                  << ",\"cycle_end\":" << c1 << ",";
+        writeJsonFields(*jsonlOs_, delta);
+        *jsonlOs_ << "}\n";
+    }
+    if (csvOs_)
+        writeCsvRow(*csvOs_, std::to_string(index), delta,
+                    index == 0);
+}
+
+void
+ObsSession::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    probes_.finish();
+    if (jsonlOs_)
+        jsonlOs_->flush();
+    if (csvOs_)
+        csvOs_->flush();
+    if (profiler_) {
+        if (cfg_.reportPath.empty()) {
+            profiler_->writeReport(std::cerr);
+        } else if (cfg_.reportPath == "-") {
+            profiler_->writeReport(std::cout);
+        } else {
+            std::ofstream rf(cfg_.reportPath);
+            if (!rf)
+                smtos_panic("obs: cannot open report file '%s'",
+                            cfg_.reportPath.c_str());
+            profiler_->writeReport(rf);
+        }
+    }
+}
+
+} // namespace smtos

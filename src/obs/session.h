@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ObsSession: configuration and lifetime of one run's observability.
+ *
+ * The session owns the sinks (cycle-attribution profiler, timeline
+ * exporter, interval time-series writers), their output files, and the
+ * Probes hub that wires them into a System. The harness either
+ * receives a session explicitly (RunSpec::obs) or builds one from the
+ * environment:
+ *
+ *   SMTOS_PROFILE=1|<path>     cycle-attribution report (stderr/file)
+ *   SMTOS_INTERVAL=<cycles>    sample MetricsSnapshot deltas every N
+ *                              cycles during the measurement phase
+ *   SMTOS_INTERVAL_JSONL=<path>  interval rows as JSON lines
+ *   SMTOS_INTERVAL_CSV=<path>    interval rows as CSV
+ *   SMTOS_TIMELINE=<path>      Perfetto/Chrome trace.json
+ *   SMTOS_TIMELINE_DETAIL=1    also emit per-miss TLB/cache instants
+ *
+ * A path of "-" means stdout. A session covers exactly one run:
+ * attach() once, then finish() (idempotent) closes the sinks.
+ */
+
+#ifndef SMTOS_OBS_SESSION_H
+#define SMTOS_OBS_SESSION_H
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "obs/probes.h"
+
+namespace smtos {
+
+class CycleProfiler;
+class TimelineExporter;
+class System;
+struct MetricsSnapshot;
+
+/** Which sinks to enable and where they write. */
+struct ObsConfig
+{
+    bool profile = false;       ///< enable the cycle profiler
+    std::string reportPath;     ///< profiler report ("": stderr)
+    Cycle intervalCycles = 0;   ///< 0: no interval sampling
+    std::string intervalJsonlPath;
+    std::string intervalCsvPath;
+    std::string timelinePath;   ///< "": no timeline export
+    bool timelineDetail = false;
+
+    bool
+    any() const
+    {
+        return profile || intervalCycles > 0 || !timelinePath.empty();
+    }
+};
+
+/** One run's observability sinks, wired through a Probes hub. */
+class ObsSession
+{
+  public:
+    explicit ObsSession(const ObsConfig &cfg);
+    ~ObsSession();
+
+    /** Build a config from SMTOS_* environment variables. */
+    static ObsConfig configFromEnv();
+
+    const ObsConfig &config() const { return cfg_; }
+    Cycle intervalCycles() const { return cfg_.intervalCycles; }
+    bool wantsIntervals() const;
+
+    /** Wire the probes into @p sys. Call once, before the run. */
+    void attach(System &sys);
+
+    /** Emit one interval sample row ([c0, c1), delta of that span). */
+    void interval(int index, Cycle c0, Cycle c1,
+                  const MetricsSnapshot &delta);
+
+    /** Close spans, write the report, flush files. Idempotent. */
+    void finish();
+
+    Probes &probes() { return probes_; }
+    CycleProfiler *profiler() { return profiler_.get(); }
+    TimelineExporter *timeline() { return timeline_.get(); }
+
+  private:
+    std::ostream *openSink(const std::string &path,
+                           std::ofstream &file);
+
+    ObsConfig cfg_;
+    std::ofstream timelineFile_;
+    std::ofstream jsonlFile_;
+    std::ofstream csvFile_;
+    std::ostream *jsonlOs_ = nullptr;
+    std::ostream *csvOs_ = nullptr;
+    std::unique_ptr<CycleProfiler> profiler_;
+    std::unique_ptr<TimelineExporter> timeline_;
+    Probes probes_;
+    bool attached_ = false;
+    bool finished_ = false;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_OBS_SESSION_H

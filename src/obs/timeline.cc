@@ -1,0 +1,183 @@
+#include "obs/timeline.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+namespace {
+
+const char *
+modeSpanName(Mode m)
+{
+    switch (m) {
+      case Mode::User: return "user";
+      case Mode::Kernel: return "kernel";
+      case Mode::Pal: return "pal";
+      case Mode::Idle: return "idle";
+    }
+    return "?";
+}
+
+std::string
+hexArg(const char *key, Addr a)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "{\"%s\":\"0x%llx\"}", key,
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+} // namespace
+
+TimelineExporter::TimelineExporter(std::ostream &os, bool detail)
+    : os_(os), detail_(detail)
+{
+}
+
+void
+TimelineExporter::event(const char *cat, const std::string &name,
+                        char ph, int pid, int tid, Cycle ts,
+                        const std::string &args, bool thread_scope)
+{
+    smtos_assert(open_);
+    if (events_ > 0)
+        os_ << ",\n";
+    ++events_;
+    // Keys in strict alphabetical order so the output is schema-stable:
+    // args, cat, name, ph, pid, s, tid, ts.
+    os_ << "{";
+    if (!args.empty())
+        os_ << "\"args\":" << args << ",";
+    os_ << "\"cat\":\"" << cat << "\",\"name\":\"" << name
+        << "\",\"ph\":\"" << ph << "\",\"pid\":" << pid;
+    if (thread_scope)
+        os_ << ",\"s\":\"t\"";
+    os_ << ",\"tid\":" << tid << ",\"ts\":" << ts << "}";
+}
+
+void
+TimelineExporter::threadName(int pid, int tid, const std::string &name,
+                             Cycle ts)
+{
+    event("__metadata", "thread_name", 'M', pid, tid, ts,
+          "{\"name\":\"" + name + "\"}");
+}
+
+void
+TimelineExporter::begin(int num_contexts)
+{
+    smtos_assert(!open_);
+    open_ = true;
+    openMode_.assign(static_cast<size_t>(num_contexts), -1);
+    openModeThread_.assign(static_cast<size_t>(num_contexts),
+                           invalidThread);
+    openSched_.assign(static_cast<size_t>(num_contexts),
+                      invalidThread);
+    os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    event("__metadata", "process_name", 'M', 0, 0, 0,
+          "{\"name\":\"core modes\"}");
+    event("__metadata", "process_name", 'M', 1, 0, 0,
+          "{\"name\":\"syscalls\"}");
+    event("__metadata", "process_name", 'M', 2, 0, 0,
+          "{\"name\":\"scheduler\"}");
+    for (int c = 0; c < num_contexts; ++c) {
+        const std::string ctx = "ctx" + std::to_string(c);
+        threadName(0, c, ctx, 0);
+        threadName(2, c, ctx, 0);
+    }
+}
+
+void
+TimelineExporter::modeSpan(CtxId ctx, ThreadId thread, Mode mode,
+                           Cycle now)
+{
+    const size_t i = static_cast<size_t>(ctx);
+    if (openMode_[i] >= 0)
+        event("mode", modeSpanName(static_cast<Mode>(openMode_[i])),
+              'E', 0, ctx, now);
+    openMode_[i] = static_cast<int>(mode);
+    openModeThread_[i] = thread;
+    event("mode", modeSpanName(mode), 'B', 0, ctx, now,
+          "{\"thread\":" + std::to_string(thread) + "}");
+}
+
+void
+TimelineExporter::syscallBegin(CtxId ctx, ThreadId thread,
+                               const char *name, Cycle now)
+{
+    (void)ctx;
+    if (!namedThread_[thread]) {
+        namedThread_[thread] = true;
+        threadName(1, thread, "pid" + std::to_string(thread), now);
+    }
+    // A thread never nests syscalls; a still-open span means the
+    // previous one never returned to user (shouldn't happen, but be
+    // robust when attaching mid-run).
+    if (openSyscall_[thread])
+        event("syscall", "syscall", 'E', 1, thread, now);
+    openSyscall_[thread] = true;
+    event("syscall", name, 'B', 1, thread, now);
+}
+
+void
+TimelineExporter::squash(CtxId ctx, ThreadId thread, Addr pc,
+                         const char *why, Cycle now)
+{
+    (void)thread;
+    event("squash", why, 'i', 0, ctx, now, hexArg("pc", pc), true);
+}
+
+void
+TimelineExporter::schedSpan(CtxId ctx, ThreadId thread, bool idle,
+                            const std::string &label, Cycle now)
+{
+    const size_t i = static_cast<size_t>(ctx);
+    if (openSched_[i] != invalidThread)
+        event("sched", "run", 'E', 2, ctx, now);
+    openSched_[i] = invalidThread;
+    if (idle)
+        return; // idle = gap in the track
+    openSched_[i] = thread;
+    event("sched", label, 'B', 2, ctx, now);
+}
+
+void
+TimelineExporter::memInstant(const char *structure, ThreadId thread,
+                             Addr addr, Cycle now)
+{
+    (void)thread;
+    event("mem", structure, 'i', 0, 0, now, hexArg("addr", addr),
+          true);
+}
+
+void
+TimelineExporter::finish(Cycle now)
+{
+    if (!open_)
+        return;
+    for (size_t i = 0; i < openMode_.size(); ++i) {
+        if (openMode_[i] >= 0)
+            event("mode",
+                  modeSpanName(static_cast<Mode>(openMode_[i])), 'E',
+                  0, static_cast<int>(i), now);
+        openMode_[i] = -1;
+    }
+    for (auto &kv : openSyscall_) {
+        if (kv.second)
+            event("syscall", "syscall", 'E', 1, kv.first, now);
+        kv.second = false;
+    }
+    for (size_t i = 0; i < openSched_.size(); ++i) {
+        if (openSched_[i] != invalidThread)
+            event("sched", "run", 'E', 2, static_cast<int>(i), now);
+        openSched_[i] = invalidThread;
+    }
+    os_ << "\n]}\n";
+    open_ = false;
+    os_.flush();
+}
+
+} // namespace smtos

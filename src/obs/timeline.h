@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Perfetto / Chrome trace-event timeline exporter.
+ *
+ * Streams a `trace.json` in the Trace Event Format (JSON object with
+ * a `traceEvents` array) loadable in ui.perfetto.dev or
+ * chrome://tracing. One simulated cycle maps to one microsecond of
+ * trace time. Three synthetic processes organize the tracks:
+ *
+ *   pid 0 "core modes"  — per-hardware-context tracks of retired-mode
+ *                         spans (user/kernel/pal/idle) plus squash and
+ *                         optional TLB/cache-miss instants
+ *   pid 1 "syscalls"    — per-software-thread tracks of syscall spans
+ *                         (entry at the serializing commit, exit at
+ *                         the thread's next return to user mode)
+ *   pid 2 "scheduler"   — per-context tracks showing which software
+ *                         thread is bound (gaps = idle thread)
+ *
+ * The writer emits events in simulation order (timestamps are
+ * monotone non-decreasing) with alphabetically sorted keys in every
+ * event object, so the output is deterministic and easy to diff.
+ */
+
+#ifndef SMTOS_OBS_TIMELINE_H
+#define SMTOS_OBS_TIMELINE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace smtos {
+
+class TimelineExporter
+{
+  public:
+    /**
+     * @param os destination stream (kept open; finish() writes the
+     *           JSON footer but does not close the stream)
+     * @param detail also emit per-miss TLB/cache instants (verbose)
+     */
+    explicit TimelineExporter(std::ostream &os, bool detail = false);
+
+    bool detail() const { return detail_; }
+
+    /** Write the header and track metadata. */
+    void begin(int num_contexts);
+
+    /** The context's retired stream changed mode or thread. */
+    void modeSpan(CtxId ctx, ThreadId thread, Mode mode, Cycle now);
+
+    /** A syscall entered kernel dispatch on @p thread. */
+    void syscallBegin(CtxId ctx, ThreadId thread, const char *name,
+                      Cycle now);
+
+    /** Squash (mispredict recovery or DTLB trap) on @p ctx. */
+    void squash(CtxId ctx, ThreadId thread, Addr pc, const char *why,
+                Cycle now);
+
+    /** Scheduler bound @p thread to @p ctx ("idle" closes the span). */
+    void schedSpan(CtxId ctx, ThreadId thread, bool idle,
+                   const std::string &label, Cycle now);
+
+    /** Detail instant: a TLB or cache miss. */
+    void memInstant(const char *structure, ThreadId thread, Addr addr,
+                    Cycle now);
+
+    /** Close every open span at @p now and write the footer. */
+    void finish(Cycle now);
+
+    std::uint64_t eventCount() const { return events_; }
+
+  private:
+    /** Emit one event object; @p args is pre-rendered JSON or empty. */
+    void event(const char *cat, const std::string &name, char ph,
+               int pid, int tid, Cycle ts,
+               const std::string &args = std::string(),
+               bool thread_scope = false);
+    void threadName(int pid, int tid, const std::string &name,
+                    Cycle ts);
+
+    std::ostream &os_;
+    bool detail_;
+    bool open_ = false;
+    std::uint64_t events_ = 0;
+
+    /** Open retired-mode span per context (-1: none). */
+    std::vector<int> openMode_;
+    std::vector<ThreadId> openModeThread_;
+    /** Open scheduler span per context (invalidThread: none). */
+    std::vector<ThreadId> openSched_;
+    /** Threads with an open syscall span. */
+    std::unordered_map<ThreadId, bool> openSyscall_;
+    /** Threads already given a syscall-track name. */
+    std::unordered_map<ThreadId, bool> namedThread_;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_OBS_TIMELINE_H

@@ -32,11 +32,10 @@ jsonInterference(std::ostream &os, const char *name,
 } // namespace
 
 void
-writeJson(std::ostream &os, const MetricsSnapshot &d)
+writeJsonFields(std::ostream &os, const MetricsSnapshot &d)
 {
     const ArchMetrics a = archMetrics(d);
     const ModeShares m = modeShares(d);
-    os << "{";
     os << "\"cycles\":" << d.core.cycles << ",";
     os << "\"instructions\":" << d.core.totalRetired() << ",";
     os << "\"ipc\":" << a.ipc << ",";
@@ -80,6 +79,13 @@ writeJson(std::ostream &os, const MetricsSnapshot &d)
     jsonInterference(os, "btb", d.btb);
     os << ",\"requests_served\":" << d.requestsServed;
     os << ",\"context_switches\":" << d.contextSwitches;
+}
+
+void
+writeJson(std::ostream &os, const MetricsSnapshot &d)
+{
+    os << "{";
+    writeJsonFields(os, d);
     os << "}";
 }
 

@@ -17,6 +17,13 @@ namespace smtos {
 /** Write a snapshot delta as a single JSON object. */
 void writeJson(std::ostream &os, const MetricsSnapshot &d);
 
+/**
+ * Write the body of the JSON object (everything between the braces,
+ * no surrounding `{}`), so callers can embed the snapshot fields in a
+ * larger object — e.g. the interval-sampling rows of ObsSession.
+ */
+void writeJsonFields(std::ostream &os, const MetricsSnapshot &d);
+
 /** JSON string convenience wrapper. */
 std::string toJson(const MetricsSnapshot &d);
 

@@ -14,4 +14,16 @@ System::System(const SystemConfig &cfg)
         pipe_->setAppOnlyTlb(true);
 }
 
+void
+System::attachProbes(Probes *p)
+{
+    pipe_->setProbes(p);
+    pipe_->itlb().setProbes(p);
+    pipe_->dtlb().setProbes(p);
+    hier_.l1i().setProbes(p);
+    hier_.l1d().setProbes(p);
+    hier_.l2().setProbes(p);
+    kernel_->setProbes(p);
+}
+
 } // namespace smtos

@@ -16,11 +16,20 @@
 
 namespace smtos {
 
+class Probes;
+
 /** A complete simulated machine. */
 class System
 {
   public:
     explicit System(const SystemConfig &cfg);
+
+    /**
+     * Wire the observability hub into every producer: the pipeline,
+     * both TLBs, the caches, and the kernel. Pass nullptr to detach
+     * (probe sites revert to a single not-taken branch).
+     */
+    void attachProbes(Probes *p);
 
     /** Bind initial threads; call after workloads are installed. */
     void start() { kernel_->start(); }

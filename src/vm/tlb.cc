@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "obs/probes.h"
 
 namespace smtos {
 
@@ -31,6 +32,8 @@ Tlb::lookup(Addr vpn, Asn asn, const AccessInfo &who)
     ++stats_.misses[cls];
     MissCause cause = classifier_.classify(key(vpn, asn), who);
     stats_.cause[cls][static_cast<int>(cause)]++;
+    if (probes_)
+        probes_->tlbMiss(name_.c_str(), who.thread, vpn << pageShift);
     return -1;
 }
 

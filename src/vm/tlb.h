@@ -22,11 +22,16 @@
 
 namespace smtos {
 
+class Probes;
+
 /** A fully associative, round-robin-replacement, ASN-tagged TLB. */
 class Tlb
 {
   public:
     Tlb(std::string name, int entries);
+
+    /** Attach (or detach, with nullptr) the observability hub. */
+    void setProbes(Probes *p) { probes_ = p; }
 
     /**
      * Look up @p vpn under @p asn for @p who.
@@ -88,6 +93,7 @@ class Tlb
     }
 
     std::string name_;
+    Probes *probes_ = nullptr;
     std::vector<Entry> entries_;
     int replacePtr_ = 0;
     MissClassifier classifier_;

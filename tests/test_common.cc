@@ -152,6 +152,52 @@ TEST(Histogram, WeightedMean)
     EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 8.0) / 4.0);
 }
 
+TEST(Histogram, QuantilesOfUniformSamples)
+{
+    Histogram h(0, 100, 10);
+    for (int v = 0; v < 100; ++v)
+        h.sample(v);
+    // rank = ceil(q*n), value interpolated at (rank - cum - 0.5)/n
+    // inside the owning bucket.
+    EXPECT_DOUBLE_EQ(h.p50(), 49.5);
+    EXPECT_DOUBLE_EQ(h.p95(), 94.5);
+    EXPECT_DOUBLE_EQ(h.p99(), 98.5);
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(Histogram, QuantileEdgeRanksAndPointMass)
+{
+    Histogram h(0, 10, 10);
+    h.sample(3, 100); // all weight in bucket [3, 4)
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0 + (1.0 - 0.5) / 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0 + (100.0 - 0.5) / 100.0);
+    EXPECT_GE(h.p50(), 3.0);
+    EXPECT_LT(h.p50(), 4.0);
+}
+
+TEST(Histogram, QuantilesOfClampedTerminalBuckets)
+{
+    // Out-of-range samples clamp into the terminal buckets; the
+    // reported quantile must stay inside [lo, hi].
+    Histogram h(0, 100, 10);
+    h.sample(1'000'000, 10); // clamps into bucket 9 = [90, 100)
+    EXPECT_DOUBLE_EQ(h.p50(), 90.0 + (5.0 - 0.5));
+    EXPECT_LE(h.p99(), 100.0);
+
+    Histogram lo(0, 100, 10);
+    lo.sample(-50, 4); // clamps into bucket 0 = [0, 10)
+    EXPECT_DOUBLE_EQ(lo.p50(), (2.0 - 0.5) / 4.0 * 10.0);
+    EXPECT_GE(lo.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero)
+{
+    Histogram h(0, 100, 10);
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
 TEST(CounterMap, AddAndTotal)
 {
     CounterMap m;

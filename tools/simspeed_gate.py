@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Simulation-speed regression gate for bench_simspeed.
+
+Compares two google-benchmark JSON outputs (--benchmark_format=json)
+on items_per_second and fails if any shared benchmark regressed more
+than the tolerance. Used by CI to keep the probes-off configuration
+within noise of the recorded baseline (the observability layer must
+cost one predictable branch per probe site when disabled), and usable
+locally against tools/simspeed_baseline.json:
+
+    build/bench/bench_simspeed --benchmark_filter=BM_SimRate \
+        --benchmark_format=json > current.json
+    python3 tools/simspeed_gate.py tools/simspeed_baseline.json \
+        current.json
+
+Only stdlib; exit 0 = pass, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path, name_filter):
+    """Map benchmark name -> items_per_second from a benchmark JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        # Skip aggregate rows (mean/median/stddev repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        if name_filter not in name:
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            rates[name] = float(ips)
+    if not rates:
+        sys.exit(f"error: no '{name_filter}' benchmarks with "
+                 f"items_per_second in {path}")
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="recorded baseline benchmark JSON")
+    ap.add_argument("current", help="freshly measured benchmark JSON")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="max allowed fractional regression "
+                         "(default 0.05 = 5%%)")
+    ap.add_argument("--filter", default="BM_SimRate",
+                    help="substring selecting gated benchmarks "
+                         "(default BM_SimRate)")
+    args = ap.parse_args()
+
+    base = load_rates(args.baseline, args.filter)
+    cur = load_rates(args.current, args.filter)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sys.exit("error: baseline and current share no benchmarks")
+
+    failed = []
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} "
+          f"{'delta':>8}")
+    for name in shared:
+        b, c = base[name], cur[name]
+        delta = (c - b) / b
+        mark = ""
+        if delta < -args.tolerance:
+            failed.append((name, delta))
+            mark = "  << FAIL"
+        print(f"{name:<40} {b:>12.0f} {c:>12.0f} "
+              f"{delta:>+7.1%}{mark}")
+
+    if failed:
+        worst = min(d for _, d in failed)
+        print(f"\nFAIL: {len(failed)} benchmark(s) regressed more "
+              f"than {args.tolerance:.0%} (worst {worst:+.1%})")
+        return 1
+    print(f"\nOK: all {len(shared)} benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,11 +24,41 @@ logFormat(const char *fmt, ...)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
+namespace {
+
+CrashHook crashHook = nullptr;
+bool inCrashHook = false;
+
+void
+runCrashHook(const char *reason)
+{
+    if (!crashHook || inCrashHook)
+        return;
+    inCrashHook = true;
+    crashHook(reason);
+    inCrashHook = false;
+}
+
+} // namespace
+
+void
+setCrashHook(CrashHook hook)
+{
+    crashHook = hook;
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    runCrashHook(msg.c_str());
     std::abort();
+}
+
+void
+checkFailImpl(const char *file, int line, const char *cond)
+{
+    panicImpl(file, line, logFormat("check failed: %s", cond));
 }
 
 void

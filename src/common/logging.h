@@ -25,6 +25,17 @@ std::string logFormat(const char *fmt, ...)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
+/**
+ * Hook invoked (once, reentry-guarded) with the failure message just
+ * before panic aborts, so a crash-diagnostics bundle can be written.
+ * The hook must not assume it can prevent the abort.
+ */
+using CrashHook = void (*)(const char *reason);
+void setCrashHook(CrashHook hook);
+
+[[noreturn]] void checkFailImpl(const char *file, int line,
+                                const char *cond);
+
 } // namespace smtos
 
 /**
@@ -54,5 +65,24 @@ void informImpl(const std::string &msg);
         if (!(cond))                                                      \
             smtos_panic("assertion failed: %s", #cond);                   \
     } while (0)
+
+/**
+ * Debug-build invariant check for hot paths. On failure it routes
+ * through the crash hook (diagnostics bundle) before aborting; in
+ * Release (NDEBUG) it compiles to nothing beyond checking that the
+ * condition is a valid expression.
+ */
+#ifdef NDEBUG
+#define SMTOS_CHECK(cond)                                                 \
+    do {                                                                  \
+        (void)sizeof(!(cond));                                            \
+    } while (0)
+#else
+#define SMTOS_CHECK(cond)                                                 \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::smtos::checkFailImpl(__FILE__, __LINE__, #cond);            \
+    } while (0)
+#endif
 
 #endif // SMTOS_COMMON_LOGGING_H

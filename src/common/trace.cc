@@ -14,6 +14,16 @@ std::ostream *Trace::sink_ = nullptr;
 Cycle Trace::cycle_ = 0;
 const Cycle *Trace::clock_ = nullptr;
 
+namespace {
+
+// Ring of the most recent emitted lines, kept for crash diagnostics.
+constexpr std::size_t ringCap = 256;
+std::string ringLines[ringCap];
+std::size_t ringNext = 0;
+std::size_t ringCount = 0;
+
+} // namespace
+
 void
 Trace::enable(TraceCat cats)
 {
@@ -43,7 +53,22 @@ Trace::emit(TraceCat cat, const std::string &msg)
 {
     std::ostream &os = sink_ ? *sink_ : std::cerr;
     const Cycle c = clock_ ? *clock_ : cycle_;
-    os << c << ": " << traceCatName(cat) << ": " << msg << "\n";
+    std::string line = logFormat("%llu: %s: ",
+                                 static_cast<unsigned long long>(c),
+                                 traceCatName(cat)) + msg;
+    os << line << "\n";
+    ringLines[ringNext] = std::move(line);
+    ringNext = (ringNext + 1) % ringCap;
+    if (ringCount < ringCap)
+        ++ringCount;
+}
+
+void
+Trace::dumpRing(std::ostream &os)
+{
+    const std::size_t start = (ringNext + ringCap - ringCount) % ringCap;
+    for (std::size_t i = 0; i < ringCount; ++i)
+        os << ringLines[(start + i) % ringCap] << "\n";
 }
 
 void

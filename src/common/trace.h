@@ -79,6 +79,14 @@ class Trace
     /** Emit one line (used by the smtos_trace macro). */
     static void emit(TraceCat cat, const std::string &msg);
 
+    /**
+     * Write the ring of recently emitted lines (oldest first) to
+     * @p os. Every emitted line also lands in a small in-memory ring
+     * so a crash-diagnostics bundle can show the last activity; the
+     * ring is empty when no trace categories were enabled.
+     */
+    static void dumpRing(std::ostream &os);
+
     /** Parse a comma-separated category list ("fetch,tlb,sched"). */
     static std::uint32_t parseCats(const std::string &list);
 

@@ -1,6 +1,8 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <ostream>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/trace.h"
@@ -1042,6 +1044,88 @@ Pipeline::runCycles(Cycle n)
     const Cycle end = now_ + n;
     while (now_ < end)
         cycle();
+}
+
+std::string
+Pipeline::auditInvariants() const
+{
+    std::ostringstream os;
+    std::uint64_t inflight_total = 0;
+    int unissued_total = 0;
+    for (const Context &c : ctxs_) {
+        const auto &q = q_[static_cast<size_t>(c.id)];
+        if (c.inflight != static_cast<int>(q.size()))
+            os << "ctx" << c.id << ": inflight counter " << c.inflight
+               << " != window size " << q.size() << "\n";
+        if (c.inflight < 0 || c.inflight > params_.maxInflightPerCtx)
+            os << "ctx" << c.id << ": inflight " << c.inflight
+               << " outside [0, " << params_.maxInflightPerCtx
+               << "]\n";
+        int fetched = 0;
+        for (const Uop &u : q)
+            if (u.stage == Uop::Stage::Fetched)
+                ++fetched;
+        if (c.unissued != fetched)
+            os << "ctx" << c.id << ": unissued counter " << c.unissued
+               << " != unissued uops in window " << fetched << "\n";
+        inflight_total += q.size();
+        unissued_total += c.unissued;
+    }
+    const std::uint64_t accounted =
+        stats_.squashed + stats_.totalRetired() + inflight_total;
+    if (stats_.fetched != accounted)
+        os << "instruction conservation violated: fetched "
+           << stats_.fetched << " != squashed " << stats_.squashed
+           << " + retired " << stats_.totalRetired()
+           << " + in flight " << inflight_total << "\n";
+    if (unissuedInt_ + unissuedFp_ != unissued_total)
+        os << "issue-queue occupancy " << unissuedInt_ << "+"
+           << unissuedFp_ << " != per-context total "
+           << unissued_total << "\n";
+    if (unissuedInt_ < 0 || unissuedInt_ > params_.intQueue)
+        os << "int issue queue occupancy " << unissuedInt_
+           << " outside [0, " << params_.intQueue << "]\n";
+    if (unissuedFp_ < 0 || unissuedFp_ > params_.fpQueue)
+        os << "fp issue queue occupancy " << unissuedFp_
+           << " outside [0, " << params_.fpQueue << "]\n";
+    if (intRegsUsed_ < 0 || intRegsUsed_ > params_.intRenameRegs)
+        os << "int rename registers in use " << intRegsUsed_
+           << " outside [0, " << params_.intRenameRegs << "]\n";
+    if (fpRegsUsed_ < 0 || fpRegsUsed_ > params_.fpRenameRegs)
+        os << "fp rename registers in use " << fpRegsUsed_
+           << " outside [0, " << params_.fpRenameRegs << "]\n";
+    return os.str();
+}
+
+void
+Pipeline::dumpState(std::ostream &os) const
+{
+    os << "cycle " << now_ << ", fetched " << stats_.fetched
+       << ", squashed " << stats_.squashed << ", retired "
+       << stats_.totalRetired() << ", ipc " << stats_.ipc() << "\n";
+    for (const Context &c : ctxs_) {
+        os << "ctx" << c.id << ": thread "
+           << (c.thread ? c.thread->id : invalidThread)
+           << ", inflight " << c.inflight << ", unissued "
+           << c.unissued << ", stall "
+           << static_cast<int>(c.stallReason) << ", intr "
+           << (c.interruptPending ? "pending" : "none") << " vec "
+           << c.interruptVector << "\n";
+        if (!c.thread)
+            continue;
+        const ThreadState &t = *c.thread;
+        os << "  idle " << t.isIdleThread << ", user image "
+           << (t.userImage != nullptr) << ", space "
+           << (t.space ? t.space->asn() : -1) << "\n";
+        os << std::hex;
+        for (size_t r = 0; r < t.archRegs.size(); ++r) {
+            os << (r % 8 == 0 ? "  " : " ") << "r" << std::dec << r
+               << std::hex << "=" << t.archRegs[r];
+            if (r % 8 == 7)
+                os << "\n";
+        }
+        os << std::dec;
+    }
 }
 
 } // namespace smtos

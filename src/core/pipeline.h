@@ -17,6 +17,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -199,6 +201,18 @@ class Pipeline
      * oracle actually catches wrong results. 0 disarms.
      */
     void injectRetireFault(std::uint64_t nth) { faultAtRetire_ = nth; }
+
+    /**
+     * Check core structural invariants: per-context window/inflight
+     * accounting, instruction conservation (fetched = squashed +
+     * retired + in flight), issue-queue occupancy, and rename-register
+     * accounting. Returns an empty string when everything holds, else
+     * a description of every violation found.
+     */
+    std::string auditInvariants() const;
+
+    /** Dump per-context architectural state for the crash bundle. */
+    void dumpState(std::ostream &os) const;
 
   private:
     /**

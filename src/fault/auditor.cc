@@ -1,0 +1,54 @@
+#include "fault/auditor.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "mem/hierarchy.h"
+#include "sim/system.h"
+
+namespace smtos {
+
+InvariantAuditor::InvariantAuditor(System &sys, Cycle every)
+    : sys_(sys), every_(every ? every : 1), nextAt_(every_)
+{
+}
+
+void
+InvariantAuditor::maybeCheck(Cycle now)
+{
+    if (now < nextAt_)
+        return;
+    nextAt_ = now + every_;
+    ++checks_;
+    const std::string report = checkNow();
+    if (!report.empty())
+        smtos_panic("invariant audit failed at cycle %llu:\n%s",
+                    static_cast<unsigned long long>(now),
+                    report.c_str());
+}
+
+std::string
+InvariantAuditor::checkNow() const
+{
+    std::ostringstream os;
+    os << sys_.pipeline().auditInvariants();
+    os << sys_.kernel().auditInvariants();
+
+    const Cycle now = sys_.pipeline().now();
+    const Hierarchy &h = sys_.hierarchy();
+    const int l1 = h.l1Mshr().outstanding(now);
+    if (l1 < 0 || l1 > h.l1Mshr().size())
+        os << "L1 MSHR outstanding " << l1 << " outside [0, "
+           << h.l1Mshr().size() << "]\n";
+    const int l2 = h.l2Mshr().outstanding(now);
+    if (l2 < 0 || l2 > h.l2Mshr().size())
+        os << "L2 MSHR outstanding " << l2 << " outside [0, "
+           << h.l2Mshr().size() << "]\n";
+    const int sb = h.storeBuffer().occupancy(now);
+    if (sb < 0 || sb > h.storeBuffer().size())
+        os << "store buffer occupancy " << sb << " outside [0, "
+           << h.storeBuffer().size() << "]\n";
+    return os.str();
+}
+
+} // namespace smtos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Periodic structural invariant auditing.
+ *
+ * Fault injection is only trustworthy if the simulator can prove it
+ * stayed structurally sane while being perturbed. The auditor walks
+ * the whole machine every N cycles — pipeline window/conservation
+ * accounting, MSHR and store-buffer occupancy bounds, kernel queue and
+ * scheduler consistency — and on any violation writes the
+ * crash-diagnostics bundle (via the panic crash hook) and aborts with
+ * the full report instead of corrupting results silently.
+ */
+
+#ifndef SMTOS_FAULT_AUDITOR_H
+#define SMTOS_FAULT_AUDITOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace smtos {
+
+class System;
+
+/** Every-N-cycles structural checker over one System. */
+class InvariantAuditor
+{
+  public:
+    /** Audit @p sys every @p every cycles (0 behaves as 1). */
+    InvariantAuditor(System &sys, Cycle every);
+
+    /** Kernel cycle-hook entry: audits when the period elapses and
+     *  panics (after the diagnostics hook) on any violation. */
+    void maybeCheck(Cycle now);
+
+    /** Run every check immediately. Returns the violation report,
+     *  empty when all invariants hold. */
+    std::string checkNow() const;
+
+    std::uint64_t checksRun() const { return checks_; }
+
+  private:
+    System &sys_;
+    Cycle every_;
+    Cycle nextAt_;
+    std::uint64_t checks_ = 0;
+};
+
+} // namespace smtos
+
+#endif // SMTOS_FAULT_AUDITOR_H

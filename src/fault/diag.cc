@@ -1,0 +1,80 @@
+#include "fault/diag.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/trace.h"
+#include "fault/fault.h"
+#include "sim/system.h"
+
+namespace smtos {
+
+namespace {
+
+System *armedSys = nullptr;
+FaultPlan *armedPlan = nullptr;
+bool writing = false;
+
+void
+crashHookTrampoline(const char *reason)
+{
+    diagWriteBundle(reason);
+}
+
+} // namespace
+
+void
+diagArm(System *sys, FaultPlan *plan)
+{
+    armedSys = sys;
+    armedPlan = plan;
+    setCrashHook(sys ? &crashHookTrampoline : nullptr);
+}
+
+std::string
+diagDir()
+{
+    if (const char *d = std::getenv("SMTOS_DIAG_DIR"))
+        return d;
+    return "smtos-diag";
+}
+
+std::string
+diagWriteBundle(const char *reason)
+{
+    if (!armedSys || writing)
+        return {};
+    writing = true;
+    const std::string dir = diagDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        writing = false;
+        return {};
+    }
+    {
+        std::ofstream os(dir + "/crash.txt");
+        os << (reason ? reason : "(no reason)") << "\n";
+    }
+    {
+        std::ofstream os(dir + "/contexts.txt");
+        armedSys->pipeline().dumpState(os);
+        os << "\n";
+        armedSys->kernel().dumpState(os);
+    }
+    if (armedPlan) {
+        std::ofstream os(dir + "/faultlog.txt");
+        armedPlan->writeLog(os);
+    }
+    {
+        std::ofstream os(dir + "/ring.txt");
+        Trace::dumpRing(os);
+    }
+    smtos_inform("diagnostics bundle written to %s/", dir.c_str());
+    writing = false;
+    return dir;
+}
+
+} // namespace smtos

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Crash-diagnostics bundle.
+ *
+ * When a panic, failed SMTOS_CHECK, or invariant-audit violation fires
+ * while a System is armed, the process writes a small directory of
+ * post-mortem state before aborting instead of dying bare: the reason,
+ * full per-context architectural state, kernel scheduler/connection
+ * state, the fault-injection log, and the recent trace ring. The
+ * directory comes from SMTOS_DIAG_DIR (default "smtos-diag").
+ */
+
+#ifndef SMTOS_FAULT_DIAG_H
+#define SMTOS_FAULT_DIAG_H
+
+#include <string>
+
+namespace smtos {
+
+class FaultPlan;
+class System;
+
+/**
+ * Arm the bundle for @p sys (and optionally its fault @p plan) and
+ * register the logging crash hook. Pass (nullptr, nullptr) to disarm
+ * when the System is about to be destroyed.
+ */
+void diagArm(System *sys, FaultPlan *plan);
+
+/** Directory the next bundle lands in (SMTOS_DIAG_DIR env override). */
+std::string diagDir();
+
+/**
+ * Write the bundle now. Returns the directory written, or an empty
+ * string when disarmed, reentered, or the directory is not writable.
+ */
+std::string diagWriteBundle(const char *reason);
+
+} // namespace smtos
+
+#endif // SMTOS_FAULT_DIAG_H

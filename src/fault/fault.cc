@@ -1,0 +1,222 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+namespace {
+
+/** Bound the in-memory fault log so long soaks stay cheap. */
+constexpr std::size_t maxLogEvents = 1u << 16;
+
+double
+parseDouble(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        smtos_fatal("SMTOS_FAULTS: bad value '%s' for %s", v.c_str(),
+                    key.c_str());
+    return d;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const std::uint64_t u = std::strtoull(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        smtos_fatal("SMTOS_FAULTS: bad value '%s' for %s", v.c_str(),
+                    key.c_str());
+    return u;
+}
+
+} // namespace
+
+bool
+FaultParams::any() const
+{
+    return lossPct > 0.0 || reorderPct > 0.0 || delayMax > 0 ||
+           nicDropPct > 0.0 || mcePeriod > 0 || mceBreakRecovery ||
+           connTableSize > 0 || listenBacklog > 0 || auditEvery > 0;
+}
+
+FaultParams
+FaultParams::fromString(const std::string &spec)
+{
+    FaultParams p;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            smtos_fatal("SMTOS_FAULTS: expected key=value, got '%s'",
+                        item.c_str());
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        if (key == "seed") {
+            p.seed = parseU64(key, val);
+        } else if (key == "loss") {
+            p.lossPct = parseDouble(key, val);
+        } else if (key == "reorder") {
+            p.reorderPct = parseDouble(key, val);
+        } else if (key == "delay") {
+            const auto colon = val.find(':');
+            if (colon == std::string::npos) {
+                p.delayMin = p.delayMax = parseU64(key, val);
+            } else {
+                p.delayMin = parseU64(key, val.substr(0, colon));
+                p.delayMax = parseU64(key, val.substr(colon + 1));
+            }
+            if (p.delayMin > p.delayMax)
+                smtos_fatal("SMTOS_FAULTS: delay min > max");
+        } else if (key == "nicdrop") {
+            p.nicDropPct = parseDouble(key, val);
+        } else if (key == "mce") {
+            p.mcePeriod = parseU64(key, val);
+        } else if (key == "mceretry") {
+            p.mceRetryLimit = static_cast<int>(parseU64(key, val));
+        } else if (key == "breakrecovery") {
+            p.mceBreakRecovery = parseU64(key, val) != 0;
+        } else if (key == "conntable") {
+            p.connTableSize = static_cast<int>(parseU64(key, val));
+        } else if (key == "backlog") {
+            p.listenBacklog = static_cast<int>(parseU64(key, val));
+        } else if (key == "audit") {
+            p.auditEvery = parseU64(key, val);
+        } else {
+            smtos_fatal("SMTOS_FAULTS: unknown key '%s'", key.c_str());
+        }
+    }
+    return p;
+}
+
+FaultParams
+FaultParams::fromEnv()
+{
+    const char *v = std::getenv("SMTOS_FAULTS");
+    if (!v || !*v)
+        return FaultParams{};
+    return fromString(v);
+}
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::PktLoss:     return "pkt_loss";
+      case FaultKind::PktDelay:    return "pkt_delay";
+      case FaultKind::PktReorder:  return "pkt_reorder";
+      case FaultKind::NicIntrDrop: return "nic_intr_drop";
+      case FaultKind::MceTlb:      return "mce_tlb";
+      case FaultKind::MceCache:    return "mce_cache";
+      case FaultKind::MceSilent:   return "mce_silent";
+      case FaultKind::MceKill:     return "mce_kill";
+      case FaultKind::SynDrop:     return "syn_drop";
+      case FaultKind::BacklogDrop: return "backlog_drop";
+    }
+    return "?";
+}
+
+FaultCounters
+FaultCounters::delta(const FaultCounters &e) const
+{
+    FaultCounters d;
+    d.pktLost = pktLost - e.pktLost;
+    d.pktDelayed = pktDelayed - e.pktDelayed;
+    d.pktReordered = pktReordered - e.pktReordered;
+    d.nicIntrDrops = nicIntrDrops - e.nicIntrDrops;
+    d.mceRaised = mceRaised - e.mceRaised;
+    d.mceKills = mceKills - e.mceKills;
+    d.synDrops = synDrops - e.synDrops;
+    d.backlogDrops = backlogDrops - e.backlogDrops;
+    d.retransmits = retransmits - e.retransmits;
+    d.clientAborts = clientAborts - e.clientAborts;
+    return d;
+}
+
+bool
+FaultCounters::operator==(const FaultCounters &o) const
+{
+    return pktLost == o.pktLost && pktDelayed == o.pktDelayed &&
+           pktReordered == o.pktReordered &&
+           nicIntrDrops == o.nicIntrDrops &&
+           mceRaised == o.mceRaised && mceKills == o.mceKills &&
+           synDrops == o.synDrops && backlogDrops == o.backlogDrops &&
+           retransmits == o.retransmits &&
+           clientAborts == o.clientAborts;
+}
+
+FaultPlan::FaultPlan(const FaultParams &p)
+    : p_(p), rngLink_(mixHash(p.seed, 0x11aaull)),
+      rngMce_(mixHash(p.seed, 0x22bbull))
+{
+    if (p_.mcePeriod > 0) {
+        // First injection somewhere in [period/2, 3*period/2); the
+        // schedule only ever consumes the dedicated MCE stream, so it
+        // is a pure function of (seed, period) — independent of both
+        // the workload and the link fault stream.
+        nextMceAt_ = p_.mcePeriod / 2 + 1 +
+                     static_cast<Cycle>(rngMce_.below(p_.mcePeriod));
+    }
+}
+
+std::uint64_t
+FaultPlan::takeMce(Cycle now)
+{
+    (void)now;
+    const std::uint64_t pick = rngMce_.next();
+    nextMceAt_ += p_.mcePeriod / 2 + 1 +
+                  static_cast<Cycle>(rngMce_.below(p_.mcePeriod));
+    return pick;
+}
+
+void
+FaultPlan::note(Cycle cycle, FaultKind k, std::uint64_t a,
+                std::uint64_t b)
+{
+    switch (k) {
+      case FaultKind::PktLoss:     ++c_.pktLost; break;
+      case FaultKind::PktDelay:    ++c_.pktDelayed; break;
+      case FaultKind::PktReorder:  ++c_.pktReordered; break;
+      case FaultKind::NicIntrDrop: ++c_.nicIntrDrops; break;
+      case FaultKind::MceTlb:
+      case FaultKind::MceCache:
+      case FaultKind::MceSilent:   ++c_.mceRaised; break;
+      case FaultKind::MceKill:     ++c_.mceKills; break;
+      case FaultKind::SynDrop:     ++c_.synDrops; break;
+      case FaultKind::BacklogDrop: ++c_.backlogDrops; break;
+    }
+    if (log_.size() >= maxLogEvents) {
+        ++logOverflow_;
+        return;
+    }
+    log_.push_back(FaultEvent{cycle, k, a, b});
+}
+
+void
+FaultPlan::writeLog(std::ostream &os) const
+{
+    for (const FaultEvent &e : log_)
+        os << e.cycle << " " << faultKindName(e.kind) << " " << e.a
+           << " " << e.b << "\n";
+    if (logOverflow_ > 0)
+        os << "# " << logOverflow_ << " events beyond the "
+           << maxLogEvents << "-entry log cap\n";
+}
+
+std::string
+FaultPlan::logText() const
+{
+    std::ostringstream os;
+    writeLog(os);
+    return os.str();
+}
+
+} // namespace smtos

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "fault/auditor.h"
+#include "fault/diag.h"
 #include "obs/session.h"
 #include "sim/config.h"
 
@@ -53,6 +55,30 @@ runExperiment(const RunSpec &spec)
         sys.pipeline().setFilterPrivilegedBranches(true);
     if (obs)
         obs->attach(sys);
+
+    // Fault injection: an explicit plan wins, then the spec's params,
+    // then the SMTOS_FAULTS environment. Attach before start() so the
+    // connection-table override takes effect.
+    std::unique_ptr<FaultPlan> ownedPlan;
+    FaultPlan *plan = spec.faultPlan;
+    if (!plan) {
+        FaultParams fp = spec.faults.any() ? spec.faults
+                                           : FaultParams::fromEnv();
+        if (fp.any()) {
+            ownedPlan = std::make_unique<FaultPlan>(fp);
+            plan = ownedPlan.get();
+        }
+    }
+    std::unique_ptr<InvariantAuditor> auditor;
+    if (plan) {
+        sys.attachFaults(plan);
+        if (plan->params().auditEvery > 0) {
+            auditor = std::make_unique<InvariantAuditor>(
+                sys, plan->params().auditEvery);
+            sys.kernel().setAuditor(auditor.get());
+        }
+    }
+    diagArm(&sys, plan);
 
     // Workload objects must outlive the run.
     SpecIntWorkload spec_w;
@@ -140,6 +166,7 @@ runExperiment(const RunSpec &spec)
     res.cycles = sys.pipeline().now();
     if (obs)
         obs->finish();
+    diagArm(nullptr, nullptr);
     return res;
 }
 

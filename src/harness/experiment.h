@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.h"
 #include "sim/metrics.h"
 #include "workload/apache.h"
 #include "workload/specint.h"
@@ -56,6 +57,16 @@ struct RunSpec
      * intervalCycles() steps and emits one sample row per step.
      */
     ObsSession *obs = nullptr;
+
+    /**
+     * Fault injection for the run. An explicit plan wins; otherwise a
+     * plan is built from @c faults when it configures anything, or
+     * from the SMTOS_FAULTS environment. When nothing is configured no
+     * plan is attached and the run is bit-identical to a fault-free
+     * build.
+     */
+    FaultParams faults{};
+    FaultPlan *faultPlan = nullptr; ///< not owned; overrides @c faults
 };
 
 /** Phase deltas of one run. */

@@ -541,6 +541,22 @@ buildKernelImage(std::uint64_t seed)
     img.emit(g.makeMagic(MagicOp::Reschedule, 2)); // idle poll
     img.emit(g.makeJump(0));
 
+    // ---- machine-check handler ----
+    // Generated after every pre-existing function so that attaching
+    // the fault subsystem shifts no earlier code address and perturbs
+    // no earlier generator RNG draw: fault-free runs on this image are
+    // bit-identical to runs on the image without it.
+    pad();
+    kc->intrMce = img.beginFunction("intr_mce", TagInterrupt);
+    img.beginBlock();
+    g.emitWork(520, 0.8); // log + scrub the reported structure
+    img.emit(g.makeCond(1, 0.15));
+    img.beginBlock();
+    g.emitWork(260, 0.75); // slow path: walk the error bank
+    img.beginBlock();
+    g.emitWork(160, 0.75);
+    img.emit(g.makePalReturn());
+
     img.finalize();
     return kc;
 }

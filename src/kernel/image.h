@@ -71,6 +71,7 @@ enum IntrVector : std::uint16_t
     VecNic = 0,
     VecTimer,
     VecResched,
+    VecMce,       ///< machine check (injected transient fault)
 };
 
 /**
@@ -115,6 +116,7 @@ struct KernelCode
     int intrNet = -1;
     int intrTimer = -1;
     int intrResched = -1;
+    int intrMce = -1;
     int netisrLoop[netisrVariants] = {-1, -1};
     int schedSwitch = -1;
     int idleLoop = -1;

@@ -1,7 +1,11 @@
 #include "kernel/kernel.h"
 
+#include <ostream>
+#include <sstream>
+
 #include "common/logging.h"
 #include "common/trace.h"
+#include "fault/auditor.h"
 #include "kernel/tags.h"
 #include "obs/probes.h"
 
@@ -236,6 +240,34 @@ Kernel::interrupt(Context &ctx, ThreadState &t, std::uint16_t vector)
         }
         return;
     }
+    if (vector == VecMce) {
+        // Retry-then-kill recovery: the handler scrubs the reported
+        // structure and the victim re-executes; a process that takes
+        // machine checks with no forward progress in between (no
+        // completed syscall) is killed past the retry limit.
+        ++p.mceHits;
+        const int limit =
+            faults_ ? faults_->params().mceRetryLimit : 3;
+        if (p.isUser() &&
+            p.mceHits > static_cast<std::uint32_t>(limit)) {
+            if (p.conn >= 0) {
+                conns_[static_cast<size_t>(p.conn)] = Connection{};
+                p.conn = -1;
+            }
+            ++mceKills_;
+            if (faults_)
+                faults_->note(nowCycle_, FaultKind::MceKill,
+                              static_cast<std::uint64_t>(p.pid));
+            smtos_trace(TraceCat::Fault,
+                        "pid%d killed after %u machine checks", p.pid,
+                        p.mceHits);
+            p.state = Process::State::Exited;
+            switchTo(ctx, pickNext(ctx.id));
+            return;
+        }
+        t.cursor.push(kc_.intrMce, true);
+        return;
+    }
     (void)p;
     int func = kc_.intrResched;
     if (vector == VecNic)
@@ -249,6 +281,8 @@ void
 Kernel::cycleHook(Cycle now)
 {
     nowCycle_ = now;
+    if (faults_ && faults_->mceDue(now))
+        injectMce(now);
     if (params_.enableNetwork && now >= nextNicAt_) {
         nicTick(now);
         nextNicAt_ = now + params_.nicInterval;
@@ -260,6 +294,165 @@ Kernel::cycleHook(Cycle now)
             if (!params_.appOnly || !runq_.empty())
                 pipe_.raiseInterrupt(c, VecTimer);
         }
+    }
+    if (faults_ && probes_) {
+        // Forward freshly logged fault events to the timeline.
+        const auto &lg = faults_->log();
+        while (faultLogEmitted_ < lg.size()) {
+            const FaultEvent &e = lg[faultLogEmitted_++];
+            probes_->faultEvent(faultKindName(e.kind), e.cycle, e.a,
+                                e.b);
+        }
+    }
+    if (auditor_)
+        auditor_->maybeCheck(now);
+}
+
+void
+Kernel::attachFaults(FaultPlan *plan)
+{
+    faults_ = plan;
+    net_.attachFaults(plan);
+    if (!plan)
+        return;
+    if (plan->params().connTableSize > 0)
+        conns_.assign(
+            static_cast<size_t>(plan->params().connTableSize),
+            Connection{});
+    if (clients_ && plan->recoveryNeeded())
+        clients_->setRecovery(true);
+}
+
+void
+Kernel::injectMce(Cycle now)
+{
+    const std::uint64_t pick = faults_->takeMce(now);
+    const auto nctx = static_cast<std::uint64_t>(pipe_.numContexts());
+    const CtxId victim = static_cast<CtxId>(pick % nctx);
+    Context &c = pipe_.ctx(victim);
+
+    // Model the transient fault itself: scrub one translation or one
+    // data-cache line; the correct state is re-derived on the next
+    // miss, at a performance (never correctness) cost.
+    if (((pick >> 8) & 1) != 0) {
+        const std::uint64_t idx =
+            pipe_.dtlb().invalidateIndex(pick >> 16);
+        faults_->note(now, FaultKind::MceTlb,
+                      static_cast<std::uint64_t>(victim), idx);
+    } else {
+        const std::uint64_t idx =
+            pipe_.hierarchy().l1d().invalidateIndex(pick >> 16);
+        faults_->note(now, FaultKind::MceCache,
+                      static_cast<std::uint64_t>(victim), idx);
+    }
+
+    if (faults_->params().mceBreakRecovery) {
+        // Deliberately broken recovery (test-only): corrupt committed
+        // register state and raise no trap. The co-simulation oracle
+        // must flag the divergence.
+        if (c.hasThread() && !c.thread->isIdleThread) {
+            for (int r = 1; r <= 8; ++r)
+                c.thread->archRegs[static_cast<size_t>(r)] ^=
+                    mixHash(pick, static_cast<std::uint64_t>(r));
+            faults_->note(now, FaultKind::MceSilent,
+                          static_cast<std::uint64_t>(victim));
+        }
+        return;
+    }
+    if (params_.appOnly)
+        return; // no handler code to run in application-only mode
+    pipe_.raiseInterrupt(victim, VecMce);
+}
+
+FaultCounters
+Kernel::faultCounters() const
+{
+    FaultCounters c;
+    if (faults_)
+        c = faults_->injected();
+    // The kernel's own counters are authoritative (they also exist
+    // without a plan attached, e.g. conn-table drops under overload).
+    c.synDrops = synDrops_;
+    c.backlogDrops = backlogDrops_;
+    c.mceKills = mceKills_;
+    if (clients_) {
+        c.retransmits = clients_->retransmits();
+        c.clientAborts = clients_->aborts();
+    }
+    return c;
+}
+
+std::string
+Kernel::auditInvariants() const
+{
+    std::ostringstream os;
+    if (acceptQ_.size() > conns_.size())
+        os << "accept queue (" << acceptQ_.size()
+           << ") deeper than connection table (" << conns_.size()
+           << ")\n";
+    for (int id : acceptQ_) {
+        if (id < 0 || id >= static_cast<int>(conns_.size()))
+            os << "accept queue holds out-of-range conn " << id
+               << "\n";
+        else if (!conns_[static_cast<size_t>(id)].inUse)
+            os << "accept queue holds free conn " << id << "\n";
+    }
+    for (Process *p : runq_) {
+        // pickNext tolerates stale entries; a Running process in the
+        // queue is outright corruption (it would be bound twice).
+        if (p->state == Process::State::Running)
+            os << "run queue holds Running pid " << p->pid << "\n";
+    }
+    for (size_t cx = 0; cx < curProc_.size(); ++cx) {
+        const Process *p = curProc_[cx];
+        if (!p)
+            continue;
+        if (p->runningOn != static_cast<CtxId>(cx))
+            os << "ctx" << cx << " runs pid " << p->pid
+               << " but runningOn=" << p->runningOn << "\n";
+        if (p->state != Process::State::Running)
+            os << "ctx" << cx << " runs pid " << p->pid
+               << " in a non-Running state\n";
+    }
+    for (size_t ch = 0; ch < waiters_.size(); ++ch) {
+        for (const Process *p : waiters_[ch]) {
+            if (p->state != Process::State::Blocked)
+                os << "wait channel " << ch << " holds pid " << p->pid
+                   << " in a non-Blocked state\n";
+        }
+    }
+    return os.str();
+}
+
+void
+Kernel::dumpState(std::ostream &os) const
+{
+    os << "cycle " << nowCycle_ << "\n";
+    os << "runq depth " << runq_.size() << ", acceptQ "
+       << acceptQ_.size() << ", protoQ " << protoQ_.size()
+       << ", nicRing " << nicRing_.size() << "\n";
+    for (size_t cx = 0; cx < curProc_.size(); ++cx) {
+        const Process *p = curProc_[cx];
+        os << "ctx" << cx << ": ";
+        if (p)
+            os << "pid " << p->pid << "\n";
+        else
+            os << "(unbound)\n";
+    }
+    std::size_t connsInUse = 0;
+    for (const Connection &cn : conns_)
+        if (cn.inUse)
+            ++connsInUse;
+    os << "connections in use " << connsInUse << "/" << conns_.size()
+       << "\n";
+    static const char *stateName[] = {"Ready", "Running", "Blocked",
+                                      "Exited"};
+    for (const auto &up : procs_) {
+        const Process &p = *up;
+        os << "pid " << p.pid << ": state "
+           << stateName[static_cast<int>(p.state)] << ", conn "
+           << p.conn << ", waitChan " << p.waitChan << ", mceHits "
+           << p.mceHits << ", served " << p.requestsServed << "\n";
     }
 }
 

@@ -16,12 +16,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
 #include "core/pipeline.h"
+#include "fault/fault.h"
 #include "kernel/image.h"
 #include "kernel/layout.h"
 #include "net/clients.h"
@@ -29,6 +31,8 @@
 #include "vm/physmem.h"
 
 namespace smtos {
+
+class InvariantAuditor;
 
 /** What kind of software thread a Process is. */
 enum class ProcKind
@@ -70,6 +74,10 @@ struct Process
 
     std::uint16_t pendingSyscall = 0;
 
+    /** Consecutive machine checks without forward progress; the
+     *  kernel kills the process past the plan's retry limit. */
+    std::uint32_t mceHits = 0;
+
     // Apache per-request state.
     int conn = -1;
     bool reqConsumed = false;
@@ -98,6 +106,7 @@ struct Connection
     std::uint32_t recvAvail = 0;
     Addr mbuf = 0;
     int owner = -1; ///< pid after accept
+    std::uint32_t reqSeq = 0; ///< echoed into response packets
 };
 
 /** The OS model. */
@@ -141,6 +150,33 @@ class Kernel : public OsCallbacks
 
     /** Attach (or detach, with nullptr) the observability hub. */
     void setProbes(Probes *p) { probes_ = p; }
+
+    /**
+     * Attach a fault plan. Must be called before start(): it threads
+     * the plan into the network link, sizes the connection table when
+     * the plan overrides it, and arms the client recovery layer when
+     * the plan can perturb delivery.
+     */
+    void attachFaults(FaultPlan *plan);
+
+    /** Attach (or detach) the periodic structural invariant auditor. */
+    void setAuditor(InvariantAuditor *a) { auditor_ = a; }
+
+    FaultPlan *faults() { return faults_; }
+
+    /** Injection counters merged with kernel backpressure and client
+     *  recovery counters — what MetricsSnapshot captures. */
+    FaultCounters faultCounters() const;
+
+    /**
+     * Check kernel structural invariants (connection-table/accept-
+     * queue consistency, run-queue sanity). Returns an empty string
+     * when everything holds, else a description of the violation.
+     */
+    std::string auditInvariants() const;
+
+    /** Dump scheduler/process/net-stack state for the crash bundle. */
+    void dumpState(std::ostream &os) const;
 
     /** Create a user process (workload API). */
     Process &createProcess(const ProcParams &cfg);
@@ -210,6 +246,9 @@ class Kernel : public OsCallbacks
     void netSend(Process &p);
     void nicTick(Cycle now);
 
+    // fault injection
+    void injectMce(Cycle now);
+
     Process *procOf(ThreadState &t);
 
     friend class KernelTestPeer;
@@ -217,6 +256,8 @@ class Kernel : public OsCallbacks
     Params params_;
     Pipeline &pipe_;
     Probes *probes_ = nullptr;
+    FaultPlan *faults_ = nullptr;
+    InvariantAuditor *auditor_ = nullptr;
     PhysMem &mem_;
     const KernelCode &kc_;
     ImageSet kernelIs_; ///< image set for kernel-only threads
@@ -254,6 +295,10 @@ class Kernel : public OsCallbacks
     std::uint64_t diskReads_ = 0;
     std::uint64_t switches_ = 0;
     std::uint64_t wraparounds_ = 0;
+    std::uint64_t synDrops_ = 0;
+    std::uint64_t backlogDrops_ = 0;
+    std::uint64_t mceKills_ = 0;
+    std::size_t faultLogEmitted_ = 0;
 };
 
 } // namespace smtos

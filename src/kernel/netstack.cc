@@ -27,6 +27,8 @@ Kernel::allocMbuf(std::uint32_t bytes)
 void
 Kernel::nicTick(Cycle now)
 {
+    if (faults_)
+        net_.advance(now); // release link-delayed packets first
     clients_->tick(now, net_);
     int moved = 0;
     while (net_.serverHasRx() && moved < 64) {
@@ -34,6 +36,15 @@ Kernel::nicTick(Cycle now)
         ++moved;
     }
     if (!nicRing_.empty()) {
+        if (faults_ && faults_->drawNicDrop()) {
+            // Suppressed NIC interrupt: the ring keeps its packets and
+            // the next tick's (coalescing) interrupt recovers them.
+            faults_->note(now, FaultKind::NicIntrDrop, nicRing_.size());
+            smtos_trace(TraceCat::Fault,
+                        "nic interrupt dropped; ring depth %zu",
+                        nicRing_.size());
+            return;
+        }
         const CtxId target =
             static_cast<CtxId>(nextIntrCtx_ % pipe_.numContexts());
         nextIntrCtx_ = (nextIntrCtx_ + 1) % pipe_.numContexts();
@@ -70,6 +81,20 @@ Kernel::netisrDeliver(Process &p)
     iprs.copyTrip = std::max<std::uint32_t>(1, pkt.bytes / 64);
 
     if (pkt.open) {
+        // Listen-queue backpressure: past the configured backlog the
+        // SYN is refused outright (the client's timeout retransmits).
+        const int backlog =
+            faults_ ? faults_->params().listenBacklog : 0;
+        if (backlog > 0 &&
+            acceptQ_.size() >= static_cast<size_t>(backlog)) {
+            ++backlogDrops_;
+            faults_->note(nowCycle_, FaultKind::BacklogDrop,
+                          static_cast<std::uint64_t>(pkt.client));
+            smtos_trace(TraceCat::Fault,
+                        "listen backlog full; client %d refused",
+                        pkt.client);
+            return;
+        }
         // New connection carrying the request.
         int id = -1;
         for (size_t i = 0; i < conns_.size(); ++i) {
@@ -79,7 +104,16 @@ Kernel::netisrDeliver(Process &p)
             }
         }
         if (id < 0) {
-            smtos_warn("connection table full; dropping request");
+            // Connection-table exhaustion is measurable backpressure,
+            // not a mere log line: count the drop so overload shows up
+            // in MetricsSnapshot / the JSON export.
+            ++synDrops_;
+            if (faults_)
+                faults_->note(nowCycle_, FaultKind::SynDrop,
+                              static_cast<std::uint64_t>(pkt.client));
+            smtos_trace(TraceCat::Fault,
+                        "conn table full; SYN from client %d dropped",
+                        pkt.client);
             return;
         }
         Connection &cn = conns_[static_cast<size_t>(id)];
@@ -90,6 +124,7 @@ Kernel::netisrDeliver(Process &p)
         cn.reqBytes = pkt.bytes;
         cn.recvAvail = pkt.bytes;
         cn.mbuf = pkt.mbuf;
+        cn.reqSeq = pkt.reqSeq;
         acceptQ_.push_back(id);
         wakeWaiters(WaitAccept);
         wakeWaiters(WaitRecv);

@@ -18,7 +18,7 @@ Kernel::spaceFor(Process &p, Addr vaddr, bool &global)
         return *kernelSpace_;
     }
     global = false;
-    smtos_assert(p.isUser());
+    SMTOS_CHECK(p.isUser());
     return *p.space;
 }
 
@@ -44,7 +44,7 @@ Kernel::handleTlbFault(Process &p, Addr vaddr, bool itlb)
         mmEntries_.add(itlb ? "itlb_refill" : "dtlb_refill");
     } else {
         // First touch: the long path through the allocator.
-        smtos_assert(!global); // kernel mappings are always present
+        SMTOS_CHECK(!global); // kernel mappings are always present
         p.ts.cursor.pushFault(r);
         p.ts.cursor.push(kc_.vmPageFault, true);
         mmEntries_.add("page_fault");
@@ -73,14 +73,14 @@ Kernel::handleTlbFault(Process &p, Addr vaddr, bool itlb)
 void
 Kernel::dtlbMiss(ThreadState &t, Addr vaddr)
 {
-    smtos_assert(!params_.appOnly);
+    SMTOS_CHECK(!params_.appOnly);
     handleTlbFault(*procOf(t), vaddr, false);
 }
 
 void
 Kernel::itlbMiss(ThreadState &t, Addr pc)
 {
-    smtos_assert(!params_.appOnly);
+    SMTOS_CHECK(!params_.appOnly);
     handleTlbFault(*procOf(t), pc, true);
 }
 

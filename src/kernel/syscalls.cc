@@ -16,6 +16,9 @@ void
 Kernel::dispatchSyscall(Context &ctx, Process &p)
 {
     (void)ctx;
+    // A completed trap/dispatch is forward progress: only consecutive
+    // machine checks with none in between count toward the kill limit.
+    p.mceHits = 0;
     const int v = p.pid % serviceVariants;
     int func = -1;
     switch (p.pendingSyscall) {
@@ -99,7 +102,7 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
                 iprs.copySrc = bufcachePagePhys(file, p.filePage);
                 ++p.filePage;
             } else {
-                smtos_assert(p.conn >= 0);
+                SMTOS_CHECK(p.conn >= 0);
                 file = conns_[static_cast<size_t>(p.conn)].fileId;
                 chunk = std::min<std::uint32_t>(
                     static_cast<std::uint32_t>(pageBytes),
@@ -114,7 +117,7 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
             return;
           }
           case ActReadSockData: {
-            smtos_assert(p.conn >= 0);
+            SMTOS_CHECK(p.conn >= 0);
             Connection &cn = conns_[static_cast<size_t>(p.conn)];
             iprs.copySrc = cn.mbuf;
             iprs.copyDst = userAuxBase;
@@ -138,7 +141,7 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
           case ActOpenFile: {
             int file = p.cfg.inputFileId;
             if (p.cfg.kind == ProcKind::ApacheServer) {
-                smtos_assert(p.conn >= 0);
+                SMTOS_CHECK(p.conn >= 0);
                 file = conns_[static_cast<size_t>(p.conn)].fileId;
             }
             const std::uint32_t size = specWebFileBytes(file);
@@ -161,6 +164,7 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
                     conns_[static_cast<size_t>(p.conn)];
                 tx.client = cn.client;
                 tx.conn = p.conn;
+                tx.reqSeq = cn.reqSeq;
             }
             tx.bytes = chunk;
             tx.mbuf = iprs.copyDst;
@@ -189,7 +193,7 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
         return;
 
       case MagicOp::AllocPage: {
-        smtos_assert(p.ts.cursor.hasFault());
+        SMTOS_CHECK(p.ts.cursor.hasFault());
         FaultRec &r = p.ts.cursor.topFault();
         AddrSpace &sp = r.global ? *kernelSpace_ : *p.space;
         // Re-check under the "VM lock": a racing fault may have

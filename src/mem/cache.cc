@@ -18,12 +18,12 @@ threadBit(ThreadId t)
 
 Cache::Cache(const CacheParams &params) : params_(params)
 {
-    smtos_assert(params_.assoc >= 1);
-    smtos_assert(params_.lineBytes > 0);
+    SMTOS_CHECK(params_.assoc >= 1);
+    SMTOS_CHECK(params_.lineBytes > 0);
     const std::uint64_t num_lines = params_.sizeBytes / params_.lineBytes;
-    smtos_assert(num_lines % params_.assoc == 0);
+    SMTOS_CHECK(num_lines % params_.assoc == 0);
     numSets_ = static_cast<int>(num_lines / params_.assoc);
-    smtos_assert(numSets_ >= 1);
+    SMTOS_CHECK(numSets_ >= 1);
     lines_.assign(num_lines, Line{});
 }
 
@@ -78,7 +78,7 @@ Cache::access(Addr addr, const AccessInfo &who, bool is_write)
     if (probes_)
         probes_->cacheMiss(params_.name.c_str(), who.thread, addr);
 
-    smtos_assert(victim != nullptr);
+    SMTOS_CHECK(victim != nullptr);
     if (victim->valid) {
         classifier_.recordEviction(victim->blockAddr, who);
         out.dirtyEviction = victim->dirty;
@@ -132,6 +132,19 @@ Cache::invalidateBlock(Addr addr)
             base[w].dirty = false;
         }
     }
+}
+
+std::uint64_t
+Cache::invalidateIndex(std::uint64_t idx)
+{
+    idx %= lines_.size();
+    Line &ln = lines_[idx];
+    if (ln.valid) {
+        classifier_.recordInvalidation(ln.blockAddr);
+        ln.valid = false;
+        ln.dirty = false;
+    }
+    return idx;
 }
 
 double

@@ -80,6 +80,13 @@ class Cache
     /** Invalidate a single block as an explicit OS operation. */
     void invalidateBlock(Addr addr);
 
+    /**
+     * Invalidate the line at @p idx (mod the number of lines) — fault
+     * injection's model of a transient tag/data parity error. Returns
+     * the normalized index; the line may already have been invalid.
+     */
+    std::uint64_t invalidateIndex(std::uint64_t idx);
+
     const CacheParams &params() const { return params_; }
     const InterferenceStats &stats() const { return stats_; }
     InterferenceStats &stats() { return stats_; }

@@ -94,6 +94,7 @@ class Hierarchy
     const MshrFile &l1Mshr() const { return l1Mshr_; }
     const MshrFile &l2Mshr() const { return l2Mshr_; }
     StoreBuffer &storeBuffer() { return storeBuffer_; }
+    const StoreBuffer &storeBuffer() const { return storeBuffer_; }
     Bus &l1l2Bus() { return l1l2Bus_; }
     Bus &memBus() { return memBus_; }
     const Bus &memBus() const { return memBus_; }

@@ -37,12 +37,24 @@ specWebPickFile(Rng &rng, int num_files)
 
 ClientPopulation::ClientPopulation(const SpecWebParams &params,
                                    std::uint64_t seed)
-    : params_(params), rng_(seed)
+    : params_(params), rng_(seed),
+      latency_(0, 4 * 1024 * 1024, 256)
 {
     clients_.resize(static_cast<size_t>(params_.numClients));
     // Stagger the first requests so load ramps in smoothly.
     for (size_t i = 0; i < clients_.size(); ++i)
         clients_[i].nextRequestAt = rng_.below(params_.thinkMean + 1);
+}
+
+Cycle
+ClientPopulation::drawThink(Cycle now)
+{
+    // Exponential-ish think time.
+    const double u = rng_.uniform();
+    const auto think = static_cast<Cycle>(
+        -static_cast<double>(params_.thinkMean) *
+        (u > 0.0001 ? std::log(u) : -9.0));
+    return now + 1 + think;
 }
 
 void
@@ -57,18 +69,22 @@ ClientPopulation::tick(Cycle now, Network &net)
         Client &c = clients_[static_cast<size_t>(p.client)];
         if (c.state != Client::State::Waiting)
             continue;
+        // A stale response (delayed past a retransmit-then-abandon, or
+        // duplicated by a retransmit race) must not be credited to the
+        // client's current request.
+        if (recovery_ && p.reqSeq != c.reqSeq)
+            continue;
         if (c.respRemaining <= p.bytes || p.fin) {
             c.respRemaining = 0;
             c.state = Client::State::Thinking;
-            // Exponential-ish think time.
-            const double u = rng_.uniform();
-            const auto think = static_cast<Cycle>(
-                -static_cast<double>(params_.thinkMean) *
-                (u > 0.0001 ? std::log(u) : -9.0));
-            c.nextRequestAt = now + 1 + think;
+            c.nextRequestAt = drawThink(now);
+            latency_.sample(static_cast<std::int64_t>(now - c.issuedAt));
             ++responses_;
         } else {
             c.respRemaining -= p.bytes;
+            // Forward progress re-arms the response timeout.
+            if (recovery_)
+                c.timeoutAt = now + params_.retryTimeout;
         }
     }
 
@@ -85,10 +101,42 @@ ClientPopulation::tick(Cycle now, Network &net)
         p.fileId = file;
         p.bytes = static_cast<std::uint32_t>(
             rng_.range(params_.requestBytesMin, params_.requestBytesMax));
+        p.reqSeq = ++c.reqSeq;
         net.clientSend(p);
         c.state = Client::State::Waiting;
         c.respRemaining = specWebFileBytes(file);
+        c.lastRequest = p;
+        c.issuedAt = now;
+        c.timeoutAt = now + params_.retryTimeout;
+        c.retries = 0;
         ++requestsIssued_;
+    }
+
+    if (!recovery_)
+        return;
+
+    // Timeout scan: retransmit with capped exponential backoff, give
+    // up after maxRetries. Retransmits reuse the request verbatim
+    // (same reqSeq), so a late original response still counts.
+    for (Client &c : clients_) {
+        if (c.state != Client::State::Waiting || c.timeoutAt > now)
+            continue;
+        if (c.retries < params_.maxRetries) {
+            ++c.retries;
+            const int shift = c.retries < 4 ? c.retries : 4;
+            c.timeoutAt = now + (params_.retryTimeout << shift);
+            // The server treats the retransmit as a fresh connection
+            // open; any half-served prior attempt expects the full
+            // file again.
+            c.respRemaining = specWebFileBytes(c.lastRequest.fileId);
+            net.clientSend(c.lastRequest);
+            ++retransmits_;
+        } else {
+            c.state = Client::State::Thinking;
+            c.respRemaining = 0;
+            c.nextRequestAt = drawThink(now);
+            ++aborts_;
+        }
     }
 }
 

@@ -8,6 +8,16 @@
  * exactly as the paper's separately simulated driver machines did:
  * their work costs no server cycles; they only produce and consume
  * packets at NIC-interrupt granularity.
+ *
+ * When a fault plan perturbs the link, the population runs a recovery
+ * layer: each outstanding request carries a timeout; on expiry the
+ * request is retransmitted with capped exponential backoff, and after
+ * maxRetries the client gives up and returns to thinking. Responses
+ * are matched against the client's current request sequence number so
+ * a stale (delayed or duplicated) response cannot be credited to a
+ * later request. The layer is off by default and enabled explicitly
+ * via setRecovery(), so fault-free runs draw no extra RNG and remain
+ * bit-identical to builds without it.
  */
 
 #ifndef SMTOS_NET_CLIENTS_H
@@ -17,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/types.h"
 #include "net/network.h"
 
@@ -30,6 +41,10 @@ struct SpecWebParams
     Cycle thinkMean = 30000;     ///< mean think time between requests
     std::uint32_t requestBytesMin = 192;
     std::uint32_t requestBytesMax = 512;
+
+    // --- recovery layer (active only when setRecovery(true)) ---
+    Cycle retryTimeout = 400000; ///< base response timeout
+    int maxRetries = 6;          ///< retransmits before giving up
 };
 
 /** Deterministic size of a file (shared with the server's FS). */
@@ -50,8 +65,18 @@ class ClientPopulation
      */
     void tick(Cycle now, Network &net);
 
+    /** Enable/disable the timeout-retransmit recovery layer. */
+    void setRecovery(bool on) { recovery_ = on; }
+    bool recoveryEnabled() const { return recovery_; }
+
     std::uint64_t requestsIssued() const { return requestsIssued_; }
     std::uint64_t responsesCompleted() const { return responses_; }
+    std::uint64_t retransmits() const { return retransmits_; }
+    std::uint64_t aborts() const { return aborts_; }
+
+    /** Request completion latency (issue of first transmission to
+     *  final response byte), in cycles. */
+    const Histogram &latency() const { return latency_; }
 
     const SpecWebParams &params() const { return params_; }
 
@@ -61,13 +86,25 @@ class ClientPopulation
         enum class State { Thinking, Waiting } state = State::Thinking;
         Cycle nextRequestAt = 0;
         std::uint64_t respRemaining = 0;
+        // Recovery state.
+        Packet lastRequest;
+        Cycle issuedAt = 0;
+        Cycle timeoutAt = 0;
+        int retries = 0;
+        std::uint32_t reqSeq = 0;
     };
 
     SpecWebParams params_;
     Rng rng_;
     std::vector<Client> clients_;
+    bool recovery_ = false;
     std::uint64_t requestsIssued_ = 0;
     std::uint64_t responses_ = 0;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t aborts_ = 0;
+    Histogram latency_;
+
+    Cycle drawThink(Cycle now);
 };
 
 } // namespace smtos

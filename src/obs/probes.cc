@@ -112,6 +112,14 @@ Probes::cacheMiss(const char *cache, ThreadId thread, Addr paddr)
 }
 
 void
+Probes::faultEvent(const char *kind, Cycle now, std::uint64_t a,
+                   std::uint64_t b)
+{
+    if (timeline_)
+        timeline_->faultInstant(kind, now, a, b);
+}
+
+void
 Probes::finish()
 {
     if (timeline_)

@@ -111,6 +111,10 @@ class Probes
     void tlbMiss(const char *tlb, ThreadId thread, Addr vaddr);
     void cacheMiss(const char *cache, ThreadId thread, Addr paddr);
 
+    // --- fault-injection hook (kernel drains the fault log) ---
+    void faultEvent(const char *kind, Cycle now, std::uint64_t a,
+                    std::uint64_t b);
+
     /** Flush the sinks (close open spans at the final cycle). */
     void finish();
 

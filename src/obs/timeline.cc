@@ -83,6 +83,9 @@ TimelineExporter::begin(int num_contexts)
           "{\"name\":\"syscalls\"}");
     event("__metadata", "process_name", 'M', 2, 0, 0,
           "{\"name\":\"scheduler\"}");
+    event("__metadata", "process_name", 'M', 3, 0, 0,
+          "{\"name\":\"faults\"}");
+    threadName(3, 0, "injected", 0);
     for (int c = 0; c < num_contexts; ++c) {
         const std::string ctx = "ctx" + std::to_string(c);
         threadName(0, c, ctx, 0);
@@ -151,6 +154,17 @@ TimelineExporter::memInstant(const char *structure, ThreadId thread,
     (void)thread;
     event("mem", structure, 'i', 0, 0, now, hexArg("addr", addr),
           true);
+}
+
+void
+TimelineExporter::faultInstant(const char *kind, Cycle now,
+                               std::uint64_t a, std::uint64_t b)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"a\":%llu,\"b\":%llu}",
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    event("fault", kind, 'i', 3, 0, now, buf, true);
 }
 
 void

@@ -15,6 +15,9 @@
  *                         the thread's next return to user mode)
  *   pid 2 "scheduler"   — per-context tracks showing which software
  *                         thread is bound (gaps = idle thread)
+ *   pid 3 "faults"      — instants for every injected fault (packet
+ *                         loss/delay/reorder, machine checks, SYN and
+ *                         backlog drops)
  *
  * The writer emits events in simulation order (timestamps are
  * monotone non-decreasing) with alphabetically sorted keys in every
@@ -67,6 +70,10 @@ class TimelineExporter
     /** Detail instant: a TLB or cache miss. */
     void memInstant(const char *structure, ThreadId thread, Addr addr,
                     Cycle now);
+
+    /** Instant: one injected fault (kind from faultKindName). */
+    void faultInstant(const char *kind, Cycle now, std::uint64_t a,
+                      std::uint64_t b);
 
     /** Close every open span at @p now and write the footer. */
     void finish(Cycle now);

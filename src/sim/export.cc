@@ -79,6 +79,16 @@ writeJsonFields(std::ostream &os, const MetricsSnapshot &d)
     jsonInterference(os, "btb", d.btb);
     os << ",\"requests_served\":" << d.requestsServed;
     os << ",\"context_switches\":" << d.contextSwitches;
+    os << ",\"faults\":{\"pkt_lost\":" << d.faults.pktLost
+       << ",\"pkt_delayed\":" << d.faults.pktDelayed
+       << ",\"pkt_reordered\":" << d.faults.pktReordered
+       << ",\"nic_intr_drops\":" << d.faults.nicIntrDrops
+       << ",\"mce_raised\":" << d.faults.mceRaised
+       << ",\"mce_kills\":" << d.faults.mceKills
+       << ",\"syn_drops\":" << d.faults.synDrops
+       << ",\"backlog_drops\":" << d.faults.backlogDrops
+       << ",\"retransmits\":" << d.faults.retransmits
+       << ",\"client_aborts\":" << d.faults.clientAborts << "}";
 }
 
 void

@@ -57,6 +57,7 @@ MetricsSnapshot::capture(System &sys)
     s.syscalls = sys.kernel().syscallEntries().all();
     s.requestsServed = sys.kernel().requestsServed();
     s.contextSwitches = sys.kernel().contextSwitches();
+    s.faults = sys.kernel().faultCounters();
     return s;
 }
 
@@ -115,6 +116,7 @@ MetricsSnapshot::delta(const MetricsSnapshot &e) const
     d.syscalls = diffMap(syscalls, e.syscalls);
     d.requestsServed = requestsServed - e.requestsServed;
     d.contextSwitches = contextSwitches - e.contextSwitches;
+    d.faults = faults.delta(e.faults);
     return d;
 }
 

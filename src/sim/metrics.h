@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/context.h"
+#include "fault/fault.h"
 #include "kernel/tags.h"
 #include "mem/missclass.h"
 #include "sim/system.h"
@@ -32,6 +33,7 @@ struct MetricsSnapshot
     std::map<std::string, std::uint64_t> syscalls;
     std::uint64_t requestsServed = 0;
     std::uint64_t contextSwitches = 0;
+    FaultCounters faults;
 
     static MetricsSnapshot capture(System &sys);
 

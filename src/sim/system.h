@@ -31,6 +31,12 @@ class System
      */
     void attachProbes(Probes *p);
 
+    /**
+     * Attach a fault plan (nullptr detaches). Must run before
+     * start(); see Kernel::attachFaults.
+     */
+    void attachFaults(FaultPlan *plan) { kernel_->attachFaults(plan); }
+
     /** Bind initial threads; call after workloads are installed. */
     void start() { kernel_->start(); }
 

@@ -17,7 +17,7 @@ AddrSpace::frameOf(Addr vpn) const
 Frame
 AddrSpace::mapNew(Addr vpn)
 {
-    smtos_assert(!mapped(vpn));
+    SMTOS_CHECK(!mapped(vpn));
     Frame f = mem_->allocFrame();
     pages_.emplace(vpn, f);
     return f;
@@ -26,7 +26,7 @@ AddrSpace::mapNew(Addr vpn)
 void
 AddrSpace::mapShared(Addr vpn, Frame f)
 {
-    smtos_assert(!mapped(vpn));
+    SMTOS_CHECK(!mapped(vpn));
     pages_.emplace(vpn, f);
 }
 
@@ -34,7 +34,7 @@ void
 AddrSpace::unmap(Addr vpn, bool free_frame)
 {
     auto it = pages_.find(vpn);
-    smtos_assert(it != pages_.end());
+    SMTOS_CHECK(it != pages_.end());
     if (free_frame)
         mem_->freeFrame(it->second);
     pages_.erase(it);

@@ -9,7 +9,7 @@ PhysMem::PhysMem(std::uint64_t bytes, std::uint64_t reserved_bytes)
       firstAlloc_(reserved_bytes >> pageShift),
       bump_(firstAlloc_)
 {
-    smtos_assert(reserved_bytes < bytes);
+    SMTOS_CHECK(reserved_bytes < bytes);
 }
 
 Frame
@@ -30,8 +30,8 @@ PhysMem::allocFrame()
 void
 PhysMem::freeFrame(Frame f)
 {
-    smtos_assert(f >= firstAlloc_ && f < totalFrames_);
-    smtos_assert(allocated_ > 0);
+    SMTOS_CHECK(f >= firstAlloc_ && f < totalFrames_);
+    SMTOS_CHECK(allocated_ > 0);
     --allocated_;
     freeList_.push_back(f);
 }

@@ -92,6 +92,18 @@ Tlb::flushAll()
     }
 }
 
+std::uint64_t
+Tlb::invalidateIndex(std::uint64_t idx)
+{
+    idx %= entries_.size();
+    Entry &e = entries_[idx];
+    if (e.valid) {
+        classifier_.recordInvalidation(key(e.vpn, e.asn));
+        e.valid = false;
+    }
+    return idx;
+}
+
 void
 Tlb::flushPage(Addr vpn, Asn asn)
 {

@@ -61,6 +61,13 @@ class Tlb
     /** Invalidate one translation (OS unmap). */
     void flushPage(Addr vpn, Asn asn);
 
+    /**
+     * Invalidate the entry at @p idx (mod size) — fault injection's
+     * model of a transient TLB parity error. Returns the normalized
+     * index; the entry may already have been invalid.
+     */
+    std::uint64_t invalidateIndex(std::uint64_t idx);
+
     const InterferenceStats &stats() const { return stats_; }
     InterferenceStats &stats() { return stats_; }
     double missRatePct() const;

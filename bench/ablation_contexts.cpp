@@ -7,6 +7,8 @@
 
 #include "bench_common.h"
 
+#include "harness/parallel.h"
+
 using namespace smtos;
 using namespace smtos::bench;
 
@@ -17,19 +19,25 @@ main()
            "throughput should rise with contexts as SMT converts "
            "thread-level parallelism into issue slots");
 
-    TextTable t("Apache steady state vs contexts");
-    t.header({"contexts", "IPC", "0-fetch %", "L1D miss %",
-              "OS cycles %"});
-    for (int n : {1, 2, 4, 8}) {
+    const int counts[] = {1, 2, 4, 8};
+    std::vector<RunSpec> specs;
+    for (int n : counts) {
         RunSpec s = apacheSmt();
         s.numContexts = n;
         s.measureInstrs = n >= 4 ? 2'000'000 : 1'200'000;
         if (n == 1)
             s.startupInstrs = 1'000'000;
-        RunResult r = runExperiment(s);
-        const ArchMetrics a = archMetrics(r.steady);
-        const ModeShares m = modeShares(r.steady);
-        t.row({TextTable::num(static_cast<std::uint64_t>(n)),
+        specs.push_back(s);
+    }
+    const std::vector<RunResult> results = runExperiments(specs);
+
+    TextTable t("Apache steady state vs contexts");
+    t.header({"contexts", "IPC", "0-fetch %", "L1D miss %",
+              "OS cycles %"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ArchMetrics a = archMetrics(results[i].steady);
+        const ModeShares m = modeShares(results[i].steady);
+        t.row({TextTable::num(static_cast<std::uint64_t>(counts[i])),
                TextTable::num(a.ipc, 2),
                TextTable::num(a.zeroFetchPct, 1),
                TextTable::num(a.l1dMissPct, 1),

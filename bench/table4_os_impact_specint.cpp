@@ -8,6 +8,8 @@
 
 #include "bench_common.h"
 
+#include "harness/parallel.h"
+
 using namespace smtos;
 using namespace smtos::bench;
 
@@ -44,10 +46,12 @@ main()
     RunSpec ss_only = superscalar(specSmt());
     ss_only.withOs = false;
 
-    const ArchMetrics a1 = archMetrics(runExperiment(smt_only).steady);
-    const ArchMetrics a2 = archMetrics(runExperiment(smt_os).steady);
-    const ArchMetrics a3 = archMetrics(runExperiment(ss_only).steady);
-    const ArchMetrics a4 = archMetrics(runExperiment(ss_os).steady);
+    const std::vector<RunResult> results =
+        runExperiments({smt_only, smt_os, ss_only, ss_os});
+    const ArchMetrics a1 = archMetrics(results[0].steady);
+    const ArchMetrics a2 = archMetrics(results[1].steady);
+    const ArchMetrics a3 = archMetrics(results[2].steady);
+    const ArchMetrics a4 = archMetrics(results[3].steady);
 
     TextTable t("SPECInt steady state");
     t.header({"config", "IPC", "fetchable ctxs", "br mispred %",

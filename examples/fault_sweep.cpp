@@ -15,12 +15,14 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "common/table.h"
 #include "fault/auditor.h"
 #include "fault/diag.h"
 #include "fault/fault.h"
 #include "harness/cosim.h"
+#include "harness/parallel.h"
 #include "sim/config.h"
 #include "sim/system.h"
 #include "workload/apache.h"
@@ -154,8 +156,14 @@ main(int argc, char **argv)
               "retransmits", "aborts", "syn drops"});
     std::printf("csv: loss,requests,throughput,p99,retransmits,"
                 "aborts,syn_drops\n");
-    for (double loss : rates) {
-        const SweepPoint p = runPoint(loss, cycles);
+    // Each point is an independent system; run them on the worker
+    // pool and report in rate order.
+    std::vector<SweepPoint> points(std::size(rates));
+    parallelFor(points.size(), [&](std::size_t i) {
+        points[i] = runPoint(rates[i], cycles);
+    });
+    for (const SweepPoint &p : points) {
+        const double loss = p.loss;
         t.row({TextTable::num(100.0 * loss, 1),
                TextTable::num(p.requests),
                TextTable::num(p.throughput, 1),

@@ -26,8 +26,11 @@ logFormat(const char *fmt, ...)
 
 namespace {
 
-CrashHook crashHook = nullptr;
-bool inCrashHook = false;
+// Thread-local: each parallel-runner worker arms the crash hook for
+// the experiment it is currently driving, so a panic on one thread
+// dumps that thread's system and never races another worker's hook.
+thread_local CrashHook crashHook = nullptr;
+thread_local bool inCrashHook = false;
 
 void
 runCrashHook(const char *reason)

@@ -46,6 +46,24 @@ class Sampler
         ++count_;
     }
 
+    /**
+     * Record @p k identical samples of @p v at once (quiescence
+     * fast-forward). Exact for v == 0 (the idle-cycle case): the sum
+     * is unchanged, matching k individual sample(0.0) calls bit for
+     * bit.
+     */
+    void
+    sampleN(double v, std::uint64_t k)
+    {
+        if (k == 0)
+            return;
+        if (count_ == 0 || v < min_) min_ = v;
+        if (count_ == 0 || v > max_) max_ = v;
+        if (v != 0.0)
+            sum_ += v * static_cast<double>(k);
+        count_ += k;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }

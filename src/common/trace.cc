@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
 #include "common/logging.h"
@@ -11,16 +12,19 @@ namespace smtos {
 
 std::uint32_t Trace::mask_ = 0;
 std::ostream *Trace::sink_ = nullptr;
-Cycle Trace::cycle_ = 0;
-const Cycle *Trace::clock_ = nullptr;
+thread_local Cycle Trace::cycle_ = 0;
+thread_local const Cycle *Trace::clock_ = nullptr;
 
 namespace {
 
 // Ring of the most recent emitted lines, kept for crash diagnostics.
+// The mutex makes emit/dumpRing safe under the parallel experiment
+// runner; sites pay it only when their category is enabled.
 constexpr std::size_t ringCap = 256;
 std::string ringLines[ringCap];
 std::size_t ringNext = 0;
 std::size_t ringCount = 0;
+std::mutex ringMutex;
 
 } // namespace
 
@@ -56,6 +60,7 @@ Trace::emit(TraceCat cat, const std::string &msg)
     std::string line = logFormat("%llu: %s: ",
                                  static_cast<unsigned long long>(c),
                                  traceCatName(cat)) + msg;
+    std::lock_guard<std::mutex> lock(ringMutex);
     os << line << "\n";
     ringLines[ringNext] = std::move(line);
     ringNext = (ringNext + 1) % ringCap;
@@ -66,6 +71,7 @@ Trace::emit(TraceCat cat, const std::string &msg)
 void
 Trace::dumpRing(std::ostream &os)
 {
+    std::lock_guard<std::mutex> lock(ringMutex);
     const std::size_t start = (ringNext + ringCap - ringCount) % ringCap;
     for (std::size_t i = 0; i < ringCount; ++i)
         os << ringLines[(start + i) % ringCap] << "\n";
@@ -74,10 +80,11 @@ Trace::dumpRing(std::ostream &os)
 void
 Trace::applyEnv()
 {
-    static bool applied = false;
-    if (applied)
+    static std::once_flag once;
+    bool first = false;
+    std::call_once(once, [&] { first = true; });
+    if (!first)
         return;
-    applied = true;
     if (const char *cats = std::getenv("SMTOS_TRACE"))
         setMask(parseCats(cats));
     if (const char *path = std::getenv("SMTOS_TRACE_FILE")) {

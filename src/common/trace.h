@@ -62,6 +62,10 @@ class Trace
      * clock is registered every line carries the current simulated
      * cycle, even for traces emitted from OS-model code between
      * pipeline ticks. Pass nullptr to unregister.
+     *
+     * The clock registration is thread-local so concurrent systems
+     * driven by the parallel experiment runner each prefix their
+     * own cycle count.
      */
     static void setClock(const Cycle *src) { clock_ = src; }
     static const Cycle *clock() { return clock_; }
@@ -93,8 +97,8 @@ class Trace
   private:
     static std::uint32_t mask_;
     static std::ostream *sink_;
-    static Cycle cycle_;
-    static const Cycle *clock_;
+    static thread_local Cycle cycle_;
+    static thread_local const Cycle *clock_;
 };
 
 /** Name of a single category. */

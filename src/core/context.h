@@ -203,6 +203,16 @@ class OsCallbacks
     virtual void cycleHook(Cycle now) = 0;
 
     /**
+     * Earliest future cycle at which cycleHook must observe the clock
+     * (device interrupt, timer, scheduled fault, audit, ...), or
+     * ~Cycle{0} when nothing is scheduled. Quiescence fast-forward
+     * never skips past this. The default of 0 means "call me every
+     * cycle", which disables fast-forward for OS models that don't
+     * implement event scheduling.
+     */
+    virtual Cycle nextEventAt() const { return 0; }
+
+    /**
      * Application-only mode: return the physical address for @p vaddr
      * as if the TLB refill completed instantly (mapping on demand).
      */

@@ -23,12 +23,17 @@ Pipeline::Pipeline(const CoreParams &params, Hierarchy &hier,
     q_.resize(ctxs_.size());
     waitBranch_.assign(ctxs_.size(), 0);
     writerSeq_.resize(ctxs_.size());
-    pendingDone_.resize(ctxs_.size());
+    writerPos_.resize(ctxs_.size());
     for (size_t i = 0; i < ctxs_.size(); ++i) {
         ctxs_[i].id = static_cast<CtxId>(i);
         ctxs_[i].ras = Ras(params_.rasDepth);
         writerSeq_[i].fill(0);
+        writerPos_[i].fill(0);
+        q_[i].init(static_cast<size_t>(params_.maxInflightPerCtx));
     }
+    fetchCands_.reserve(ctxs_.size());
+    issueCands_.reserve(
+        static_cast<size_t>(params_.intQueue + params_.fpQueue));
     // Trace lines read the cycle straight from this counter, so
     // emissions between ticks (OS hooks, tests) carry the live cycle
     // rather than a stale per-tick copy.
@@ -49,7 +54,7 @@ Pipeline::bindThread(CtxId id, ThreadState *t)
     c.thread = t;
     c.lastFetchLine = ~0ull;
     writerSeq_[static_cast<size_t>(id)].fill(0);
-    pendingDone_[static_cast<size_t>(id)].clear();
+    writerPos_[static_cast<size_t>(id)].fill(0);
     if (obs_ && t)
         obs_->onThreadStateSync(*t, nextSeq_);
 }
@@ -202,17 +207,22 @@ Pipeline::fetchFrom(Context &c, int budget)
         if (in.dest != regNone)
             u.destType = isFpReg(in.dest) ? 2 : 1;
 
-        // Rename: bind sources to their producing uops.
+        // Rename: bind sources to their producing uops (seq for
+        // identity, ring position for O(1) readiness checks).
         {
             auto &ws = writerSeq_[static_cast<size_t>(c.id)];
-            if (in.srcA != regNone)
+            auto &wp = writerPos_[static_cast<size_t>(c.id)];
+            if (in.srcA != regNone) {
                 u.depA = ws[in.srcA];
-            if (in.srcB != regNone)
+                u.depAPos = wp[in.srcA];
+            }
+            if (in.srcB != regNone) {
                 u.depB = ws[in.srcB];
+                u.depBPos = wp[in.srcB];
+            }
             if (in.dest != regNone) {
                 ws[in.dest] = u.seq;
-                pendingDone_[static_cast<size_t>(c.id)].emplace(
-                    u.seq, ~Cycle{0});
+                wp[in.dest] = q_[static_cast<size_t>(c.id)].tailPos();
             }
         }
 
@@ -387,8 +397,8 @@ Pipeline::fetchStage()
         c.lastFetchLine = ~0ull;
 
     int fetchable = 0;
-    std::vector<std::pair<int, CtxId>> cands;
-    cands.reserve(ctxs_.size());
+    std::vector<std::pair<int, CtxId>> &cands = fetchCands_;
+    cands.clear();
     for (Context &c : ctxs_) {
         if (canFetch(c)) {
             ++fetchable;
@@ -459,7 +469,9 @@ causePriority(SlotCause c)
 SlotCause
 Pipeline::windowCause(const Context &c) const
 {
-    for (const Uop &u : q_[static_cast<size_t>(c.id)]) {
+    const auto &rq = q_[static_cast<size_t>(c.id)];
+    for (std::size_t i = 0; i < rq.size(); ++i) {
+        const Uop &u = rq[i];
         if (u.stage == Uop::Stage::Issued && u.instr->isLoad() &&
             u.doneAt > now_)
             return SlotCause::DcacheStall;
@@ -602,63 +614,79 @@ Pipeline::issueStage()
     bool sawDepWait = false;
 
     // Gather ready candidates oldest-first across contexts.
-    struct Cand
-    {
-        std::uint64_t seq;
-        CtxId ctx;
-        std::uint32_t idx;
-    };
-    std::vector<Cand> cands;
+    std::vector<IssueCand> &cands = issueCands_;
+    cands.clear();
     for (Context &c : ctxs_) {
-        auto &dq = q_[static_cast<size_t>(c.id)];
+        auto &rq = q_[static_cast<size_t>(c.id)];
+        if (c.unissued == 0)
+            continue;
         int examined = 0;
-        for (std::uint32_t i = 0; i < dq.size() && examined < 24; ++i) {
-            Uop &u = dq[i];
+        const std::uint32_t qsize =
+            static_cast<std::uint32_t>(rq.size());
+        for (std::uint32_t i = 0; i < qsize && examined < 24; ++i) {
+            Uop &u = rq[i];
             if (u.stage != Uop::Stage::Fetched || u.serializing)
                 continue;
             ++examined;
             if (u.eligibleAt > now_)
                 continue;
-            // Operand readiness via renamed producer completion.
-            const auto &pd = pendingDone_[static_cast<size_t>(c.id)];
-            auto op_ready = [&](std::uint64_t dep) {
+            // Operand readiness straight off the producer's ring
+            // slot. A dead position (committed, squashed, or reused
+            // by a later uop) means the producer is no longer
+            // pending: committed producers are ready, and a
+            // squashed producer's consumer is doomed anyway.
+            auto op_ready = [&](std::uint64_t dep,
+                                std::uint64_t pos) {
                 if (dep == 0)
                     return true;
-                auto it = pd.find(dep);
-                // Absent: the producer committed (or was squashed,
-                // in which case this consumer is doomed anyway).
-                return it == pd.end() || it->second <= now_;
+                if (!rq.livePos(pos))
+                    return true;
+                const Uop &p = rq.atPos(pos);
+                if (p.seq != dep)
+                    return true;
+                if (p.stage == Uop::Stage::Fetched)
+                    return false;
+                return p.doneAt <= now_;
             };
-            if (!op_ready(u.depA) || !op_ready(u.depB)) {
+            if (!op_ready(u.depA, u.depAPos) ||
+                !op_ready(u.depB, u.depBPos)) {
                 if (prof) {
                     // Attribution only: is the uop waiting on a
                     // long-latency (memory-like) producer or a
                     // short one still in flight?
-                    auto classify = [&](std::uint64_t dep) {
-                        if (dep == 0)
+                    auto classify = [&](std::uint64_t dep,
+                                        std::uint64_t pos) {
+                        if (dep == 0 || !rq.livePos(pos))
                             return;
-                        auto it = pd.find(dep);
-                        if (it == pd.end() || it->second <= now_)
+                        const Uop &p = rq.atPos(pos);
+                        if (p.seq != dep)
                             return;
-                        if (it->second == ~Cycle{0} ||
-                            it->second - now_ <= 2)
+                        if (p.stage == Uop::Stage::Fetched) {
+                            sawDepWait = true;
+                            return;
+                        }
+                        if (p.doneAt <= now_)
+                            return;
+                        if (p.doneAt - now_ <= 2)
                             sawDepWait = true;
                         else
                             sawMemWait = true;
                     };
-                    classify(u.depA);
-                    classify(u.depB);
+                    classify(u.depA, u.depAPos);
+                    classify(u.depB, u.depBPos);
                 }
                 continue;
             }
-            cands.push_back(Cand{u.seq, c.id, i});
+            cands.push_back(IssueCand{u.seq, c.id, i});
         }
     }
     std::sort(cands.begin(), cands.end(),
-              [](const Cand &a, const Cand &b) { return a.seq < b.seq; });
+              [](const IssueCand &a, const IssueCand &b) {
+                  return a.seq < b.seq;
+              });
 
     int issued = 0;
-    for (const Cand &cd : cands) {
+    for (const IssueCand &cd : cands) {
         Context &c = ctx(cd.ctx);
         Uop &u = q_[static_cast<size_t>(cd.ctx)][cd.idx];
         const Instr &in = *u.instr;
@@ -747,8 +775,6 @@ Pipeline::issueStage()
 
         u.stage = Uop::Stage::Issued;
         u.doneAt = done;
-        if (in.dest != regNone)
-            pendingDone_[static_cast<size_t>(cd.ctx)][u.seq] = done;
         --c.unissued;
         if (is_fp)
             --unissuedFp_;
@@ -790,7 +816,6 @@ Pipeline::squashTail(Context &c, std::uint64_t from_seq)
 {
     auto &dq = q_[static_cast<size_t>(c.id)];
     auto &ws = writerSeq_[static_cast<size_t>(c.id)];
-    auto &pd = pendingDone_[static_cast<size_t>(c.id)];
     while (!dq.empty() && dq.back().seq >= from_seq) {
         const Uop &u = dq.back();
         releaseUop(u);
@@ -807,7 +832,6 @@ Pipeline::squashTail(Context &c, std::uint64_t from_seq)
                 --unissuedInt_;
         }
         if (u.instr->dest != regNone) {
-            pd.erase(u.seq);
             if (ws[u.instr->dest] == u.seq)
                 ws[u.instr->dest] = 0; // re-bound as refetch proceeds
         }
@@ -956,8 +980,6 @@ Pipeline::commitUop(Context &c, Uop &u)
 {
     releaseUop(u);
     const Instr &in = *u.instr;
-    if (in.dest != regNone)
-        pendingDone_[static_cast<size_t>(c.id)].erase(u.seq);
     ++stats_.retired[static_cast<int>(u.mode)];
     if (u.tag >= 0 && u.tag < 64)
         ++stats_.retiredByTag[u.tag];
@@ -1019,6 +1041,119 @@ Pipeline::cycle()
     fetchStage();
 }
 
+bool
+Pipeline::quiescent() const
+{
+    for (const Context &c : ctxs_) {
+        // Any unissued uop can issue (or, serializing, commit) soon.
+        if (c.unissued != 0)
+            return false;
+        // A drained context with a pending interrupt takes it at the
+        // next commit stage.
+        if (c.interruptPending && c.inflight == 0 && c.hasThread())
+            return false;
+        if (canFetch(c))
+            return false;
+        const auto &rq = q_[static_cast<size_t>(c.id)];
+        // A completed uop at the head commits next cycle. (Completed
+        // uops behind a still-executing head wait, contributing no
+        // events, so they don't block the skip.)
+        if (!rq.empty() && rq.front().stage == Uop::Stage::Done)
+            return false;
+    }
+    return true;
+}
+
+Cycle
+Pipeline::nextEventHorizon() const
+{
+    Cycle h = ~Cycle{0};
+    for (const Context &c : ctxs_) {
+        // Fetch wakeups. Clamping on every pending fetchResumeAt
+        // (even for contexts also blocked for other reasons) keeps
+        // fetchBlockCause() constant across the skipped window, so
+        // the batched profiler attribution is exact.
+        if (c.fetchResumeAt > now_ && c.fetchResumeAt < h)
+            h = c.fetchResumeAt;
+        const auto &rq = q_[static_cast<size_t>(c.id)];
+        for (std::size_t i = 0; i < rq.size(); ++i) {
+            const Uop &u = rq[i];
+            if (u.stage == Uop::Stage::Issued && u.doneAt < h)
+                h = u.doneAt;
+        }
+    }
+    if (os_) {
+        const Cycle osAt = os_->nextEventAt();
+        if (osAt < h)
+            h = osAt;
+    }
+    return h;
+}
+
+void
+Pipeline::skipIdleCycles(Cycle k)
+{
+    // Batch-account k idle cycles exactly as k cycle() calls would:
+    // each would tick the clock and probes, find nothing to commit,
+    // execute, issue, or fetch, and charge a full width of lost
+    // fetch/issue slots to the same (cause, context, tag).
+    ffCycles_ += k;
+    now_ += k;
+    stats_.cycles += k;
+    stats_.zeroFetchCycles += k;
+    stats_.zeroIssueCycles += k;
+    stats_.fetchableContexts.sampleN(0.0, k);
+    if (probes_)
+        probes_->onIdleCycles(now_, k);
+    CycleProfiler *prof = probes_ ? probes_->profiler() : nullptr;
+    if (!prof)
+        return;
+    // Replicate profileFetchSlots' zero-fetch path. Every input
+    // (stall reasons, in-flight load completion times, cursor
+    // positions) is constant until the horizon, so the per-cycle
+    // charge is the same for all k cycles.
+    SlotCause cause = SlotCause::Fragmentation;
+    CtxId charged = invalidCtx;
+    int best = -1;
+    for (const Context &c : ctxs_) {
+        const SlotCause bc = fetchBlockCause(c);
+        const int pr = causePriority(bc);
+        if (pr > best) {
+            best = pr;
+            cause = bc;
+            charged = c.id;
+        }
+    }
+    int tag = -1;
+    if (charged != invalidCtx) {
+        tag = currentServiceTag(ctxs_[static_cast<size_t>(charged)]);
+        if (tag == TagSpin)
+            cause = SlotCause::KernelSync;
+    }
+    prof->fetchLost(cause,
+                    k * static_cast<Cycle>(params_.fetchWidth),
+                    charged, tag);
+    prof->issueLost(IssueLoss::FrontEnd,
+                    k * static_cast<Cycle>(params_.intUnits +
+                                           params_.fpUnits));
+}
+
+void
+Pipeline::maybeFastForward(Cycle limit)
+{
+    if (!quiescent())
+        return;
+    Cycle h = nextEventHorizon();
+    if (h > limit)
+        h = limit;
+    // Skip so the next cycle() lands exactly on the horizon. A
+    // horizon at now_+1 (or earlier) means the next tick may do real
+    // work — nothing to skip.
+    if (h <= now_ + 1)
+        return;
+    skipIdleCycles(h - now_ - 1);
+}
+
 void
 Pipeline::runInstrs(std::uint64_t retired)
 {
@@ -1026,6 +1161,11 @@ Pipeline::runInstrs(std::uint64_t retired)
     std::uint64_t last = stats_.totalRetired();
     Cycle last_progress = now_;
     while (stats_.totalRetired() < target) {
+        if (fastForward_) {
+            // Clamp at the no-progress panic boundary so a wedged
+            // machine aborts at the same cycle as the ticked loop.
+            maybeFastForward(last_progress + 200001);
+        }
         cycle();
         if (stats_.totalRetired() != last) {
             last = stats_.totalRetired();
@@ -1042,8 +1182,11 @@ void
 Pipeline::runCycles(Cycle n)
 {
     const Cycle end = now_ + n;
-    while (now_ < end)
+    while (now_ < end) {
+        if (fastForward_)
+            maybeFastForward(end);
         cycle();
+    }
 }
 
 std::string
@@ -1062,8 +1205,8 @@ Pipeline::auditInvariants() const
                << " outside [0, " << params_.maxInflightPerCtx
                << "]\n";
         int fetched = 0;
-        for (const Uop &u : q)
-            if (u.stage == Uop::Stage::Fetched)
+        for (std::size_t i = 0; i < q.size(); ++i)
+            if (q[i].stage == Uop::Stage::Fetched)
                 ++fetched;
         if (c.unissued != fetched)
             os << "ctx" << c.id << ": unissued counter " << c.unissued

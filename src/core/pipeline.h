@@ -16,14 +16,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "bp/btb.h"
 #include "bp/mcfarling.h"
+#include "common/ring.h"
 #include "core/context.h"
 #include "mem/hierarchy.h"
 #include "obs/probes.h"
@@ -64,6 +63,15 @@ struct Uop
     /** Producer uop seqs bound at rename (0 = no dependence). */
     std::uint64_t depA = 0;
     std::uint64_t depB = 0;
+    /**
+     * Ring positions of the producers at bind time. Positions are
+     * revalidated against the occupant's seq before use, so a slot
+     * reused after a squash (or long since committed) reads as "no
+     * longer pending" — exactly the semantics a per-context
+     * pendingDone map would give, without the hash lookup.
+     */
+    std::uint64_t depAPos = 0;
+    std::uint64_t depBPos = 0;
 
     // Recovery state (valid when hasCheckpoint).
     Cursor cp;
@@ -144,6 +152,19 @@ class Pipeline
 
     /** Run for @p n cycles. */
     void runCycles(Cycle n);
+
+    /**
+     * Enable/disable quiescence fast-forward (default on). When every
+     * context is stalled and no pipeline event can fire before the
+     * next wakeup, runInstrs/runCycles jump the clock to the event
+     * horizon instead of ticking idle cycles, with every counter
+     * (cycles, zero-fetch/issue, samplers, profiler slot attribution)
+     * accounted exactly as the ticked loop would have.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForward() const { return fastForward_; }
+    /** Idle cycles skipped by quiescence fast-forward (host metric). */
+    std::uint64_t fastForwardedCycles() const { return ffCycles_; }
 
     Cycle now() const { return now_; }
 
@@ -252,6 +273,28 @@ class Pipeline
     /** Squash all uops of @p c with seq >= @p from_seq. */
     void squashTail(Context &c, std::uint64_t from_seq);
 
+    /**
+     * True when no stage can do work this coming cycle or any cycle
+     * until an external event (uop completion, fetch wakeup, OS
+     * event): no unissued uops, no completed-but-uncommitted uops, no
+     * deliverable interrupts, and no context able to fetch.
+     */
+    bool quiescent() const;
+    /**
+     * Earliest future cycle at which anything can happen: the minimum
+     * over in-flight completion times, fetch wakeups, and the OS
+     * model's next scheduled event.
+     */
+    Cycle nextEventHorizon() const;
+    /**
+     * When quiescent, jump the clock forward so the next cycle() lands
+     * on min(horizon, @p limit), batch-accounting the skipped idle
+     * cycles bit-identically to the ticked loop.
+     */
+    void maybeFastForward(Cycle limit);
+    /** Account @p k skipped idle cycles exactly as k ticks would. */
+    void skipIdleCycles(Cycle k);
+
     /** Charge this cycle's unused fetch slots to one (cause,ctx,tag). */
     void profileFetchSlots(
         const std::vector<std::pair<int, CtxId>> &cands, int picked,
@@ -276,18 +319,31 @@ class Pipeline
     std::uint64_t faultAtRetire_ = 0;
 
     std::vector<Context> ctxs_;
-    std::vector<std::deque<Uop>> q_;
+    /** Per-context instruction windows (program order, front=oldest). */
+    std::vector<FixedRing<Uop>> q_;
     /** Per-context wait-for-branch-resolve fetch hold (0 = none). */
     std::vector<std::uint64_t> waitBranch_;
     /**
      * Rename state per context: last writer seq of each architectural
-     * register, and completion times of in-flight producers. Binding
-     * readers to producer seqs at fetch models register renaming
-     * (no false WAW/WAR dependences through architectural names).
+     * register plus the ring position that writer occupies. Binding
+     * readers to producer (seq, pos) pairs at fetch models register
+     * renaming (no false WAW/WAR dependences through architectural
+     * names); readiness is read straight off the producer's ring slot.
      */
     std::vector<std::array<std::uint64_t, numIntRegs + numFpRegs>>
         writerSeq_;
-    std::vector<std::unordered_map<std::uint64_t, Cycle>> pendingDone_;
+    std::vector<std::array<std::uint64_t, numIntRegs + numFpRegs>>
+        writerPos_;
+
+    /** Scratch candidate lists, members so steady state never mallocs. */
+    std::vector<std::pair<int, CtxId>> fetchCands_;
+    struct IssueCand
+    {
+        std::uint64_t seq;
+        CtxId ctx;
+        std::uint32_t idx;
+    };
+    std::vector<IssueCand> issueCands_;
 
     McFarling mcf_;
     Btb btb_;
@@ -302,6 +358,8 @@ class Pipeline
     int unissuedFp_ = 0;
     bool filterPrivBr_ = false;
     bool appOnlyTlb_ = false;
+    bool fastForward_ = true;
+    std::uint64_t ffCycles_ = 0;
 
     CoreStats stats_;
 };

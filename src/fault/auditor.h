@@ -34,6 +34,10 @@ class InvariantAuditor
      *  panics (after the diagnostics hook) on any violation. */
     void maybeCheck(Cycle now);
 
+    /** Next cycle at which maybeCheck will audit (fast-forward
+     *  event-horizon input — skips never jump past an audit). */
+    Cycle nextCheckAt() const { return nextAt_; }
+
     /** Run every check immediately. Returns the violation report,
      *  empty when all invariants hold. */
     std::string checkNow() const;

@@ -13,9 +13,11 @@ namespace smtos {
 
 namespace {
 
-System *armedSys = nullptr;
-FaultPlan *armedPlan = nullptr;
-bool writing = false;
+// Thread-local so every parallel-runner worker can arm diagnostics
+// for its own experiment; the crash hook is thread-local too.
+thread_local System *armedSys = nullptr;
+thread_local FaultPlan *armedPlan = nullptr;
+thread_local bool writing = false;
 
 void
 crashHookTrampoline(const char *reason)

@@ -200,6 +200,10 @@ class FaultPlan
         return nextMceAt_ != 0 && now >= nextMceAt_;
     }
 
+    /** Next scheduled machine check (0: none) — for the quiescence
+     *  fast-forward event horizon. */
+    Cycle nextMceAt() const { return nextMceAt_; }
+
     /** Consume the due injection: pick a victim selector and schedule
      *  the next machine check. Call exactly once per mceDue(). */
     std::uint64_t takeMce(Cycle now);

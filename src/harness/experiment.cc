@@ -51,6 +51,7 @@ runExperiment(const RunSpec &spec)
             Kernel::SchedPolicy::Affinity;
 
     System sys(cfg);
+    sys.pipeline().setFastForward(spec.fastForward);
     if (spec.filterKernelRefs)
         sys.pipeline().setFilterPrivilegedBranches(true);
     if (obs)

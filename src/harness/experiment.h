@@ -67,6 +67,13 @@ struct RunSpec
      */
     FaultParams faults{};
     FaultPlan *faultPlan = nullptr; ///< not owned; overrides @c faults
+
+    /**
+     * Host fast path: skip quiescent cycles in one jump (see DESIGN.md
+     * §10). Results are bit-identical either way; the perf suite runs
+     * both settings to prove it.
+     */
+    bool fastForward = true;
 };
 
 /** Phase deltas of one run. */

@@ -1,0 +1,66 @@
+#include "harness/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace smtos {
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("SMTOS_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        return 1;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+            unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (n <= 1 || jobs <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            body(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs - 1);
+    for (unsigned t = 1; t < jobs; ++t)
+        pool.emplace_back(worker);
+    worker(); // the calling thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+}
+
+std::vector<RunResult>
+runExperiments(const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    std::vector<RunResult> results(specs.size());
+    parallelFor(
+        specs.size(),
+        [&](std::size_t i) { results[i] = runExperiment(specs[i]); },
+        jobs);
+    return results;
+}
+
+} // namespace smtos

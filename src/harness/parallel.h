@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Parallel experiment runner.
+ *
+ * Simulated systems are single-threaded by design, but a sweep (a
+ * bench over context counts, a fault-rate grid, a fuzzer over seeds)
+ * is embarrassingly parallel: every RunSpec builds its own System,
+ * PhysMem, and workload, so runs share no mutable state. This runner
+ * executes a batch of specs on a small thread pool, one complete
+ * experiment per task, and returns results in spec order — output
+ * ordering is deterministic regardless of which run finishes first.
+ *
+ * Per-run global state (the trace cycle clock, the crash hook, the
+ * diagnostics arming) is thread-local, so concurrent runs neither
+ * corrupt each other's trace prefixes nor dump the wrong system on a
+ * panic. Each run's results are bit-identical to running it alone.
+ */
+
+#ifndef SMTOS_HARNESS_PARALLEL_H
+#define SMTOS_HARNESS_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace smtos {
+
+/**
+ * Worker count used when a caller passes jobs = 0: the SMTOS_JOBS
+ * environment variable when set (clamped to at least 1), else the
+ * host's hardware concurrency, else 1.
+ */
+unsigned defaultJobs();
+
+/**
+ * Invoke @p body(i) for every i in [0, n) on @p jobs worker threads
+ * (0 = defaultJobs()). Indices are handed out atomically; with one
+ * job (or n <= 1) everything runs on the calling thread. @p body must
+ * be safe to call concurrently for distinct indices. Exceptions
+ * escaping @p body are fatal (the simulator's error model is
+ * panic/abort, not unwinding).
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+                 unsigned jobs = 0);
+
+/**
+ * Run every spec (each via runExperiment) and return the results in
+ * the same order. @p jobs as in parallelFor.
+ */
+std::vector<RunResult> runExperiments(const std::vector<RunSpec> &specs,
+                                      unsigned jobs = 0);
+
+} // namespace smtos
+
+#endif // SMTOS_HARNESS_PARALLEL_H

@@ -251,8 +251,9 @@ CodeGen::makeTlbWrite()
 void
 CodeGen::genPadding(int n)
 {
-    static int pad_counter = 0;
-    image_.beginFunction("pad" + std::to_string(pad_counter++), -1);
+    // Per-generator counter: pad names are deterministic per image
+    // and generators on different runner threads don't contend.
+    image_.beginFunction("pad" + std::to_string(padCounter_++), -1);
     image_.beginBlock();
     for (int i = 0; i < n; ++i) {
         Instr nop;

@@ -147,6 +147,7 @@ class CodeGen
     std::uint8_t recentFp_[4] = {33, 34, 35, 36};
     int recentIntPtr_ = 0;
     int recentFpPtr_ = 0;
+    int padCounter_ = 0;
 };
 
 } // namespace smtos

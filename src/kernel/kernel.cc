@@ -308,6 +308,28 @@ Kernel::cycleHook(Cycle now)
         auditor_->maybeCheck(now);
 }
 
+Cycle
+Kernel::nextEventAt() const
+{
+    // Every cycleHook event above polls "now >= at", so returning the
+    // exact scheduled cycles lets quiescence fast-forward jump right
+    // up to (never past) the next one. Fault-log forwarding needs no
+    // horizon: new entries only appear as a side effect of the events
+    // already accounted here or of pipeline activity.
+    Cycle h = ~Cycle{0};
+    if (params_.enableNetwork && nextNicAt_ < h)
+        h = nextNicAt_;
+    for (const Cycle t : nextTimerAt_)
+        if (t != 0 && t < h)
+            h = t;
+    if (faults_ && faults_->nextMceAt() != 0 &&
+        faults_->nextMceAt() < h)
+        h = faults_->nextMceAt();
+    if (auditor_ && auditor_->nextCheckAt() < h)
+        h = auditor_->nextCheckAt();
+    return h;
+}
+
 void
 Kernel::attachFaults(FaultPlan *plan)
 {

@@ -192,6 +192,7 @@ class Kernel : public OsCallbacks
     void interrupt(Context &ctx, ThreadState &t,
                    std::uint16_t vector) override;
     void cycleHook(Cycle now) override;
+    Cycle nextEventAt() const override;
 
     // --- introspection for metrics/benches ---
     const CounterMap &mmEntries() const { return mmEntries_; }

@@ -36,8 +36,9 @@ Kernel::handleTlbFault(Process &p, Addr vaddr, bool itlb)
     r.isText = itlb ? 1 : 0;
     r.pteAddr = sp.ptePhysAddr(vpn);
 
-    if (sp.mapped(vpn)) {
-        r.frame = sp.frameOf(vpn);
+    const std::int64_t frame = sp.translate(vpn);
+    if (frame >= 0) {
+        r.frame = static_cast<Frame>(frame);
         p.ts.cursor.pushFault(r);
         p.ts.cursor.push(itlb ? kc_.palItlbRefill : kc_.palDtlbRefill,
                          true);
@@ -92,9 +93,11 @@ Kernel::magicTranslate(ThreadState &t, Addr vaddr, bool itlb)
     bool global = false;
     AddrSpace &sp = spaceFor(p, vaddr, global);
     const Addr vpn = pageOf(vaddr);
-    if (!sp.mapped(vpn))
-        sp.mapNew(vpn);
-    return PhysMem::frameAddr(sp.frameOf(vpn)) + pageOffset(vaddr);
+    std::int64_t frame = sp.translate(vpn);
+    if (frame < 0)
+        frame = static_cast<std::int64_t>(sp.mapNew(vpn));
+    return PhysMem::frameAddr(static_cast<Frame>(frame)) +
+           pageOffset(vaddr);
 }
 
 } // namespace smtos

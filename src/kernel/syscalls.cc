@@ -198,8 +198,9 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
         AddrSpace &sp = r.global ? *kernelSpace_ : *p.space;
         // Re-check under the "VM lock": a racing fault may have
         // mapped the page already.
-        if (sp.mapped(r.vpn)) {
-            r.frame = sp.frameOf(r.vpn);
+        const std::int64_t frame = sp.translate(r.vpn);
+        if (frame >= 0) {
+            r.frame = static_cast<Frame>(frame);
         } else {
             r.frame = sp.mapNew(r.vpn);
             mmEntries_.add("page_alloc");

@@ -59,6 +59,14 @@ Probes::onCycle(Cycle now)
 }
 
 void
+Probes::onIdleCycles(Cycle now, Cycle k)
+{
+    now_ = now;
+    if (profiler_)
+        profiler_->tickN(k);
+}
+
+void
 Probes::retire(CtxId ctx, ThreadId thread, Mode mode)
 {
     const size_t i = static_cast<size_t>(ctx);

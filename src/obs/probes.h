@@ -97,6 +97,9 @@ class Probes
 
     // --- pipeline-side hooks ---
     void onCycle(Cycle now);
+    /** @p k quiesced cycles elapsed at once (fast-forward), ending at
+     *  @p now. Equivalent to k onCycle calls on an idle machine. */
+    void onIdleCycles(Cycle now, Cycle k);
     /** Per retired instruction; detects mode/thread span changes. */
     void retire(CtxId ctx, ThreadId thread, Mode mode);
     void squash(CtxId ctx, ThreadId thread, Addr pc, const char *why);

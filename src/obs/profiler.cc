@@ -23,9 +23,10 @@ CycleProfiler::configure(int fetch_width, int issue_width,
 }
 
 void
-CycleProfiler::fetchLost(SlotCause cause, int n, CtxId ctx, int tag)
+CycleProfiler::fetchLost(SlotCause cause, std::uint64_t n, CtxId ctx,
+                         int tag)
 {
-    const std::uint64_t u = static_cast<std::uint64_t>(n);
+    const std::uint64_t u = n;
     fetchLostTotal_ += u;
     lost_[static_cast<size_t>(cause)] += u;
     if (ctx >= 0 && ctx < static_cast<int>(lostByCtx_.size()))
@@ -37,9 +38,9 @@ CycleProfiler::fetchLost(SlotCause cause, int n, CtxId ctx, int tag)
 }
 
 void
-CycleProfiler::issueLost(IssueLoss cause, int n)
+CycleProfiler::issueLost(IssueLoss cause, std::uint64_t n)
 {
-    const std::uint64_t u = static_cast<std::uint64_t>(n);
+    const std::uint64_t u = n;
     issueLostTotal_ += u;
     issueLost_[static_cast<size_t>(cause)] += u;
 }

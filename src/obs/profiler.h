@@ -43,14 +43,18 @@ class CycleProfiler
 
     /** One simulated cycle elapsed. */
     void tick() { ++cycles_; }
+    /** @p k quiesced cycles elapsed at once (fast-forward). */
+    void tickN(Cycle k) { cycles_ += k; }
 
     // --- fetch-slot attribution (pipeline fetch stage) ---
     void fetchUsed(int n) { fetchUsed_ += static_cast<unsigned>(n); }
-    void fetchLost(SlotCause cause, int n, CtxId ctx, int tag);
+    /** Wide count: fast-forward charges whole windows in one call. */
+    void fetchLost(SlotCause cause, std::uint64_t n, CtxId ctx,
+                   int tag);
 
     // --- issue-slot attribution (pipeline issue stage) ---
     void issueUsed(int n) { issueUsed_ += static_cast<unsigned>(n); }
-    void issueLost(IssueLoss cause, int n);
+    void issueLost(IssueLoss cause, std::uint64_t n);
 
     // --- latency distributions ---
     void loadLatency(Cycle lat)

@@ -4,14 +4,36 @@
 
 namespace smtos {
 
+std::atomic<bool> AddrSpace::hostCacheEnabled_{true};
+
+std::int64_t
+AddrSpace::translate(Addr vpn) const
+{
+    if (hostCacheEnabled()) {
+        Way &w = pageCache_[slotOf(vpn)];
+        if (w.vpn == vpn)
+            return static_cast<std::int64_t>(w.frame);
+        auto it = pages_.find(vpn);
+        if (it == pages_.end())
+            return -1; // never cache negatives: a map would go stale
+        w.vpn = vpn;
+        w.frame = it->second;
+        return static_cast<std::int64_t>(it->second);
+    }
+    auto it = pages_.find(vpn);
+    if (it == pages_.end())
+        return -1;
+    return static_cast<std::int64_t>(it->second);
+}
+
 Frame
 AddrSpace::frameOf(Addr vpn) const
 {
-    auto it = pages_.find(vpn);
-    if (it == pages_.end())
+    const std::int64_t f = translate(vpn);
+    if (f < 0)
         smtos_panic("addrspace %d: unmapped vpn 0x%llx", id_,
                     static_cast<unsigned long long>(vpn));
-    return it->second;
+    return static_cast<Frame>(f);
 }
 
 Frame
@@ -38,19 +60,30 @@ AddrSpace::unmap(Addr vpn, bool free_frame)
     if (free_frame)
         mem_->freeFrame(it->second);
     pages_.erase(it);
+    Way &w = pageCache_[slotOf(vpn)];
+    if (w.vpn == vpn)
+        w.vpn = invalidVpn;
 }
 
 Addr
 AddrSpace::ptePhysAddr(Addr vpn)
 {
     const Addr pt_index = vpn / ptesPerPage;
-    auto it = ptPages_.find(pt_index);
     Frame f;
-    if (it == ptPages_.end()) {
-        f = mem_->allocFrame();
-        ptPages_.emplace(pt_index, f);
+    Way &w = ptCache_[slotOf(pt_index)];
+    if (hostCacheEnabled() && w.vpn == pt_index) {
+        f = w.frame;
     } else {
-        f = it->second;
+        auto it = ptPages_.find(pt_index);
+        if (it == ptPages_.end()) {
+            f = mem_->allocFrame();
+            ptPages_.emplace(pt_index, f);
+        } else {
+            f = it->second;
+        }
+        // PT pages are never freed, so this entry can't go stale.
+        w.vpn = pt_index;
+        w.frame = f;
     }
     return PhysMem::frameAddr(f) + (vpn % ptesPerPage) * 8;
 }

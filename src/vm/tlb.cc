@@ -10,6 +10,7 @@ Tlb::Tlb(std::string name, int entries) : name_(std::move(name))
 {
     smtos_assert(entries > 0);
     entries_.assign(static_cast<size_t>(entries), Entry{});
+    hint_.assign(hintSlots, 0);
 }
 
 std::int64_t
@@ -17,16 +18,27 @@ Tlb::lookup(Addr vpn, Asn asn, const AccessInfo &who)
 {
     const int cls = who.isKernel() ? 1 : 0;
     ++stats_.accesses[cls];
-    for (Entry &e : entries_) {
+    auto hit = [&](Entry &e) {
+        // Constructive sharing: first use by a thread of an entry
+        // another thread installed (Table 8's TLB columns).
+        const std::uint64_t bit =
+            1ull << (static_cast<std::uint64_t>(who.thread) & 63);
+        if (e.filler != who.thread && !(e.touchedMask & bit))
+            ++stats_.avoided[cls][e.fillerKernel ? 1 : 0];
+        e.touchedMask |= bit;
+        return static_cast<std::int64_t>(e.frame);
+    };
+    std::uint32_t &hint = hint_[hintSlot(vpn, asn)];
+    if (hint != 0) {
+        Entry &e = entries_[hint - 1];
+        if (e.valid && e.vpn == vpn && (e.global || e.asn == asn))
+            return hit(e);
+    }
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
         if (e.valid && e.vpn == vpn && (e.global || e.asn == asn)) {
-            // Constructive sharing: first use by a thread of an entry
-            // another thread installed (Table 8's TLB columns).
-            const std::uint64_t bit =
-                1ull << (static_cast<std::uint64_t>(who.thread) & 63);
-            if (e.filler != who.thread && !(e.touchedMask & bit))
-                ++stats_.avoided[cls][e.fillerKernel ? 1 : 0];
-            e.touchedMask |= bit;
-            return static_cast<std::int64_t>(e.frame);
+            hint = static_cast<std::uint32_t>(i) + 1;
+            return hit(e);
         }
     }
     ++stats_.misses[cls];
@@ -56,6 +68,8 @@ Tlb::insert(Addr vpn, Asn asn, Frame frame, const AccessInfo &who,
         return;
 
     Entry &victim = entries_[static_cast<size_t>(replacePtr_)];
+    hint_[hintSlot(vpn, asn)] =
+        static_cast<std::uint32_t>(replacePtr_) + 1;
     replacePtr_ = (replacePtr_ + 1) % static_cast<int>(entries_.size());
     if (victim.valid)
         classifier_.recordEviction(key(victim.vpn, victim.asn), who);

@@ -99,9 +99,27 @@ class Tlb
                 << 44) | vpn;
     }
 
+    /**
+     * Host-side lookup accelerator: remembers which entry index last
+     * held a given (vpn, asn) so lookup() can skip the linear scan.
+     * Hints are validated against the entry before use, so a stale
+     * hint only costs the scan it would have cost anyway — no
+     * invalidation protocol is needed, and hit/miss results and all
+     * statistics are identical with or without it.
+     */
+    static constexpr std::size_t hintSlots = 256; // power of two
+
+    static std::size_t hintSlot(Addr vpn, Asn asn)
+    {
+        const Addr k = key(vpn, asn);
+        return static_cast<std::size_t>((k ^ (k >> 17)) &
+                                        (hintSlots - 1));
+    }
+
     std::string name_;
     Probes *probes_ = nullptr;
     std::vector<Entry> entries_;
+    std::vector<std::uint32_t> hint_; // entry index + 1; 0 = none
     int replacePtr_ = 0;
     MissClassifier classifier_;
     InterferenceStats stats_;

@@ -9,11 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/cosim.h"
+#include "harness/parallel.h"
 #include "ref/progfuzz.h"
 #include "sim/config.h"
 #include "sim/export.h"
@@ -82,16 +84,19 @@ runFuzzCosim(std::uint64_t seed, int contexts, Cycle cycles,
 TEST(CosimFuzz, NoDivergenceAcrossSeedsAndWidths)
 {
     const int widths[] = {1, 2, 4, 8};
-    std::uint64_t seed = 1;
-    std::uint64_t total_checked = 0;
-    int runs = 0;
-    for (int w : widths) {
-        for (int i = 0; i < 13; ++i, ++seed, ++runs)
-            total_checked += runFuzzCosim(seed, w, 25000);
-    }
-    EXPECT_EQ(runs, 52);
+    constexpr int perWidth = 13;
+    constexpr int runs = 4 * perWidth;
+    // Each (seed, width) run is an independent system; fan the 52
+    // runs out on the harness worker pool (gtest assertions are
+    // thread-safe on pthread platforms).
+    std::atomic<std::uint64_t> total_checked{0};
+    parallelFor(runs, [&](std::size_t i) {
+        const int w = widths[i / perWidth];
+        const std::uint64_t seed = 1 + i;
+        total_checked += runFuzzCosim(seed, w, 25000);
+    });
     // Every run must actually have verified a substantial stream.
-    EXPECT_GT(total_checked, 52u * 5000u);
+    EXPECT_GT(total_checked.load(), 52u * 5000u);
 }
 
 // The oracle also holds on the paper's real workload models, which

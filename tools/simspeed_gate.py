@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Simulation-speed regression gate for bench_simspeed.
+"""Simulation-speed gate and trajectory recorder for bench_simspeed.
 
 Compares two google-benchmark JSON outputs (--benchmark_format=json)
-on items_per_second and fails if any shared benchmark regressed more
-than the tolerance. Used by CI to keep the probes-off configuration
-within noise of the recorded baseline (the observability layer must
-cost one predictable branch per probe site when disabled), and usable
-locally against tools/simspeed_baseline.json:
+on items_per_second, fails if any shared benchmark regressed more
+than the tolerance, and reports improvements so deliberate host-side
+optimizations are visible in the log, not just regressions. Used by
+CI to keep the probes-off configuration within noise of the recorded
+baseline (the observability layer must cost one predictable branch
+per probe site when disabled) and to maintain BENCH_simspeed.json, a
+trajectory artifact recording how the simulation rate moved; the
+cached baseline is refreshed on main after a passing gate. Locally:
 
     build/bench/bench_simspeed --benchmark_filter=BM_SimRate \
         --benchmark_format=json > current.json
     python3 tools/simspeed_gate.py tools/simspeed_baseline.json \
-        current.json
+        current.json --trajectory BENCH_simspeed.json
 
 Only stdlib; exit 0 = pass, 1 = regression, 2 = usage/parse error.
 """
@@ -45,6 +48,36 @@ def load_rates(path, name_filter):
     return rates
 
 
+def append_trajectory(path, label, base, cur, shared):
+    """Append one comparison entry to the trajectory artifact.
+
+    The file holds {"entries": [...]}, oldest first; each entry maps
+    benchmark name -> {baseline, current, speedup}. CI uploads it so
+    the simulation-rate history survives across runs.
+    """
+    doc = {"entries": []}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            loaded = json.load(f)
+        if isinstance(loaded.get("entries"), list):
+            doc = loaded
+    except (OSError, ValueError):
+        pass
+    entry = {"label": label, "benchmarks": {}}
+    for name in shared:
+        entry["benchmarks"][name] = {
+            "baseline_items_per_second": round(base[name], 1),
+            "current_items_per_second": round(cur[name], 1),
+            "speedup": round(cur[name] / base[name], 4),
+        }
+    doc["entries"].append(entry)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"trajectory: appended entry '{label}' to {path} "
+          f"({len(doc['entries'])} total)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="recorded baseline benchmark JSON")
@@ -55,6 +88,11 @@ def main():
     ap.add_argument("--filter", default="BM_SimRate",
                     help="substring selecting gated benchmarks "
                          "(default BM_SimRate)")
+    ap.add_argument("--trajectory", metavar="PATH",
+                    help="append the comparison to this trajectory "
+                         "JSON artifact (e.g. BENCH_simspeed.json)")
+    ap.add_argument("--label", default="gate",
+                    help="label for the trajectory entry")
     args = ap.parse_args()
 
     base = load_rates(args.baseline, args.filter)
@@ -64,6 +102,7 @@ def main():
         sys.exit("error: baseline and current share no benchmarks")
 
     failed = []
+    improved = []
     print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} "
           f"{'delta':>8}")
     for name in shared:
@@ -73,9 +112,21 @@ def main():
         if delta < -args.tolerance:
             failed.append((name, delta))
             mark = "  << FAIL"
+        elif delta > args.tolerance:
+            improved.append((name, delta))
+            mark = "  >> improved"
         print(f"{name:<40} {b:>12.0f} {c:>12.0f} "
               f"{delta:>+7.1%}{mark}")
 
+    if args.trajectory:
+        append_trajectory(args.trajectory, args.label, base, cur,
+                          shared)
+
+    if improved:
+        best = max(d for _, d in improved)
+        print(f"\n{len(improved)} benchmark(s) improved beyond "
+              f"{args.tolerance:.0%} (best {best:+.1%}) — refresh the "
+              f"recorded baseline so the gain is locked in")
     if failed:
         worst = min(d for _, d in failed)
         print(f"\nFAIL: {len(failed)} benchmark(s) regressed more "

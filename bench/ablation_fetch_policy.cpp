@@ -21,18 +21,18 @@ main()
     TextTable t("Apache on SMT, steady state");
     t.header({"fetch policy", "IPC", "0-fetch %", "squashed %",
               "fetchable ctxs"});
-    auto add = [&](const char *name, RunSpec s) {
-        const ArchMetrics a = archMetrics(runExperiment(s).steady);
+    auto add = [&](const char *name, Session::Config s) {
+        const ArchMetrics a = archMetrics(run(s).steady);
         t.row({name, TextTable::num(a.ipc, 2),
                TextTable::num(a.zeroFetchPct, 1),
                TextTable::num(a.squashedPct, 1),
                TextTable::num(a.fetchableContexts, 2)});
     };
-    RunSpec icount28 = apacheSmt();
-    RunSpec icount18 = apacheSmt();
-    icount18.fetchContexts = 1;
-    RunSpec rr28 = apacheSmt();
-    rr28.roundRobinFetch = true;
+    Session::Config icount28 = apacheSmt();
+    Session::Config icount18 = apacheSmt();
+    icount18.system.fetchContexts = 1;
+    Session::Config rr28 = apacheSmt();
+    rr28.system.roundRobinFetch = true;
     add("ICOUNT 2.8", icount28);
     add("ICOUNT 1.8", icount18);
     add("round-robin 2.8", rr28);

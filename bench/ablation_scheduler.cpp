@@ -21,9 +21,9 @@ main()
     t.header({"policy", "IPC", "L1D miss %", "DTLB miss %",
               "context switches", "requests"});
     auto add = [&](const char *name, bool affinity) {
-        RunSpec s = apacheSmt();
-        s.affinitySched = affinity;
-        RunResult r = runExperiment(s);
+        Session::Config s = apacheSmt();
+        s.system.affinitySched = affinity;
+        RunResult r = run(s);
         const ArchMetrics a = archMetrics(r.steady);
         t.row({name, TextTable::num(a.ipc, 2),
                TextTable::num(a.l1dMissPct, 1),

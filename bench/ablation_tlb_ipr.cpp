@@ -27,10 +27,10 @@ main()
     t.header({"TLB IPRs", "IPC", "start-up cycles", "spin % of "
               "cycles", "lock spins"});
     auto add = [&](const char *name, bool shared) {
-        RunSpec s = specSmt();
-        s.sharedTlbIpr = shared;
-        s.measureInstrs = 400'000; // focus on the start-up interval
-        RunResult r = runExperiment(s);
+        Session::Config s = specSmt();
+        s.system.sharedTlbIpr = shared;
+        s.phases.measureInstrs = 400'000; // focus on the start-up interval
+        RunResult r = run(s);
         const double spin = tagSharePct(r.startup, TagSpin);
         auto it = r.startup.mmEntries.find("tlb_lock_spin");
         const std::uint64_t spins =

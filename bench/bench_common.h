@@ -16,42 +16,50 @@
 #include <string>
 
 #include "common/table.h"
-#include "harness/experiment.h"
+#include "harness/parallel.h"
+#include "harness/session.h"
 #include "kernel/tags.h"
 
 namespace smtos::bench {
 
 /** SPECInt multiprogram on the 8-context SMT. */
-inline RunSpec
+inline Session::Config
 specSmt()
 {
-    RunSpec s;
-    s.workload = RunSpec::Workload::SpecInt;
-    s.spec.inputChunks = 48;
-    s.measureInstrs = 2'000'000;
-    return s;
+    Session::Config c;
+    c.workload.kind = WorkloadConfig::Kind::SpecInt;
+    c.workload.spec.inputChunks = 48;
+    c.phases.measureInstrs = 2'000'000;
+    return c;
 }
 
 /** Apache under SPECWeb-like load on the 8-context SMT. */
-inline RunSpec
+inline Session::Config
 apacheSmt()
 {
-    RunSpec s;
-    s.workload = RunSpec::Workload::Apache;
-    s.startupInstrs = 2'000'000;
-    s.measureInstrs = 2'500'000;
-    return s;
+    Session::Config c;
+    c.workload.kind = WorkloadConfig::Kind::Apache;
+    c.phases.startupInstrs = 2'000'000;
+    c.phases.measureInstrs = 2'500'000;
+    return c;
 }
 
 /** Superscalar variants (slower: shorter measurement). */
-inline RunSpec
-superscalar(RunSpec s)
+inline Session::Config
+superscalar(Session::Config c)
 {
-    s.smt = false;
-    s.measureInstrs = 1'200'000;
-    if (s.workload == RunSpec::Workload::Apache)
-        s.startupInstrs = 1'000'000;
-    return s;
+    c.system.smt = false;
+    c.phases.measureInstrs = 1'200'000;
+    if (c.workload.kind == WorkloadConfig::Kind::Apache)
+        c.phases.startupInstrs = 1'000'000;
+    return c;
+}
+
+/** Build a Session for @p c and run both phases. */
+inline RunResult
+run(const Session::Config &c)
+{
+    return Session(c).run();
 }
 
 inline void

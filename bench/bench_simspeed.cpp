@@ -25,12 +25,12 @@ void
 BM_SimRate_SpecIntSmt(benchmark::State &state)
 {
     for (auto _ : state) {
-        RunSpec s;
-        s.workload = RunSpec::Workload::SpecInt;
-        s.spec.inputChunks = 8;
-        s.startupInstrs = 50'000;
-        s.measureInstrs = static_cast<std::uint64_t>(state.range(0));
-        RunResult r = runExperiment(s);
+        Session::Config s;
+        s.workload.kind = WorkloadConfig::Kind::SpecInt;
+        s.workload.spec.inputChunks = 8;
+        s.phases.startupInstrs = 50'000;
+        s.phases.measureInstrs = static_cast<std::uint64_t>(state.range(0));
+        RunResult r = Session(s).run();
         benchmark::DoNotOptimize(r.steady.core.cycles);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -40,11 +40,11 @@ void
 BM_SimRate_ApacheSmt(benchmark::State &state)
 {
     for (auto _ : state) {
-        RunSpec s;
-        s.workload = RunSpec::Workload::Apache;
-        s.startupInstrs = 50'000;
-        s.measureInstrs = static_cast<std::uint64_t>(state.range(0));
-        RunResult r = runExperiment(s);
+        Session::Config s;
+        s.workload.kind = WorkloadConfig::Kind::Apache;
+        s.phases.startupInstrs = 50'000;
+        s.phases.measureInstrs = static_cast<std::uint64_t>(state.range(0));
+        RunResult r = Session(s).run();
         benchmark::DoNotOptimize(r.steady.core.cycles);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));

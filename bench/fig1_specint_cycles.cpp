@@ -16,10 +16,10 @@ main()
     banner("Figure 1: SPECInt cycle breakdown over time",
            "start-up ~18% OS, steady state ~5% OS");
 
-    RunSpec s = specSmt();
-    s.measureInstrs = 2'400'000;
-    s.windowInstrs = 300'000;
-    RunResult r = runExperiment(s);
+    Session::Config s = specSmt();
+    s.phases.measureInstrs = 2'400'000;
+    s.phases.windowInstrs = 300'000;
+    RunResult r = run(s);
 
     TextTable t("SPECInt95 on SMT: per-window mode shares");
     t.header({"window", "phase", "user %", "kernel %", "pal %",

@@ -17,7 +17,7 @@ main()
            "start-up: TLB ~12%, syscalls ~5% of all cycles; steady: "
            "~5% OS total, same proportions");
 
-    RunResult r = runExperiment(specSmt());
+    RunResult r = run(specSmt());
 
     TextTable t("kernel activity as % of all cycles");
     t.header({"component", "start-up %", "steady %"});

@@ -16,7 +16,7 @@ main()
     banner("Figure 3: kernel memory-management incursions",
            "page allocation dominates MM entries during start-up");
 
-    RunResult r = runExperiment(specSmt());
+    RunResult r = run(specSmt());
 
     TextTable t("MM entries by reason");
     t.header({"entry reason", "start-up count", "steady count"});

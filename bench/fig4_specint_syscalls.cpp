@@ -17,7 +17,7 @@ main()
            "file reads ~3.5% of start-up cycles; preamble and process "
            "control fill most of the rest");
 
-    RunResult r = runExperiment(specSmt());
+    RunResult r = run(specSmt());
 
     TextTable t("system-call time as % of all cycles");
     t.header({"service", "start-up %", "steady %"});

@@ -16,9 +16,9 @@ main()
            "Apache spends >75% of its cycles in the kernel once "
            "requests arrive");
 
-    RunSpec s = apacheSmt();
-    s.windowInstrs = 500'000;
-    RunResult r = runExperiment(s);
+    Session::Config s = apacheSmt();
+    s.phases.windowInstrs = 500'000;
+    RunResult r = run(s);
 
     TextTable t("Apache on SMT: per-window mode shares");
     t.header({"window", "user %", "kernel %", "pal %", "idle %",

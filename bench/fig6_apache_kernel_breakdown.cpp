@@ -19,8 +19,8 @@ main()
            "interrupts+netisr, 13% DTLB; SPECInt: TLB handling "
            "dominates");
 
-    RunResult ra = runExperiment(apacheSmt());
-    RunResult rs = runExperiment(specSmt());
+    RunResult ra = run(apacheSmt());
+    RunResult rs = run(specSmt());
 
     const ModeShares ma = modeShares(ra.steady);
     const double os_a = ma.kernelPct + ma.palPct;

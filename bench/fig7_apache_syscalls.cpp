@@ -19,7 +19,7 @@ main()
            "stat ~10%, read/write/writev ~19%, network ~21% and file "
            "~18% of kernel cycles");
 
-    RunResult r = runExperiment(apacheSmt());
+    RunResult r = run(apacheSmt());
     const MetricsSnapshot &d = r.steady;
 
     TextTable t("by system call, % of ALL execution cycles");

@@ -48,7 +48,7 @@ main()
            "branches, PAL call/return present; user: ~20% loads, "
            "~10% stores, ~2-3% FP");
 
-    RunResult r = runExperiment(specSmt());
+    RunResult r = run(specSmt());
     mixTable("program start-up", r.startup);
     mixTable("steady state", r.steady);
     return 0;

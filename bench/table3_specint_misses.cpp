@@ -19,9 +19,9 @@ main()
            "except the I-cache (60% kernel-induced); kernel BTB miss "
            "rate far above user");
 
-    RunSpec s = specSmt();
-    s.measureInstrs = 2'500'000;
-    RunResult r = runExperiment(s);
+    Session::Config s = specSmt();
+    s.phases.measureInstrs = 2'500'000;
+    RunResult r = run(s);
     // The paper's table covers the whole simulation: combine the
     // start-up and steady intervals by re-deriving from the sums.
     TextTable t("miss causes, % of all misses in the structure "

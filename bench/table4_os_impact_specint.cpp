@@ -39,15 +39,15 @@ main()
            "IPC drop from adding the OS: SMT -5%, superscalar -15%; "
            "I-cache miss rate up ~2x (SMT) and ~13x (superscalar)");
 
-    RunSpec smt_os = specSmt();
-    RunSpec smt_only = specSmt();
-    smt_only.withOs = false;
-    RunSpec ss_os = superscalar(specSmt());
-    RunSpec ss_only = superscalar(specSmt());
-    ss_only.withOs = false;
+    Session::Config smt_os = specSmt();
+    Session::Config smt_only = specSmt();
+    smt_only.system.withOs = false;
+    Session::Config ss_os = superscalar(specSmt());
+    Session::Config ss_only = superscalar(specSmt());
+    ss_only.system.withOs = false;
 
     const std::vector<RunResult> results =
-        runExperiments({smt_only, smt_os, ss_only, ss_os});
+        runSessions({smt_only, smt_os, ss_only, ss_os});
     const ArchMetrics a1 = archMetrics(results[0].steady);
     const ArchMetrics a2 = archMetrics(results[1].steady);
     const ArchMetrics a3 = archMetrics(results[2].steady);

@@ -17,7 +17,7 @@ main()
            "kernel loads 19.9% (54% physical), stores 11.5% (40% "
            "physical), branches ~17.8%, FP 0");
 
-    RunResult r = runExperiment(apacheSmt());
+    RunResult r = run(apacheSmt());
     const MixRow u = mixRow(r.steady, false);
     const MixRow k = mixRow(r.steady, true);
 

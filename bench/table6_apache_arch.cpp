@@ -62,11 +62,11 @@ main()
            "structure harder than SPECInt; SMT hides the latency");
 
     const ArchMetrics apache_smt =
-        archMetrics(runExperiment(apacheSmt()).steady);
+        archMetrics(run(apacheSmt()).steady);
     const ArchMetrics spec_smt =
-        archMetrics(runExperiment(specSmt()).steady);
+        archMetrics(run(specSmt()).steady);
     const ArchMetrics apache_ss =
-        archMetrics(runExperiment(superscalar(apacheSmt())).steady);
+        archMetrics(run(superscalar(apacheSmt())).steady);
 
     TextTable t("steady-state architectural metrics");
     t.header({"metric", "SMT Apache", "SMT SPECInt",

@@ -18,7 +18,7 @@ main()
            "65% of L1I and L1D misses are kernel intra+interthread "
            "conflicts; user-kernel conflicts significant everywhere");
 
-    RunResult r = runExperiment(apacheSmt());
+    RunResult r = run(apacheSmt());
 
     TextTable t("miss causes, % of all misses in the structure "
                 "(columns: user refs, kernel refs)");

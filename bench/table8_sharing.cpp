@@ -43,8 +43,8 @@ main()
            "kernel-kernel prefetch avoidance on SMT: I$ 66%, L2 71%, "
            "DTLB 12%; much weaker on the superscalar");
 
-    RunResult smt = runExperiment(apacheSmt());
-    RunResult ss = runExperiment(superscalar(apacheSmt()));
+    RunResult smt = run(apacheSmt());
+    RunResult ss = run(superscalar(apacheSmt()));
 
     sharingTable("Apache on SMT (% of the structure's misses)",
                  smt.steady);

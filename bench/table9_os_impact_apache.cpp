@@ -22,11 +22,11 @@ struct Row
 Row
 measure(bool smt, bool filtered)
 {
-    RunSpec s = apacheSmt();
+    Session::Config s = apacheSmt();
     if (!smt)
         s = superscalar(apacheSmt());
-    s.filterKernelRefs = filtered;
-    const MetricsSnapshot d = runExperiment(s).steady;
+    s.system.filterKernelRefs = filtered;
+    const MetricsSnapshot d = run(s).steady;
     const ArchMetrics a = archMetrics(d);
     Row r;
     r.bp = a.branchMispredPct;

@@ -15,7 +15,8 @@
 #include <filesystem>
 #include <string>
 
-#include "harness/experiment.h"
+#include "harness/env.h"
+#include "harness/session.h"
 #include "obs/profiler.h"
 #include "obs/session.h"
 
@@ -24,6 +25,8 @@ using namespace smtos;
 int
 main(int argc, char **argv)
 {
+    EnvOverrides::fromEnvironment().install();
+
     const std::string outdir = argc > 1 ? argv[1] : "obs-artifacts";
     std::filesystem::create_directories(outdir);
 
@@ -36,14 +39,14 @@ main(int argc, char **argv)
     oc.timelinePath = outdir + "/trace.json";
     ObsSession obs(oc);
 
-    RunSpec spec;
-    spec.workload = RunSpec::Workload::Apache;
-    spec.startupInstrs = 300'000;
-    spec.measureInstrs = 500'000;
-    spec.obs = &obs;
+    Session::Config cfg;
+    cfg.workload.kind = WorkloadConfig::Kind::Apache;
+    cfg.phases.startupInstrs = 300'000;
+    cfg.phases.measureInstrs = 500'000;
+    cfg.obs = &obs;
 
     std::printf("smtos observability demo: short Apache run\n");
-    RunResult r = runExperiment(spec);
+    RunResult r = Session(cfg).run();
 
     const CycleProfiler &p = *obs.profiler();
     const std::uint64_t total = p.fetchSlotsTotal();

@@ -10,7 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "harness/experiment.h"
+#include "harness/env.h"
+#include "harness/session.h"
 #include "kernel/tags.h"
 
 using namespace smtos;
@@ -18,20 +19,24 @@ using namespace smtos;
 int
 main(int argc, char **argv)
 {
-    RunSpec spec;
-    spec.workload = (argc > 1 && argv[1][0] == 'a')
-                        ? RunSpec::Workload::Apache
-                        : RunSpec::Workload::SpecInt;
-    spec.startupInstrs = argc > 2 ? std::atoll(argv[2]) : 500'000;
-    if (spec.startupInstrs == 1) spec.startupInstrs = 0; // auto
-    spec.measureInstrs = argc > 3 ? std::atoll(argv[3]) : 500'000;
+    EnvOverrides::fromEnvironment().install();
+
+    Session::Config spec;
+    spec.workload.kind = (argc > 1 && argv[1][0] == 'a')
+                             ? WorkloadConfig::Kind::Apache
+                             : WorkloadConfig::Kind::SpecInt;
+    spec.phases.startupInstrs =
+        argc > 2 ? std::atoll(argv[2]) : 500'000;
+    if (spec.phases.startupInstrs == 1)
+        spec.phases.startupInstrs = 0; // auto
+    spec.phases.measureInstrs =
+        argc > 3 ? std::atoll(argv[3]) : 500'000;
     if (argc > 4 && argv[4][0] == 's')
-        spec.smt = false;
+        spec.system.smt = false;
     if (argc > 5 && argv[5][0] == 'a')
-        spec.withOs = false;
-    spec.spec.inputChunks = 48;
-    (void)0;
-    RunResult res = runExperiment(spec);
+        spec.system.withOs = false;
+    spec.workload.spec.inputChunks = 48;
+    RunResult res = Session(spec).run();
 
     const MetricsSnapshot &d = res.steady;
     std::printf("retired: total=%llu\n",

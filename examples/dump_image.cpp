@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "harness/env.h"
 #include "isa/disasm.h"
 #include "kernel/image.h"
 #include "workload/apache.h"
@@ -18,6 +19,8 @@ using namespace smtos;
 int
 main(int argc, char **argv)
 {
+    EnvOverrides::fromEnvironment().install();
+
     auto kc = buildKernelImage(0xfeedull ^ 1234ull);
     imageSummary(std::cout, kc->image);
 

@@ -22,6 +22,7 @@
 #include "fault/diag.h"
 #include "fault/fault.h"
 #include "harness/cosim.h"
+#include "harness/env.h"
 #include "harness/parallel.h"
 #include "sim/config.h"
 #include "sim/system.h"
@@ -43,7 +44,7 @@ struct SweepPoint
 SweepPoint
 runPoint(double loss, Cycle cycles)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.seed = 11;
     cfg.kernel.enableNetwork = true;
     cfg.kernel.web.retryTimeout = 30000;
@@ -76,7 +77,7 @@ runPoint(double loss, Cycle cycles)
 int
 soak()
 {
-    FaultParams fp = FaultParams::fromEnv();
+    FaultParams fp = EnvOverrides::ambient().faults;
     if (!fp.any()) {
         fp.lossPct = 0.01;
         fp.mcePeriod = 25000;
@@ -86,7 +87,7 @@ soak()
                 static_cast<unsigned long long>(fp.mcePeriod),
                 static_cast<unsigned long long>(fp.auditEvery));
 
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.seed = 11;
     cfg.kernel.enableNetwork = true;
     cfg.kernel.web.retryTimeout = 30000;
@@ -142,6 +143,8 @@ soak()
 int
 main(int argc, char **argv)
 {
+    EnvOverrides::fromEnvironment().install();
+
     if (argc > 1 && std::strcmp(argv[1], "--soak") == 0)
         return soak();
 

@@ -2,45 +2,112 @@
  * @file
  * Multiprogramming study: the SPECInt95-like workload on the SMT,
  * start-up vs steady-state OS behavior (the Section 3.1 questions).
+ *
+ * Snapshot workflow:
+ *   multiprog_study --save-snapshot spec.snap   # startup, save, measure
+ *   multiprog_study --from-snapshot spec.snap   # resume, measure only
+ * The resumed measurement is bit-identical to the straight-through one.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/table.h"
-#include "harness/experiment.h"
+#include "harness/env.h"
+#include "harness/session.h"
 
 using namespace smtos;
 
-int
-main()
+namespace {
+
+bool
+writeFile(const std::string &path, const std::vector<std::uint8_t> &b)
 {
-    RunSpec spec;
-    spec.workload = RunSpec::Workload::SpecInt;
-    spec.smt = true;
-    spec.withOs = true;
-    spec.measureInstrs = 1'000'000;
-    spec.spec.inputChunks = 48;
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+    return static_cast<bool>(out);
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+void
+printPhase(const char *title, const MetricsSnapshot &d)
+{
+    const ModeShares m = modeShares(d);
+    const ArchMetrics a = archMetrics(d);
+    TextTable t(title);
+    t.header({"metric", "value"});
+    t.row({"instructions", TextTable::num(d.core.totalRetired())});
+    t.row({"IPC", TextTable::num(a.ipc, 2)});
+    t.row({"user", TextTable::percent(m.userPct)});
+    t.row({"kernel", TextTable::percent(m.kernelPct)});
+    t.row({"pal", TextTable::percent(m.palPct)});
+    t.row({"idle", TextTable::percent(m.idlePct)});
+    t.row({"L1I miss", TextTable::percent(a.l1iMissPct)});
+    t.row({"L1D miss", TextTable::percent(a.l1dMissPct)});
+    t.row({"DTLB miss", TextTable::percent(a.dtlbMissPct)});
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    EnvOverrides::fromEnvironment().install();
+
+    std::string savePath, fromPath;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--save-snapshot"))
+            savePath = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--from-snapshot"))
+            fromPath = argv[i + 1];
+    }
+
+    Session::Config cfg;
+    cfg.workload.kind = WorkloadConfig::Kind::SpecInt;
+    cfg.workload.spec.inputChunks = 48;
+    cfg.phases.measureInstrs = 1'000'000;
 
     std::printf("smtos multiprogramming study: SPECInt95-like x8\n");
-    RunResult res = runExperiment(spec);
 
-    for (int phase = 0; phase < 2; ++phase) {
-        const MetricsSnapshot &d = phase ? res.steady : res.startup;
-        const ModeShares m = modeShares(d);
-        const ArchMetrics a = archMetrics(d);
-        TextTable t(phase ? "steady state" : "program start-up");
-        t.header({"metric", "value"});
-        t.row({"instructions",
-               TextTable::num(d.core.totalRetired())});
-        t.row({"IPC", TextTable::num(a.ipc, 2)});
-        t.row({"user", TextTable::percent(m.userPct)});
-        t.row({"kernel", TextTable::percent(m.kernelPct)});
-        t.row({"pal", TextTable::percent(m.palPct)});
-        t.row({"idle", TextTable::percent(m.idlePct)});
-        t.row({"L1I miss", TextTable::percent(a.l1iMissPct)});
-        t.row({"L1D miss", TextTable::percent(a.l1dMissPct)});
-        t.row({"DTLB miss", TextTable::percent(a.dtlbMissPct)});
-        t.print();
+    if (!fromPath.empty()) {
+        Session::ResumeOptions opts;
+        opts.phases = cfg.phases;
+        std::string err;
+        auto s = Session::resume(readFile(fromPath), opts, &err);
+        if (!s) {
+            std::fprintf(stderr, "cannot resume from %s: %s\n",
+                         fromPath.c_str(), err.c_str());
+            return 1;
+        }
+        printPhase("steady state (resumed)",
+                   s->runMeasurement().steady);
+        return 0;
     }
+
+    Session session(cfg);
+    session.runStartup();
+    if (!savePath.empty()) {
+        if (!writeFile(savePath, session.snapshot())) {
+            std::fprintf(stderr, "cannot write %s\n", savePath.c_str());
+            return 1;
+        }
+        std::printf("post-startup snapshot saved to %s\n",
+                    savePath.c_str());
+    }
+    RunResult res = session.runMeasurement();
+    printPhase("program start-up", res.startup);
+    printPhase("steady state", res.steady);
     return 0;
 }

@@ -8,22 +8,25 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "harness/experiment.h"
+#include "harness/env.h"
+#include "harness/session.h"
 
 using namespace smtos;
 
 int
 main()
 {
-    RunSpec spec;
-    spec.workload = RunSpec::Workload::Apache;
-    spec.smt = true;
-    spec.withOs = true;
-    spec.startupInstrs = 200'000;
-    spec.measureInstrs = 1'000'000;
+    EnvOverrides::fromEnvironment().install();
+
+    Session::Config cfg;
+    cfg.workload.kind = WorkloadConfig::Kind::Apache;
+    cfg.system.smt = true;
+    cfg.system.withOs = true;
+    cfg.phases.startupInstrs = 200'000;
+    cfg.phases.measureInstrs = 1'000'000;
 
     std::printf("smtos quickstart: Apache on an 8-context SMT\n");
-    RunResult res = runExperiment(spec);
+    RunResult res = Session(cfg).run();
 
     const ArchMetrics a = archMetrics(res.steady);
     const ModeShares m = modeShares(res.steady);

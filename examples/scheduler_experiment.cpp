@@ -8,13 +8,16 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "harness/experiment.h"
+#include "harness/env.h"
+#include "harness/session.h"
 
 using namespace smtos;
 
 int
 main()
 {
+    EnvOverrides::fromEnvironment().install();
+
     std::printf("smtos scheduler experiment: server processes vs "
                 "hardware contexts\n");
 
@@ -22,12 +25,12 @@ main()
     t.header({"server processes", "IPC", "context switches",
               "sched+idle % of cycles", "requests"});
     for (int servers : {8, 16, 32, 64}) {
-        RunSpec s;
-        s.workload = RunSpec::Workload::Apache;
-        s.apache.numServers = servers;
-        s.startupInstrs = 1'200'000;
-        s.measureInstrs = 1'500'000;
-        RunResult r = runExperiment(s);
+        Session::Config s;
+        s.workload.kind = WorkloadConfig::Kind::Apache;
+        s.workload.apache.numServers = servers;
+        s.phases.startupInstrs = 1'200'000;
+        s.phases.measureInstrs = 1'500'000;
+        RunResult r = Session(s).run();
         const ArchMetrics a = archMetrics(r.steady);
         const double sched =
             groupSharePct(r.steady, ServiceGroup::Sched) +

@@ -2,32 +2,97 @@
  * @file
  * Web-server study: where the Apache-like server spends its time
  * (Section 3.2 of the paper), and what SMT buys over a superscalar.
+ *
+ * Snapshot workflow (SMT leg):
+ *   webserver_study --save-snapshot web.snap   # startup, save, measure
+ *   webserver_study --from-snapshot web.snap   # resume, measure only
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/table.h"
-#include "harness/experiment.h"
+#include "harness/env.h"
+#include "harness/session.h"
 #include "kernel/tags.h"
 
 using namespace smtos;
 
-int
-main()
+namespace {
+
+bool
+writeFile(const std::string &path, const std::vector<std::uint8_t> &b)
 {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+    return static_cast<bool>(out);
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    EnvOverrides::fromEnvironment().install();
+
+    std::string savePath, fromPath;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--save-snapshot"))
+            savePath = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--from-snapshot"))
+            fromPath = argv[i + 1];
+    }
+
     std::printf("smtos web-server study: Apache under SPECWeb-like "
                 "load\n");
 
-    RunSpec smt;
-    smt.workload = RunSpec::Workload::Apache;
-    smt.startupInstrs = 1'500'000;
-    smt.measureInstrs = 2'000'000;
-    RunSpec ss = smt;
-    ss.smt = false;
-    ss.measureInstrs = 1'000'000;
+    Session::Config smt;
+    smt.workload.kind = WorkloadConfig::Kind::Apache;
+    smt.phases.startupInstrs = 1'500'000;
+    smt.phases.measureInstrs = 2'000'000;
+    Session::Config ss = smt;
+    ss.system.smt = false;
+    ss.phases.measureInstrs = 1'000'000;
 
-    RunResult r_smt = runExperiment(smt);
-    RunResult r_ss = runExperiment(ss);
+    RunResult r_smt;
+    if (!fromPath.empty()) {
+        Session::ResumeOptions opts;
+        opts.phases = smt.phases;
+        std::string err;
+        auto s = Session::resume(readFile(fromPath), opts, &err);
+        if (!s) {
+            std::fprintf(stderr, "cannot resume from %s: %s\n",
+                         fromPath.c_str(), err.c_str());
+            return 1;
+        }
+        r_smt = s->runMeasurement();
+    } else {
+        Session s(smt);
+        s.runStartup();
+        if (!savePath.empty()) {
+            if (!writeFile(savePath, s.snapshot())) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             savePath.c_str());
+                return 1;
+            }
+            std::printf("post-startup snapshot saved to %s\n",
+                        savePath.c_str());
+        }
+        r_smt = s.runMeasurement();
+    }
+    RunResult r_ss = Session(ss).run();
 
     const ModeShares m = modeShares(r_smt.steady);
     TextTable t("where Apache spends its cycles (SMT)");

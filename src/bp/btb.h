@@ -13,6 +13,7 @@
 
 #include "common/types.h"
 #include "mem/missclass.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -54,6 +55,10 @@ class Btb
         stats_.reset();
         wrongTarget_ = 0;
     }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     struct Entry

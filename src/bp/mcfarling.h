@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -53,6 +54,10 @@ class McFarling
     /** Counts of predictions served by the chooser's pick (tests). */
     std::uint64_t localPicks() const { return localPicks_; }
     std::uint64_t globalPicks() const { return globalPicks_; }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     int localHistIndex(Addr pc) const;

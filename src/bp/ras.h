@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -38,6 +39,11 @@ class Ras
 
     int depth() const { return static_cast<int>(stack_.size()); }
     int sp() const { return sp_; }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    /** Full-state serialization (overloads the checkpoint save()). */
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     std::vector<Addr> stack_;

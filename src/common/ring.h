@@ -106,6 +106,21 @@ class FixedRing
 
     void clear() { head_ = tail_ = 0; }
 
+    /**
+     * Restore the absolute position span after init() (snapshot
+     * restore). Positions must round-trip exactly: cached producer
+     * positions and livePos() checks reference the absolute values.
+     * Slots in [head, tail) are left value-initialized for the caller
+     * to fill via atPos().
+     */
+    void
+    restoreSpan(std::uint64_t head, std::uint64_t tail)
+    {
+        smtos_assert(tail - head <= buf_.size());
+        head_ = head;
+        tail_ = tail;
+    }
+
   private:
     std::vector<T> buf_;
     std::uint64_t mask_ = 0;

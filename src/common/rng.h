@@ -66,6 +66,13 @@ class Rng
     /** Raw state accessor for checkpointing/tests. */
     std::uint64_t rawState() const { return state; }
 
+    /** Restore a previously captured raw state (snapshot restore). */
+    void
+    setRawState(std::uint64_t s)
+    {
+        state = s ? s : 0x9e3779b97f4a7c15ull;
+    }
+
   private:
     std::uint64_t state;
 };

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -87,6 +88,10 @@ class Sampler
         return s;
     }
 
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -132,6 +137,10 @@ class Histogram
 
     void reset();
 
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
+
   private:
     std::int64_t lo_;
     std::int64_t hi_;
@@ -160,6 +169,10 @@ class CounterMap
     }
 
     void reset() { counts_.clear(); }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     std::map<std::string, std::uint64_t> counts_;

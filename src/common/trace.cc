@@ -78,23 +78,16 @@ Trace::dumpRing(std::ostream &os)
 }
 
 void
-Trace::applyEnv()
+Trace::setFileSink(const std::string &path)
 {
-    static std::once_flag once;
-    bool first = false;
-    std::call_once(once, [&] { first = true; });
-    if (!first)
-        return;
-    if (const char *cats = std::getenv("SMTOS_TRACE"))
-        setMask(parseCats(cats));
-    if (const char *path = std::getenv("SMTOS_TRACE_FILE")) {
-        static std::ofstream file;
-        file.open(path);
-        if (file)
-            setSink(&file);
-        else
-            smtos_warn("cannot open SMTOS_TRACE_FILE '%s'", path);
-    }
+    static std::ofstream file;
+    if (file.is_open())
+        file.close();
+    file.open(path);
+    if (file)
+        setSink(&file);
+    else
+        smtos_warn("cannot open trace file '%s'", path.c_str());
 }
 
 std::uint32_t

@@ -74,11 +74,11 @@ class Trace
     static void setCycle(Cycle c) { cycle_ = c; }
 
     /**
-     * Apply the SMTOS_TRACE / SMTOS_TRACE_FILE environment variables
-     * (category list and output path). Idempotent; does nothing when
-     * the variables are unset, so programmatic enables still win.
+     * Open @p path and direct trace output there (the stream is owned
+     * by Trace and lives for the process). A failed open warns and
+     * leaves the current sink in place.
      */
-    static void applyEnv();
+    static void setFileSink(const std::string &path);
 
     /** Emit one line (used by the smtos_trace macro). */
     static void emit(TraceCat cat, const std::string &msg);

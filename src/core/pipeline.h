@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "core/context.h"
 #include "mem/hierarchy.h"
 #include "obs/probes.h"
+#include "snap/fwd.h"
 #include "vm/tlb.h"
 
 namespace smtos {
@@ -234,6 +236,24 @@ class Pipeline
 
     /** Dump per-context architectural state for the crash bundle. */
     void dumpState(std::ostream &os) const;
+
+    // --- snapshot/restore (src/snap) ---
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp, const SnapImages &images) const;
+    /**
+     * Overwrite all mutable pipeline state from a snapshot.
+     * @p threadById resolves serialized thread ids to the rebuilt
+     * ThreadStates (the kernel section restores before this one).
+     */
+    void load(Restorer &rs, const SnapImages &images,
+              const std::function<ThreadState *(ThreadId)> &threadById);
+    /**
+     * Re-emit an onThreadStateSync(t, 0) for every bound context after
+     * a restore: the restored architectural state is the committed
+     * state, and restored in-flight uops (seq < nextSeq_) retire
+     * sequentially on top of it.
+     */
+    void resyncThreads();
 
   private:
     /**

@@ -35,12 +35,20 @@ diagArm(System *sys, FaultPlan *plan)
     setCrashHook(sys ? &crashHookTrampoline : nullptr);
 }
 
+namespace {
+std::string configuredDiagDir = "smtos-diag";
+} // namespace
+
+void
+diagSetDir(const std::string &dir)
+{
+    configuredDiagDir = dir.empty() ? "smtos-diag" : dir;
+}
+
 std::string
 diagDir()
 {
-    if (const char *d = std::getenv("SMTOS_DIAG_DIR"))
-        return d;
-    return "smtos-diag";
+    return configuredDiagDir;
 }
 
 std::string

@@ -27,7 +27,13 @@ class System;
  */
 void diagArm(System *sys, FaultPlan *plan);
 
-/** Directory the next bundle lands in (SMTOS_DIAG_DIR env override). */
+/**
+ * Set the bundle directory (EnvOverrides::install applies the
+ * SMTOS_DIAG_DIR value here; empty restores the default).
+ */
+void diagSetDir(const std::string &dir);
+
+/** Directory the next bundle lands in (default "smtos-diag"). */
 std::string diagDir();
 
 /**

@@ -97,15 +97,6 @@ FaultParams::fromString(const std::string &spec)
     return p;
 }
 
-FaultParams
-FaultParams::fromEnv()
-{
-    const char *v = std::getenv("SMTOS_FAULTS");
-    if (!v || !*v)
-        return FaultParams{};
-    return fromString(v);
-}
-
 const char *
 faultKindName(FaultKind k)
 {

@@ -28,6 +28,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -68,15 +69,13 @@ struct FaultParams
     bool any() const;
 
     /**
-     * Parse "key=value,key=value" (the SMTOS_FAULTS syntax):
+     * Parse "key=value,key=value" (the SMTOS_FAULTS syntax; the value
+     * reaches this function through EnvOverrides, never getenv):
      *   seed, loss, reorder, delay (min:max or single value), nicdrop,
      *   mce, mceretry, breakrecovery, conntable, backlog, audit.
      * Unknown keys are a fatal configuration error.
      */
     static FaultParams fromString(const std::string &spec);
-
-    /** Build from the SMTOS_FAULTS environment (default when unset). */
-    static FaultParams fromEnv();
 };
 
 /** What one fault-log entry records. */
@@ -221,6 +220,10 @@ class FaultPlan
 
     /** Injection counters only (the kernel merges in the rest). */
     const FaultCounters &injected() const { return c_; }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     FaultParams p_;

@@ -29,6 +29,7 @@
 
 #include "core/pipeline.h"
 #include "ref/refcore.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -62,6 +63,21 @@ class Cosim : public RetireObserver
 
     /** State syncs received (OS interventions observed). */
     std::uint64_t syncs() const { return syncs_; }
+
+    /**
+     * Serialize the oracle: per-thread reference cores and their
+     * unapplied sync queues. Asserts !diverged() — a diverged run
+     * must not be snapshotted. The recent-retirement report windows
+     * are not saved (cosmetic only).
+     */
+    void save(Snapshotter &sp, const SnapImages &images) const;
+
+    /**
+     * Mirror of save(). Discards everything observed so far (boot
+     * binds, the restore-time resync) — the artifact's oracle state
+     * supersedes it wholesale.
+     */
+    void load(Restorer &rs, const SnapImages &images);
 
   private:
     struct PendingSync

@@ -1,0 +1,99 @@
+#include "harness/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/trace.h"
+#include "fault/diag.h"
+#include "harness/parallel.h"
+
+namespace smtos {
+
+namespace {
+
+EnvOverrides &
+ambientSlot()
+{
+    static EnvOverrides ambient;
+    return ambient;
+}
+
+bool
+truthy(const char *v)
+{
+    return v && *v && std::strcmp(v, "0") != 0 &&
+           std::strcmp(v, "false") != 0 && std::strcmp(v, "no") != 0;
+}
+
+} // namespace
+
+EnvOverrides
+EnvOverrides::fromLookup(const Lookup &get)
+{
+    EnvOverrides ov;
+    if (const char *v = get("SMTOS_TRACE")) {
+        ov.traceMask = Trace::parseCats(v);
+        ov.hasTraceMask = true;
+    }
+    if (const char *v = get("SMTOS_TRACE_FILE"))
+        ov.traceFile = v;
+    if (const char *v = get("SMTOS_DIAG_DIR")) {
+        ov.diagDir = v;
+        ov.hasDiagDir = true;
+    }
+    if (const char *v = get("SMTOS_JOBS")) {
+        const long n = std::strtol(v, nullptr, 10);
+        ov.jobs = n >= 1 ? static_cast<unsigned>(n) : 1;
+    }
+    if (const char *v = get("SMTOS_FAULTS")) {
+        ov.faults = FaultParams::fromString(v);
+        ov.hasFaults = true;
+    }
+    if (const char *v = get("SMTOS_PROFILE"); truthy(v)) {
+        ov.obs.profile = true;
+        // Any value other than a plain switch is the report path.
+        const std::string s(v);
+        if (s != "1" && s != "true" && s != "yes")
+            ov.obs.reportPath = s;
+    }
+    if (const char *v = get("SMTOS_INTERVAL"))
+        ov.obs.intervalCycles =
+            static_cast<Cycle>(std::strtoull(v, nullptr, 10));
+    if (const char *v = get("SMTOS_INTERVAL_JSONL"))
+        ov.obs.intervalJsonlPath = v;
+    if (const char *v = get("SMTOS_INTERVAL_CSV"))
+        ov.obs.intervalCsvPath = v;
+    if (const char *v = get("SMTOS_TIMELINE"))
+        ov.obs.timelinePath = v;
+    ov.obs.timelineDetail = truthy(get("SMTOS_TIMELINE_DETAIL"));
+    return ov;
+}
+
+EnvOverrides
+EnvOverrides::fromEnvironment()
+{
+    return fromLookup(
+        [](const char *name) { return std::getenv(name); });
+}
+
+void
+EnvOverrides::install() const
+{
+    if (hasTraceMask)
+        Trace::setMask(traceMask);
+    if (!traceFile.empty())
+        Trace::setFileSink(traceFile);
+    if (hasDiagDir)
+        diagSetDir(diagDir);
+    if (jobs > 0)
+        setDefaultJobs(jobs);
+    ambientSlot() = *this;
+}
+
+const EnvOverrides &
+EnvOverrides::ambient()
+{
+    return ambientSlot();
+}
+
+} // namespace smtos

@@ -1,174 +1,40 @@
 #include "harness/experiment.h"
 
-#include <algorithm>
-#include <memory>
-
-#include "common/logging.h"
-#include "common/trace.h"
-#include "fault/auditor.h"
-#include "fault/diag.h"
-#include "obs/session.h"
-#include "sim/config.h"
-
 namespace smtos {
+
+Session::Config
+RunSpec::toSessionConfig() const
+{
+    Session::Config cfg;
+    cfg.system.smt = smt;
+    cfg.system.withOs = withOs;
+    cfg.system.filterKernelRefs = filterKernelRefs;
+    cfg.system.numContexts = numContexts;
+    cfg.system.fetchContexts = fetchContexts;
+    cfg.system.roundRobinFetch = roundRobinFetch;
+    cfg.system.affinitySched = affinitySched;
+    cfg.system.sharedTlbIpr = sharedTlbIpr;
+    cfg.system.fastForward = fastForward;
+    cfg.workload.kind = workload == Workload::SpecInt
+                            ? WorkloadConfig::Kind::SpecInt
+                            : WorkloadConfig::Kind::Apache;
+    cfg.workload.spec = spec;
+    cfg.workload.apache = apache;
+    cfg.workload.seed = seed;
+    cfg.phases.startupInstrs = startupInstrs;
+    cfg.phases.measureInstrs = measureInstrs;
+    cfg.phases.windowInstrs = windowInstrs;
+    cfg.faults = faults;
+    cfg.faultPlan = faultPlan;
+    cfg.obs = obs;
+    return cfg;
+}
 
 RunResult
 runExperiment(const RunSpec &spec)
 {
-    Trace::applyEnv();
-
-    // Observability: an explicit session wins; otherwise honor the
-    // SMTOS_* environment so any example/bench can be instrumented
-    // without code changes.
-    std::unique_ptr<ObsSession> envObs;
-    ObsSession *obs = spec.obs;
-    if (!obs) {
-        ObsConfig oc = ObsSession::configFromEnv();
-        if (oc.any()) {
-            envObs = std::make_unique<ObsSession>(oc);
-            obs = envObs.get();
-        }
-    }
-
-    SystemConfig cfg =
-        spec.smt ? smtConfig() : superscalarConfig();
-    cfg.kernel.seed = spec.seed;
-    cfg.kernel.appOnly = !spec.withOs;
-    cfg.kernel.enableNetwork =
-        (spec.workload == RunSpec::Workload::Apache);
-    cfg.mem.filterPrivileged = spec.filterKernelRefs;
-    if (spec.numContexts > 0) {
-        cfg.core.numContexts = spec.numContexts;
-        cfg.core.fetchContexts = std::min(2, spec.numContexts);
-    }
-    if (spec.fetchContexts > 0)
-        cfg.core.fetchContexts = spec.fetchContexts;
-    if (spec.roundRobinFetch)
-        cfg.core.fetchPolicy = FetchPolicy::RoundRobin;
-    cfg.kernel.sharedTlbIpr = spec.sharedTlbIpr;
-    if (spec.affinitySched)
-        cfg.kernel.schedPolicy =
-            Kernel::SchedPolicy::Affinity;
-
-    System sys(cfg);
-    sys.pipeline().setFastForward(spec.fastForward);
-    if (spec.filterKernelRefs)
-        sys.pipeline().setFilterPrivilegedBranches(true);
-    if (obs)
-        obs->attach(sys);
-
-    // Fault injection: an explicit plan wins, then the spec's params,
-    // then the SMTOS_FAULTS environment. Attach before start() so the
-    // connection-table override takes effect.
-    std::unique_ptr<FaultPlan> ownedPlan;
-    FaultPlan *plan = spec.faultPlan;
-    if (!plan) {
-        FaultParams fp = spec.faults.any() ? spec.faults
-                                           : FaultParams::fromEnv();
-        if (fp.any()) {
-            ownedPlan = std::make_unique<FaultPlan>(fp);
-            plan = ownedPlan.get();
-        }
-    }
-    std::unique_ptr<InvariantAuditor> auditor;
-    if (plan) {
-        sys.attachFaults(plan);
-        if (plan->params().auditEvery > 0) {
-            auditor = std::make_unique<InvariantAuditor>(
-                sys, plan->params().auditEvery);
-            sys.kernel().setAuditor(auditor.get());
-        }
-    }
-    diagArm(&sys, plan);
-
-    // Workload objects must outlive the run.
-    SpecIntWorkload spec_w;
-    ApacheWorkload apache_w;
-    if (spec.workload == RunSpec::Workload::SpecInt) {
-        SpecIntParams p = spec.spec;
-        p.seed ^= spec.seed;
-        spec_w = buildSpecInt(p);
-        installSpecInt(sys.kernel(), spec_w);
-    } else {
-        ApacheParams p = spec.apache;
-        p.seed ^= spec.seed;
-        apache_w = buildApache(p);
-        installApache(sys.kernel(), apache_w);
-    }
-    sys.start();
-
-    RunResult res;
-    MetricsSnapshot s0 = MetricsSnapshot::capture(sys);
-
-    // Start-up phase.
-    if (spec.startupInstrs > 0) {
-        sys.run(spec.startupInstrs);
-    } else if (spec.workload == RunSpec::Workload::SpecInt) {
-        const std::uint64_t chunk = 200'000;
-        std::uint64_t guard = 0;
-        while (!sys.kernel().startupComplete() && guard < 400) {
-            sys.run(chunk);
-            ++guard;
-        }
-        if (guard >= 400)
-            smtos_warn("start-up did not complete within guard");
-    }
-    MetricsSnapshot s1 = MetricsSnapshot::capture(sys);
-    res.startup = s1.delta(s0);
-
-    // Measurement phase.
-    if (obs && obs->wantsIntervals()) {
-        // Cycle-driven interval sampling: advance in fixed steps and
-        // emit one time-series row per step until the instruction
-        // budget is retired. Deterministic for a given seed/config.
-        const Cycle iv = obs->intervalCycles();
-        const std::uint64_t target =
-            s1.core.totalRetired() + spec.measureInstrs;
-        MetricsSnapshot prev = s1;
-        int idx = 0;
-        int stuck = 0;
-        while (prev.core.totalRetired() < target) {
-            const Cycle c0 = sys.pipeline().now();
-            sys.runCycles(iv);
-            MetricsSnapshot cur = MetricsSnapshot::capture(sys);
-            obs->interval(idx++, c0, sys.pipeline().now(),
-                          cur.delta(prev));
-            if (cur.core.totalRetired() == prev.core.totalRetired()) {
-                if (++stuck >= 1000)
-                    smtos_panic("interval sampling made no progress "
-                                "for %d intervals",
-                                stuck);
-            } else {
-                stuck = 0;
-            }
-            prev = cur;
-        }
-        res.steady = MetricsSnapshot::capture(sys).delta(s1);
-    } else if (spec.windowInstrs > 0) {
-        MetricsSnapshot prev = s1;
-        std::uint64_t done = 0;
-        while (done < spec.measureInstrs) {
-            const std::uint64_t step =
-                std::min(spec.windowInstrs,
-                         spec.measureInstrs - done);
-            sys.run(step);
-            done += step;
-            MetricsSnapshot cur = MetricsSnapshot::capture(sys);
-            res.windows.push_back(cur.delta(prev));
-            prev = cur;
-        }
-        res.steady = MetricsSnapshot::capture(sys).delta(s1);
-    } else {
-        sys.run(spec.measureInstrs);
-        res.steady = MetricsSnapshot::capture(sys).delta(s1);
-    }
-
-    res.requestsServed = sys.kernel().requestsServed();
-    res.cycles = sys.pipeline().now();
-    if (obs)
-        obs->finish();
-    diagArm(nullptr, nullptr);
-    return res;
+    Session session(spec.toSessionConfig());
+    return session.run();
 }
 
 } // namespace smtos

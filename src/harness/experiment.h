@@ -1,27 +1,26 @@
 /**
  * @file
- * Experiment harness shared by the benchmark binaries and examples:
- * builds a configured system + workload, runs warm-up/start-up and
- * measurement phases, and returns metric deltas per phase and per
- * window.
+ * Legacy single-struct experiment entry point.
+ *
+ * RunSpec predates the Session API (harness/session.h), which splits
+ * it into SystemConfig / WorkloadConfig / RunPhases and adds
+ * snapshot()/resume(). runExperiment() is kept as a thin shim that
+ * forwards to a Session so out-of-tree callers keep working; in-tree
+ * code uses Session directly.
  */
 
 #ifndef SMTOS_HARNESS_EXPERIMENT_H
 #define SMTOS_HARNESS_EXPERIMENT_H
 
 #include <cstdint>
-#include <vector>
 
-#include "fault/fault.h"
-#include "sim/metrics.h"
-#include "workload/apache.h"
-#include "workload/specint.h"
+#include "harness/session.h"
 
 namespace smtos {
 
 class ObsSession;
 
-/** What to simulate and how long. */
+/** What to simulate and how long (legacy; see Session::Config). */
 struct RunSpec
 {
     enum class Workload { SpecInt, Apache };
@@ -30,63 +29,29 @@ struct RunSpec
     bool withOs = true;       ///< false: application-only (Table 4)
     bool filterKernelRefs = false; ///< Table 9 reference filter
 
-    /**
-     * Start-up phase length in retired instructions. 0 for SPECInt
-     * means "run until every app finished its input reads".
-     */
     std::uint64_t startupInstrs = 0;
     std::uint64_t measureInstrs = 2'000'000;
-    /** When nonzero, split measurement into windows of this size. */
     std::uint64_t windowInstrs = 0;
 
     SpecIntParams spec;
     ApacheParams apache;
     std::uint64_t seed = 99;
-    /** Optional overrides (0 = keep the preset's value). */
     int numContexts = 0;
     int fetchContexts = 0;
     bool roundRobinFetch = false;
     bool affinitySched = false;
     bool sharedTlbIpr = false;
 
-    /**
-     * Observability session to wire into the run (not owned; covers
-     * exactly one run). When null, runExperiment builds one from the
-     * SMTOS_* environment variables if any are set. When the session
-     * enables interval sampling, the measurement phase advances in
-     * intervalCycles() steps and emits one sample row per step.
-     */
     ObsSession *obs = nullptr;
-
-    /**
-     * Fault injection for the run. An explicit plan wins; otherwise a
-     * plan is built from @c faults when it configures anything, or
-     * from the SMTOS_FAULTS environment. When nothing is configured no
-     * plan is attached and the run is bit-identical to a fault-free
-     * build.
-     */
     FaultParams faults{};
     FaultPlan *faultPlan = nullptr; ///< not owned; overrides @c faults
-
-    /**
-     * Host fast path: skip quiescent cycles in one jump (see DESIGN.md
-     * §10). Results are bit-identical either way; the perf suite runs
-     * both settings to prove it.
-     */
     bool fastForward = true;
+
+    /** The equivalent Session configuration. */
+    Session::Config toSessionConfig() const;
 };
 
-/** Phase deltas of one run. */
-struct RunResult
-{
-    MetricsSnapshot startup;  ///< the start-up interval
-    MetricsSnapshot steady;   ///< the measurement interval
-    std::vector<MetricsSnapshot> windows;
-    std::uint64_t requestsServed = 0;
-    Cycle cycles = 0;
-};
-
-/** Build, run, and measure one configuration. */
+/** Build, run, and measure one configuration (forwards to Session). */
 RunResult runExperiment(const RunSpec &spec);
 
 } // namespace smtos

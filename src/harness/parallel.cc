@@ -6,15 +6,21 @@
 
 namespace smtos {
 
+namespace {
+unsigned configuredJobs = 0;
+} // namespace
+
+void
+setDefaultJobs(unsigned jobs)
+{
+    configuredJobs = jobs;
+}
+
 unsigned
 defaultJobs()
 {
-    if (const char *env = std::getenv("SMTOS_JOBS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-        return 1;
-    }
+    if (configuredJobs >= 1)
+        return configuredJobs;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }
@@ -53,14 +59,24 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
 }
 
 std::vector<RunResult>
-runExperiments(const std::vector<RunSpec> &specs, unsigned jobs)
+runSessions(const std::vector<Session::Config> &cfgs, unsigned jobs)
 {
-    std::vector<RunResult> results(specs.size());
+    std::vector<RunResult> results(cfgs.size());
     parallelFor(
-        specs.size(),
-        [&](std::size_t i) { results[i] = runExperiment(specs[i]); },
+        cfgs.size(),
+        [&](std::size_t i) { results[i] = Session(cfgs[i]).run(); },
         jobs);
     return results;
+}
+
+std::vector<RunResult>
+runExperiments(const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    std::vector<Session::Config> cfgs;
+    cfgs.reserve(specs.size());
+    for (const RunSpec &s : specs)
+        cfgs.push_back(s.toSessionConfig());
+    return runSessions(cfgs, jobs);
 }
 
 } // namespace smtos

@@ -28,9 +28,15 @@
 namespace smtos {
 
 /**
- * Worker count used when a caller passes jobs = 0: the SMTOS_JOBS
- * environment variable when set (clamped to at least 1), else the
- * host's hardware concurrency, else 1.
+ * Set the worker count used when a caller passes jobs = 0
+ * (EnvOverrides::install applies SMTOS_JOBS here; 0 resets to the
+ * hardware-concurrency default).
+ */
+void setDefaultJobs(unsigned jobs);
+
+/**
+ * Worker count used when a caller passes jobs = 0: the configured
+ * default when set, else the host's hardware concurrency, else 1.
  */
 unsigned defaultJobs();
 
@@ -46,9 +52,13 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
                  unsigned jobs = 0);
 
 /**
- * Run every spec (each via runExperiment) and return the results in
- * the same order. @p jobs as in parallelFor.
+ * Run every configuration (each in its own Session) and return the
+ * results in the same order. @p jobs as in parallelFor.
  */
+std::vector<RunResult> runSessions(const std::vector<Session::Config> &cfgs,
+                                   unsigned jobs = 0);
+
+/** Legacy batch entry point (see RunSpec); forwards to Session. */
 std::vector<RunResult> runExperiments(const std::vector<RunSpec> &specs,
                                       unsigned jobs = 0);
 

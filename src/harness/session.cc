@@ -1,0 +1,440 @@
+#include "harness/session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "fault/auditor.h"
+#include "fault/diag.h"
+#include "harness/cosim.h"
+#include "harness/env.h"
+#include "obs/session.h"
+#include "sim/config.h"
+#include "sim/system.h"
+#include "snap/snapshot.h"
+#include "snap/sysstate.h"
+
+namespace smtos {
+
+namespace {
+
+/** Config-section layout version (independent of the machine
+ *  sections' per-class versions). */
+constexpr std::uint32_t configSectionVersion = 1;
+
+/** Cosim-oracle section layout version. */
+constexpr std::uint32_t cosimSectionVersion = 1;
+
+MachineConfig
+machineConfigOf(const SystemConfig &sc, const WorkloadConfig &wc)
+{
+    MachineConfig cfg = sc.smt ? smtConfig() : superscalarConfig();
+    cfg.kernel.seed = wc.seed;
+    cfg.kernel.appOnly = !sc.withOs;
+    cfg.kernel.enableNetwork =
+        (wc.kind == WorkloadConfig::Kind::Apache);
+    cfg.mem.filterPrivileged = sc.filterKernelRefs;
+    if (sc.numContexts > 0) {
+        cfg.core.numContexts = sc.numContexts;
+        cfg.core.fetchContexts = std::min(2, sc.numContexts);
+    }
+    if (sc.fetchContexts > 0)
+        cfg.core.fetchContexts = sc.fetchContexts;
+    if (sc.roundRobinFetch)
+        cfg.core.fetchPolicy = FetchPolicy::RoundRobin;
+    cfg.kernel.sharedTlbIpr = sc.sharedTlbIpr;
+    if (sc.affinitySched)
+        cfg.kernel.schedPolicy = Kernel::SchedPolicy::Affinity;
+    return cfg;
+}
+
+} // namespace
+
+Session::Session(const Config &cfg) : Session(cfg, true, false) {}
+
+Session::Session(const Config &cfg, bool consultAmbient, bool forcePlan)
+    : cfg_(cfg)
+{
+    validate();
+
+    // Fault injection: an explicit plan wins, then the config's
+    // params, then (for fresh sessions only — resumed sessions take
+    // everything from the artifact) the installed environment.
+    if (cfg_.faultPlan) {
+        plan_ = cfg_.faultPlan;
+        cfg_.faults = plan_->params();
+    } else {
+        if (!cfg_.faults.any() && consultAmbient &&
+            EnvOverrides::ambient().hasFaults)
+            cfg_.faults = EnvOverrides::ambient().faults;
+        if (cfg_.faults.any() || forcePlan) {
+            ownedPlan_ = std::make_unique<FaultPlan>(cfg_.faults);
+            plan_ = ownedPlan_.get();
+        }
+    }
+
+    sys_ = std::make_unique<System>(
+        machineConfigOf(cfg_.system, cfg_.workload));
+    sys_->pipeline().setFastForward(cfg_.system.fastForward);
+    if (cfg_.system.filterKernelRefs)
+        sys_->pipeline().setFilterPrivilegedBranches(true);
+
+    // Observability: an explicit session wins; otherwise honor the
+    // installed environment so any tool can be instrumented without
+    // code changes.
+    obs_ = cfg_.obs;
+    if (!obs_ && consultAmbient &&
+        EnvOverrides::ambient().obs.any()) {
+        ownedObs_ =
+            std::make_unique<ObsSession>(EnvOverrides::ambient().obs);
+        obs_ = ownedObs_.get();
+    }
+    if (obs_)
+        obs_->attach(*sys_);
+
+    // Attach before start() so the connection-table override takes
+    // effect and the netisr/idle boot is covered.
+    if (plan_) {
+        sys_->attachFaults(plan_);
+        if (plan_->params().auditEvery > 0) {
+            auditor_ = std::make_unique<InvariantAuditor>(
+                *sys_, plan_->params().auditEvery);
+            sys_->kernel().setAuditor(auditor_.get());
+        }
+    }
+    diagArm(sys_.get(), plan_);
+
+    if (cfg_.workload.kind == WorkloadConfig::Kind::SpecInt) {
+        SpecIntParams p = cfg_.workload.spec;
+        p.seed ^= cfg_.workload.seed;
+        specW_ = buildSpecInt(p);
+        installSpecInt(sys_->kernel(), specW_);
+    } else {
+        ApacheParams p = cfg_.workload.apache;
+        p.seed ^= cfg_.workload.seed;
+        apacheW_ = buildApache(p);
+        installApache(sys_->kernel(), apacheW_);
+    }
+
+    // The oracle must observe the initial thread binds in start().
+    if (cfg_.cosim)
+        cosim_ = std::make_unique<Cosim>(sys_->pipeline());
+
+    sys_->start();
+    atBuild_ = MetricsSnapshot::capture(*sys_);
+}
+
+Session::~Session()
+{
+    if (obs_)
+        obs_->finish();
+    diagArm(nullptr, nullptr);
+}
+
+void
+Session::validate() const
+{
+    const SystemConfig &sc = cfg_.system;
+    if (sc.numContexts < 0 || sc.numContexts > 64)
+        smtos_fatal("Session: numContexts %d out of range",
+                    sc.numContexts);
+    if (sc.fetchContexts < 0)
+        smtos_fatal("Session: negative fetchContexts");
+    if (sc.numContexts > 0 && sc.fetchContexts > sc.numContexts)
+        smtos_fatal("Session: fetchContexts %d exceeds numContexts %d",
+                    sc.fetchContexts, sc.numContexts);
+    if (!sc.smt && sc.numContexts > 1)
+        smtos_fatal("Session: the superscalar baseline has exactly "
+                    "one context");
+    if (cfg_.phases.measureInstrs == 0)
+        smtos_fatal("Session: measureInstrs must be nonzero");
+}
+
+void
+Session::attachObs(ObsSession &obs)
+{
+    smtos_assert(!obs_);
+    obs_ = &obs;
+    obs_->attach(*sys_);
+}
+
+MetricsSnapshot
+Session::capture() const
+{
+    return MetricsSnapshot::capture(*sys_);
+}
+
+void
+Session::runStartup()
+{
+    if (startupDone_)
+        return;
+    startupDone_ = true;
+    const MetricsSnapshot s0 = capture();
+    if (cfg_.phases.startupInstrs > 0) {
+        sys_->run(cfg_.phases.startupInstrs);
+    } else if (cfg_.workload.kind == WorkloadConfig::Kind::SpecInt) {
+        const std::uint64_t chunk = 200'000;
+        std::uint64_t guard = 0;
+        while (!sys_->kernel().startupComplete() && guard < 400) {
+            sys_->run(chunk);
+            ++guard;
+        }
+        if (guard >= 400)
+            smtos_warn("start-up did not complete within guard");
+    }
+    startupDelta_ = capture().delta(s0);
+}
+
+RunResult
+Session::runMeasurement()
+{
+    RunResult res;
+    res.startup = startupDelta_;
+    const MetricsSnapshot s1 = capture();
+
+    if (obs_ && obs_->wantsIntervals()) {
+        // Cycle-driven interval sampling: advance in fixed steps and
+        // emit one time-series row per step until the instruction
+        // budget is retired. Deterministic for a given seed/config.
+        const Cycle iv = obs_->intervalCycles();
+        const std::uint64_t target =
+            s1.core.totalRetired() + cfg_.phases.measureInstrs;
+        MetricsSnapshot prev = s1;
+        int idx = 0;
+        int stuck = 0;
+        while (prev.core.totalRetired() < target) {
+            const Cycle c0 = sys_->pipeline().now();
+            sys_->runCycles(iv);
+            MetricsSnapshot cur = capture();
+            obs_->interval(idx++, c0, sys_->pipeline().now(),
+                           cur.delta(prev));
+            if (cur.core.totalRetired() == prev.core.totalRetired()) {
+                if (++stuck >= 1000)
+                    smtos_panic("interval sampling made no progress "
+                                "for %d intervals",
+                                stuck);
+            } else {
+                stuck = 0;
+            }
+            prev = cur;
+        }
+        res.steady = capture().delta(s1);
+    } else if (cfg_.phases.windowInstrs > 0) {
+        MetricsSnapshot prev = s1;
+        std::uint64_t done = 0;
+        while (done < cfg_.phases.measureInstrs) {
+            const std::uint64_t step =
+                std::min(cfg_.phases.windowInstrs,
+                         cfg_.phases.measureInstrs - done);
+            sys_->run(step);
+            done += step;
+            MetricsSnapshot cur = capture();
+            res.windows.push_back(cur.delta(prev));
+            prev = cur;
+        }
+        res.steady = capture().delta(s1);
+    } else {
+        sys_->run(cfg_.phases.measureInstrs);
+        res.steady = capture().delta(s1);
+    }
+
+    res.requestsServed = sys_->kernel().requestsServed();
+    res.cycles = sys_->pipeline().now();
+    if (cosim_ && cosim_->diverged())
+        smtos_panic("cosim divergence:\n%s",
+                    cosim_->report().c_str());
+    if (obs_)
+        obs_->finish();
+    return res;
+}
+
+RunResult
+Session::run()
+{
+    runStartup();
+    return runMeasurement();
+}
+
+// --- snapshot/restore ---
+
+void
+Session::writeConfig(Snapshotter &sp) const
+{
+    const SystemConfig &sc = cfg_.system;
+    sp.b(sc.smt);
+    sp.b(sc.withOs);
+    sp.b(sc.filterKernelRefs);
+    sp.i32(sc.numContexts);
+    sp.i32(sc.fetchContexts);
+    sp.b(sc.roundRobinFetch);
+    sp.b(sc.affinitySched);
+    sp.b(sc.sharedTlbIpr);
+    sp.b(sc.fastForward);
+
+    const WorkloadConfig &wc = cfg_.workload;
+    sp.u8(static_cast<std::uint8_t>(wc.kind));
+    sp.i32(wc.spec.numApps);
+    sp.u32(wc.spec.inputChunks);
+    sp.u64(wc.spec.heapBase);
+    sp.u64(wc.spec.heapStep);
+    sp.u64(wc.spec.seed);
+    sp.i32(wc.apache.numServers);
+    sp.u64(wc.apache.heapBytes);
+    sp.u64(wc.apache.seed);
+    sp.u64(wc.seed);
+
+    const FaultParams &fp = cfg_.faults;
+    sp.u64(fp.seed);
+    sp.f64(fp.lossPct);
+    sp.f64(fp.reorderPct);
+    sp.u64(fp.delayMin);
+    sp.u64(fp.delayMax);
+    sp.f64(fp.nicDropPct);
+    sp.u64(fp.mcePeriod);
+    sp.i32(fp.mceRetryLimit);
+    sp.b(fp.mceBreakRecovery);
+    sp.i32(fp.connTableSize);
+    sp.i32(fp.listenBacklog);
+    sp.u64(fp.auditEvery);
+
+    sp.b(plan_ != nullptr);
+    sp.b(cosim_ != nullptr);
+}
+
+Session::Config
+Session::readConfig(Restorer &rs, bool &hadPlan, bool &hadCosim)
+{
+    Config cfg;
+    SystemConfig &sc = cfg.system;
+    sc.smt = rs.b();
+    sc.withOs = rs.b();
+    sc.filterKernelRefs = rs.b();
+    sc.numContexts = rs.i32();
+    sc.fetchContexts = rs.i32();
+    sc.roundRobinFetch = rs.b();
+    sc.affinitySched = rs.b();
+    sc.sharedTlbIpr = rs.b();
+    sc.fastForward = rs.b();
+
+    WorkloadConfig &wc = cfg.workload;
+    wc.kind = static_cast<WorkloadConfig::Kind>(rs.u8());
+    wc.spec.numApps = rs.i32();
+    wc.spec.inputChunks = rs.u32();
+    wc.spec.heapBase = rs.u64();
+    wc.spec.heapStep = rs.u64();
+    wc.spec.seed = rs.u64();
+    wc.apache.numServers = rs.i32();
+    wc.apache.heapBytes = rs.u64();
+    wc.apache.seed = rs.u64();
+    wc.seed = rs.u64();
+
+    FaultParams &fp = cfg.faults;
+    fp.seed = rs.u64();
+    fp.lossPct = rs.f64();
+    fp.reorderPct = rs.f64();
+    fp.delayMin = rs.u64();
+    fp.delayMax = rs.u64();
+    fp.nicDropPct = rs.f64();
+    fp.mcePeriod = rs.u64();
+    fp.mceRetryLimit = rs.i32();
+    fp.mceBreakRecovery = rs.b();
+    fp.connTableSize = rs.i32();
+    fp.listenBacklog = rs.i32();
+    fp.auditEvery = rs.u64();
+
+    hadPlan = rs.b();
+    hadCosim = rs.b();
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+Session::snapshot()
+{
+    Snapshotter sp;
+    sp.beginSection("CFG ", configSectionVersion);
+    writeConfig(sp);
+    sp.endSection();
+    saveMachineSections(sp, *sys_, plan_);
+    // The oracle rides behind the machine sections: its reference
+    // cores sit at the retire point, which no machine section holds.
+    sp.beginSection("COSM", cosimSectionVersion);
+    if (cosim_) {
+        const SnapImages images = collectImages(*sys_);
+        cosim_->save(sp, images);
+    }
+    sp.endSection();
+    return sp.finish();
+}
+
+std::unique_ptr<Session>
+Session::resume(const std::vector<std::uint8_t> &artifact,
+                const ResumeOptions &opts, std::string *error)
+{
+    Restorer rs(artifact);
+    if (!rs.ok()) {
+        if (error)
+            *error = rs.error();
+        return nullptr;
+    }
+    const std::uint32_t cv = rs.enterSection("CFG ");
+    if (cv != configSectionVersion) {
+        if (error)
+            *error = "snapshot rejected: config section version " +
+                     std::to_string(cv) + " (supported " +
+                     std::to_string(configSectionVersion) + ")";
+        return nullptr;
+    }
+    bool hadPlan = false;
+    bool hadCosim = false;
+    Config cfg = readConfig(rs, hadPlan, hadCosim);
+    rs.leaveSection();
+
+    // The oracle's retire-point state only exists in the artifact if
+    // the originating session ran under co-simulation; a fresh oracle
+    // cannot be synthesized mid-flight (in-flight instructions would
+    // retire against state it never saw).
+    if (opts.cosim && !hadCosim) {
+        if (error)
+            *error = "snapshot rejected: resume requested "
+                     "co-simulation but the artifact was captured "
+                     "without an oracle";
+        return nullptr;
+    }
+
+    // Apply the policy-only overrides (they never change structure,
+    // so the artifact's state still fits the rebuilt machine).
+    cfg.phases = opts.phases;
+    cfg.obs = nullptr;
+    cfg.cosim = opts.cosim;
+    if (opts.roundRobinFetch)
+        cfg.system.roundRobinFetch = *opts.roundRobinFetch;
+    if (opts.affinitySched)
+        cfg.system.affinitySched = *opts.affinitySched;
+    if (opts.sharedTlbIpr)
+        cfg.system.sharedTlbIpr = *opts.sharedTlbIpr;
+    if (opts.fastForward)
+        cfg.system.fastForward = *opts.fastForward;
+
+    // Rebuild from the artifact's own config (never the ambient
+    // environment), then overlay the saved machine state.
+    std::unique_ptr<Session> s(new Session(cfg, false, hadPlan));
+    loadMachineSections(rs, *s->sys_, s->plan_);
+    // Load the oracle last: it wholesale-replaces the sync noise the
+    // machine restore just fed it (resyncThreads targets the fetch
+    // point; the oracle must resume from the retire point).
+    const std::uint32_t cosv = rs.enterSection("COSM");
+    smtos_assert(cosv == cosimSectionVersion);
+    if (s->cosim_) {
+        const SnapImages images = collectImages(*s->sys_);
+        s->cosim_->load(rs, images);
+    } else {
+        rs.skipRest();
+    }
+    rs.leaveSection();
+    s->startupDone_ = true; // the artifact is past its start-up
+    if (opts.obs)
+        s->attachObs(*opts.obs);
+    return s;
+}
+
+} // namespace smtos

@@ -99,6 +99,23 @@ class CodeImage
     /** Total image text footprint in bytes. */
     Addr textBytes() const { return numInstrs() * instrBytes; }
 
+    /** Instruction by flat image-wide index (snapshot encoding). */
+    const Instr *
+    instrPtr(std::uint32_t flat) const
+    {
+        return &instrs_.at(flat);
+    }
+
+    /** Flat index of an instruction belonging to this image, or -1
+     *  when @p in does not point into it. */
+    std::int64_t
+    indexOf(const Instr *in) const
+    {
+        if (in < instrs_.data() || in >= instrs_.data() + instrs_.size())
+            return -1;
+        return in - instrs_.data();
+    }
+
   private:
     std::string name_;
     Addr textBase_;

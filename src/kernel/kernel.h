@@ -210,6 +210,18 @@ class Kernel : public OsCallbacks
     /** All SPECInt processes finished their start-up read loop. */
     bool startupComplete() const;
 
+    // --- snapshot/restore (src/snap) ---
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp, const SnapImages &images) const;
+    /**
+     * Overwrite all mutable kernel state from a snapshot. The kernel
+     * must be freshly booted (createProcess + start() already called
+     * with the identical deterministic configuration); every field the
+     * boot path initialized is overwritten, including per-process
+     * thread state and address spaces.
+     */
+    void load(Restorer &rs, const SnapImages &images);
+
   private:
     // boot
     void bootKernelSpace();

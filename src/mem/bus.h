@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -41,6 +42,10 @@ class Bus
     double avgDelay() const;
 
     const std::string &name() const { return name_; }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     std::string name_;

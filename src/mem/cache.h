@@ -17,6 +17,7 @@
 
 #include "common/types.h"
 #include "mem/missclass.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -99,6 +100,10 @@ class Cache
 
     /** Reset statistics (not contents). */
     void resetStats() { stats_.reset(); }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     struct Line

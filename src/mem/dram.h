@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -29,6 +30,10 @@ class Dram
 
     std::uint64_t accesses() const { return accesses_; }
     Cycle latency() const { return latency_; }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     Cycle latency_;

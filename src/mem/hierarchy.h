@@ -19,6 +19,7 @@
 #include "mem/dram.h"
 #include "mem/mshr.h"
 #include "mem/storebuffer.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -109,6 +110,10 @@ class Hierarchy
 
     /** Enable/disable the Table 9 privileged-reference filter. */
     void setFilterPrivileged(bool on) { params_.filterPrivileged = on; }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     /** Common L1-miss path; returns fill completion time. */

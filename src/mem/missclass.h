@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -94,6 +95,10 @@ class MissClassifier
     std::size_t trackedBlocks() const { return evictors_.size(); }
 
     void clear() { evictors_.clear(); }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     struct Evictor

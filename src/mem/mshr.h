@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -78,6 +79,10 @@ class MshrFile
     double occupancyIntegral() const { return occupancyIntegral_; }
 
     int size() const { return static_cast<int>(entries_.size()); }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     struct Entry

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -40,6 +41,10 @@ class StoreBuffer
     std::uint64_t stores() const { return stores_; }
     std::uint64_t fullStalls() const { return fullStalls_; }
     int size() const { return static_cast<int>(drains_.size()); }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     void releaseExpired(Cycle now);

@@ -30,6 +30,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "net/network.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -79,6 +80,10 @@ class ClientPopulation
     const Histogram &latency() const { return latency_; }
 
     const SpecWebParams &params() const { return params_; }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     struct Client

@@ -24,6 +24,7 @@
 
 #include "common/types.h"
 #include "fault/fault.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -115,6 +116,10 @@ class Network
     std::uint64_t responseBytes() const { return respBytes_; }
 
     std::size_t delayedDepth() const { return delayed_.size(); }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     struct Delayed

@@ -1,6 +1,5 @@
 #include "obs/session.h"
 
-#include <cstdlib>
 #include <iostream>
 
 #include "common/logging.h"
@@ -10,16 +9,6 @@
 #include "sim/system.h"
 
 namespace smtos {
-
-namespace {
-
-bool
-truthy(const char *v)
-{
-    return v && *v && std::string(v) != "0";
-}
-
-} // namespace
 
 ObsSession::ObsSession(const ObsConfig &cfg) : cfg_(cfg)
 {
@@ -55,31 +44,6 @@ ObsSession::openSink(const std::string &path, std::ofstream &file)
     if (!file)
         smtos_panic("obs: cannot open output file '%s'", path.c_str());
     return &file;
-}
-
-ObsConfig
-ObsSession::configFromEnv()
-{
-    ObsConfig cfg;
-    if (const char *v = std::getenv("SMTOS_PROFILE");
-        v && truthy(v)) {
-        cfg.profile = true;
-        // Any value other than a plain switch is the report path.
-        const std::string s(v);
-        if (s != "1" && s != "true" && s != "yes")
-            cfg.reportPath = s;
-    }
-    if (const char *v = std::getenv("SMTOS_INTERVAL"))
-        cfg.intervalCycles =
-            static_cast<Cycle>(std::strtoull(v, nullptr, 10));
-    if (const char *v = std::getenv("SMTOS_INTERVAL_JSONL"))
-        cfg.intervalJsonlPath = v;
-    if (const char *v = std::getenv("SMTOS_INTERVAL_CSV"))
-        cfg.intervalCsvPath = v;
-    if (const char *v = std::getenv("SMTOS_TIMELINE"))
-        cfg.timelinePath = v;
-    cfg.timelineDetail = truthy(std::getenv("SMTOS_TIMELINE_DETAIL"));
-    return cfg;
 }
 
 bool

@@ -62,9 +62,6 @@ class ObsSession
     explicit ObsSession(const ObsConfig &cfg);
     ~ObsSession();
 
-    /** Build a config from SMTOS_* environment variables. */
-    static ObsConfig configFromEnv();
-
     const ObsConfig &config() const { return cfg_; }
     Cycle intervalCycles() const { return cfg_.intervalCycles; }
     bool wantsIntervals() const;

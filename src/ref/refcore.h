@@ -31,6 +31,7 @@
 
 #include "isa/cursor.h"
 #include "ref/refvalue.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -97,6 +98,13 @@ class RefCore
     const Cursor &cursor() const { return cur_; }
     const ImageSet &images() const { return is_; }
     const ArchRegs &regs() const { return regs_; }
+
+    /** Serialize the full functional state (cosim snapshot). */
+    void save(Snapshotter &sp, const SnapImages &images) const;
+
+    /** Mirror of save(); @p kernel_image rebinds the image set. */
+    void load(Restorer &rs, const SnapImages &images,
+              const CodeImage *kernel_image);
 
   private:
     Cursor cur_;

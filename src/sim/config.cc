@@ -2,10 +2,10 @@
 
 namespace smtos {
 
-SystemConfig
+MachineConfig
 smtConfig()
 {
-    SystemConfig cfg;
+    MachineConfig cfg;
     // CoreParams and HierarchyParams default to Table 1 already;
     // restated here so the preset is explicit and greppable.
     cfg.core.numContexts = 8;
@@ -25,10 +25,10 @@ smtConfig()
     return cfg;
 }
 
-SystemConfig
+MachineConfig
 superscalarConfig()
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.core.numContexts = 1;
     cfg.core.fetchContexts = 1;
     cfg.core.pipelineStages = 7; // smaller register file

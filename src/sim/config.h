@@ -16,7 +16,7 @@
 namespace smtos {
 
 /** Everything needed to instantiate a System. */
-struct SystemConfig
+struct MachineConfig
 {
     CoreParams core;
     HierarchyParams mem;
@@ -24,13 +24,13 @@ struct SystemConfig
 };
 
 /** The paper's 8-context SMT (Table 1). */
-SystemConfig smtConfig();
+MachineConfig smtConfig();
 
 /**
  * The out-of-order superscalar baseline: identical resources, one
  * hardware context, two fewer pipeline stages.
  */
-SystemConfig superscalarConfig();
+MachineConfig superscalarConfig();
 
 } // namespace smtos
 

@@ -2,7 +2,7 @@
 
 namespace smtos {
 
-System::System(const SystemConfig &cfg)
+System::System(const MachineConfig &cfg)
     : cfg_(cfg),
       mem_(128ull * 1024 * 1024, reservedPhysBytes),
       kc_(buildKernelImage(cfg.kernel.seed ^ 0xfeedull)),

@@ -22,7 +22,7 @@ class Probes;
 class System
 {
   public:
-    explicit System(const SystemConfig &cfg);
+    explicit System(const MachineConfig &cfg);
 
     /**
      * Wire the observability hub into every producer: the pipeline,
@@ -51,10 +51,10 @@ class System
     Hierarchy &hierarchy() { return hier_; }
     PhysMem &physMem() { return mem_; }
     const KernelCode &kernelCode() const { return *kc_; }
-    const SystemConfig &config() const { return cfg_; }
+    const MachineConfig &config() const { return cfg_; }
 
   private:
-    SystemConfig cfg_;
+    MachineConfig cfg_;
     PhysMem mem_;
     std::unique_ptr<KernelCode> kc_;
     Hierarchy hier_;

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Snapshot of the co-simulation oracle.
+ *
+ * A cosim session's reference cores are architectural state the
+ * machine sections cannot reconstruct: each RefCore sits at the
+ * last-retired point of its thread, while the live ThreadState cursor
+ * is at the fetch point, ahead by everything in flight. Serializing
+ * the oracle (per-thread reference cores plus their queued-but-not-
+ * yet-applied OS state syncs) lets a snapshot taken mid-flight resume
+ * into a cosim session with verification continuing seamlessly at the
+ * first post-restore retirement.
+ *
+ * The per-thread "recent" report windows are deliberately not saved:
+ * they only pad the divergence report, and restoring them would drag
+ * RetireEvent/Instr references into the format for cosmetics.
+ */
+
+#include "harness/cosim.h"
+#include "ref/refcore.h"
+#include "snap/snapshot.h"
+
+namespace smtos {
+
+namespace {
+
+constexpr std::uint32_t snapVersion = 1;
+
+void
+tag(Restorer &rs, std::uint32_t want)
+{
+    const std::uint32_t got = rs.u32();
+    smtos_assert(got == want);
+}
+
+void
+syncStateOut(Snapshotter &sp, const RefSyncState &s,
+             const SnapImages &images)
+{
+    sp.bytes(&s.cursor, sizeof s.cursor); // Cursor: trivially copyable
+    sp.u64(s.iprs.copySrc);
+    sp.u64(s.iprs.copyDst);
+    sp.u32(s.iprs.copyTrip);
+    sp.u32(s.iprs.serviceTrip);
+    sp.u32(s.iprs.intrTrip);
+    sp.b(s.iprs.copySrcPhysical);
+    sp.b(s.iprs.copyDstPhysical);
+    for (const MemRegion &r : s.regions) {
+        sp.u64(r.base);
+        sp.u64(r.bytes);
+        sp.b(r.sharedHot);
+    }
+    sp.i32(s.userImage ? images.idOf(s.userImage) : -1);
+    sp.b(s.isIdleThread);
+}
+
+RefSyncState
+syncStateIn(Restorer &rs, const SnapImages &images)
+{
+    RefSyncState s;
+    rs.bytes(&s.cursor, sizeof s.cursor);
+    s.iprs.copySrc = rs.u64();
+    s.iprs.copyDst = rs.u64();
+    s.iprs.copyTrip = rs.u32();
+    s.iprs.serviceTrip = rs.u32();
+    s.iprs.intrTrip = rs.u32();
+    s.iprs.copySrcPhysical = rs.b();
+    s.iprs.copyDstPhysical = rs.b();
+    for (MemRegion &r : s.regions) {
+        r.base = rs.u64();
+        r.bytes = rs.u64();
+        r.sharedHot = rs.b();
+    }
+    const int img = rs.i32();
+    s.userImage = img >= 0 ? images.byId(img) : nullptr;
+    s.isIdleThread = rs.b();
+    return s;
+}
+
+} // namespace
+
+void
+RefCore::save(Snapshotter &sp, const SnapImages &images) const
+{
+    sp.u32(snapVersion);
+    sp.bytes(&cur_, sizeof cur_); // Cursor: trivially copyable
+    sp.u64(iprs_.copySrc);
+    sp.u64(iprs_.copyDst);
+    sp.u32(iprs_.copyTrip);
+    sp.u32(iprs_.serviceTrip);
+    sp.u32(iprs_.intrTrip);
+    sp.b(iprs_.copySrcPhysical);
+    sp.b(iprs_.copyDstPhysical);
+    for (const MemRegion &r : regions_) {
+        sp.u64(r.base);
+        sp.u64(r.bytes);
+        sp.b(r.sharedHot);
+    }
+    sp.i32(is_.user ? images.idOf(is_.user) : -1);
+    sp.b(isIdle_);
+    sp.b(live_);
+    sp.b(waitingOs_);
+    sp.u64(executed_);
+    sp.bytes(regs_.data(), regs_.size() * sizeof(std::uint64_t));
+}
+
+void
+RefCore::load(Restorer &rs, const SnapImages &images,
+              const CodeImage *kernel_image)
+{
+    tag(rs, snapVersion);
+    rs.bytes(&cur_, sizeof cur_);
+    iprs_.copySrc = rs.u64();
+    iprs_.copyDst = rs.u64();
+    iprs_.copyTrip = rs.u32();
+    iprs_.serviceTrip = rs.u32();
+    iprs_.intrTrip = rs.u32();
+    iprs_.copySrcPhysical = rs.b();
+    iprs_.copyDstPhysical = rs.b();
+    for (MemRegion &r : regions_) {
+        r.base = rs.u64();
+        r.bytes = rs.u64();
+        r.sharedHot = rs.b();
+    }
+    const int img = rs.i32();
+    is_ = ImageSet{img >= 0 ? images.byId(img) : nullptr,
+                   kernel_image};
+    isIdle_ = rs.b();
+    live_ = rs.b();
+    waitingOs_ = rs.b();
+    executed_ = rs.u64();
+    rs.bytes(regs_.data(), regs_.size() * sizeof(std::uint64_t));
+}
+
+void
+Cosim::save(Snapshotter &sp, const SnapImages &images) const
+{
+    // A diverged oracle is a failed run; snapshotting it is a bug.
+    smtos_assert(!diverged_);
+    sp.u32(snapVersion);
+    sp.u64(checked_);
+    sp.u64(syncs_);
+    sp.u64(threads_.size()); // std::map: saved in ascending tid order
+    for (const auto &[tid, tc] : threads_) {
+        sp.i32(tid);
+        tc.ref.save(sp, images);
+        sp.u64(tc.pending.size());
+        for (const PendingSync &ps : tc.pending) {
+            sp.u64(ps.firstSeq);
+            syncStateOut(sp, ps.state, images);
+        }
+    }
+}
+
+void
+Cosim::load(Restorer &rs, const SnapImages &images)
+{
+    tag(rs, snapVersion);
+    // Drop everything observed during boot and restore of the host
+    // session (thread binds, resyncThreads) — the artifact's oracle
+    // state supersedes it wholesale.
+    threads_.clear();
+    diverged_ = false;
+    report_.clear();
+    checked_ = rs.u64();
+    syncs_ = rs.u64();
+    const std::uint64_t n = rs.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const ThreadId tid = rs.i32();
+        ThreadChecker &tc = threads_[tid];
+        tc.ref.load(rs, images, kernelImage_);
+        const std::uint64_t np = rs.u64();
+        for (std::uint64_t j = 0; j < np; ++j) {
+            PendingSync ps;
+            ps.firstSeq = rs.u64();
+            ps.state = syncStateIn(rs, images);
+            tc.pending.push_back(ps);
+        }
+    }
+}
+
+} // namespace smtos

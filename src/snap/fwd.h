@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Forward declarations for the snapshot subsystem, so stateful
+ * classes can declare save(Snapshotter&)/load(Restorer&) members
+ * without pulling the serializer into every header.
+ */
+
+#ifndef SMTOS_SNAP_FWD_H
+#define SMTOS_SNAP_FWD_H
+
+namespace smtos {
+
+class Snapshotter;
+class Restorer;
+class SnapImages;
+
+} // namespace smtos
+
+#endif // SMTOS_SNAP_FWD_H

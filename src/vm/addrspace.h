@@ -23,6 +23,7 @@
 #include <unordered_map>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 #include "vm/physmem.h"
 
 namespace smtos {
@@ -97,6 +98,11 @@ class AddrSpace
     {
         return hostCacheEnabled_.load(std::memory_order_relaxed);
     }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    /** Overwrites the page maps and resets the host caches cold. */
+    void load(Restorer &rs);
 
   private:
     static constexpr Addr invalidVpn = ~Addr{0};

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snap/fwd.h"
 
 namespace smtos {
 
@@ -52,6 +53,10 @@ class PhysMem
 
     /** Frames handed out and not yet freed. */
     std::uint64_t allocated() const { return allocated_; }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     std::uint64_t totalFrames_;

@@ -18,6 +18,7 @@
 
 #include "common/types.h"
 #include "mem/missclass.h"
+#include "snap/fwd.h"
 #include "vm/physmem.h"
 
 namespace smtos {
@@ -78,6 +79,10 @@ class Tlb
     const std::string &name() const { return name_; }
 
     void resetStats() { stats_.reset(); }
+
+    static constexpr std::uint32_t snapVersion = 1;
+    void save(Snapshotter &sp) const;
+    void load(Restorer &rs);
 
   private:
     struct Entry

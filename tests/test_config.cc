@@ -14,7 +14,7 @@ using namespace smtos;
 
 TEST(Table1, SmtCoreParameters)
 {
-    const SystemConfig c = smtConfig();
+    const MachineConfig c = smtConfig();
     EXPECT_EQ(c.core.numContexts, 8);
     EXPECT_EQ(c.core.fetchWidth, 8);      // 8 instructions per cycle
     EXPECT_EQ(c.core.fetchContexts, 2);   // the 2.8 ICOUNT scheme
@@ -34,7 +34,7 @@ TEST(Table1, SmtCoreParameters)
 
 TEST(Table1, MemoryHierarchy)
 {
-    const SystemConfig c = smtConfig();
+    const MachineConfig c = smtConfig();
     EXPECT_EQ(c.mem.l1i.sizeBytes, 128u * 1024);
     EXPECT_EQ(c.mem.l1i.assoc, 2);
     EXPECT_EQ(c.mem.l1d.sizeBytes, 128u * 1024);
@@ -65,8 +65,8 @@ TEST(Table1, BranchHardwareDefaults)
 
 TEST(Superscalar, DiffersOnlyWhereThePaperSays)
 {
-    const SystemConfig smt = smtConfig();
-    const SystemConfig ss = superscalarConfig();
+    const MachineConfig smt = smtConfig();
+    const MachineConfig ss = superscalarConfig();
     EXPECT_EQ(ss.core.numContexts, 1);
     EXPECT_EQ(ss.core.pipelineStages, 7); // 2 fewer stages
     // Everything else identical.

@@ -28,10 +28,10 @@ using namespace smtos;
 
 namespace {
 
-SystemConfig
+MachineConfig
 fuzzConfig(int contexts)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.core.numContexts = contexts;
     cfg.core.fetchContexts = contexts >= 2 ? 2 : 1;
     // Short quantum so short runs still exercise timer interrupts,
@@ -45,7 +45,7 @@ std::uint64_t
 runFuzzCosim(std::uint64_t seed, int contexts, Cycle cycles,
              std::uint64_t inject_at = 0, std::string *report = nullptr)
 {
-    SystemConfig cfg = fuzzConfig(contexts);
+    MachineConfig cfg = fuzzConfig(contexts);
     cfg.kernel.seed = seed;
 
     // One more runnable program than contexts, so the scheduler has
@@ -104,7 +104,7 @@ TEST(CosimFuzz, NoDivergenceAcrossSeedsAndWidths)
 // kernel threads, blocking syscalls).
 TEST(Cosim, SpecIntWorkloadMatchesReference)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.seed = 7;
     System sys(cfg);
     SpecIntParams p;
@@ -120,7 +120,7 @@ TEST(Cosim, SpecIntWorkloadMatchesReference)
 
 TEST(Cosim, ApacheWorkloadMatchesReference)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.seed = 11;
     cfg.kernel.enableNetwork = true;
     System sys(cfg);
@@ -172,7 +172,7 @@ exportAll(System &sys)
 std::string
 chunkedFuzzRun(std::uint64_t seed, Cycle total, int chunks)
 {
-    SystemConfig cfg = fuzzConfig(4);
+    MachineConfig cfg = fuzzConfig(4);
     cfg.kernel.seed = seed;
     std::vector<FuzzedProgram> progs;
     System sys(cfg);
@@ -216,7 +216,7 @@ TEST(CosimDeterminism, PauseResumeReplayIsBitIdentical)
 // instructions — the oracle is exercised in every privilege mode.
 TEST(Cosim, OracleCoversAllModes)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.seed = 5;
     System sys(cfg);
     SpecIntParams p;

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include "fault/diag.h"
 #include "fault/fault.h"
 #include "harness/cosim.h"
+#include "harness/env.h"
 #include "harness/experiment.h"
 #include "net/network.h"
 #include "sim/config.h"
@@ -48,10 +50,10 @@ using namespace smtos;
 
 namespace {
 
-SystemConfig
+MachineConfig
 apacheConfig(std::uint64_t seed = 11)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.seed = seed;
     cfg.kernel.enableNetwork = true;
     return cfg;
@@ -70,7 +72,7 @@ ApacheRun
 runApache(const FaultParams *fp, Cycle cycles,
           bool attach_zero_plan = false)
 {
-    SystemConfig cfg = apacheConfig();
+    MachineConfig cfg = apacheConfig();
     System sys(cfg);
     std::unique_ptr<FaultPlan> plan;
     if (fp)
@@ -123,14 +125,22 @@ TEST(FaultParams, ParseSpecString)
     EXPECT_EQ(d.delayMax, 7u);
 }
 
-TEST(FaultParams, FromEnvReadsSmtosFaults)
+TEST(FaultParams, EnvOverridesReadSmtosFaults)
 {
-    ::setenv("SMTOS_FAULTS", "loss=0.125,mce=4096", 1);
-    const FaultParams p = FaultParams::fromEnv();
-    ::unsetenv("SMTOS_FAULTS");
-    EXPECT_DOUBLE_EQ(p.lossPct, 0.125);
-    EXPECT_EQ(p.mcePeriod, 4096u);
-    EXPECT_FALSE(FaultParams::fromEnv().any());
+    const EnvOverrides env = EnvOverrides::fromLookup(
+        [](const char *name) -> const char * {
+            return std::strcmp(name, "SMTOS_FAULTS") == 0
+                       ? "loss=0.125,mce=4096"
+                       : nullptr;
+        });
+    EXPECT_TRUE(env.hasFaults);
+    EXPECT_DOUBLE_EQ(env.faults.lossPct, 0.125);
+    EXPECT_EQ(env.faults.mcePeriod, 4096u);
+
+    const EnvOverrides empty = EnvOverrides::fromLookup(
+        [](const char *) -> const char * { return nullptr; });
+    EXPECT_FALSE(empty.hasFaults);
+    EXPECT_FALSE(empty.faults.any());
 }
 
 // The machine-check schedule is a pure function of (seed, period):
@@ -233,7 +243,7 @@ TEST(FaultDeterminism, ZeroRatePlanIsBitIdenticalToNoPlan)
 // the invariant auditor stays quiet.
 TEST(FaultRecovery, ApacheSurvivesLossAndMceUnderCosim)
 {
-    SystemConfig cfg = apacheConfig();
+    MachineConfig cfg = apacheConfig();
     cfg.kernel.web.retryTimeout = 30000;
     System sys(cfg);
 
@@ -265,7 +275,7 @@ TEST(FaultRecovery, ApacheSurvivesLossAndMceUnderCosim)
 // corruption instead of the trap) must be caught by the oracle.
 TEST(FaultRecovery, BrokenMceRecoveryIsCaughtByCosim)
 {
-    SystemConfig cfg = apacheConfig();
+    MachineConfig cfg = apacheConfig();
     System sys(cfg);
 
     FaultParams fp;
@@ -289,7 +299,7 @@ TEST(FaultRecovery, BrokenMceRecoveryIsCaughtByCosim)
 // heavy loss.
 TEST(FaultRecovery, RetransmitsRecoverHeavyLoss)
 {
-    SystemConfig cfg = apacheConfig();
+    MachineConfig cfg = apacheConfig();
     cfg.kernel.web.retryTimeout = 20000;
     System sys(cfg);
 
@@ -339,7 +349,7 @@ TEST(FaultExport, JsonCarriesFaultBlockWithoutPlan)
 // The auditor passes on a healthy run and flags planted corruption.
 TEST(InvariantAuditor, CleanRunPassesPlantedCorruptionFails)
 {
-    SystemConfig cfg = apacheConfig();
+    MachineConfig cfg = apacheConfig();
     System sys(cfg);
     ApacheWorkload w = buildApache(ApacheParams{});
     installApache(sys.kernel(), w);
@@ -355,16 +365,16 @@ TEST(InvariantAuditor, CleanRunPassesPlantedCorruptionFails)
     EXPECT_NE(report.find("accept"), std::string::npos) << report;
 }
 
-// The harness builds a plan from RunSpec::faults and reports its
+// The harness builds a plan from Session::Config::faults and reports its
 // counters through the phase deltas.
 TEST(FaultHarness, RunExperimentThreadsFaultParams)
 {
-    RunSpec spec;
-    spec.workload = RunSpec::Workload::Apache;
-    spec.startupInstrs = 40000;
-    spec.measureInstrs = 120000;
+    Session::Config spec;
+    spec.workload.kind = WorkloadConfig::Kind::Apache;
+    spec.phases.startupInstrs = 40000;
+    spec.phases.measureInstrs = 120000;
     spec.faults.lossPct = 0.05;
-    const RunResult r = runExperiment(spec);
+    const RunResult r = Session(spec).run();
     EXPECT_GT(r.steady.faults.pktLost + r.startup.faults.pktLost, 0u);
 }
 
@@ -376,9 +386,9 @@ TEST(DiagBundle, WritesBundleDirectory)
     const fs::path dir =
         fs::temp_directory_path() / "smtos-diag-test";
     fs::remove_all(dir);
-    ::setenv("SMTOS_DIAG_DIR", dir.c_str(), 1);
+    diagSetDir(dir.string());
 
-    SystemConfig cfg = apacheConfig();
+    MachineConfig cfg = apacheConfig();
     System sys(cfg);
     FaultParams fp;
     fp.lossPct = 0.05;
@@ -392,7 +402,7 @@ TEST(DiagBundle, WritesBundleDirectory)
     diagArm(&sys, &plan);
     const std::string written = diagWriteBundle("unit-test crash");
     diagArm(nullptr, nullptr);
-    ::unsetenv("SMTOS_DIAG_DIR");
+    diagSetDir("");
 
     EXPECT_EQ(written, dir.string());
     EXPECT_TRUE(fs::exists(dir / "crash.txt"));

@@ -17,7 +17,7 @@ using namespace smtos;
 
 TEST(Integration, AsnWraparoundFlushesAndRecovers)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.enableNetwork = true;
     cfg.kernel.maxAsn = 5; // force frequent wraparound
     cfg.kernel.web.numClients = 16;
@@ -44,7 +44,7 @@ TEST(Integration, IcacheFlushesFollowTextFaults)
     // flushes the shared I-cache (Alpha imb on mapping executable
     // pages), which the paper identifies as the source of the
     // kernel-induced I-cache misses at start-up.
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     System sys(cfg);
     SpecIntParams p;
     p.numApps = 4;
@@ -64,15 +64,15 @@ TEST(Integration, AffinitySchedulerReducesNothingButWorks)
 {
     // The affinity policy must preserve correctness: same requests
     // served ballpark, all servers progress.
-    RunSpec base;
-    base.workload = RunSpec::Workload::Apache;
-    base.apache.numServers = 16; // concentrate so requests finish
-    base.startupInstrs = 1'200'000;
-    base.measureInstrs = 1'200'000;
-    RunSpec aff = base;
-    aff.affinitySched = true;
-    RunResult r1 = runExperiment(base);
-    RunResult r2 = runExperiment(aff);
+    Session::Config base;
+    base.workload.kind = WorkloadConfig::Kind::Apache;
+    base.workload.apache.numServers = 16; // concentrate so requests finish
+    base.phases.startupInstrs = 1'200'000;
+    base.phases.measureInstrs = 1'200'000;
+    Session::Config aff = base;
+    aff.system.affinitySched = true;
+    RunResult r1 = Session(base).run();
+    RunResult r2 = Session(aff).run();
     EXPECT_GT(r2.requestsServed, 0u);
     // Throughput within a sane band of each other.
     const double a = archMetrics(r1.steady).ipc;
@@ -83,14 +83,14 @@ TEST(Integration, AffinitySchedulerReducesNothingButWorks)
 
 TEST(Integration, FilterKernelRefsLowersUserVisibleMissRates)
 {
-    RunSpec full;
-    full.workload = RunSpec::Workload::Apache;
-    full.startupInstrs = 600'000;
-    full.measureInstrs = 600'000;
-    RunSpec filt = full;
-    filt.filterKernelRefs = true;
-    const ArchMetrics a = archMetrics(runExperiment(filt).steady);
-    const ArchMetrics b = archMetrics(runExperiment(full).steady);
+    Session::Config full;
+    full.workload.kind = WorkloadConfig::Kind::Apache;
+    full.phases.startupInstrs = 600'000;
+    full.phases.measureInstrs = 600'000;
+    Session::Config filt = full;
+    filt.system.filterKernelRefs = true;
+    const ArchMetrics a = archMetrics(Session(filt).run().steady);
+    const ArchMetrics b = archMetrics(Session(full).run().steady);
     // Removing kernel references must not increase the I-cache or
     // branch mispredict rates (Table 9's direction).
     EXPECT_LE(a.l1iMissPct, b.l1iMissPct + 0.05);
@@ -100,7 +100,7 @@ TEST(Integration, FilterKernelRefsLowersUserVisibleMissRates)
 TEST(Integration, NicIntervalControlsInterruptRate)
 {
     auto run_with = [](Cycle interval) {
-        SystemConfig cfg = smtConfig();
+        MachineConfig cfg = smtConfig();
         cfg.kernel.enableNetwork = true;
         cfg.kernel.nicInterval = interval;
         System sys(cfg);
@@ -118,7 +118,7 @@ TEST(Integration, NicIntervalControlsInterruptRate)
 
 TEST(Integration, KernelThreadsRunKernelOnlyCode)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.enableNetwork = true;
     System sys(cfg);
     ApacheParams p;
@@ -138,7 +138,7 @@ TEST(Integration, KernelThreadsRunKernelOnlyCode)
 
 TEST(Integration, BufferCacheHitsAfterWarmup)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.enableNetwork = true;
     cfg.kernel.web.numFiles = 8; // tiny file set: warms fast
     System sys(cfg);
@@ -161,12 +161,12 @@ TEST(Integration, BufferCacheHitsAfterWarmup)
 
 TEST(Integration, SuperscalarApacheMatchesPaperBallpark)
 {
-    RunSpec ss;
-    ss.workload = RunSpec::Workload::Apache;
-    ss.smt = false;
-    ss.startupInstrs = 700'000;
-    ss.measureInstrs = 700'000;
-    const double ipc = archMetrics(runExperiment(ss).steady).ipc;
+    Session::Config ss;
+    ss.workload.kind = WorkloadConfig::Kind::Apache;
+    ss.system.smt = false;
+    ss.phases.startupInstrs = 700'000;
+    ss.phases.measureInstrs = 700'000;
+    const double ipc = archMetrics(Session(ss).run().steady).ipc;
     // Paper: 1.1 IPC. Accept a generous band around it.
     EXPECT_GT(ipc, 0.4);
     EXPECT_LT(ipc, 2.2);
@@ -174,7 +174,7 @@ TEST(Integration, SuperscalarApacheMatchesPaperBallpark)
 
 TEST(Integration, RequestsRequireNetisrActivity)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.enableNetwork = true;
     System sys(cfg);
     ApacheParams p;
@@ -192,7 +192,7 @@ TEST(Integration, PhysicalFramesNeverDoubleAllocated)
 {
     // Run a heavy mixed workload and verify the frame accounting
     // stays consistent (alloc - free == live).
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     System sys(cfg);
     SpecIntParams p;
     p.numApps = 8;
@@ -212,14 +212,14 @@ TEST(Integration, SharedTlbIprSerializesHandlers)
     // With shared TLB-miss IPRs (the unmodified-SMP-OS ablation),
     // concurrent faults spin on the virtual IPR lock; the paper's
     // per-context replication removes that time entirely.
-    RunSpec fast;
-    fast.workload = RunSpec::Workload::SpecInt;
-    fast.spec.inputChunks = 24;
-    fast.measureInstrs = 200'000;
-    RunSpec slow = fast;
-    slow.sharedTlbIpr = true;
-    RunResult r_fast = runExperiment(fast);
-    RunResult r_slow = runExperiment(slow);
+    Session::Config fast;
+    fast.workload.kind = WorkloadConfig::Kind::SpecInt;
+    fast.workload.spec.inputChunks = 24;
+    fast.phases.measureInstrs = 200'000;
+    Session::Config slow = fast;
+    slow.system.sharedTlbIpr = true;
+    RunResult r_fast = Session(fast).run();
+    RunResult r_slow = Session(slow).run();
     // Spin time exists only in the shared-IPR configuration.
     EXPECT_EQ(tagSharePct(r_fast.startup, TagSpin), 0.0);
     EXPECT_GT(tagSharePct(r_slow.startup, TagSpin), 0.0);

@@ -22,7 +22,7 @@ struct SpecFixture
 {
     SpecFixture()
     {
-        SystemConfig cfg = smtConfig();
+        MachineConfig cfg = smtConfig();
         sys = std::make_unique<System>(cfg);
         SpecIntParams p;
         p.numApps = 4;
@@ -41,7 +41,7 @@ struct ApacheFixture
 {
     explicit ApacheFixture(int servers = 8)
     {
-        SystemConfig cfg = smtConfig();
+        MachineConfig cfg = smtConfig();
         cfg.kernel.enableNetwork = true;
         cfg.kernel.web.numClients = 16;
         sys = std::make_unique<System>(cfg);
@@ -60,7 +60,7 @@ struct ApacheFixture
 
 TEST(KernelBoot, IdleThreadsBoundToAllContexts)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     System sys(cfg);
     sys.start();
     for (int c = 0; c < sys.pipeline().numContexts(); ++c)
@@ -74,7 +74,7 @@ TEST(KernelBoot, IdleThreadsBoundToAllContexts)
 
 TEST(KernelBoot, KernelTextFetchesViaKseg)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     System sys(cfg);
     sys.start();
     sys.run(1000);
@@ -230,7 +230,7 @@ TEST(KernelApache, SharedTextFramesAcrossServers)
 
 TEST(KernelAppOnly, SyscallsCompleteWithoutKernelCode)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.appOnly = true;
     System sys(cfg);
     SpecIntParams p;
@@ -250,7 +250,7 @@ TEST(KernelAppOnly, SyscallsCompleteWithoutKernelCode)
 TEST(KernelSched, TimerPreemptionSharesOneContext)
 {
     // Superscalar: 4 apps must time-share the single context.
-    SystemConfig cfg = superscalarConfig();
+    MachineConfig cfg = superscalarConfig();
     System sys(cfg);
     SpecIntParams p;
     p.numApps = 4;

@@ -51,7 +51,7 @@ syscallStormImage(int which, std::uint16_t sysno, int &entry)
 // connection arrives: block -> wait queue -> wake -> reschedule.
 TEST(KernelSched, BlockedServerWakesAndRunsAgain)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.enableNetwork = true;
     // Few clients, many servers: the accept queue is usually empty,
     // so servers block on accept and must be woken by arrivals.
@@ -99,7 +99,7 @@ TEST(KernelSched, BlockedServerWakesAndRunsAgain)
 // context's progress.
 TEST(KernelSyscall, StormFromAllEightContexts)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     System sys(cfg);
     std::vector<std::unique_ptr<CodeImage>> images;
     for (int i = 0; i < 8; ++i) {
@@ -139,7 +139,7 @@ TEST(KernelSyscall, StormFromAllEightContexts)
 // nothing else is).
 TEST(KernelSched, IdleLoopAccounting)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     System sys(cfg);
     SpecIntParams p;
     p.numApps = 2; // 8 contexts, 2 apps: 6 idle
@@ -166,7 +166,7 @@ TEST(KernelSched, IdleLoopAccounting)
 // round-robin everyone even when every process never blocks.
 TEST(KernelSched, PreemptionRotatesComputeBoundProcs)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.core.numContexts = 2;
     cfg.core.fetchContexts = 2;
     cfg.kernel.timerQuantum = 20000;

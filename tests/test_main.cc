@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Test driver main: like every tool main(), parse the SMTOS_*
+ * environment exactly once and install it before any test runs.
+ * Library code never calls getenv, so without this the suites would
+ * ignore SMTOS_TRACE / SMTOS_JOBS / SMTOS_FAULTS entirely.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/env.h"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    smtos::EnvOverrides::fromEnvironment().install();
+    return RUN_ALL_TESTS();
+}

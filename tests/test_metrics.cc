@@ -130,7 +130,7 @@ TEST(Metrics, GroupShareAggregatesTags)
 
 TEST(Metrics, CaptureFromLiveSystem)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     System sys(cfg);
     sys.start();
     MetricsSnapshot s0 = MetricsSnapshot::capture(sys);

@@ -70,13 +70,13 @@ allSinks(const fs::path &dir)
     return oc;
 }
 
-RunSpec
+Session::Config
 shortApache()
 {
-    RunSpec s;
-    s.workload = RunSpec::Workload::Apache;
-    s.startupInstrs = 100'000;
-    s.measureInstrs = 150'000;
+    Session::Config s;
+    s.workload.kind = WorkloadConfig::Kind::Apache;
+    s.phases.startupInstrs = 100'000;
+    s.phases.measureInstrs = 150'000;
     return s;
 }
 
@@ -118,9 +118,9 @@ TEST(ObsProfiler, FetchAndIssueSumInvariantsExact)
     oc.reportPath = (dir.path / "report.txt").string();
     ObsSession obs(oc);
 
-    RunSpec spec = shortApache();
+    Session::Config spec = shortApache();
     spec.obs = &obs;
-    runExperiment(spec);
+    Session(spec).run();
 
     const CycleProfiler &p = *obs.profiler();
     ASSERT_GT(p.cycles(), 0u);
@@ -138,8 +138,8 @@ TEST(ObsProfiler, FetchAndIssueSumInvariantsExact)
 
 TEST(ObsProfiler, ProbesDoNotPerturbTheSimulation)
 {
-    RunSpec plain = shortApache();
-    RunResult r_plain = runExperiment(plain);
+    Session::Config plain = shortApache();
+    RunResult r_plain = Session(plain).run();
 
     // Profiler + timeline only: interval sampling is excluded because
     // it legitimately changes the measurement *stepping* (cycle-driven
@@ -150,9 +150,9 @@ TEST(ObsProfiler, ProbesDoNotPerturbTheSimulation)
     oc.intervalCycles = 0;
     oc.timelineDetail = true;
     ObsSession obs(oc);
-    RunSpec probed = shortApache();
+    Session::Config probed = shortApache();
     probed.obs = &obs;
-    RunResult r_probed = runExperiment(probed);
+    RunResult r_probed = Session(probed).run();
 
     EXPECT_EQ(r_plain.cycles, r_probed.cycles);
     EXPECT_EQ(toJson(r_plain.steady), toJson(r_probed.steady));
@@ -165,9 +165,9 @@ TEST(ObsArtifacts, DeterministicAcrossSameSeedRuns)
     TempDir d2("det2");
     for (const TempDir *d : {&d1, &d2}) {
         ObsSession obs(allSinks(d->path));
-        RunSpec spec = shortApache();
+        Session::Config spec = shortApache();
         spec.obs = &obs;
-        runExperiment(spec);
+        Session(spec).run();
     }
     for (const char *name :
          {"report.txt", "interval.jsonl", "interval.csv",
@@ -184,9 +184,9 @@ TEST(ObsArtifacts, IntervalRowsAreWellFormed)
     TempDir dir("interval");
     {
         ObsSession obs(allSinks(dir.path));
-        RunSpec spec = shortApache();
+        Session::Config spec = shortApache();
         spec.obs = &obs;
-        runExperiment(spec);
+        Session(spec).run();
     }
 
     const std::string jsonl = readFile(dir.path / "interval.jsonl");
@@ -239,9 +239,9 @@ TEST(ObsTimeline, TraceJsonIsSchemaValid)
     TempDir dir("trace");
     {
         ObsSession obs(allSinks(dir.path));
-        RunSpec spec = shortApache();
+        Session::Config spec = shortApache();
         spec.obs = &obs;
-        runExperiment(spec);
+        Session(spec).run();
     }
     const std::string trace = readFile(dir.path / "trace.json");
     ASSERT_EQ(trace.rfind("{\"displayTimeUnit\":\"ns\","

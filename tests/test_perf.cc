@@ -34,26 +34,26 @@ using namespace smtos;
 
 namespace {
 
-RunSpec
-perfSpec(RunSpec::Workload wl, int contexts)
+Session::Config
+perfSpec(WorkloadConfig::Kind wl, int contexts)
 {
-    RunSpec s;
-    s.workload = wl;
-    s.numContexts = contexts;
-    s.spec.inputChunks = 8;
-    s.startupInstrs = 30'000;
-    s.measureInstrs = 120'000;
+    Session::Config s;
+    s.workload.kind = wl;
+    s.system.numContexts = contexts;
+    s.workload.spec.inputChunks = 8;
+    s.phases.startupInstrs = 30'000;
+    s.phases.measureInstrs = 120'000;
     return s;
 }
 
 /** Run one spec and return its steady-state metrics as JSON. */
 std::string
-metricsJson(const RunSpec &spec, bool fast_forward, bool host_cache)
+metricsJson(const Session::Config &spec, bool fast_forward, bool host_cache)
 {
     AddrSpace::setHostCacheEnabled(host_cache);
-    RunSpec s = spec;
-    s.fastForward = fast_forward;
-    const RunResult r = runExperiment(s);
+    Session::Config s = spec;
+    s.system.fastForward = fast_forward;
+    const RunResult r = Session(s).run();
     AddrSpace::setHostCacheEnabled(true);
     return toJson(r.steady);
 }
@@ -138,8 +138,8 @@ TEST_P(PerfIdentity, MetricsIdenticalFastPathOnOff)
 {
     const int contexts = std::get<0>(GetParam());
     const bool apache = std::get<1>(GetParam());
-    const RunSpec spec = perfSpec(apache ? RunSpec::Workload::Apache
-                                         : RunSpec::Workload::SpecInt,
+    const Session::Config spec = perfSpec(apache ? WorkloadConfig::Kind::Apache
+                                         : WorkloadConfig::Kind::SpecInt,
                                   contexts);
 
     const std::string fast = metricsJson(spec, true, true);
@@ -165,11 +165,11 @@ TEST(PerfIdentityArtifacts, TimelineAndFaultLogIdentical)
         oc.timelinePath = trace_path;
         ObsSession obs(oc);
         FaultPlan plan(FaultParams::fromString("loss=0.01,mce=40000"));
-        RunSpec s = perfSpec(RunSpec::Workload::Apache, 4);
-        s.fastForward = fast;
+        Session::Config s = perfSpec(WorkloadConfig::Kind::Apache, 4);
+        s.system.fastForward = fast;
         s.obs = &obs;
         s.faultPlan = &plan;
-        runExperiment(s);
+        Session(s).run();
         AddrSpace::setHostCacheEnabled(true);
         return plan.logText();
     };
@@ -187,7 +187,7 @@ TEST(PerfIdentityArtifacts, TimelineAndFaultLogIdentical)
 
 TEST(PerfCosim, OracleHoldsWithFastForward)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.seed = 11;
     cfg.kernel.enableNetwork = true;
     System sys(cfg);
@@ -209,7 +209,7 @@ TEST(PerfCosim, OracleHoldsWithFastForward)
 // simulated idle loop keeps every context issuing.
 TEST(PerfFastForward, SkipsCyclesOnQuiescentMachine)
 {
-    SystemConfig cfg = smtConfig();
+    MachineConfig cfg = smtConfig();
     cfg.kernel.seed = 99;
     System sys(cfg);
     SpecIntParams p;
@@ -225,18 +225,18 @@ TEST(PerfFastForward, SkipsCyclesOnQuiescentMachine)
 
 TEST(PerfParallel, RunnerMatchesSequential)
 {
-    std::vector<RunSpec> specs;
-    specs.push_back(perfSpec(RunSpec::Workload::SpecInt, 4));
-    specs.push_back(perfSpec(RunSpec::Workload::Apache, 4));
-    specs.push_back(perfSpec(RunSpec::Workload::Apache, 2));
-    specs[2].seed = 1234;
+    std::vector<Session::Config> specs;
+    specs.push_back(perfSpec(WorkloadConfig::Kind::SpecInt, 4));
+    specs.push_back(perfSpec(WorkloadConfig::Kind::Apache, 4));
+    specs.push_back(perfSpec(WorkloadConfig::Kind::Apache, 2));
+    specs[2].workload.seed = 1234;
 
     std::vector<std::string> seq;
-    for (const RunSpec &s : specs)
-        seq.push_back(toJson(runExperiment(s).steady));
+    for (const Session::Config &s : specs)
+        seq.push_back(toJson(Session(s).run().steady));
 
     // Force real threads even on a single-core host.
-    const std::vector<RunResult> par = runExperiments(specs, 3);
+    const std::vector<RunResult> par = runSessions(specs, 3);
     ASSERT_EQ(par.size(), specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i)
         EXPECT_EQ(toJson(par[i].steady), seq[i]) << "spec " << i;

@@ -159,14 +159,14 @@ class ContextSweep : public testing::TestWithParam<int>
 
 TEST_P(ContextSweep, SpecIntRunsAtAnyContextCount)
 {
-    RunSpec s;
-    s.workload = RunSpec::Workload::SpecInt;
-    s.spec.numApps = 4;
-    s.spec.inputChunks = 8;
-    s.numContexts = GetParam();
-    s.startupInstrs = 150'000;
-    s.measureInstrs = 250'000;
-    RunResult r = runExperiment(s);
+    Session::Config s;
+    s.workload.kind = WorkloadConfig::Kind::SpecInt;
+    s.workload.spec.numApps = 4;
+    s.workload.spec.inputChunks = 8;
+    s.system.numContexts = GetParam();
+    s.phases.startupInstrs = 150'000;
+    s.phases.measureInstrs = 250'000;
+    RunResult r = Session(s).run();
     EXPECT_GE(r.steady.core.totalRetired(), 250'000u);
     EXPECT_GT(archMetrics(r.steady).ipc, 0.1);
     // Fetchable contexts can never exceed the configured count.
@@ -183,13 +183,13 @@ class SeedSweep : public testing::TestWithParam<int>
 
 TEST_P(SeedSweep, ApacheServesUnderAnySeed)
 {
-    RunSpec s;
-    s.workload = RunSpec::Workload::Apache;
-    s.apache.numServers = 16;
-    s.seed = 1000 + GetParam();
-    s.startupInstrs = 900'000;
-    s.measureInstrs = 900'000;
-    RunResult r = runExperiment(s);
+    Session::Config s;
+    s.workload.kind = WorkloadConfig::Kind::Apache;
+    s.workload.apache.numServers = 16;
+    s.workload.seed = 1000 + GetParam();
+    s.phases.startupInstrs = 900'000;
+    s.phases.measureInstrs = 900'000;
+    RunResult r = Session(s).run();
     EXPECT_GT(r.requestsServed, 0u);
     const ModeShares m = modeShares(r.steady);
     EXPECT_GT(m.kernelPct + m.palPct, 40.0);
@@ -207,13 +207,13 @@ class ModePartition : public testing::TestWithParam<bool>
 
 TEST_P(ModePartition, RetiredModesSumExactly)
 {
-    RunSpec s;
-    s.workload = GetParam() ? RunSpec::Workload::Apache
-                            : RunSpec::Workload::SpecInt;
-    s.spec.inputChunks = 8;
-    s.startupInstrs = 200'000;
-    s.measureInstrs = 300'000;
-    RunResult r = runExperiment(s);
+    Session::Config s;
+    s.workload.kind = GetParam() ? WorkloadConfig::Kind::Apache
+                            : WorkloadConfig::Kind::SpecInt;
+    s.workload.spec.inputChunks = 8;
+    s.phases.startupInstrs = 200'000;
+    s.phases.measureInstrs = 300'000;
+    RunResult r = Session(s).run();
     const auto &c = r.steady.core;
     EXPECT_EQ(c.retired[0] + c.retired[1] + c.retired[2] +
                   c.retired[3],

@@ -14,23 +14,23 @@ using namespace smtos;
 
 namespace {
 
-RunSpec
+Session::Config
 specSpec()
 {
-    RunSpec s;
-    s.workload = RunSpec::Workload::SpecInt;
-    s.spec.inputChunks = 24;
-    s.measureInstrs = 700000;
+    Session::Config s;
+    s.workload.kind = WorkloadConfig::Kind::SpecInt;
+    s.workload.spec.inputChunks = 24;
+    s.phases.measureInstrs = 700000;
     return s;
 }
 
-RunSpec
+Session::Config
 apacheSpec()
 {
-    RunSpec s;
-    s.workload = RunSpec::Workload::Apache;
-    s.startupInstrs = 400000;
-    s.measureInstrs = 700000;
+    Session::Config s;
+    s.workload.kind = WorkloadConfig::Kind::Apache;
+    s.phases.startupInstrs = 400000;
+    s.phases.measureInstrs = 700000;
     return s;
 }
 
@@ -38,13 +38,13 @@ apacheSpec()
 
 TEST(SystemProps, SpecIntSmtReachesHighIpc)
 {
-    RunResult r = runExperiment(specSpec());
+    RunResult r = Session(specSpec()).run();
     EXPECT_GT(archMetrics(r.steady).ipc, 3.0);
 }
 
 TEST(SystemProps, SpecIntStartupHasMoreOsThanSteady)
 {
-    RunResult r = runExperiment(specSpec());
+    RunResult r = Session(specSpec()).run();
     const ModeShares st = modeShares(r.startup);
     const ModeShares sd = modeShares(r.steady);
     const double os_start = st.kernelPct + st.palPct;
@@ -55,7 +55,7 @@ TEST(SystemProps, SpecIntStartupHasMoreOsThanSteady)
 
 TEST(SystemProps, ApacheIsKernelDominated)
 {
-    RunResult r = runExperiment(apacheSpec());
+    RunResult r = Session(apacheSpec()).run();
     const ModeShares m = modeShares(r.steady);
     EXPECT_GT(m.kernelPct + m.palPct, 55.0);
     EXPECT_LT(m.userPct, 40.0);
@@ -63,12 +63,12 @@ TEST(SystemProps, ApacheIsKernelDominated)
 
 TEST(SystemProps, SmtBeatsSuperscalarOnApache)
 {
-    RunSpec smt = apacheSpec();
-    RunSpec ss = apacheSpec();
-    ss.smt = false;
-    ss.measureInstrs = 400000;
-    RunResult r_smt = runExperiment(smt);
-    RunResult r_ss = runExperiment(ss);
+    Session::Config smt = apacheSpec();
+    Session::Config ss = apacheSpec();
+    ss.system.smt = false;
+    ss.phases.measureInstrs = 400000;
+    RunResult r_smt = Session(smt).run();
+    RunResult r_ss = Session(ss).run();
     const double ipc_smt = archMetrics(r_smt.steady).ipc;
     const double ipc_ss = archMetrics(r_ss.steady).ipc;
     EXPECT_GT(ipc_smt, 1.5 * ipc_ss);
@@ -76,20 +76,20 @@ TEST(SystemProps, SmtBeatsSuperscalarOnApache)
 
 TEST(SystemProps, SmtBeatsSuperscalarOnSpecInt)
 {
-    RunSpec smt = specSpec();
-    RunSpec ss = specSpec();
-    ss.smt = false;
-    ss.measureInstrs = 400000;
-    RunResult r_smt = runExperiment(smt);
-    RunResult r_ss = runExperiment(ss);
+    Session::Config smt = specSpec();
+    Session::Config ss = specSpec();
+    ss.system.smt = false;
+    ss.phases.measureInstrs = 400000;
+    RunResult r_smt = Session(smt).run();
+    RunResult r_ss = Session(ss).run();
     EXPECT_GT(archMetrics(r_smt.steady).ipc,
               archMetrics(r_ss.steady).ipc);
 }
 
 TEST(SystemProps, ApacheStressesCachesMoreThanSpecInt)
 {
-    RunResult ra = runExperiment(apacheSpec());
-    RunResult rs = runExperiment(specSpec());
+    RunResult ra = Session(apacheSpec()).run();
+    RunResult rs = Session(specSpec()).run();
     const ArchMetrics a = archMetrics(ra.steady);
     const ArchMetrics s = archMetrics(rs.steady);
     EXPECT_GT(a.l1dMissPct, s.l1dMissPct);
@@ -97,11 +97,11 @@ TEST(SystemProps, ApacheStressesCachesMoreThanSpecInt)
 
 TEST(SystemProps, AppOnlyRemovesKernelWork)
 {
-    RunSpec with_os = specSpec();
-    RunSpec app_only = specSpec();
-    app_only.withOs = false;
-    RunResult r1 = runExperiment(with_os);
-    RunResult r2 = runExperiment(app_only);
+    Session::Config with_os = specSpec();
+    Session::Config app_only = specSpec();
+    app_only.system.withOs = false;
+    RunResult r1 = Session(with_os).run();
+    RunResult r2 = Session(app_only).run();
     const ModeShares m2 = modeShares(r2.steady);
     EXPECT_NEAR(m2.userPct, 100.0, 0.1);
     // Throughput stays within the same band (the paper reports a
@@ -115,14 +115,14 @@ TEST(SystemProps, AppOnlyRemovesKernelWork)
 
 TEST(SystemProps, KernelCacheBehaviorWorseThanUser)
 {
-    RunResult r = runExperiment(specSpec());
+    RunResult r = Session(specSpec()).run();
     const MissBreakdown b = missBreakdown(r.steady.l1d);
     EXPECT_GT(b.totalMissRate[1], b.totalMissRate[0]);
 }
 
 TEST(SystemProps, ApacheShowsConstructiveSharing)
 {
-    RunResult r = runExperiment(apacheSpec());
+    RunResult r = Session(apacheSpec()).run();
     const SharingBreakdown icache = sharingBreakdown(r.steady.l1i);
     const SharingBreakdown dcache = sharingBreakdown(r.steady.l1d);
     const double total =
@@ -132,7 +132,7 @@ TEST(SystemProps, ApacheShowsConstructiveSharing)
 
 TEST(SystemProps, MissCausePercentagesSumTo100)
 {
-    RunResult r = runExperiment(apacheSpec());
+    RunResult r = Session(apacheSpec()).run();
     for (const InterferenceStats *s :
          {&r.steady.l1d, &r.steady.l1i, &r.steady.l2,
           &r.steady.dtlb}) {
@@ -149,10 +149,10 @@ TEST(SystemProps, MissCausePercentagesSumTo100)
 
 TEST(SystemProps, WindowsPartitionTheMeasurement)
 {
-    RunSpec s = specSpec();
-    s.measureInstrs = 300000;
-    s.windowInstrs = 100000;
-    RunResult r = runExperiment(s);
+    Session::Config s = specSpec();
+    s.phases.measureInstrs = 300000;
+    s.phases.windowInstrs = 100000;
+    RunResult r = Session(s).run();
     ASSERT_EQ(r.windows.size(), 3u);
     std::uint64_t sum = 0;
     for (const auto &w : r.windows)
@@ -162,10 +162,10 @@ TEST(SystemProps, WindowsPartitionTheMeasurement)
 
 TEST(SystemProps, DeterministicAcrossRuns)
 {
-    RunSpec s = specSpec();
-    s.measureInstrs = 200000;
-    RunResult a = runExperiment(s);
-    RunResult b = runExperiment(s);
+    Session::Config s = specSpec();
+    s.phases.measureInstrs = 200000;
+    RunResult a = Session(s).run();
+    RunResult b = Session(s).run();
     EXPECT_EQ(a.steady.core.cycles, b.steady.core.cycles);
     EXPECT_EQ(a.steady.l1d.totalMisses(),
               b.steady.l1d.totalMisses());
@@ -179,19 +179,19 @@ class ContextScale : public testing::TestWithParam<int>
 
 TEST_P(ContextScale, ApacheThroughputScalesWithContexts)
 {
-    RunSpec s = apacheSpec();
-    s.measureInstrs = 350000;
-    s.startupInstrs = 250000;
+    Session::Config s = apacheSpec();
+    s.phases.measureInstrs = 350000;
+    s.phases.startupInstrs = 250000;
     RunResult one;
     {
-        RunSpec base = s;
-        base.smt = false; // 1 context
-        one = runExperiment(base);
+        Session::Config base = s;
+        base.system.smt = false; // 1 context
+        one = Session(base).run();
     }
     // Custom context count via the harness is not exposed; compare
     // the 8-context SMT against the superscalar for each seed.
-    s.seed = 99 + GetParam();
-    RunResult many = runExperiment(s);
+    s.workload.seed = 99 + GetParam();
+    RunResult many = Session(s).run();
     EXPECT_GT(archMetrics(many.steady).ipc,
               archMetrics(one.steady).ipc);
 }

@@ -21,6 +21,8 @@ Only stdlib; exit 0 = pass, 1 = regression, 2 = usage/parse error.
 
 import argparse
 import json
+import os
+import shutil
 import sys
 
 
@@ -93,7 +95,24 @@ def main():
                          "JSON artifact (e.g. BENCH_simspeed.json)")
     ap.add_argument("--label", default="gate",
                     help="label for the trajectory entry")
+    ap.add_argument("--dry-run", action="store_true",
+                    help="report only: never record a baseline or "
+                         "touch the trajectory artifact")
     args = ap.parse_args()
+
+    if not os.path.exists(args.baseline):
+        # First run on a fresh checkout or cache miss: there is
+        # nothing to gate against, so seed the baseline from the
+        # current measurement instead of failing.
+        load_rates(args.current, args.filter)  # validate before seeding
+        if args.dry_run:
+            print(f"no baseline at {args.baseline}: would record "
+                  f"current measurement (dry run, nothing written)")
+        else:
+            shutil.copyfile(args.current, args.baseline)
+            print(f"no baseline at {args.baseline}: recording current "
+                  f"measurement as the baseline")
+        return 0
 
     base = load_rates(args.baseline, args.filter)
     cur = load_rates(args.current, args.filter)
@@ -119,8 +138,11 @@ def main():
               f"{delta:>+7.1%}{mark}")
 
     if args.trajectory:
-        append_trajectory(args.trajectory, args.label, base, cur,
-                          shared)
+        if args.dry_run:
+            print(f"dry run: not appending to {args.trajectory}")
+        else:
+            append_trajectory(args.trajectory, args.label, base, cur,
+                              shared)
 
     if improved:
         best = max(d for _, d in improved)

@@ -17,8 +17,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "harness/parallel.h"
@@ -64,82 +62,20 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-/**
- * Record the timing pair under an "entries" element labelled
- * "snapshot-sweep", replacing any previous one. The file is our own
- * flat format (see tools/simspeed_gate.py), so a splice beats a
- * parser: drop the old entry by brace counting, insert before the
- * final ']'.
- */
+/** Record the timing pair under the "snapshot-sweep" entry. */
 void
 record(const std::string &path, double perPointSec, double amortizedSec)
 {
-    if (path == "-")
-        return;
-    std::string text;
-    {
-        std::ifstream in(path);
-        if (in) {
-            std::stringstream ss;
-            ss << in.rdbuf();
-            text = ss.str();
-        }
-    }
-    if (text.empty())
-        text = "{\n  \"entries\": [\n  ]\n}\n";
-
-    const std::string tag = "\"label\": \"snapshot-sweep\"";
-    std::size_t at = text.find(tag);
-    if (at != std::string::npos) {
-        std::size_t open = text.rfind('{', at);
-        std::size_t close = open, depth = 0;
-        for (std::size_t i = open; i < text.size(); ++i) {
-            if (text[i] == '{')
-                ++depth;
-            else if (text[i] == '}' && --depth == 0) {
-                close = i;
-                break;
-            }
-        }
-        // Also eat the separating comma, whichever side it is on.
-        std::size_t from = text.find_last_not_of(" \n", open - 1);
-        if (from != std::string::npos && text[from] == ',')
-            open = from;
-        else {
-            std::size_t next = text.find_first_not_of(" \n", close + 1);
-            if (next != std::string::npos && text[next] == ',')
-                close = next;
-        }
-        text.erase(open, close - open + 1);
-    }
-
-    std::size_t end = text.rfind(']');
-    if (end == std::string::npos) {
-        std::fprintf(stderr, "ablation_contexts: %s is not the "
-                     "expected format; not recording\n", path.c_str());
-        return;
-    }
-    std::size_t last = text.find_last_not_of(" \n", end - 1);
-    const bool haveSibling = last != std::string::npos &&
-                             text[last] == '}';
-    char entry[512];
-    std::snprintf(entry, sizeof entry,
-                  "%s    {\n"
-                  "      \"label\": \"snapshot-sweep\",\n"
-                  "      \"benchmarks\": {\n"
+    char body[256];
+    std::snprintf(body, sizeof body,
                   "        \"ablation_contexts\": {\n"
                   "          \"per_point_startup_seconds\": %.3f,\n"
                   "          \"snapshot_amortized_seconds\": %.3f,\n"
                   "          \"amortized_over_per_point\": %.4f\n"
-                  "        }\n"
-                  "      }\n"
-                  "    }\n  ",
-                  haveSibling ? ",\n" : "", perPointSec, amortizedSec,
+                  "        }\n",
+                  perPointSec, amortizedSec,
                   amortizedSec / perPointSec);
-    text.insert(haveSibling ? last + 1 : end, entry);
-    // The splice may leave the ']' mid-line; normalize trivially.
-    std::ofstream out(path);
-    out << text;
+    recordEntry(path, "snapshot-sweep", body);
 }
 
 } // namespace

@@ -13,6 +13,8 @@
 #define SMTOS_BENCH_COMMON_H
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/table.h"
@@ -88,6 +90,76 @@ missRows(TextTable &t, const char *structure, const MissBreakdown &b)
                pctOrDash(b.causePct[0][k]),
                pctOrDash(b.causePct[1][k])});
     }
+}
+
+/**
+ * Splice one labelled entry into BENCH_simspeed.json's "entries"
+ * array, replacing any previous entry with the same label. The file
+ * is our own flat format (see tools/simspeed_gate.py), so a textual
+ * splice beats a parser: drop the old entry by brace counting, insert
+ * before the final ']'. @p benchmarksJson is the body of the entry's
+ * "benchmarks" object, indented eight spaces, newline-terminated. A
+ * @p path of "-" skips the record.
+ */
+inline void
+recordEntry(const std::string &path, const std::string &label,
+            const std::string &benchmarksJson)
+{
+    if (path == "-")
+        return;
+    std::string text;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream ss;
+            ss << in.rdbuf();
+            text = ss.str();
+        }
+    }
+    if (text.empty())
+        text = "{\n  \"entries\": [\n  ]\n}\n";
+
+    const std::string tag = "\"label\": \"" + label + "\"";
+    std::size_t at = text.find(tag);
+    if (at != std::string::npos) {
+        std::size_t open = text.rfind('{', at);
+        std::size_t close = open, depth = 0;
+        for (std::size_t i = open; i < text.size(); ++i) {
+            if (text[i] == '{')
+                ++depth;
+            else if (text[i] == '}' && --depth == 0) {
+                close = i;
+                break;
+            }
+        }
+        // Also eat the separating comma, whichever side it is on.
+        std::size_t from = text.find_last_not_of(" \n", open - 1);
+        if (from != std::string::npos && text[from] == ',')
+            open = from;
+        else {
+            std::size_t next = text.find_first_not_of(" \n", close + 1);
+            if (next != std::string::npos && text[next] == ',')
+                close = next;
+        }
+        text.erase(open, close - open + 1);
+    }
+
+    std::size_t end = text.rfind(']');
+    if (end == std::string::npos) {
+        std::fprintf(stderr, "recordEntry: %s is not the expected "
+                     "format; not recording\n", path.c_str());
+        return;
+    }
+    std::size_t last = text.find_last_not_of(" \n", end - 1);
+    const bool haveSibling = last != std::string::npos &&
+                             text[last] == '}';
+    const std::string entry = std::string(haveSibling ? ",\n" : "") +
+                              "    {\n      \"label\": \"" + label +
+                              "\",\n      \"benchmarks\": {\n" +
+                              benchmarksJson + "      }\n    }\n  ";
+    text.insert(haveSibling ? last + 1 : end, entry);
+    std::ofstream out(path);
+    out << text;
 }
 
 } // namespace smtos::bench

@@ -19,7 +19,7 @@ namespace {
 
 /** Config-section layout version (independent of the machine
  *  sections' per-class versions). */
-constexpr std::uint32_t configSectionVersion = 1;
+constexpr std::uint32_t configSectionVersion = 2;
 
 /** Cosim-oracle section layout version. */
 constexpr std::uint32_t cosimSectionVersion = 1;
@@ -33,6 +33,8 @@ machineConfigOf(const SystemConfig &sc, const WorkloadConfig &wc)
     cfg.kernel.enableNetwork =
         (wc.kind == WorkloadConfig::Kind::Apache);
     cfg.mem.filterPrivileged = sc.filterKernelRefs;
+    cfg.mem.dramLatency = sc.memLatency;
+    cfg.mem.dram = sc.dram;
     if (sc.numContexts > 0) {
         cfg.core.numContexts = sc.numContexts;
         cfg.core.fetchContexts = std::min(2, sc.numContexts);
@@ -147,6 +149,28 @@ Session::validate() const
                     "one context");
     if (cfg_.phases.measureInstrs == 0)
         smtos_fatal("Session: measureInstrs must be nonzero");
+    if (sc.memLatency == 0)
+        smtos_fatal("Session: memLatency must be nonzero");
+    const DramParams &dp = sc.dram;
+    auto pow2 = [](int v) { return v > 0 && (v & (v - 1)) == 0; };
+    if (dp.channels <= 0 || dp.ranks <= 0 || dp.banksPerRank <= 0)
+        smtos_fatal("Session: DRAM geometry must be nonzero "
+                    "(channels %d, ranks %d, banksPerRank %d)",
+                    dp.channels, dp.ranks, dp.banksPerRank);
+    if (!pow2(dp.channels) || !pow2(dp.ranks) ||
+        !pow2(dp.banksPerRank) || !pow2(dp.rowBytes) ||
+        !pow2(dp.burstBytes))
+        smtos_fatal("Session: DRAM geometry must be powers of two "
+                    "(channels %d, ranks %d, banksPerRank %d, "
+                    "rowBytes %d, burstBytes %d)",
+                    dp.channels, dp.ranks, dp.banksPerRank,
+                    dp.rowBytes, dp.burstBytes);
+    if (dp.rowBytes < dp.burstBytes)
+        smtos_fatal("Session: DRAM rowBytes %d smaller than "
+                    "burstBytes %d",
+                    dp.rowBytes, dp.burstBytes);
+    if (dp.queueDepth <= 0)
+        smtos_fatal("Session: DRAM queueDepth must be nonzero");
 }
 
 void
@@ -270,6 +294,20 @@ Session::writeConfig(Snapshotter &sp) const
     sp.b(sc.affinitySched);
     sp.b(sc.sharedTlbIpr);
     sp.b(sc.fastForward);
+    sp.u64(sc.memLatency);
+    sp.b(sc.dram.banked);
+    sp.i32(sc.dram.channels);
+    sp.i32(sc.dram.ranks);
+    sp.i32(sc.dram.banksPerRank);
+    sp.i32(sc.dram.rowBytes);
+    sp.i32(sc.dram.burstBytes);
+    sp.i32(sc.dram.queueDepth);
+    sp.b(sc.dram.closedPage);
+    sp.u64(sc.dram.tRcd);
+    sp.u64(sc.dram.tRp);
+    sp.u64(sc.dram.tCas);
+    sp.u64(sc.dram.tBurst);
+    sp.u64(sc.dram.tFaw);
 
     const WorkloadConfig &wc = cfg_.workload;
     sp.u8(static_cast<std::uint8_t>(wc.kind));
@@ -315,6 +353,20 @@ Session::readConfig(Restorer &rs, bool &hadPlan, bool &hadCosim)
     sc.affinitySched = rs.b();
     sc.sharedTlbIpr = rs.b();
     sc.fastForward = rs.b();
+    sc.memLatency = rs.u64();
+    sc.dram.banked = rs.b();
+    sc.dram.channels = rs.i32();
+    sc.dram.ranks = rs.i32();
+    sc.dram.banksPerRank = rs.i32();
+    sc.dram.rowBytes = rs.i32();
+    sc.dram.burstBytes = rs.i32();
+    sc.dram.queueDepth = rs.i32();
+    sc.dram.closedPage = rs.b();
+    sc.dram.tRcd = rs.u64();
+    sc.dram.tRp = rs.u64();
+    sc.dram.tCas = rs.u64();
+    sc.dram.tBurst = rs.u64();
+    sc.dram.tFaw = rs.u64();
 
     WorkloadConfig &wc = cfg.workload;
     wc.kind = static_cast<WorkloadConfig::Kind>(rs.u8());
@@ -414,6 +466,8 @@ Session::resume(const std::vector<std::uint8_t> &artifact,
         cfg.system.sharedTlbIpr = *opts.sharedTlbIpr;
     if (opts.fastForward)
         cfg.system.fastForward = *opts.fastForward;
+    if (opts.dramClosedPage)
+        cfg.system.dram.closedPage = *opts.dramClosedPage;
 
     // Rebuild from the artifact's own config (never the ambient
     // environment), then overlay the saved machine state.

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "mem/memctrl.h"
 #include "sim/metrics.h"
 #include "snap/fwd.h"
 #include "workload/apache.h"
@@ -59,6 +60,11 @@ struct SystemConfig
     bool sharedTlbIpr = false;
     /** Host fast path (DESIGN.md §10); bit-identical either way. */
     bool fastForward = true;
+    /** Flat DRAM latency (the Table-1 90 cycles, named once). */
+    Cycle memLatency = defaultMemLatency;
+    /** Banked-DRAM geometry/policy; dram.banked=false keeps the flat
+     *  model and is bit-identical to the pre-banked machine. */
+    DramParams dram;
 };
 
 /** What runs on the machine, with the run's seed. */
@@ -142,6 +148,9 @@ class Session
         std::optional<bool> affinitySched;
         std::optional<bool> sharedTlbIpr;
         std::optional<bool> fastForward;
+        /** Row-buffer policy is timing-only: bank/queue state in the
+         *  artifact fits either setting. */
+        std::optional<bool> dramClosedPage;
     };
 
     /** Validate, build, install the workload, and start. */

@@ -14,11 +14,21 @@
 
 namespace smtos {
 
+/**
+ * The Table-1 memory latency, named in one place: the flat DRAM
+ * default, HierarchyParams::dramLatency and SystemConfig::memLatency
+ * all derive from it.
+ */
+constexpr Cycle defaultMemLatency = 90;
+
 /** Fully pipelined fixed-latency DRAM. */
 class Dram
 {
   public:
-    explicit Dram(Cycle latency = 90) : latency_(latency) {}
+    explicit Dram(Cycle latency = defaultMemLatency)
+        : latency_(latency)
+    {
+    }
 
     /** @return completion cycle of an access arriving at @p now. */
     Cycle

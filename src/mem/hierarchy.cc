@@ -16,7 +16,7 @@ Hierarchy::Hierarchy(const HierarchyParams &params)
                params.l1l2BusLatency),
       memBus_("memory", params.memBusBytesPerCycle,
               params.memBusLatency),
-      dram_(params.dramLatency)
+      memctrl_(params.dramLatency, params.dram)
 {
 }
 
@@ -51,7 +51,7 @@ Hierarchy::missPath(Cache &l1, Addr paddr, const AccessInfo &who,
             l2_ready = std::max(g2.mergedReadyAt, l2_done);
         } else {
             const Cycle req = memBus_.transfer(g2.startAt, 8);
-            const Cycle mem_done = dram_.access(req);
+            const Cycle mem_done = memctrl_.access(paddr, who, req);
             l2_ready = memBus_.transfer(mem_done,
                                         l2_.params().lineBytes);
             l2Mshr_.complete(

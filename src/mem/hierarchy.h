@@ -17,6 +17,7 @@
 #include "mem/bus.h"
 #include "mem/cache.h"
 #include "mem/dram.h"
+#include "mem/memctrl.h"
 #include "mem/mshr.h"
 #include "mem/storebuffer.h"
 #include "snap/fwd.h"
@@ -39,7 +40,9 @@ struct HierarchyParams
     Cycle l1l2BusLatency = 2;
     int memBusBytesPerCycle = 16;   // 128 bits
     Cycle memBusLatency = 4;
-    Cycle dramLatency = 90;
+    Cycle dramLatency = defaultMemLatency;
+    /** Banked-DRAM geometry/policy (banked=false: flat model). */
+    DramParams dram;
     /**
      * Table 9 mode: kernel and PAL references complete at L1 hit
      * latency without touching any cache state, isolating user-only
@@ -99,7 +102,9 @@ class Hierarchy
     Bus &l1l2Bus() { return l1l2Bus_; }
     Bus &memBus() { return memBus_; }
     const Bus &memBus() const { return memBus_; }
-    Dram &dram() { return dram_; }
+    Dram &dram() { return memctrl_.flat(); }
+    MemCtrl &memctrl() { return memctrl_; }
+    const MemCtrl &memctrl() const { return memctrl_; }
 
     /** Occupancy integrals split per L1 for Table 6 reporting. */
     double imissIntegral() const { return imissIntegral_; }
@@ -129,7 +134,7 @@ class Hierarchy
     StoreBuffer storeBuffer_;
     Bus l1l2Bus_;
     Bus memBus_;
-    Dram dram_;
+    MemCtrl memctrl_;
     double imissIntegral_ = 0.0;
     double dmissIntegral_ = 0.0;
     double l2missIntegral_ = 0.0;

@@ -120,6 +120,15 @@ Probes::cacheMiss(const char *cache, ThreadId thread, Addr paddr)
 }
 
 void
+Probes::dramAccess(ThreadId thread, Addr paddr, int channel, int bank,
+                   int kind, int queueOcc)
+{
+    if (timeline_ && timeline_->detail())
+        timeline_->dramEvent(thread, paddr, channel, bank, kind,
+                             queueOcc, now_);
+}
+
+void
 Probes::faultEvent(const char *kind, Cycle now, std::uint64_t a,
                    std::uint64_t b)
 {

@@ -113,6 +113,9 @@ class Probes
     // --- memory-system hooks (timeline detail events) ---
     void tlbMiss(const char *tlb, ThreadId thread, Addr vaddr);
     void cacheMiss(const char *cache, ThreadId thread, Addr paddr);
+    /** Banked-DRAM access: @p kind is a DramRowOutcome value. */
+    void dramAccess(ThreadId thread, Addr paddr, int channel, int bank,
+                    int kind, int queueOcc);
 
     // --- fault-injection hook (kernel drains the fault log) ---
     void faultEvent(const char *kind, Cycle now, std::uint64_t a,

@@ -157,6 +157,34 @@ TimelineExporter::memInstant(const char *structure, ThreadId thread,
 }
 
 void
+TimelineExporter::dramEvent(ThreadId thread, Addr paddr, int channel,
+                            int bank, int kind, int queueOcc,
+                            Cycle now)
+{
+    if (!namedDram_) {
+        namedDram_ = true;
+        event("__metadata", "process_name", 'M', 4, 0, now,
+              "{\"name\":\"dram\"}");
+    }
+    if (static_cast<size_t>(channel) >= namedDramCh_.size())
+        namedDramCh_.resize(static_cast<size_t>(channel) + 1, false);
+    if (!namedDramCh_[static_cast<size_t>(channel)]) {
+        namedDramCh_[static_cast<size_t>(channel)] = true;
+        threadName(4, channel, "ch" + std::to_string(channel), now);
+    }
+    event("dram", "queue", 'C', 4, channel, now,
+          "{\"occupancy\":" + std::to_string(queueOcc) + "}");
+    if (kind == 2) { // DramRowOutcome::Conflict
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"bank\":%d,\"paddr\":\"0x%llx\",\"thread\":%d}",
+                      bank, static_cast<unsigned long long>(paddr),
+                      static_cast<int>(thread));
+        event("dram", "row-conflict", 'i', 4, channel, now, buf, true);
+    }
+}
+
+void
 TimelineExporter::faultInstant(const char *kind, Cycle now,
                                std::uint64_t a, std::uint64_t b)
 {

@@ -18,6 +18,10 @@
  *   pid 3 "faults"      — instants for every injected fault (packet
  *                         loss/delay/reorder, machine checks, SYN and
  *                         backlog drops)
+ *   pid 4 "dram"        — per-channel queue-occupancy counters and
+ *                         row-conflict instants (banked model with
+ *                         detail on; metadata emitted lazily so flat
+ *                         traces are unchanged)
  *
  * The writer emits events in simulation order (timestamps are
  * monotone non-decreasing) with alphabetically sorted keys in every
@@ -75,6 +79,16 @@ class TimelineExporter
     void faultInstant(const char *kind, Cycle now, std::uint64_t a,
                       std::uint64_t b);
 
+    /**
+     * Detail event from the banked DRAM controller: a queue-occupancy
+     * counter sample on the channel's track, plus an instant for row
+     * conflicts. The pid-4 "dram" process metadata is emitted lazily
+     * on the first event so flat-mode traces are byte-identical to
+     * the pre-banked format.
+     */
+    void dramEvent(ThreadId thread, Addr paddr, int channel, int bank,
+                   int kind, int queueOcc, Cycle now);
+
     /** Close every open span at @p now and write the footer. */
     void finish(Cycle now);
 
@@ -103,6 +117,9 @@ class TimelineExporter
     std::unordered_map<ThreadId, bool> openSyscall_;
     /** Threads already given a syscall-track name. */
     std::unordered_map<ThreadId, bool> namedThread_;
+    /** pid-4 "dram" process/track metadata already written. */
+    bool namedDram_ = false;
+    std::vector<bool> namedDramCh_;
 };
 
 } // namespace smtos

@@ -89,6 +89,30 @@ writeJsonFields(std::ostream &os, const MetricsSnapshot &d)
        << ",\"backlog_drops\":" << d.faults.backlogDrops
        << ",\"retransmits\":" << d.faults.retransmits
        << ",\"client_aborts\":" << d.faults.clientAborts << "}";
+    // The dram object exists only for the banked model, so flat-mode
+    // exports stay byte-identical to the pre-banked format.
+    if (d.dram.banked) {
+        auto vec = [&os](const char *name,
+                         const std::vector<std::uint64_t> &v) {
+            os << ",\"" << name << "\":[";
+            for (std::size_t i = 0; i < v.size(); ++i)
+                os << (i ? "," : "") << v[i];
+            os << "]";
+        };
+        os << ",\"dram\":{\"accesses\":" << d.dram.accesses
+           << ",\"row_hits\":" << d.dram.rowHits
+           << ",\"row_empties\":" << d.dram.rowEmpties
+           << ",\"row_conflicts\":" << d.dram.rowConflicts
+           << ",\"avg_latency\":" << d.dram.avgLatency()
+           << ",\"queue_stall_cycles\":" << d.dram.queueStallCycles
+           << ",\"queue_full_stalls\":" << d.dram.queueFullStalls
+           << ",\"queue_occupancy\":" << d.dram.queueOccupancy;
+        vec("ch_accesses", d.dram.chAccesses);
+        vec("ch_busy_cycles", d.dram.chBusyCycles);
+        vec("bank_row_hits", d.dram.bankRowHits);
+        vec("bank_row_conflicts", d.dram.bankRowConflicts);
+        os << "}";
+    }
 }
 
 void

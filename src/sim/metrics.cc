@@ -58,6 +58,7 @@ MetricsSnapshot::capture(System &sys)
     s.requestsServed = sys.kernel().requestsServed();
     s.contextSwitches = sys.kernel().contextSwitches();
     s.faults = sys.kernel().faultCounters();
+    s.dram = sys.hierarchy().memctrl().stats();
     return s;
 }
 
@@ -117,6 +118,7 @@ MetricsSnapshot::delta(const MetricsSnapshot &e) const
     d.requestsServed = requestsServed - e.requestsServed;
     d.contextSwitches = contextSwitches - e.contextSwitches;
     d.faults = faults.delta(e.faults);
+    d.dram = dram.delta(e.dram);
     return d;
 }
 

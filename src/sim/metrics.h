@@ -15,6 +15,7 @@
 #include "core/context.h"
 #include "fault/fault.h"
 #include "kernel/tags.h"
+#include "mem/memctrl.h"
 #include "mem/missclass.h"
 #include "sim/system.h"
 
@@ -34,6 +35,7 @@ struct MetricsSnapshot
     std::uint64_t requestsServed = 0;
     std::uint64_t contextSwitches = 0;
     FaultCounters faults;
+    DramStats dram;
 
     static MetricsSnapshot capture(System &sys);
 

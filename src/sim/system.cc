@@ -23,6 +23,7 @@ System::attachProbes(Probes *p)
     hier_.l1i().setProbes(p);
     hier_.l1d().setProbes(p);
     hier_.l2().setProbes(p);
+    hier_.memctrl().setProbes(p);
     kernel_->setProbes(p);
 }
 

@@ -23,6 +23,7 @@
 #include "mem/cache.h"
 #include "mem/dram.h"
 #include "mem/hierarchy.h"
+#include "mem/memctrl.h"
 #include "mem/missclass.h"
 #include "mem/mshr.h"
 #include "mem/storebuffer.h"
@@ -384,6 +385,103 @@ Dram::load(Restorer &rs)
     accesses_ = rs.u64();
 }
 
+// --- mem/memctrl.h ---
+
+void
+MemCtrl::save(Snapshotter &sp) const
+{
+    // The flat blob comes first so flat-mode snapshots are
+    // byte-identical to the pre-banked format; the banked blob is
+    // appended only when the banked model is live.
+    flat_.save(sp);
+    if (!params_.banked)
+        return;
+    sp.u32(snapVersion);
+    sp.u64(banks_.size());
+    for (const Bank &b : banks_) {
+        sp.i64(b.openRow);
+        sp.u64(b.readyAt);
+        sp.u64(b.nextColAt);
+    }
+    sp.u64(rankWin_.size());
+    for (const RankWindow &r : rankWin_) {
+        for (Cycle a : r.act)
+            sp.u64(a);
+        sp.i32(r.pos);
+        sp.i32(r.count);
+    }
+    sp.u64(channels_.size());
+    for (const Channel &c : channels_) {
+        sp.u64(c.busy.size());
+        for (const Interval &iv : c.busy) {
+            sp.u64(iv.start);
+            sp.u64(iv.end);
+        }
+        vecOut(sp, c.inflight);
+    }
+    sp.u64(accesses_);
+    sp.u64(rowHits_);
+    sp.u64(rowEmpties_);
+    sp.u64(rowConflicts_);
+    sp.u64(latencyCycles_);
+    sp.u64(queueStallCycles_);
+    sp.u64(queueFullStalls_);
+    sp.u64(queueOccupancy_);
+    vecOut(sp, chAccesses_);
+    vecOut(sp, chBusyCycles_);
+    vecOut(sp, bankRowHits_);
+    vecOut(sp, bankRowConflicts_);
+}
+
+void
+MemCtrl::load(Restorer &rs)
+{
+    flat_.load(rs);
+    if (!params_.banked)
+        return;
+    tag(rs, snapVersion);
+    smtos_assert(rs.u64() == banks_.size());
+    for (Bank &b : banks_) {
+        b.openRow = rs.i64();
+        b.readyAt = rs.u64();
+        b.nextColAt = rs.u64();
+    }
+    smtos_assert(rs.u64() == rankWin_.size());
+    for (RankWindow &r : rankWin_) {
+        for (Cycle &a : r.act)
+            a = rs.u64();
+        r.pos = rs.i32();
+        r.count = rs.i32();
+    }
+    smtos_assert(rs.u64() == channels_.size());
+    for (Channel &c : channels_) {
+        c.busy.clear();
+        const std::uint64_t n = rs.u64();
+        c.busy.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Interval iv;
+            iv.start = rs.u64();
+            iv.end = rs.u64();
+            c.busy.push_back(iv);
+        }
+        vecIn(rs, c.inflight);
+    }
+    accesses_ = rs.u64();
+    rowHits_ = rs.u64();
+    rowEmpties_ = rs.u64();
+    rowConflicts_ = rs.u64();
+    latencyCycles_ = rs.u64();
+    queueStallCycles_ = rs.u64();
+    queueFullStalls_ = rs.u64();
+    queueOccupancy_ = rs.u64();
+    vecIn(rs, chAccesses_);
+    vecIn(rs, chBusyCycles_);
+    vecIn(rs, bankRowHits_);
+    vecIn(rs, bankRowConflicts_);
+    smtos_assert(chAccesses_.size() == channels_.size());
+    smtos_assert(bankRowHits_.size() == banks_.size());
+}
+
 // --- mem/hierarchy.h ---
 
 void
@@ -398,7 +496,7 @@ Hierarchy::save(Snapshotter &sp) const
     storeBuffer_.save(sp);
     l1l2Bus_.save(sp);
     memBus_.save(sp);
-    dram_.save(sp);
+    memctrl_.save(sp);
     sp.f64(imissIntegral_);
     sp.f64(dmissIntegral_);
     sp.f64(l2missIntegral_);
@@ -416,7 +514,7 @@ Hierarchy::load(Restorer &rs)
     storeBuffer_.load(rs);
     l1l2Bus_.load(rs);
     memBus_.load(rs);
-    dram_.load(rs);
+    memctrl_.load(rs);
     imissIntegral_ = rs.f64();
     dmissIntegral_ = rs.f64();
     l2missIntegral_ = rs.f64();

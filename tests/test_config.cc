@@ -52,6 +52,26 @@ TEST(Table1, MemoryHierarchy)
     EXPECT_EQ(c.mem.memBusBytesPerCycle, 16);  // 128 bits
     EXPECT_EQ(c.mem.memBusLatency, 4u);
     EXPECT_EQ(c.mem.dramLatency, 90u);
+    EXPECT_EQ(c.mem.dramLatency, defaultMemLatency);
+}
+
+TEST(Table1, BankedDramDefaultsOffAndFlatEquivalent)
+{
+    const MachineConfig c = smtConfig();
+    // Banked DRAM is opt-in: the preset stays the paper's flat
+    // 90-cycle memory.
+    EXPECT_FALSE(c.mem.dram.banked);
+    const DramParams d;
+    EXPECT_EQ(d.channels, 2);
+    EXPECT_EQ(d.ranks, 2);
+    EXPECT_EQ(d.banksPerRank, 8);
+    EXPECT_EQ(d.rowBytes, 2048);
+    EXPECT_EQ(d.burstBytes, 64);
+    EXPECT_EQ(d.queueDepth, 16);
+    EXPECT_FALSE(d.closedPage);
+    // Timing is anchored to the flat model: a row conflict
+    // (tRP+tRCD+tCAS+tBurst) costs exactly the Table-1 latency.
+    EXPECT_EQ(d.tRp + d.tRcd + d.tCas + d.tBurst, defaultMemLatency);
 }
 
 TEST(Table1, BranchHardwareDefaults)

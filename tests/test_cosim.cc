@@ -29,7 +29,7 @@ using namespace smtos;
 namespace {
 
 MachineConfig
-fuzzConfig(int contexts)
+fuzzConfig(int contexts, bool banked = false)
 {
     MachineConfig cfg = smtConfig();
     cfg.core.numContexts = contexts;
@@ -37,15 +37,24 @@ fuzzConfig(int contexts)
     // Short quantum so short runs still exercise timer interrupts,
     // preemption, and context-switch state syncs.
     cfg.kernel.timerQuantum = 6000;
+    // Banked DRAM on a deliberately small geometry, so row conflicts
+    // and queue backpressure reshape miss timing under the oracle.
+    if (banked) {
+        cfg.mem.dram.banked = true;
+        cfg.mem.dram.channels = 1;
+        cfg.mem.dram.banksPerRank = 4;
+        cfg.mem.dram.queueDepth = 4;
+    }
     return cfg;
 }
 
 /** One fuzzed co-simulated run; returns instructions verified. */
 std::uint64_t
 runFuzzCosim(std::uint64_t seed, int contexts, Cycle cycles,
-             std::uint64_t inject_at = 0, std::string *report = nullptr)
+             std::uint64_t inject_at = 0, std::string *report = nullptr,
+             bool banked = false)
 {
-    MachineConfig cfg = fuzzConfig(contexts);
+    MachineConfig cfg = fuzzConfig(contexts, banked);
     cfg.kernel.seed = seed;
 
     // One more runnable program than contexts, so the scheduler has
@@ -97,6 +106,24 @@ TEST(CosimFuzz, NoDivergenceAcrossSeedsAndWidths)
     });
     // Every run must actually have verified a substantial stream.
     EXPECT_GT(total_checked.load(), 52u * 5000u);
+}
+
+// The same 52-seed sweep with banked DRAM: timing changes (row
+// conflicts, FR-FCFS reordering, queue backpressure) must never
+// change what retires — the oracle is timing-blind and stays clean.
+TEST(CosimFuzz, NoDivergenceWithBankedDram)
+{
+    const int widths[] = {1, 2, 4, 8};
+    constexpr int perWidth = 13;
+    constexpr int runs = 4 * perWidth;
+    std::atomic<std::uint64_t> total_checked{0};
+    parallelFor(runs, [&](std::size_t i) {
+        const int w = widths[i / perWidth];
+        const std::uint64_t seed = 1 + i;
+        total_checked +=
+            runFuzzCosim(seed, w, 20000, 0, nullptr, true);
+    });
+    EXPECT_GT(total_checked.load(), 52u * 4000u);
 }
 
 // The oracle also holds on the paper's real workload models, which

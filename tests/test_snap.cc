@@ -33,6 +33,7 @@ struct Scenario
     int contexts;
     bool fastForward;
     bool faults;
+    bool banked = false; ///< banked DRAM behind the L2
 };
 
 std::string
@@ -44,6 +45,7 @@ scenarioName(const ::testing::TestParamInfo<Scenario> &info)
     n += "Ctx" + std::to_string(s.contexts);
     n += s.fastForward ? "Fast" : "Slow";
     n += s.faults ? "Faults" : "Clean";
+    n += s.banked ? "Banked" : "Flat";
     return n;
 }
 
@@ -55,6 +57,7 @@ configFor(const Scenario &sc)
     cfg.workload.spec.inputChunks = 8;
     cfg.system.numContexts = sc.contexts;
     cfg.system.fastForward = sc.fastForward;
+    cfg.system.dram.banked = sc.banked;
     if (sc.kind == WorkloadConfig::Kind::Apache) {
         cfg.phases.startupInstrs = 260'000;
         cfg.phases.measureInstrs = 120'000;
@@ -145,7 +148,9 @@ INSTANTIATE_TEST_SUITE_P(
             for (int contexts : {1, 2, 4, 8})
                 for (bool fast : {true, false})
                     for (bool faults : {false, true})
-                        v.push_back({kind, contexts, fast, faults});
+                        for (bool banked : {false, true})
+                            v.push_back({kind, contexts, fast,
+                                         faults, banked});
         return v;
     }()),
     scenarioName);

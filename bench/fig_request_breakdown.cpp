@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Request latency breakdown: where an Apache request's cycles go —
+ * queueing (NIC ring, accept queue, run queue) versus service (driver
+ * and protocol input, server execution, response transmit) — as the
+ * context count sweeps from the superscalar to the full 8-context
+ * SMT. The paper argues SMT hides latency by overlapping threads;
+ * the per-stage tail quantiles show which queues absorb the load.
+ *
+ * Built on the snapshot-sweep engine: each context count's start-up
+ * runs once untraced, and the measurement point resumes with a
+ * request tracer attached, so the spans cover steady state only.
+ * Per-stage p50/p99/p999 at 8 contexts is recorded into
+ * BENCH_simspeed.json (argv[1], default "BENCH_simspeed.json"; "-"
+ * skips the record).
+ */
+
+#include "bench_common.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+#include "obs/reqtrace.h"
+#include "obs/session.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+namespace {
+
+constexpr int counts[] = {1, 2, 4, 8};
+
+Session::Config
+baseFor(int n)
+{
+    Session::Config s = apacheSmt();
+    s.system.numContexts = n;
+    if (n == 1)
+        s.phases.startupInstrs = 1'000'000;
+    // End-to-end latency under full load runs north of a million
+    // cycles, so the measurement window must be long enough for
+    // requests issued (and first traced) inside it to also complete
+    // inside it. Scale with the context count to hold the cycle
+    // budget roughly constant; the low counts get a floor because
+    // their per-request latency is the worst.
+    s.phases.measureInstrs =
+        n < 4 ? 4'000'000ull : 1'500'000ull * static_cast<unsigned>(n);
+    return s;
+}
+
+std::string
+q3(const Histogram &h)
+{
+    if (h.totalSamples() == 0)
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.0f/%.0f/%.0f", h.p50(), h.p99(),
+                  h.p999());
+    return buf;
+}
+
+/** Record the 8-context per-stage quantiles. */
+void
+record(const std::string &path, const RequestTracer &tr)
+{
+    std::string body;
+    char line[160];
+    const ReqTraceStats &st = tr.stats();
+    std::uint64_t total = st.queueingCycles + st.serviceCycles;
+    std::snprintf(line, sizeof line,
+                  "        \"request_breakdown\": {\n"
+                  "          \"contexts\": 8,\n"
+                  "          \"completed_clean\": %llu,\n"
+                  "          \"queueing_pct\": %.2f,\n",
+                  static_cast<unsigned long long>(st.completedClean),
+                  total ? 100.0 * static_cast<double>(st.queueingCycles) /
+                              static_cast<double>(total)
+                        : 0.0);
+    body += line;
+    for (int i = 0; i < numReqStages; ++i) {
+        const Histogram &h = tr.stageHist(i);
+        std::snprintf(line, sizeof line,
+                      "          \"%s\": {\"p50\": %.0f, \"p99\": %.0f,"
+                      " \"p999\": %.0f},\n",
+                      reqStageName(i), h.p50(), h.p99(), h.p999());
+        body += line;
+    }
+    const Histogram &e = tr.e2e();
+    std::snprintf(line, sizeof line,
+                  "          \"e2e\": {\"p50\": %.0f, \"p99\": %.0f,"
+                  " \"p999\": %.0f}\n        }\n",
+                  e.p50(), e.p99(), e.p999());
+    body += line;
+    recordEntry(path, "request-breakdown", body);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("Request latency breakdown (Apache, traced)",
+           "queueing-vs-service attribution across context counts; "
+           "SMT should convert queueing cycles into overlapped service");
+
+    // One group per context count (structural), one traced
+    // measurement point each, resumed from the untraced start-up.
+    std::vector<std::unique_ptr<ObsSession>> sessions;
+    std::vector<SweepGroup> groups;
+    for (int n : counts) {
+        ObsConfig oc;
+        oc.reqtrace = true;
+        sessions.push_back(std::make_unique<ObsSession>(oc));
+        SweepGroup g;
+        g.base = baseFor(n);
+        SweepPoint p;
+        p.label = "ctx" + std::to_string(n) + "/traced";
+        p.opts.phases = g.base.phases;
+        p.opts.obs = sessions.back().get();
+        g.points.push_back(p);
+        groups.push_back(std::move(g));
+    }
+    const std::vector<std::vector<RunResult>> swept =
+        runSweepGroups(groups);
+
+    TextTable t("Queueing vs service share vs contexts");
+    t.header({"contexts", "clean spans", "e2e p50", "queueing %",
+              "service %"});
+    for (std::size_t i = 0; i < std::size(counts); ++i) {
+        const ReqTraceStats &st = sessions[i]->reqtrace()->stats();
+        const std::uint64_t total =
+            st.queueingCycles + st.serviceCycles;
+        t.row({TextTable::num(static_cast<std::uint64_t>(counts[i])),
+               TextTable::num(st.completedClean),
+               TextTable::num(sessions[i]->reqtrace()->e2e().p50(), 0),
+               total ? TextTable::percent(
+                           100.0 *
+                           static_cast<double>(st.queueingCycles) /
+                           static_cast<double>(total))
+                     : "-",
+               total ? TextTable::percent(
+                           100.0 *
+                           static_cast<double>(st.serviceCycles) /
+                           static_cast<double>(total))
+                     : "-"});
+    }
+    t.print();
+
+    TextTable s("Per-stage latency p50/p99/p999 (cycles)");
+    {
+        std::vector<std::string> hdr{"stage"};
+        for (int n : counts)
+            hdr.push_back("ctx" + std::to_string(n));
+        s.header(hdr);
+    }
+    for (int st = 0; st < numReqStages; ++st) {
+        std::vector<std::string> row{reqStageName(st)};
+        for (std::size_t i = 0; i < std::size(counts); ++i)
+            row.push_back(q3(sessions[i]->reqtrace()->stageHist(st)));
+        s.row(row);
+    }
+    {
+        std::vector<std::string> row{"e2e"};
+        for (std::size_t i = 0; i < std::size(counts); ++i)
+            row.push_back(q3(sessions[i]->reqtrace()->e2e()));
+        s.row(row);
+    }
+    s.print();
+
+    for (std::size_t i = 0; i < std::size(counts); ++i) {
+        std::printf("ctx%d: served %llu requests, traced %llu, "
+                    "clean %llu\n", counts[i],
+                    static_cast<unsigned long long>(
+                        swept[i][0].requestsServed),
+                    static_cast<unsigned long long>(
+                        sessions[i]->reqtrace()->stats().tracked),
+                    static_cast<unsigned long long>(
+                        sessions[i]->reqtrace()->stats().completedClean));
+    }
+
+    record(argc > 1 ? argv[1] : "BENCH_simspeed.json",
+           *sessions.back()->reqtrace());
+    return 0;
+}

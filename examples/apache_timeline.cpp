@@ -7,6 +7,7 @@
  *   <outdir>/interval.jsonl  interval time-series (JSON lines)
  *   <outdir>/interval.csv    interval time-series (CSV)
  *   <outdir>/trace.json      Perfetto/Chrome trace (ui.perfetto.dev)
+ *   <outdir>/spans.jsonl     request spans (tools/reqstats.py)
  *
  * Usage: apache_timeline [outdir]   (default: obs-artifacts)
  */
@@ -18,6 +19,7 @@
 #include "harness/env.h"
 #include "harness/session.h"
 #include "obs/profiler.h"
+#include "obs/reqtrace.h"
 #include "obs/session.h"
 
 using namespace smtos;
@@ -37,12 +39,17 @@ main(int argc, char **argv)
     oc.intervalJsonlPath = outdir + "/interval.jsonl";
     oc.intervalCsvPath = outdir + "/interval.csv";
     oc.timelinePath = outdir + "/trace.json";
+    oc.reqtrace = true;
+    oc.reqtraceFilePath = outdir + "/spans.jsonl";
     ObsSession obs(oc);
 
     Session::Config cfg;
     cfg.workload.kind = WorkloadConfig::Kind::Apache;
+    // Long enough that requests issued under tracing also complete
+    // under tracing (end-to-end latency at full load is north of a
+    // million cycles), so spans.jsonl has finished spans to show.
     cfg.phases.startupInstrs = 300'000;
-    cfg.phases.measureInstrs = 500'000;
+    cfg.phases.measureInstrs = 6'000'000;
     cfg.obs = &obs;
 
     std::printf("smtos observability demo: short Apache run\n");
@@ -61,8 +68,16 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(total),
                 static_cast<unsigned long long>(accounted),
                 total == accounted ? "exact" : "MISMATCH");
+    const ReqTraceStats &rt = obs.reqtrace()->stats();
+    std::printf("request spans: %llu tracked, %llu clean, "
+                "%llu retried, %llu in flight\n",
+                static_cast<unsigned long long>(rt.tracked),
+                static_cast<unsigned long long>(rt.completedClean),
+                static_cast<unsigned long long>(rt.completedRetried),
+                static_cast<unsigned long long>(
+                    obs.reqtrace()->inflight()));
     std::printf("artifacts in %s/: report.txt interval.jsonl "
-                "interval.csv trace.json\n",
+                "interval.csv trace.json spans.jsonl\n",
                 outdir.c_str());
     return total == accounted ? 0 : 1;
 }

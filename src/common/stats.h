@@ -132,6 +132,7 @@ class Histogram
     double p50() const { return quantile(0.50); }
     double p95() const { return quantile(0.95); }
     double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
 
     double mean() const { return total_ ? weightedSum_ / total_ : 0.0; }
 

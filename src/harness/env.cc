@@ -66,6 +66,12 @@ EnvOverrides::fromLookup(const Lookup &get)
     if (const char *v = get("SMTOS_TIMELINE"))
         ov.obs.timelinePath = v;
     ov.obs.timelineDetail = truthy(get("SMTOS_TIMELINE_DETAIL"));
+    if (truthy(get("SMTOS_REQTRACE")))
+        ov.obs.reqtrace = true;
+    if (const char *v = get("SMTOS_REQTRACE_FILE")) {
+        ov.obs.reqtrace = true;
+        ov.obs.reqtraceFilePath = v;
+    }
     return ov;
 }
 

@@ -15,7 +15,8 @@
  *   SMTOS_JOBS                       parallel runner worker count
  *   SMTOS_FAULTS                     fault plan (FaultParams syntax)
  *   SMTOS_PROFILE, SMTOS_INTERVAL, SMTOS_INTERVAL_JSONL,
- *   SMTOS_INTERVAL_CSV, SMTOS_TIMELINE, SMTOS_TIMELINE_DETAIL
+ *   SMTOS_INTERVAL_CSV, SMTOS_TIMELINE, SMTOS_TIMELINE_DETAIL,
+ *   SMTOS_REQTRACE, SMTOS_REQTRACE_FILE
  *                                    observability sinks (ObsConfig)
  */
 

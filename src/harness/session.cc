@@ -7,6 +7,7 @@
 #include "fault/diag.h"
 #include "harness/cosim.h"
 #include "harness/env.h"
+#include "obs/reqtrace.h"
 #include "obs/session.h"
 #include "sim/config.h"
 #include "sim/system.h"
@@ -23,6 +24,9 @@ constexpr std::uint32_t configSectionVersion = 2;
 
 /** Cosim-oracle section layout version. */
 constexpr std::uint32_t cosimSectionVersion = 1;
+
+/** Optional trailing request-tracer section. */
+constexpr std::uint32_t reqtraceSectionVersion = 1;
 
 MachineConfig
 machineConfigOf(const SystemConfig &sc, const WorkloadConfig &wc)
@@ -415,6 +419,14 @@ Session::snapshot()
         cosim_->save(sp, images);
     }
     sp.endSection();
+    // Tracer state is a trailing OPTIONAL section: untraced sessions
+    // write nothing here, so their artifacts stay byte-identical to
+    // the pre-tracer format.
+    if (obs_ && obs_->reqtrace()) {
+        sp.beginSection("RQTR", reqtraceSectionVersion);
+        obs_->reqtrace()->save(sp);
+        sp.endSection();
+    }
     return sp.finish();
 }
 
@@ -485,6 +497,19 @@ Session::resume(const std::vector<std::uint8_t> &artifact,
         rs.skipRest();
     }
     rs.leaveSection();
+    // Optional trailing tracer state (present only when the saving
+    // session traced). Restored into the resuming session's tracer
+    // when it has one, so in-flight spans complete across the
+    // boundary; skipped (but still consumed) otherwise.
+    if (!rs.atEnd()) {
+        const std::uint32_t rqv = rs.enterSection("RQTR");
+        smtos_assert(rqv == reqtraceSectionVersion);
+        if (opts.obs && opts.obs->reqtrace())
+            opts.obs->reqtrace()->load(rs);
+        else
+            rs.skipRest();
+        rs.leaveSection();
+    }
     s->startupDone_ = true; // the artifact is past its start-up
     if (opts.obs)
         s->attachObs(*opts.obs);

@@ -251,6 +251,11 @@ Kernel::interrupt(Context &ctx, ThreadState &t, std::uint16_t vector)
         if (p.isUser() &&
             p.mceHits > static_cast<std::uint32_t>(limit)) {
             if (p.conn >= 0) {
+                const Connection &cn =
+                    conns_[static_cast<size_t>(p.conn)];
+                if (probes_ && cn.inUse)
+                    probes_->reqDrop("mce-kill", cn.client, cn.reqSeq,
+                                     nowCycle_);
                 conns_[static_cast<size_t>(p.conn)] = Connection{};
                 p.conn = -1;
             }

@@ -148,8 +148,15 @@ class Kernel : public OsCallbacks
     Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
            const KernelCode &kc);
 
-    /** Attach (or detach, with nullptr) the observability hub. */
-    void setProbes(Probes *p) { probes_ = p; }
+    /** Attach (or detach, with nullptr) the observability hub; the
+     *  client population shares it for request-trace stamping. */
+    void
+    setProbes(Probes *p)
+    {
+        probes_ = p;
+        if (clients_)
+            clients_->setProbes(p);
+    }
 
     /**
      * Attach a fault plan. Must be called before start(): it threads

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/trace.h"
 #include "kernel/kernel.h"
+#include "obs/probes.h"
 
 namespace smtos {
 
@@ -62,6 +63,8 @@ Kernel::driverRx(Process &p)
         Packet pkt = nicRing_.front();
         nicRing_.pop_front();
         pkt.mbuf = allocMbuf(pkt.bytes);
+        if (probes_ && pkt.open)
+            probes_->reqDriverRx(pkt.client, pkt.reqSeq, nowCycle_);
         protoQ_.push_back(pkt);
     }
     wakeWaiters(WaitProtoQ);
@@ -90,6 +93,9 @@ Kernel::netisrDeliver(Process &p)
             ++backlogDrops_;
             faults_->note(nowCycle_, FaultKind::BacklogDrop,
                           static_cast<std::uint64_t>(pkt.client));
+            if (probes_)
+                probes_->reqDrop("backlog-drop", pkt.client,
+                                 pkt.reqSeq, nowCycle_);
             smtos_trace(TraceCat::Fault,
                         "listen backlog full; client %d refused",
                         pkt.client);
@@ -111,6 +117,9 @@ Kernel::netisrDeliver(Process &p)
             if (faults_)
                 faults_->note(nowCycle_, FaultKind::SynDrop,
                               static_cast<std::uint64_t>(pkt.client));
+            if (probes_)
+                probes_->reqDrop("syn-drop", pkt.client, pkt.reqSeq,
+                                 nowCycle_);
             smtos_trace(TraceCat::Fault,
                         "conn table full; SYN from client %d dropped",
                         pkt.client);
@@ -126,6 +135,10 @@ Kernel::netisrDeliver(Process &p)
         cn.mbuf = pkt.mbuf;
         cn.reqSeq = pkt.reqSeq;
         acceptQ_.push_back(id);
+        if (probes_) {
+            probes_->reqAccepted(pkt.client, pkt.reqSeq, nowCycle_);
+            probes_->queueDepth(1, acceptQ_.size(), nowCycle_);
+        }
         wakeWaiters(WaitAccept);
         wakeWaiters(WaitRecv);
     }
@@ -138,6 +151,9 @@ Kernel::netSend(Process &p)
         return;
     smtos_trace(TraceCat::Net, "pid%d tx %u bytes conn %d", p.pid,
                 p.txPacket.bytes, p.txPacket.conn);
+    if (probes_ && p.txPacket.fin)
+        probes_->reqTxDone(p.txPacket.client, p.txPacket.reqSeq,
+                           p.pid, nowCycle_);
     net_.serverSend(p.txPacket);
     p.txPacket = Packet{};
 }

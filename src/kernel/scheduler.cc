@@ -18,6 +18,8 @@ Kernel::enqueue(Process *p, bool front)
         runq_.push_front(p);
     else
         runq_.push_back(p);
+    if (probes_)
+        probes_->queueDepth(0, runq_.size(), nowCycle_);
 }
 
 Process *
@@ -40,6 +42,8 @@ Kernel::pickNext(CtxId preferred)
             if (p->state == Process::State::Ready &&
                 p->lastCtx == preferred) {
                 runq_.erase(it);
+                if (probes_)
+                    probes_->queueDepth(0, runq_.size(), nowCycle_);
                 return p;
             }
         }
@@ -47,8 +51,11 @@ Kernel::pickNext(CtxId preferred)
     while (!runq_.empty()) {
         Process *p = runq_.front();
         runq_.pop_front();
-        if (p->state == Process::State::Ready)
+        if (p->state == Process::State::Ready) {
+            if (probes_)
+                probes_->queueDepth(0, runq_.size(), nowCycle_);
             return p;
+        }
     }
     return nullptr;
 }
@@ -115,6 +122,16 @@ Kernel::switchTo(Context &ctx, Process *next)
                 ? "netisr" + std::to_string(next->pid)
                 : "pid" + std::to_string(next->pid);
         probes_->threadSwitch(ctx.id, next->pid, idle, label);
+        // A process dispatched while serving a connection closes that
+        // request's scheduler-wait stage (the tracer ignores repeat
+        // dispatches after preemption).
+        if (next->conn >= 0 &&
+            conns_[static_cast<size_t>(next->conn)].inUse) {
+            const Connection &cn =
+                conns_[static_cast<size_t>(next->conn)];
+            probes_->reqDispatched(cn.client, cn.reqSeq, ctx.id,
+                                   next->pid, nowCycle_);
+        }
     }
 
     // The incoming thread pays the context-switch cost.
@@ -144,6 +161,18 @@ Kernel::deliverWait(Process &p, std::uint16_t chan)
         p.conn = conn;
         p.reqConsumed = false;
         conns_[static_cast<size_t>(conn)].owner = p.pid;
+        if (probes_) {
+            const Connection &cn = conns_[static_cast<size_t>(conn)];
+            probes_->reqClaimed(cn.client, cn.reqSeq, p.pid,
+                                nowCycle_);
+            probes_->queueDepth(1, acceptQ_.size(), nowCycle_);
+            // An already-running process claimed the connection on a
+            // non-blocking accept: there is no scheduler wait, so the
+            // dispatch boundary coincides with the claim.
+            if (p.state == Process::State::Running)
+                probes_->reqDispatched(cn.client, cn.reqSeq,
+                                       p.runningOn, p.pid, nowCycle_);
+        }
     }
 }
 

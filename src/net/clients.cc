@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/probes.h"
+
 namespace smtos {
 
 std::uint32_t
@@ -38,7 +40,8 @@ specWebPickFile(Rng &rng, int num_files)
 ClientPopulation::ClientPopulation(const SpecWebParams &params,
                                    std::uint64_t seed)
     : params_(params), rng_(seed),
-      latency_(0, 4 * 1024 * 1024, 256)
+      latency_(0, 4 * 1024 * 1024, 256),
+      retriedLatency_(0, 4 * 1024 * 1024, 256)
 {
     clients_.resize(static_cast<size_t>(params_.numClients));
     // Stagger the first requests so load ramps in smoothly.
@@ -78,7 +81,17 @@ ClientPopulation::tick(Cycle now, Network &net)
             c.respRemaining = 0;
             c.state = Client::State::Thinking;
             c.nextRequestAt = drawThink(now);
-            latency_.sample(static_cast<std::int64_t>(now - c.issuedAt));
+            if (probes_)
+                probes_->reqComplete(p.client, c.reqSeq,
+                                     c.retries > 0, now);
+            if (c.retries > 0) {
+                retriedLatency_.sample(
+                    static_cast<std::int64_t>(now - c.issuedAt));
+                ++retried_;
+            } else {
+                latency_.sample(
+                    static_cast<std::int64_t>(now - c.issuedAt));
+            }
             ++responses_;
         } else {
             c.respRemaining -= p.bytes;
@@ -103,6 +116,8 @@ ClientPopulation::tick(Cycle now, Network &net)
             rng_.range(params_.requestBytesMin, params_.requestBytesMax));
         p.reqSeq = ++c.reqSeq;
         net.clientSend(p);
+        if (probes_)
+            probes_->reqIssue(p.client, p.reqSeq, now);
         c.state = Client::State::Waiting;
         c.respRemaining = specWebFileBytes(file);
         c.lastRequest = p;
@@ -130,11 +145,16 @@ ClientPopulation::tick(Cycle now, Network &net)
             // file again.
             c.respRemaining = specWebFileBytes(c.lastRequest.fileId);
             net.clientSend(c.lastRequest);
+            if (probes_)
+                probes_->reqRetransmit(c.lastRequest.client, c.reqSeq,
+                                       now);
             ++retransmits_;
         } else {
             c.state = Client::State::Thinking;
             c.respRemaining = 0;
             c.nextRequestAt = drawThink(now);
+            if (probes_)
+                probes_->reqAbort(c.lastRequest.client, c.reqSeq, now);
             ++aborts_;
         }
     }

@@ -34,6 +34,8 @@
 
 namespace smtos {
 
+class Probes;
+
 /** Client population configuration. */
 struct SpecWebParams
 {
@@ -70,18 +72,26 @@ class ClientPopulation
     void setRecovery(bool on) { recovery_ = on; }
     bool recoveryEnabled() const { return recovery_; }
 
+    /** Observability hub (null in normal runs; never mutates us). */
+    void setProbes(Probes *p) { probes_ = p; }
+
     std::uint64_t requestsIssued() const { return requestsIssued_; }
     std::uint64_t responsesCompleted() const { return responses_; }
     std::uint64_t retransmits() const { return retransmits_; }
     std::uint64_t aborts() const { return aborts_; }
+    std::uint64_t retriedResponses() const { return retried_; }
 
-    /** Request completion latency (issue of first transmission to
-     *  final response byte), in cycles. */
+    /** First-try request completion latency (issue of the only
+     *  transmission to final response byte), in cycles. */
     const Histogram &latency() const { return latency_; }
+
+    /** Latency of requests that needed at least one retransmit —
+     *  kept apart so backoff cycles don't pollute the tail. */
+    const Histogram &retriedLatency() const { return retriedLatency_; }
 
     const SpecWebParams &params() const { return params_; }
 
-    static constexpr std::uint32_t snapVersion = 1;
+    static constexpr std::uint32_t snapVersion = 2;
     void save(Snapshotter &sp) const;
     void load(Restorer &rs);
 
@@ -103,11 +113,14 @@ class ClientPopulation
     Rng rng_;
     std::vector<Client> clients_;
     bool recovery_ = false;
+    Probes *probes_ = nullptr;
     std::uint64_t requestsIssued_ = 0;
     std::uint64_t responses_ = 0;
     std::uint64_t retransmits_ = 0;
     std::uint64_t aborts_ = 0;
+    std::uint64_t retried_ = 0;
     Histogram latency_;
+    Histogram retriedLatency_;
 
     Cycle drawThink(Cycle now);
 };

@@ -1,6 +1,7 @@
 #include "obs/probes.h"
 
 #include "obs/profiler.h"
+#include "obs/reqtrace.h"
 #include "obs/timeline.h"
 
 namespace smtos {
@@ -134,6 +135,86 @@ Probes::faultEvent(const char *kind, Cycle now, std::uint64_t a,
 {
     if (timeline_)
         timeline_->faultInstant(kind, now, a, b);
+}
+
+void
+Probes::reqIssue(int client, std::uint32_t seq, Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->issue(client, seq, now);
+}
+
+void
+Probes::reqRetransmit(int client, std::uint32_t seq, Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->retransmit(client, seq, now);
+}
+
+void
+Probes::reqAbort(int client, std::uint32_t seq, Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->abortReq(client, seq, now);
+}
+
+void
+Probes::reqDriverRx(int client, std::uint32_t seq, Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->driverRx(client, seq, now);
+}
+
+void
+Probes::reqAccepted(int client, std::uint32_t seq, Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->accepted(client, seq, now);
+}
+
+void
+Probes::reqClaimed(int client, std::uint32_t seq, int pid, Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->claimed(client, seq, pid, now);
+}
+
+void
+Probes::reqDispatched(int client, std::uint32_t seq, int ctx, int pid,
+                      Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->dispatched(client, seq, ctx, pid, now);
+}
+
+void
+Probes::reqTxDone(int client, std::uint32_t seq, int pid, Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->txDone(client, seq, pid, now);
+}
+
+void
+Probes::reqComplete(int client, std::uint32_t seq, bool retried,
+                    Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->complete(client, seq, retried, now);
+}
+
+void
+Probes::reqDrop(const char *kind, int client, std::uint32_t seq,
+                Cycle now)
+{
+    if (reqtrace_)
+        reqtrace_->drop(kind, client, seq, now);
+}
+
+void
+Probes::queueDepth(int queue, std::size_t depth, Cycle now)
+{
+    if (reqtrace_ && timeline_)
+        timeline_->queueCounter(queue, depth, now);
 }
 
 void

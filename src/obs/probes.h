@@ -16,6 +16,7 @@
 #ifndef SMTOS_OBS_PROBES_H
 #define SMTOS_OBS_PROBES_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 namespace smtos {
 
 class CycleProfiler;
+class RequestTracer;
 class TimelineExporter;
 
 /**
@@ -78,12 +80,14 @@ const char *issueLossName(IssueLoss c);
 class Probes
 {
   public:
-    /** Bind sinks (either may be null). */
+    /** Bind sinks (any may be null). */
     void
-    bind(CycleProfiler *profiler, TimelineExporter *timeline)
+    bind(CycleProfiler *profiler, TimelineExporter *timeline,
+         RequestTracer *reqtrace = nullptr)
     {
         profiler_ = profiler;
         timeline_ = timeline;
+        reqtrace_ = reqtrace;
     }
 
     /** Size per-context state; forwards track metadata to the sinks. */
@@ -91,6 +95,7 @@ class Probes
 
     CycleProfiler *profiler() const { return profiler_; }
     TimelineExporter *timeline() const { return timeline_; }
+    RequestTracer *reqtrace() const { return reqtrace_; }
 
     /** Current simulated cycle (updated by the pipeline each tick). */
     Cycle now() const { return now_; }
@@ -121,12 +126,36 @@ class Probes
     void faultEvent(const char *kind, Cycle now, std::uint64_t a,
                     std::uint64_t b);
 
+    // --- request-tracing hooks (see obs/reqtrace.h). Producers pass
+    // --- their own cycle clock so span stamps match the simulation's
+    // --- latency arithmetic bit for bit ---
+    void reqIssue(int client, std::uint32_t seq, Cycle now);
+    void reqRetransmit(int client, std::uint32_t seq, Cycle now);
+    void reqAbort(int client, std::uint32_t seq, Cycle now);
+    void reqDriverRx(int client, std::uint32_t seq, Cycle now);
+    void reqAccepted(int client, std::uint32_t seq, Cycle now);
+    void reqClaimed(int client, std::uint32_t seq, int pid, Cycle now);
+    void reqDispatched(int client, std::uint32_t seq, int ctx, int pid,
+                       Cycle now);
+    void reqTxDone(int client, std::uint32_t seq, int pid, Cycle now);
+    void reqComplete(int client, std::uint32_t seq, bool retried,
+                     Cycle now);
+    /** Fault annotation on a request ("syn-drop", "backlog-drop",
+     *  "mce-kill"). */
+    void reqDrop(const char *kind, int client, std::uint32_t seq,
+                 Cycle now);
+    /** Queue-depth counter sample (@p queue: 0 run queue, 1 accept
+     *  queue); emitted only while a tracer and a timeline are bound
+     *  so untraced timelines stay byte-identical. */
+    void queueDepth(int queue, std::size_t depth, Cycle now);
+
     /** Flush the sinks (close open spans at the final cycle). */
     void finish();
 
   private:
     CycleProfiler *profiler_ = nullptr;
     TimelineExporter *timeline_ = nullptr;
+    RequestTracer *reqtrace_ = nullptr;
     Cycle now_ = 0;
     /** Last retired mode/thread per context (-1: none yet). */
     std::vector<int> lastMode_;

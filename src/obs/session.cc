@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/profiler.h"
+#include "obs/reqtrace.h"
 #include "obs/timeline.h"
 #include "sim/export.h"
 #include "sim/system.h"
@@ -27,7 +28,16 @@ ObsSession::ObsSession(const ObsConfig &cfg) : cfg_(cfg)
         if (!jsonlOs_ && !csvOs_)
             jsonlOs_ = &std::cout;
     }
-    probes_.bind(profiler_.get(), timeline_.get());
+    if (cfg_.reqtrace || !cfg_.reqtraceFilePath.empty()) {
+        cfg_.reqtrace = true;
+        reqtrace_ = std::make_unique<RequestTracer>();
+        reqtrace_->bindTimeline(timeline_.get());
+        if (!cfg_.reqtraceFilePath.empty()) {
+            spanOs_ = openSink(cfg_.reqtraceFilePath, spanFile_);
+            reqtrace_->setSpanSink(spanOs_);
+        }
+    }
+    probes_.bind(profiler_.get(), timeline_.get(), reqtrace_.get());
 }
 
 ObsSession::~ObsSession()
@@ -92,6 +102,8 @@ ObsSession::finish()
         jsonlOs_->flush();
     if (csvOs_)
         csvOs_->flush();
+    if (spanOs_)
+        spanOs_->flush();
     if (profiler_) {
         if (cfg_.reportPath.empty()) {
             profiler_->writeReport(std::cerr);

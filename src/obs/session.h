@@ -15,6 +15,8 @@
  *   SMTOS_INTERVAL_CSV=<path>    interval rows as CSV
  *   SMTOS_TIMELINE=<path>      Perfetto/Chrome trace.json
  *   SMTOS_TIMELINE_DETAIL=1    also emit per-miss TLB/cache instants
+ *   SMTOS_REQTRACE=1           per-request span tracing (reqtrace.h)
+ *   SMTOS_REQTRACE_FILE=<path> span JSONL (implies SMTOS_REQTRACE)
  *
  * A path of "-" means stdout. A session covers exactly one run:
  * attach() once, then finish() (idempotent) closes the sinks.
@@ -33,6 +35,7 @@
 namespace smtos {
 
 class CycleProfiler;
+class RequestTracer;
 class TimelineExporter;
 class System;
 struct MetricsSnapshot;
@@ -47,11 +50,15 @@ struct ObsConfig
     std::string intervalCsvPath;
     std::string timelinePath;   ///< "": no timeline export
     bool timelineDetail = false;
+    bool reqtrace = false;      ///< enable per-request span tracing
+    std::string reqtraceFilePath; ///< span JSONL (implies reqtrace)
 
     bool
     any() const
     {
-        return profile || intervalCycles > 0 || !timelinePath.empty();
+        return profile || intervalCycles > 0 ||
+               !timelinePath.empty() || reqtrace ||
+               !reqtraceFilePath.empty();
     }
 };
 
@@ -79,6 +86,8 @@ class ObsSession
     Probes &probes() { return probes_; }
     CycleProfiler *profiler() { return profiler_.get(); }
     TimelineExporter *timeline() { return timeline_.get(); }
+    RequestTracer *reqtrace() { return reqtrace_.get(); }
+    const RequestTracer *reqtrace() const { return reqtrace_.get(); }
 
   private:
     std::ostream *openSink(const std::string &path,
@@ -88,10 +97,13 @@ class ObsSession
     std::ofstream timelineFile_;
     std::ofstream jsonlFile_;
     std::ofstream csvFile_;
+    std::ofstream spanFile_;
     std::ostream *jsonlOs_ = nullptr;
     std::ostream *csvOs_ = nullptr;
+    std::ostream *spanOs_ = nullptr;
     std::unique_ptr<CycleProfiler> profiler_;
     std::unique_ptr<TimelineExporter> timeline_;
+    std::unique_ptr<RequestTracer> reqtrace_;
     Probes probes_;
     bool attached_ = false;
     bool finished_ = false;

@@ -185,6 +185,55 @@ TimelineExporter::dramEvent(ThreadId thread, Addr paddr, int channel,
 }
 
 void
+TimelineExporter::requestInstant(const char *name, int client,
+                                 Cycle now, const std::string &args)
+{
+    if (!namedRequests_) {
+        namedRequests_ = true;
+        event("__metadata", "process_name", 'M', 6, 0, now,
+              "{\"name\":\"requests\"}");
+    }
+    if (!namedClient_[client]) {
+        namedClient_[client] = true;
+        threadName(6, client, "client" + std::to_string(client), now);
+    }
+    event("req", name, 'i', 6, client, now, args, true);
+}
+
+void
+TimelineExporter::requestFlow(char ph, std::uint64_t id, int pid,
+                              int tid, Cycle now)
+{
+    smtos_assert(open_);
+    if (events_ > 0)
+        os_ << ",\n";
+    ++events_;
+    // Keys in strict alphabetical order, like event():
+    // bp, cat, id, name, ph, pid, tid, ts.
+    os_ << "{";
+    if (ph == 'f')
+        os_ << "\"bp\":\"e\",";
+    os_ << "\"cat\":\"req\",\"id\":" << id
+        << ",\"name\":\"req\",\"ph\":\"" << ph << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"ts\":" << now << "}";
+}
+
+void
+TimelineExporter::queueCounter(int queue, std::size_t depth,
+                               Cycle now)
+{
+    if (!namedQueues_) {
+        namedQueues_ = true;
+        event("__metadata", "process_name", 'M', 5, 0, now,
+              "{\"name\":\"queues\"}");
+        threadName(5, 0, "runq", now);
+        threadName(5, 1, "acceptq", now);
+    }
+    event("queue", queue == 0 ? "runq" : "acceptq", 'C', 5, queue,
+          now, "{\"depth\":" + std::to_string(depth) + "}");
+}
+
+void
 TimelineExporter::faultInstant(const char *kind, Cycle now,
                                std::uint64_t a, std::uint64_t b)
 {

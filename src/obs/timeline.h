@@ -22,6 +22,12 @@
  *                         row-conflict instants (banked model with
  *                         detail on; metadata emitted lazily so flat
  *                         traces are unchanged)
+ *   pid 5 "queues"      — run-queue and accept-queue depth counters
+ *                         (request tracer attached; metadata lazy)
+ *   pid 6 "requests"    — per-client request-journey instants plus
+ *                         flow events chaining issue → driver →
+ *                         accept → dispatch → transmit → complete
+ *                         across the scheduler and syscall tracks
  *
  * The writer emits events in simulation order (timestamps are
  * monotone non-decreasing) with alphabetically sorted keys in every
@@ -89,6 +95,27 @@ class TimelineExporter
     void dramEvent(ThreadId thread, Addr paddr, int channel, int bank,
                    int kind, int queueOcc, Cycle now);
 
+    /**
+     * Request-journey instant on the per-client track (pid 6). The
+     * process/track metadata is emitted lazily on first use so traces
+     * without the request tracer are byte-identical to older output.
+     */
+    void requestInstant(const char *name, int client, Cycle now,
+                        const std::string &args = std::string());
+
+    /**
+     * Flow-event step linking one request's journey across tracks:
+     * @p ph is 's' (start), 't' (step) or 'f' (end, which carries
+     * `"bp":"e"` so it binds to the enclosing slice). All steps of a
+     * request share @p id, so the viewer draws one arrow chain.
+     */
+    void requestFlow(char ph, std::uint64_t id, int pid, int tid,
+                     Cycle now);
+
+    /** Queue-depth counter sample on pid 5 (@p queue: 0 = run queue,
+     *  1 = accept queue); metadata lazy like the dram tracks. */
+    void queueCounter(int queue, std::size_t depth, Cycle now);
+
     /** Close every open span at @p now and write the footer. */
     void finish(Cycle now);
 
@@ -120,6 +147,10 @@ class TimelineExporter
     /** pid-4 "dram" process/track metadata already written. */
     bool namedDram_ = false;
     std::vector<bool> namedDramCh_;
+    /** pid-5 "queues" / pid-6 "requests" metadata already written. */
+    bool namedQueues_ = false;
+    bool namedRequests_ = false;
+    std::unordered_map<int, bool> namedClient_;
 };
 
 } // namespace smtos

@@ -113,6 +113,38 @@ writeJsonFields(std::ostream &os, const MetricsSnapshot &d)
         vec("bank_row_conflicts", d.dram.bankRowConflicts);
         os << "}";
     }
+    // Client latency quantiles appear once any request completed
+    // (Apache runs); SpecInt output is unchanged.
+    if (d.latency.count > 0 || d.retriedLatency.count > 0) {
+        auto lat = [&os](const char *name, const LatencySummary &l) {
+            os << ",\"" << name << "\":{\"count\":" << l.count
+               << ",\"mean\":" << l.mean << ",\"p50\":" << l.p50
+               << ",\"p95\":" << l.p95 << ",\"p99\":" << l.p99
+               << ",\"p999\":" << l.p999 << "}";
+        };
+        lat("latency", d.latency);
+        lat("retried_latency", d.retriedLatency);
+    }
+    // Request-tracing aggregates appear only when a tracer was
+    // attached, so untraced JSON stays byte-identical.
+    if (d.reqtrace.enabled) {
+        os << ",\"reqtrace\":{\"tracked\":" << d.reqtrace.tracked
+           << ",\"completed_clean\":" << d.reqtrace.completedClean
+           << ",\"completed_retried\":" << d.reqtrace.completedRetried
+           << ",\"completed_irregular\":"
+           << d.reqtrace.completedIrregular
+           << ",\"aborted\":" << d.reqtrace.aborted
+           << ",\"retransmit_annotations\":"
+           << d.reqtrace.retransmitAnnotations
+           << ",\"drop_annotations\":" << d.reqtrace.dropAnnotations
+           << ",\"stage_cycles\":{";
+        for (int i = 0; i < numReqStages; ++i)
+            os << (i ? "," : "") << "\"" << reqStageName(i)
+               << "\":" << d.reqtrace.stageCycles[i];
+        os << "},\"queueing_cycles\":" << d.reqtrace.queueingCycles
+           << ",\"service_cycles\":" << d.reqtrace.serviceCycles
+           << "}";
+    }
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include "common/stats.h"
 #include "kernel/tags.h"
+#include "obs/probes.h"
 
 namespace smtos {
 
@@ -37,6 +38,19 @@ diffMap(const std::map<std::string, std::uint64_t> &a,
 
 } // namespace
 
+LatencySummary
+LatencySummary::of(const Histogram &h)
+{
+    LatencySummary s;
+    s.count = h.totalSamples();
+    s.mean = h.mean();
+    s.p50 = h.p50();
+    s.p95 = h.p95();
+    s.p99 = h.p99();
+    s.p999 = h.p999();
+    return s;
+}
+
 MetricsSnapshot
 MetricsSnapshot::capture(System &sys)
 {
@@ -59,6 +73,15 @@ MetricsSnapshot::capture(System &sys)
     s.contextSwitches = sys.kernel().contextSwitches();
     s.faults = sys.kernel().faultCounters();
     s.dram = sys.hierarchy().memctrl().stats();
+    if (sys.kernel().params().enableNetwork) {
+        const ClientPopulation &cl = sys.kernel().clients();
+        s.latency = LatencySummary::of(cl.latency());
+        s.retriedLatency = LatencySummary::of(cl.retriedLatency());
+    }
+    if (sys.probes() && sys.probes()->reqtrace()) {
+        s.reqtrace = sys.probes()->reqtrace()->stats();
+        s.reqtrace.enabled = 1;
+    }
     return s;
 }
 
@@ -119,6 +142,10 @@ MetricsSnapshot::delta(const MetricsSnapshot &e) const
     d.contextSwitches = contextSwitches - e.contextSwitches;
     d.faults = faults.delta(e.faults);
     d.dram = dram.delta(e.dram);
+    d.latency.count = latency.count - e.latency.count;
+    d.retriedLatency.count =
+        retriedLatency.count - e.retriedLatency.count;
+    d.reqtrace = reqtrace.delta(e.reqtrace);
     return d;
 }
 

@@ -17,9 +17,31 @@
 #include "kernel/tags.h"
 #include "mem/memctrl.h"
 #include "mem/missclass.h"
+#include "obs/reqtrace.h"
 #include "sim/system.h"
 
 namespace smtos {
+
+class Histogram;
+
+/**
+ * Point-in-time histogram summary (client latency quantiles). The
+ * quantiles are positional, not counters: delta() subtracts the
+ * counts but keeps the later capture's quantiles, which over a
+ * measurement interval approximate the interval's own tail well when
+ * the interval dominates the sample count.
+ */
+struct LatencySummary
+{
+    std::uint64_t count = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double p999 = 0;
+
+    static LatencySummary of(const Histogram &h);
+};
 
 /** Point-in-time copy of every counter the paper's tables need. */
 struct MetricsSnapshot
@@ -36,6 +58,12 @@ struct MetricsSnapshot
     std::uint64_t contextSwitches = 0;
     FaultCounters faults;
     DramStats dram;
+    /** Client-observed request latency (Apache runs; else empty). */
+    LatencySummary latency;
+    LatencySummary retriedLatency;
+    /** Request-tracing aggregates (reqtrace.enabled marks a tracer
+     *  was attached when captured). */
+    ReqTraceStats reqtrace;
 
     static MetricsSnapshot capture(System &sys);
 

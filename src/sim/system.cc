@@ -17,6 +17,7 @@ System::System(const MachineConfig &cfg)
 void
 System::attachProbes(Probes *p)
 {
+    probes_ = p;
     pipe_->setProbes(p);
     pipe_->itlb().setProbes(p);
     pipe_->dtlb().setProbes(p);

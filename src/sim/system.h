@@ -31,6 +31,9 @@ class System
      */
     void attachProbes(Probes *p);
 
+    /** Currently attached observability hub (null when detached). */
+    Probes *probes() const { return probes_; }
+
     /**
      * Attach a fault plan (nullptr detaches). Must run before
      * start(); see Kernel::attachFaults.
@@ -55,6 +58,7 @@ class System
 
   private:
     MachineConfig cfg_;
+    Probes *probes_ = nullptr;
     PhysMem mem_;
     std::unique_ptr<KernelCode> kc_;
     Hierarchy hier_;

@@ -259,6 +259,16 @@ class Restorer
         pos_ = sectionEnd_;
     }
 
+    /** True when the whole payload has been consumed. Valid only
+     *  between sections; lets readers detect optional trailing
+     *  sections that older artifacts do not carry. */
+    bool
+    atEnd() const
+    {
+        smtos_assert(sectionEnd_ == 0);
+        return pos_ == buf_.size();
+    }
+
   private:
     void
     validate()

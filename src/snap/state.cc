@@ -780,7 +780,9 @@ ClientPopulation::save(Snapshotter &sp) const
     sp.u64(responses_);
     sp.u64(retransmits_);
     sp.u64(aborts_);
+    sp.u64(retried_);
     latency_.save(sp);
+    retriedLatency_.save(sp);
 }
 
 void
@@ -804,7 +806,9 @@ ClientPopulation::load(Restorer &rs)
     responses_ = rs.u64();
     retransmits_ = rs.u64();
     aborts_ = rs.u64();
+    retried_ = rs.u64();
     latency_.load(rs);
+    retriedLatency_.load(rs);
 }
 
 // --- fault/fault.h ---

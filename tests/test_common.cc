@@ -166,6 +166,30 @@ TEST(Histogram, QuantilesOfUniformSamples)
     EXPECT_LE(h.p95(), h.p99());
 }
 
+TEST(Histogram, P999OfUniformSamples)
+{
+    // p999 needs at least ~1000 samples to separate from p99.
+    Histogram h(0, 1000, 10);
+    for (int v = 0; v < 1000; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.p50(), 499.5);
+    EXPECT_DOUBLE_EQ(h.p99(), 989.5);
+    EXPECT_DOUBLE_EQ(h.p999(), 998.5);
+    EXPECT_LE(h.p99(), h.p999());
+    EXPECT_LE(h.p999(), 1000.0);
+}
+
+TEST(Histogram, P999EmptyAndPointMass)
+{
+    Histogram e(0, 100, 10);
+    EXPECT_DOUBLE_EQ(e.p999(), 0.0);
+
+    Histogram h(0, 10, 10);
+    h.sample(7, 2000); // all weight in bucket [7, 8)
+    EXPECT_GE(h.p999(), 7.0);
+    EXPECT_LT(h.p999(), 8.0);
+}
+
 TEST(Histogram, QuantileEdgeRanksAndPointMass)
 {
     Histogram h(0, 10, 10);

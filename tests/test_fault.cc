@@ -318,7 +318,15 @@ TEST(FaultRecovery, RetransmitsRecoverHeavyLoss)
     EXPECT_GT(c.pktLost, 0u);
     EXPECT_GT(c.retransmits, 0u);
     EXPECT_GT(sys.kernel().clients().responsesCompleted(), 0u);
-    EXPECT_GT(sys.kernel().clients().latency().totalSamples(), 0u);
+    // First-try and retried completions land in separate histograms;
+    // together they account for every completed response.
+    const ClientPopulation &cl = sys.kernel().clients();
+    EXPECT_EQ(cl.latency().totalSamples() +
+                  cl.retriedLatency().totalSamples(),
+              cl.responsesCompleted());
+    EXPECT_GT(cl.retriedLatency().totalSamples(), 0u);
+    EXPECT_EQ(cl.retriedLatency().totalSamples(),
+              cl.retriedResponses());
 }
 
 // Connection-table and listen-queue exhaustion is explicit

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Per-stage latency quantiles from a request-span JSONL file.
+
+The request tracer (DESIGN.md §13, SMTOS_REQTRACE_FILE) writes one
+JSON object per finished span. Clean spans — every boundary stamped,
+no retransmit — carry a "stages" object with the six per-stage cycle
+counts and an "e2e" total; retried and aborted spans carry only the
+boundary vector. This tool aggregates a file (or stdin) into a
+p50/p99/p999 table per stage, plus the queueing-vs-service split and
+the span-disposition counts:
+
+    python3 tools/reqstats.py spans.jsonl
+    python3 tools/reqstats.py < spans.jsonl
+
+Only stdlib; exit 0 = ok, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Stage order and queueing/service classification mirror
+# src/obs/reqtrace.h; keep the two in sync.
+STAGES = [
+    ("nic_wait", True),
+    ("netstack", False),
+    ("accept_wait", True),
+    ("sched_wait", True),
+    ("service", False),
+    ("transmit", False),
+]
+
+
+def quantile(sorted_vals, q):
+    """Nearest-rank quantile of an ascending list (empty -> 0)."""
+    if not sorted_vals:
+        return 0
+    rank = max(1, math.ceil(q * len(sorted_vals)))
+    return sorted_vals[min(len(sorted_vals), rank) - 1]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("spans", nargs="?", default="-",
+                    help="span JSONL file (default: stdin)")
+    args = ap.parse_args()
+
+    try:
+        stream = (sys.stdin if args.spans == "-"
+                  else open(args.spans, "r", encoding="utf-8"))
+    except OSError as e:
+        sys.exit(f"error: cannot open {args.spans}: {e}")
+
+    per_stage = {name: [] for name, _ in STAGES}
+    e2e = []
+    clean = retried = aborted = other = 0
+    queueing = service = 0
+    with stream:
+        for lineno, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except ValueError as e:
+                sys.exit(f"error: line {lineno}: {e}")
+            if span.get("aborted"):
+                aborted += 1
+                continue
+            if span.get("retried"):
+                retried += 1
+                continue
+            if not span.get("clean"):
+                other += 1
+                continue
+            clean += 1
+            stages = span.get("stages", {})
+            for name, is_queueing in STAGES:
+                cycles = stages.get(name, 0)
+                per_stage[name].append(cycles)
+                if is_queueing:
+                    queueing += cycles
+                else:
+                    service += cycles
+            e2e.append(span.get("e2e", 0))
+
+    total = clean + retried + aborted + other
+    print(f"spans: {total}  clean {clean}  retried {retried}  "
+          f"aborted {aborted}  irregular {other}")
+    if not clean:
+        print("no clean spans: nothing to aggregate")
+        return 0
+
+    print(f"\n{'stage':<14} {'class':<9} {'p50':>12} {'p99':>12} "
+          f"{'p999':>12} {'mean':>12}")
+    rows = [(name, "queueing" if q else "service",
+             sorted(per_stage[name])) for name, q in STAGES]
+    rows.append(("e2e", "", sorted(e2e)))
+    for name, klass, vals in rows:
+        mean = sum(vals) / len(vals)
+        print(f"{name:<14} {klass:<9} {quantile(vals, 0.50):>12} "
+              f"{quantile(vals, 0.99):>12} {quantile(vals, 0.999):>12} "
+              f"{mean:>12.0f}")
+
+    attributed = queueing + service
+    if attributed:
+        print(f"\nqueueing {queueing} cycles "
+              f"({100.0 * queueing / attributed:.1f}%)   "
+              f"service {service} cycles "
+              f"({100.0 * service / attributed:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

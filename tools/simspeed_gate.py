@@ -84,9 +84,15 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="recorded baseline benchmark JSON")
     ap.add_argument("current", help="freshly measured benchmark JSON")
-    ap.add_argument("--tolerance", type=float, default=0.05,
+    ap.add_argument("--tolerance", type=float, default=None,
                     help="max allowed fractional regression "
-                         "(default 0.05 = 5%%)")
+                         "(default 0.05; 0.01 with --overhead)")
+    ap.add_argument("--overhead", action="store_true",
+                    help="gate a feature's disabled-path overhead: "
+                         "both arguments are fresh measurements of "
+                         "the same build (feature off vs on), so a "
+                         "missing 'baseline' is an error rather than "
+                         "seeded, and the tolerance tightens to 1%%")
     ap.add_argument("--filter", default="BM_SimRate",
                     help="substring selecting gated benchmarks "
                          "(default BM_SimRate)")
@@ -99,7 +105,12 @@ def main():
                     help="report only: never record a baseline or "
                          "touch the trajectory artifact")
     args = ap.parse_args()
+    if args.tolerance is None:
+        args.tolerance = 0.01 if args.overhead else 0.05
 
+    if args.overhead and not os.path.exists(args.baseline):
+        sys.exit(f"error: --overhead compares two fresh measurements; "
+                 f"{args.baseline} must exist")
     if not os.path.exists(args.baseline):
         # First run on a fresh checkout or cache miss: there is
         # nothing to gate against, so seed the baseline from the
@@ -149,13 +160,15 @@ def main():
         print(f"\n{len(improved)} benchmark(s) improved beyond "
               f"{args.tolerance:.0%} (best {best:+.1%}) — refresh the "
               f"recorded baseline so the gain is locked in")
+    what = "overhead" if args.overhead else "regression"
     if failed:
         worst = min(d for _, d in failed)
-        print(f"\nFAIL: {len(failed)} benchmark(s) regressed more "
-              f"than {args.tolerance:.0%} (worst {worst:+.1%})")
+        print(f"\nFAIL: {len(failed)} benchmark(s) exceed the "
+              f"{args.tolerance:.0%} {what} budget "
+              f"(worst {worst:+.1%})")
         return 1
     print(f"\nOK: all {len(shared)} benchmarks within "
-          f"{args.tolerance:.0%} of baseline")
+          f"{args.tolerance:.0%} {what} of baseline")
     return 0
 
 

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Open-loop overload knee: goodput and tail latency as offered load
+ * sweeps through and past the server's service capacity, with and
+ * without kernel admission control.
+ *
+ * The paper's SPECWeb-like drive is closed-loop: 128 clients wait for
+ * responses, so offered load politely tracks service capacity and the
+ * server never sees overload. This bench decouples them: a Poisson
+ * arrival process offers load at fixed multiples of the measured
+ * capacity. Without protection, queueing delay crosses the client
+ * retry timeout, retransmitted work burns service on responses nobody
+ * consumes, and goodput collapses past the knee — and stays degraded
+ * even below it: once a standing queue forms, each client's retry
+ * doubles the effective arrival rate to at least capacity, so the
+ * queue never drains (a metastable failure). With oldest-first
+ * shedding (deadline below the retry timeout) the accept queue drops
+ * exactly the requests whose clients are about to give up, the stale
+ * backlog clears, and goodput stays flat at capacity.
+ *
+ * One closed-loop start-up snapshot feeds every operating point via
+ * ResumeOptions overrides. Each point first runs an unmeasured settle
+ * window under its open-loop/admission configuration — long enough for
+ * the 128 carried-over closed-loop requests to complete, time out, or
+ * be shed — then snapshots (the OVLD section carries the overload
+ * config) and resumes that settled artifact with a fresh request
+ * tracer for p50/p99/p999. The headline numbers are recorded into
+ * BENCH_simspeed.json (argv[1], "-" skips) and the full curve into a
+ * standalone JSON for CI artifact upload (argv[2], default
+ * "overload-knee.json", "-" skips).
+ */
+
+#include "bench_common.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/reqtrace.h"
+#include "obs/session.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+namespace {
+
+constexpr double multiples[] = {0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
+
+/// Unmeasured instructions run under each point's configuration
+/// before the measured window: spans the client abort lifetime
+/// (2 x retryTimeout ~= 1.2 Mcycles), so the carried-over closed-loop
+/// backlog is fully drained, timed out, or shed before measurement.
+constexpr std::uint64_t settleInstrs = 6'000'000;
+
+OpenLoopParams
+openLoopAt(double ratePerMcycle)
+{
+    OpenLoopParams p;
+    p.enabled = true;
+    p.ratePerMcycle = ratePerMcycle;
+    // Overload dynamics, scaled to the ~110 kcycle request service
+    // time: clients retry once after ~5 service times and give up
+    // after the second timeout, so sustained queueing past the
+    // timeout turns into duplicated and abandoned service.
+    p.retryTimeout = 600'000;
+    p.maxRetries = 1;
+    return p;
+}
+
+AdmitParams
+shedPolicy()
+{
+    AdmitParams p;
+    p.policy = AdmitPolicy::OldestFirst;
+    p.queueCap = 16;
+    // Shed before the client's 600k retry fires: whatever is older
+    // than this has no patient client left.
+    p.shedDeadline = 400'000;
+    p.mbufAccounting = true;
+    return p;
+}
+
+struct PointResult
+{
+    double offered = 0;       ///< arrivals per Mcycle (configured)
+    bool shed = false;
+    double goodputPerMcycle = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t goodput = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t sheds = 0;  ///< admit drops + sheds, all policies
+    double shedFraction = 0;  ///< shed+dropped / offered
+    double p50 = 0, p99 = 0, p999 = 0;
+};
+
+PointResult
+runPoint(const std::vector<std::uint8_t> &artifact,
+         const RunPhases &phases, double rate, bool shed)
+{
+    // Settle: resume under this point's configuration, run past the
+    // start-up transient, and snapshot. The OVLD section carries the
+    // open-loop and admission parameters into the settled artifact.
+    std::string err;
+    std::vector<std::uint8_t> settled;
+    {
+        Session::ResumeOptions so;
+        so.phases = phases;
+        so.openLoop = openLoopAt(rate);
+        if (shed)
+            so.admit = shedPolicy();
+        auto s = Session::resume(artifact, so, &err);
+        if (!s)
+            smtos_fatal("fig_overload_knee: settle resume failed: %s",
+                        err.c_str());
+        s->system().run(settleInstrs);
+        settled = s->snapshot();
+    }
+
+    // Measure: a fresh tracer on the settled artifact sees only
+    // steady-state spans; runMeasurement() deltas exclude the settle
+    // window's counters.
+    ObsConfig oc;
+    oc.reqtrace = true;
+    ObsSession obs(oc);
+    Session::ResumeOptions opts;
+    opts.phases = phases;
+    opts.obs = &obs;
+    auto s = Session::resume(settled, opts, &err);
+    if (!s)
+        smtos_fatal("fig_overload_knee: resume failed: %s",
+                    err.c_str());
+    const RunResult r = s->runMeasurement();
+
+    PointResult pr;
+    pr.offered = rate;
+    pr.shed = shed;
+    const OverloadStats &o = r.steady.overload;
+    pr.arrivals = o.offeredArrivals;
+    pr.goodput = o.goodput;
+    pr.aborts = o.clientAborts;
+    pr.sheds = o.admitShed + o.admitDropTail + o.admitRedDrops;
+    pr.shedFraction =
+        o.offeredArrivals
+            ? static_cast<double>(pr.sheds) /
+                  static_cast<double>(o.offeredArrivals)
+            : 0.0;
+    const double mcycles =
+        static_cast<double>(r.steady.core.cycles) / 1e6;
+    pr.goodputPerMcycle =
+        mcycles > 0 ? static_cast<double>(o.goodput) / mcycles : 0.0;
+    const Histogram &e2e = obs.reqtrace()->e2e();
+    if (e2e.totalSamples() > 0) {
+        pr.p50 = e2e.p50();
+        pr.p99 = e2e.p99();
+        pr.p999 = e2e.p999();
+    }
+    return pr;
+}
+
+std::string
+cyc(double v)
+{
+    return v > 0 ? TextTable::num(v, 0) : "-";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("Open-loop overload knee (Apache, admission control)",
+           "offered load past saturation: goodput collapses "
+           "unprotected, stays flat with oldest-first shedding");
+
+    // One closed-loop start-up, shared by every operating point.
+    Session::Config base = apacheSmt();
+    base.phases.measureInstrs = 20'000'000;
+    Session origin(base);
+    origin.runStartup();
+    const std::vector<std::uint8_t> artifact = origin.snapshot();
+
+    // Stage 1 — measure service capacity: saturating offered load
+    // with shedding keeps the server fully busy on fresh requests, so
+    // delivered goodput *is* the capacity (the knee).
+    const PointResult probe =
+        runPoint(artifact, base.phases, 40.0, true);
+    const double knee = probe.goodputPerMcycle;
+    std::printf("\nmeasured service capacity (knee): %.1f "
+                "requests/Mcycle\n\n", knee);
+    if (knee <= 0)
+        smtos_fatal("fig_overload_knee: capacity probe delivered "
+                    "no goodput");
+
+    // Stage 2 — the curve: offered load at fixed multiples of the
+    // knee, each arm with and without protection.
+    std::vector<PointResult> curve;
+    for (const double m : multiples)
+        for (const bool shed : {false, true})
+            curve.push_back(
+                runPoint(artifact, base.phases, m * knee, shed));
+
+    TextTable t("Goodput and tail latency vs offered load");
+    t.header({"offered/knee", "policy", "arrivals", "goodput/Mcyc",
+              "shed frac", "aborts", "e2e p50", "e2e p99",
+              "e2e p999"});
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        const PointResult &p = curve[i];
+        t.row({TextTable::num(multiples[i / 2], 2),
+               p.shed ? "oldest-first" : "none",
+               TextTable::num(p.arrivals),
+               TextTable::num(p.goodputPerMcycle, 1),
+               TextTable::num(p.shedFraction, 3),
+               TextTable::num(p.aborts), cyc(p.p50), cyc(p.p99),
+               cyc(p.p999)});
+    }
+    t.print();
+
+    // Headline: past the knee (>= 1.5x), shedding holds goodput near
+    // its peak while the unprotected arm degrades.
+    double shedPeak = 0, noshedPeak = 0;
+    for (const PointResult &p : curve)
+        (p.shed ? shedPeak : noshedPeak) =
+            std::max(p.shed ? shedPeak : noshedPeak,
+                     p.goodputPerMcycle);
+    const PointResult &shedHigh = curve[curve.size() - 1];
+    const PointResult &noshedHigh = curve[curve.size() - 2];
+    const double shedRatio =
+        shedPeak > 0 ? shedHigh.goodputPerMcycle / shedPeak : 0.0;
+    const double noshedRatio =
+        noshedPeak > 0 ? noshedHigh.goodputPerMcycle / noshedPeak
+                       : 0.0;
+    std::printf("\nat 2.0x knee: shed goodput %.1f%% of peak, "
+                "unprotected %.1f%% of peak\n", 100.0 * shedRatio,
+                100.0 * noshedRatio);
+
+    // Record the headline into the bench ledger.
+    {
+        char body[512];
+        std::snprintf(
+            body, sizeof body,
+            "        \"overload_knee\": {\n"
+            "          \"knee_per_mcycle\": %.2f,\n"
+            "          \"shed_peak_per_mcycle\": %.2f,\n"
+            "          \"shed_at_2x_ratio\": %.4f,\n"
+            "          \"noshed_at_2x_ratio\": %.4f,\n"
+            "          \"shed_p999_at_2x\": %.0f,\n"
+            "          \"noshed_p999_at_2x\": %.0f\n"
+            "        }\n",
+            knee, shedPeak, shedRatio, noshedRatio, shedHigh.p999,
+            noshedHigh.p999);
+        recordEntry(argc > 1 ? argv[1] : "BENCH_simspeed.json",
+                    "overload-knee", body);
+    }
+
+    // Full curve as a standalone CI artifact.
+    const std::string curvePath =
+        argc > 2 ? argv[2] : "overload-knee.json";
+    if (curvePath != "-") {
+        std::FILE *f = std::fopen(curvePath.c_str(), "w");
+        if (f) {
+            std::fprintf(f,
+                         "{\n  \"knee_per_mcycle\": %.2f,\n"
+                         "  \"points\": [\n", knee);
+            for (std::size_t i = 0; i < curve.size(); ++i) {
+                const PointResult &p = curve[i];
+                std::fprintf(
+                    f,
+                    "    {\"offered_per_mcycle\": %.2f, "
+                    "\"multiple\": %.2f, \"policy\": \"%s\", "
+                    "\"arrivals\": %llu, \"goodput\": %llu, "
+                    "\"goodput_per_mcycle\": %.2f, "
+                    "\"shed_fraction\": %.4f, \"aborts\": %llu, "
+                    "\"p50\": %.0f, \"p99\": %.0f, \"p999\": %.0f}%s\n",
+                    p.offered, multiples[i / 2],
+                    p.shed ? "oldest-first" : "none",
+                    static_cast<unsigned long long>(p.arrivals),
+                    static_cast<unsigned long long>(p.goodput),
+                    p.goodputPerMcycle, p.shedFraction,
+                    static_cast<unsigned long long>(p.aborts), p.p50,
+                    p.p99, p.p999,
+                    i + 1 < curve.size() ? "," : "");
+            }
+            std::fprintf(f, "  ]\n}\n");
+            std::fclose(f);
+            std::printf("curve written to %s\n", curvePath.c_str());
+        }
+    }
+    return 0;
+}

@@ -49,6 +49,14 @@ EnvOverrides::fromLookup(const Lookup &get)
         ov.faults = FaultParams::fromString(v);
         ov.hasFaults = true;
     }
+    if (const char *v = get("SMTOS_OPENLOOP")) {
+        ov.openLoop = OpenLoopParams::fromString(v);
+        ov.hasOpenLoop = true;
+    }
+    if (const char *v = get("SMTOS_ADMIT")) {
+        ov.admit = AdmitParams::fromString(v);
+        ov.hasAdmit = true;
+    }
     if (const char *v = get("SMTOS_PROFILE"); truthy(v)) {
         ov.obs.profile = true;
         // Any value other than a plain switch is the report path.

@@ -14,6 +14,10 @@
  *   SMTOS_DIAG_DIR                   crash-bundle directory
  *   SMTOS_JOBS                       parallel runner worker count
  *   SMTOS_FAULTS                     fault plan (FaultParams syntax)
+ *   SMTOS_OPENLOOP                   open-loop client arrivals
+ *                                    (OpenLoopParams syntax)
+ *   SMTOS_ADMIT                      accept-queue admission control
+ *                                    (AdmitParams syntax)
  *   SMTOS_PROFILE, SMTOS_INTERVAL, SMTOS_INTERVAL_JSONL,
  *   SMTOS_INTERVAL_CSV, SMTOS_TIMELINE, SMTOS_TIMELINE_DETAIL,
  *   SMTOS_REQTRACE, SMTOS_REQTRACE_FILE
@@ -28,6 +32,8 @@
 #include <string>
 
 #include "fault/fault.h"
+#include "kernel/admission.h"
+#include "net/clients.h"
 #include "obs/session.h"
 
 namespace smtos {
@@ -38,6 +44,10 @@ struct EnvOverrides
     ObsConfig obs;            ///< obs.any() == false when unset
     FaultParams faults{};
     bool hasFaults = false;   ///< SMTOS_FAULTS was present
+    OpenLoopParams openLoop{};
+    bool hasOpenLoop = false; ///< SMTOS_OPENLOOP was present
+    AdmitParams admit{};
+    bool hasAdmit = false;    ///< SMTOS_ADMIT was present
     unsigned jobs = 0;        ///< 0: unset
     std::string diagDir;
     bool hasDiagDir = false;

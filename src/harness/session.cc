@@ -28,6 +28,70 @@ constexpr std::uint32_t cosimSectionVersion = 1;
 /** Optional trailing request-tracer section. */
 constexpr std::uint32_t reqtraceSectionVersion = 1;
 
+/** Optional trailing overload (open-loop + admission) section. */
+constexpr std::uint32_t overloadSectionVersion = 1;
+
+/**
+ * OVLD section prologue: the overload params. They cannot ride the
+ * CFG section (its byte layout is the bit-identity contract for
+ * default artifacts), so the optional section carries its own config
+ * ahead of the mutable state.
+ */
+void
+overloadParamsOut(Snapshotter &sp, const OpenLoopParams &ol,
+                  const AdmitParams &ap)
+{
+    sp.b(ol.enabled);
+    sp.u8(static_cast<std::uint8_t>(ol.kind));
+    sp.f64(ol.ratePerMcycle);
+    sp.f64(ol.burstFactor);
+    sp.f64(ol.burstDuty);
+    sp.u64(ol.burstPeriod);
+    sp.f64(ol.rampStartFactor);
+    sp.u64(ol.rampCycles);
+    sp.f64(ol.slowPct);
+    sp.u64(ol.slowDrainPerKb);
+    sp.f64(ol.keepAlivePct);
+    sp.u64(ol.retryTimeout);
+    sp.i32(ol.maxRetries);
+    sp.u64(ol.seed);
+
+    sp.u8(static_cast<std::uint8_t>(ap.policy));
+    sp.i32(ap.queueCap);
+    sp.i32(ap.redMinDepth);
+    sp.f64(ap.redMaxProb);
+    sp.u64(ap.shedDeadline);
+    sp.u64(ap.seed);
+    sp.b(ap.mbufAccounting);
+}
+
+void
+overloadParamsIn(Restorer &rs, OpenLoopParams &ol, AdmitParams &ap)
+{
+    ol.enabled = rs.b();
+    ol.kind = static_cast<ArrivalKind>(rs.u8());
+    ol.ratePerMcycle = rs.f64();
+    ol.burstFactor = rs.f64();
+    ol.burstDuty = rs.f64();
+    ol.burstPeriod = rs.u64();
+    ol.rampStartFactor = rs.f64();
+    ol.rampCycles = rs.u64();
+    ol.slowPct = rs.f64();
+    ol.slowDrainPerKb = rs.u64();
+    ol.keepAlivePct = rs.f64();
+    ol.retryTimeout = rs.u64();
+    ol.maxRetries = rs.i32();
+    ol.seed = rs.u64();
+
+    ap.policy = static_cast<AdmitPolicy>(rs.u8());
+    ap.queueCap = rs.i32();
+    ap.redMinDepth = rs.i32();
+    ap.redMaxProb = rs.f64();
+    ap.shedDeadline = rs.u64();
+    ap.seed = rs.u64();
+    ap.mbufAccounting = rs.b();
+}
+
 MachineConfig
 machineConfigOf(const SystemConfig &sc, const WorkloadConfig &wc)
 {
@@ -36,6 +100,8 @@ machineConfigOf(const SystemConfig &sc, const WorkloadConfig &wc)
     cfg.kernel.appOnly = !sc.withOs;
     cfg.kernel.enableNetwork =
         (wc.kind == WorkloadConfig::Kind::Apache);
+    cfg.kernel.openLoop = wc.openLoop;
+    cfg.kernel.admit = sc.admit;
     cfg.mem.filterPrivileged = sc.filterKernelRefs;
     cfg.mem.dramLatency = sc.memLatency;
     cfg.mem.dram = sc.dram;
@@ -76,6 +142,19 @@ Session::Session(const Config &cfg, bool consultAmbient, bool forcePlan)
             ownedPlan_ = std::make_unique<FaultPlan>(cfg_.faults);
             plan_ = ownedPlan_.get();
         }
+    }
+
+    // Overload knobs follow the same precedence: explicit config
+    // wins, then (fresh sessions only) the installed environment.
+    // Applied before the System is built so machineConfigOf() sees
+    // them.
+    if (consultAmbient) {
+        if (!cfg_.workload.openLoop.enabled &&
+            EnvOverrides::ambient().hasOpenLoop)
+            cfg_.workload.openLoop = EnvOverrides::ambient().openLoop;
+        if (!cfg_.system.admit.enabled() &&
+            EnvOverrides::ambient().hasAdmit)
+            cfg_.system.admit = EnvOverrides::ambient().admit;
     }
 
     sys_ = std::make_unique<System>(
@@ -175,6 +254,24 @@ Session::validate() const
                     dp.rowBytes, dp.burstBytes);
     if (dp.queueDepth <= 0)
         smtos_fatal("Session: DRAM queueDepth must be nonzero");
+    if (cfg_.workload.openLoop.enabled &&
+        cfg_.workload.kind != WorkloadConfig::Kind::Apache)
+        smtos_fatal("Session: open-loop arrivals need the Apache "
+                    "workload (there are no clients otherwise)");
+    if (cfg_.workload.openLoop.enabled &&
+        cfg_.workload.openLoop.ratePerMcycle <= 0.0)
+        smtos_fatal("Session: open-loop rate must be positive");
+    const AdmitParams &ap = sc.admit;
+    if (ap.policy != AdmitPolicy::None && ap.queueCap <= 0)
+        smtos_fatal("Session: admission policy needs queueCap > 0");
+    if (ap.redMaxProb < 0.0 || ap.redMaxProb > 1.0)
+        smtos_fatal("Session: redMaxProb must be within [0,1]");
+    if (ap.policy == AdmitPolicy::RandomEarlyDrop &&
+        ap.redMinDepth >= ap.queueCap)
+        smtos_fatal("Session: RED needs redMinDepth < queueCap");
+    if (ap.policy == AdmitPolicy::OldestFirst && ap.shedDeadline == 0)
+        smtos_fatal("Session: oldest-first shedding needs a nonzero "
+                    "shedDeadline");
 }
 
 void
@@ -427,6 +524,16 @@ Session::snapshot()
         obs_->reqtrace()->save(sp);
         sp.endSection();
     }
+    // Same contract for overload state: only sessions with the
+    // open-loop generator or an admission policy engaged write it, so
+    // default closed-loop artifacts keep their pre-overload bytes.
+    if (cfg_.workload.openLoop.enabled || cfg_.system.admit.enabled()) {
+        sp.beginSection("OVLD", overloadSectionVersion);
+        overloadParamsOut(sp, cfg_.workload.openLoop,
+                          cfg_.system.admit);
+        sys_->kernel().saveOverload(sp);
+        sp.endSection();
+    }
     return sp.finish();
 }
 
@@ -501,7 +608,7 @@ Session::resume(const std::vector<std::uint8_t> &artifact,
     // session traced). Restored into the resuming session's tracer
     // when it has one, so in-flight spans complete across the
     // boundary; skipped (but still consumed) otherwise.
-    if (!rs.atEnd()) {
+    if (!rs.atEnd() && rs.nextSectionIs("RQTR")) {
         const std::uint32_t rqv = rs.enterSection("RQTR");
         smtos_assert(rqv == reqtraceSectionVersion);
         if (opts.obs && opts.obs->reqtrace())
@@ -509,6 +616,34 @@ Session::resume(const std::vector<std::uint8_t> &artifact,
         else
             rs.skipRest();
         rs.leaveSection();
+    }
+    // Optional trailing overload state. The section carries its own
+    // params (they are not part of the CFG bytes); the kernel is put
+    // into the saved configuration first, then the mutable state is
+    // overlaid so arrivals and shed clocks continue bit-identically.
+    if (!rs.atEnd() && rs.nextSectionIs("OVLD")) {
+        const std::uint32_t ov = rs.enterSection("OVLD");
+        smtos_assert(ov == overloadSectionVersion);
+        OpenLoopParams ol;
+        AdmitParams ap;
+        overloadParamsIn(rs, ol, ap);
+        s->cfg_.workload.openLoop = ol;
+        s->cfg_.system.admit = ap;
+        s->sys_->kernel().setOpenLoop(ol);
+        s->sys_->kernel().setAdmission(ap);
+        s->sys_->kernel().loadOverload(rs);
+        rs.leaveSection();
+    }
+    // Overload overrides land after the artifact's own state: the
+    // fig_overload_knee pattern resumes one closed-loop start-up
+    // snapshot into many open-loop/admission operating points.
+    if (opts.openLoop) {
+        s->cfg_.workload.openLoop = *opts.openLoop;
+        s->sys_->kernel().setOpenLoop(*opts.openLoop);
+    }
+    if (opts.admit) {
+        s->cfg_.system.admit = *opts.admit;
+        s->sys_->kernel().setAdmission(*opts.admit);
     }
     s->startupDone_ = true; // the artifact is past its start-up
     if (opts.obs)

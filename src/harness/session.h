@@ -33,7 +33,9 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "kernel/admission.h"
 #include "mem/memctrl.h"
+#include "net/clients.h"
 #include "sim/metrics.h"
 #include "snap/fwd.h"
 #include "workload/apache.h"
@@ -65,6 +67,10 @@ struct SystemConfig
     /** Banked-DRAM geometry/policy; dram.banked=false keeps the flat
      *  model and is bit-identical to the pre-banked machine. */
     DramParams dram;
+    /** Accept-queue admission control + accounted mbuf pool; the
+     *  default (policy None, accounting off) is bit-identical to the
+     *  pre-overload machine. */
+    AdmitParams admit;
 };
 
 /** What runs on the machine, with the run's seed. */
@@ -74,6 +80,9 @@ struct WorkloadConfig
     Kind kind = Kind::SpecInt;
     SpecIntParams spec;
     ApacheParams apache;
+    /** Open-loop client arrivals (Apache only; default off keeps the
+     *  closed-loop SPECWeb model bit-identical). */
+    OpenLoopParams openLoop;
     std::uint64_t seed = 99;
 };
 
@@ -151,6 +160,14 @@ class Session
         /** Row-buffer policy is timing-only: bank/queue state in the
          *  artifact fits either setting. */
         std::optional<bool> dramClosedPage;
+        /**
+         * Overload overrides: resume a (typically closed-loop)
+         * start-up snapshot into open-loop load and/or under an
+         * admission policy — the fig_overload_knee pattern. Applied
+         * after any OVLD section in the artifact.
+         */
+        std::optional<OpenLoopParams> openLoop;
+        std::optional<AdmitParams> admit;
     };
 
     /** Validate, build, install the workload, and start. */

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * AdmitParams string parsing (the SMTOS_ADMIT grammar). The decision
+ * logic itself lives header-side in AdmissionControl so the kernel's
+ * hot path inlines it.
+ */
+
+#include "kernel/admission.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace smtos {
+
+namespace {
+
+double
+parseDouble(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        smtos_fatal("SMTOS_ADMIT: bad value '%s' for %s", v.c_str(),
+                    key.c_str());
+    return d;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const std::uint64_t u = std::strtoull(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        smtos_fatal("SMTOS_ADMIT: bad value '%s' for %s", v.c_str(),
+                    key.c_str());
+    return u;
+}
+
+} // namespace
+
+AdmitParams
+AdmitParams::fromString(const std::string &spec)
+{
+    AdmitParams p;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            smtos_fatal("SMTOS_ADMIT: expected key=value, got '%s'",
+                        item.c_str());
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        if (key == "policy") {
+            if (val == "none")
+                p.policy = AdmitPolicy::None;
+            else if (val == "droptail")
+                p.policy = AdmitPolicy::DropTail;
+            else if (val == "red")
+                p.policy = AdmitPolicy::RandomEarlyDrop;
+            else if (val == "oldest")
+                p.policy = AdmitPolicy::OldestFirst;
+            else
+                smtos_fatal("SMTOS_ADMIT: unknown policy '%s'",
+                            val.c_str());
+        } else if (key == "cap") {
+            p.queueCap = static_cast<int>(parseU64(key, val));
+        } else if (key == "redmin") {
+            p.redMinDepth = static_cast<int>(parseU64(key, val));
+        } else if (key == "redmaxp") {
+            p.redMaxProb = parseDouble(key, val);
+        } else if (key == "deadline") {
+            p.shedDeadline = parseU64(key, val);
+        } else if (key == "seed") {
+            p.seed = parseU64(key, val);
+        } else if (key == "mbufacct") {
+            p.mbufAccounting = parseU64(key, val) != 0;
+        } else {
+            smtos_fatal("SMTOS_ADMIT: unknown key '%s'", key.c_str());
+        }
+    }
+    if (p.policy != AdmitPolicy::None && p.queueCap <= 0)
+        smtos_fatal("SMTOS_ADMIT: policy without cap>0");
+    if (p.redMaxProb < 0.0 || p.redMaxProb > 1.0)
+        smtos_fatal("SMTOS_ADMIT: redmaxp outside [0,1]");
+    return p;
+}
+
+} // namespace smtos

@@ -26,7 +26,53 @@ Kernel::Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
     if (params_.enableNetwork)
         clients_ = std::make_unique<ClientPopulation>(
             params_.web, params_.seed ^ 0xc11e47ull);
+    if (clients_ && params_.openLoop.enabled)
+        clients_->setOpenLoop(params_.openLoop);
+    if (params_.admit.enabled())
+        setAdmission(params_.admit);
     pipe_.setOs(this);
+}
+
+void
+Kernel::setAdmission(const AdmitParams &p)
+{
+    params_.admit = p;
+    admit_ = p.policy != AdmitPolicy::None
+                 ? std::make_unique<AdmissionControl>(p)
+                 : nullptr;
+    if (p.mbufAccounting)
+        rebuildRxMap();
+}
+
+void
+Kernel::setOpenLoop(const OpenLoopParams &p)
+{
+    params_.openLoop = p;
+    if (clients_)
+        clients_->setOpenLoop(p);
+}
+
+OverloadStats
+Kernel::overloadStats() const
+{
+    OverloadStats o;
+    o.enabled = params_.admit.enabled() ||
+                (clients_ && clients_->openLoopEnabled());
+    if (!o.enabled)
+        return o;
+    if (clients_) {
+        o.offeredArrivals = clients_->arrivals();
+        o.arrivalOverflows = clients_->arrivalOverflows();
+        o.goodput = clients_->goodput();
+        o.clientAborts = clients_->aborts();
+        o.slowCompletions = clients_->slowCompletions();
+    }
+    o.admitDropTail = admitDropTail_;
+    o.admitRedDrops = admitRedDrops_;
+    o.admitShed = admitShed_;
+    o.mbufExhausted = mbufExhausted_;
+    o.mbufTxWraps = mbufTxWraps_;
+    return o;
 }
 
 void
@@ -256,6 +302,8 @@ Kernel::interrupt(Context &ctx, ThreadState &t, std::uint16_t vector)
                 if (probes_ && cn.inUse)
                     probes_->reqDrop("mce-kill", cn.client, cn.reqSeq,
                                      nowCycle_);
+                if (params_.admit.mbufAccounting && cn.inUse)
+                    freeRxMbuf(cn.mbuf, cn.reqBytes);
                 conns_[static_cast<size_t>(p.conn)] = Connection{};
                 p.conn = -1;
             }
@@ -446,6 +494,36 @@ Kernel::auditInvariants() const
             if (p->state != Process::State::Blocked)
                 os << "wait channel " << ch << " holds pid " << p->pid
                    << " in a non-Blocked state\n";
+        }
+    }
+    if (params_.admit.mbufAccounting) {
+        // Every live RX reference must have its units marked in the
+        // map — a clear bit under a live connection means the unit
+        // could be handed out again (the exact aliasing the accounted
+        // allocator exists to prevent).
+        auto marked = [this](Addr mbuf, std::uint32_t bytes) {
+            constexpr Addr unit = 2048, rxUnits = 96;
+            if (mbuf < mbufPoolBase ||
+                mbuf >= mbufPoolBase + rxUnits * unit)
+                return true; // legacy/TX address: not tracked
+            const Addr u0 = (mbuf - mbufPoolBase) / unit;
+            Addr units = (static_cast<Addr>(bytes) + unit - 1) / unit;
+            if (units == 0)
+                units = 1;
+            for (Addr k = 0; k < units && u0 + k < rxUnits; ++k)
+                if (!(mbufRxMap_[(u0 + k) >> 6] &
+                      (1ull << ((u0 + k) & 63))))
+                    return false;
+            return true;
+        };
+        for (size_t i = 0; i < conns_.size(); ++i) {
+            const Connection &cn = conns_[i];
+            if (cn.inUse && !marked(cn.mbuf, cn.reqBytes))
+                os << "conn " << i << " holds unaccounted RX mbuf\n";
+        }
+        for (const Packet &pkt : protoQ_) {
+            if (!marked(pkt.mbuf, pkt.bytes))
+                os << "protoQ packet holds unaccounted RX mbuf\n";
         }
     }
     return os.str();

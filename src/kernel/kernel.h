@@ -14,6 +14,7 @@
 #ifndef SMTOS_KERNEL_KERNEL_H
 #define SMTOS_KERNEL_KERNEL_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
@@ -24,6 +25,7 @@
 #include "common/stats.h"
 #include "core/pipeline.h"
 #include "fault/fault.h"
+#include "kernel/admission.h"
 #include "kernel/image.h"
 #include "kernel/layout.h"
 #include "net/clients.h"
@@ -107,6 +109,10 @@ struct Connection
     Addr mbuf = 0;
     int owner = -1; ///< pid after accept
     std::uint32_t reqSeq = 0; ///< echoed into response packets
+    /** Cycle the netisr queued this connection for accept; read by
+     *  the oldest-first shedding policy. Not part of the KERN
+     *  snapshot bytes — it rides the optional OVLD section. */
+    Cycle acceptedAt = 0;
 };
 
 /** The OS model. */
@@ -143,6 +149,10 @@ class Kernel : public OsCallbacks
          */
         bool sharedTlbIpr = false;
         SpecWebParams web;
+        /** Open-loop client arrivals (default off: closed loop). */
+        OpenLoopParams openLoop;
+        /** Accept-queue admission control + mbuf accounting. */
+        AdmitParams admit;
     };
 
     Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
@@ -174,6 +184,22 @@ class Kernel : public OsCallbacks
     /** Injection counters merged with kernel backpressure and client
      *  recovery counters — what MetricsSnapshot captures. */
     FaultCounters faultCounters() const;
+
+    /**
+     * Install (or replace) the admission-control policy and mbuf
+     * accounting mode. Also used by snapshot resume to apply a
+     * policy-only override mid-flight: the RX-unit map is rebuilt
+     * from the live connections and protocol queue, so switching
+     * accounting on over in-flight state is safe.
+     */
+    void setAdmission(const AdmitParams &p);
+
+    /** Reconfigure the client population's open-loop generator. */
+    void setOpenLoop(const OpenLoopParams &p);
+
+    /** Merged client+kernel overload accounting (the gated
+     *  "overload" JSON object); enabled=false in closed-loop runs. */
+    OverloadStats overloadStats() const;
 
     /**
      * Check kernel structural invariants (connection-table/accept-
@@ -229,6 +255,16 @@ class Kernel : public OsCallbacks
      */
     void load(Restorer &rs, const SnapImages &images);
 
+    /**
+     * Mutable overload state (admission RNG, TX cursor, counters,
+     * per-conn accept stamps, open-loop generator). Rides only the
+     * optional OVLD snapshot section so default artifacts never
+     * change; the caller applies setOpenLoop/setAdmission with the
+     * section's params *before* loadOverload.
+     */
+    void saveOverload(Snapshotter &sp) const;
+    void loadOverload(Restorer &rs);
+
   private:
     // boot
     void bootKernelSpace();
@@ -261,6 +297,11 @@ class Kernel : public OsCallbacks
 
     // net stack (netstack.cc)
     Addr allocMbuf(std::uint32_t bytes);
+    Addr allocRxMbuf(std::uint32_t bytes);
+    void freeRxMbuf(Addr mbuf, std::uint32_t bytes);
+    Addr allocTxMbuf(std::uint32_t bytes);
+    void rebuildRxMap();
+    void shedStaleAccepts();
     void driverRx(Process &p);
     void netisrDeliver(Process &p);
     void netSend(Process &p);
@@ -319,6 +360,18 @@ class Kernel : public OsCallbacks
     std::uint64_t backlogDrops_ = 0;
     std::uint64_t mceKills_ = 0;
     std::size_t faultLogEmitted_ = 0;
+
+    // Overload protection (inert in default runs: admit_ is null and
+    // the accounted allocators are never called).
+    std::unique_ptr<AdmissionControl> admit_;
+    /** RX-region unit bitmap (96 x 2KB units; see netstack.cc). */
+    std::array<std::uint64_t, 2> mbufRxMap_{};
+    Addr mbufTxCursor_ = 0;
+    std::uint64_t admitDropTail_ = 0;
+    std::uint64_t admitRedDrops_ = 0;
+    std::uint64_t admitShed_ = 0;
+    std::uint64_t mbufExhausted_ = 0;
+    std::uint64_t mbufTxWraps_ = 0;
 };
 
 } // namespace smtos

@@ -13,9 +13,30 @@
 
 namespace smtos {
 
+namespace {
+
+// Accounted-mode mbuf pool split (see DESIGN.md §14). RX units back
+// received requests whose lifetime is unbounded (they live until the
+// owning connection closes), so they are bitmap-accounted and their
+// exhaustion backpressures the NIC. TX buffers are written and sent
+// within one writev/NetSend pair and never read back, so a bump
+// cursor whose wrap is counted (but harmless by construction) keeps
+// the transmit path allocation-failure-free.
+constexpr Addr mbufUnit = 2048;
+constexpr Addr mbufRxUnits = 96;
+constexpr Addr mbufTxBase = mbufRxUnits * mbufUnit;
+constexpr Addr mbufTxBytes = mbufPoolBytes - mbufTxBase;
+
+} // namespace
+
 Addr
 Kernel::allocMbuf(std::uint32_t bytes)
 {
+    // Legacy bump-and-wrap allocator: wrapping silently recycles
+    // buffers that may still back in-flight packets. Kept verbatim as
+    // the default because its addresses are part of the bit-identity
+    // contract; admit.mbufAccounting replaces it with the accounted
+    // split pool above.
     const Addr need =
         (static_cast<Addr>(bytes) + 2047ull) & ~2047ull; // 2KB mbufs
     if (mbufCursor_ + need > mbufPoolBytes)
@@ -23,6 +44,118 @@ Kernel::allocMbuf(std::uint32_t bytes)
     const Addr a = mbufPoolBase + mbufCursor_;
     mbufCursor_ += need;
     return a;
+}
+
+Addr
+Kernel::allocRxMbuf(std::uint32_t bytes)
+{
+    Addr need = (static_cast<Addr>(bytes) + mbufUnit - 1) / mbufUnit;
+    if (need == 0)
+        need = 1;
+    // First-fit contiguous scan; 96 bits, so brute force is fine.
+    for (Addr u = 0; u + need <= mbufRxUnits; ++u) {
+        Addr run = 0;
+        while (run < need &&
+               !(mbufRxMap_[(u + run) >> 6] &
+                 (1ull << ((u + run) & 63))))
+            ++run;
+        if (run < need) {
+            u += run; // next iteration starts past the used unit
+            continue;
+        }
+        for (Addr k = 0; k < need; ++k)
+            mbufRxMap_[(u + k) >> 6] |= 1ull << ((u + k) & 63);
+        return mbufPoolBase + u * mbufUnit;
+    }
+    return 0; // exhausted: caller backpressures the NIC ring
+}
+
+void
+Kernel::freeRxMbuf(Addr mbuf, std::uint32_t bytes)
+{
+    // Addresses outside the RX region (TX buffers, or legacy bump
+    // addresses carried across a mid-flight accounting switch) are
+    // not tracked; clearing an already-clear bit is harmless.
+    if (mbuf < mbufPoolBase || mbuf >= mbufPoolBase + mbufTxBase)
+        return;
+    const Addr u0 = (mbuf - mbufPoolBase) / mbufUnit;
+    Addr units = (static_cast<Addr>(bytes) + mbufUnit - 1) / mbufUnit;
+    if (units == 0)
+        units = 1;
+    for (Addr k = 0; k < units && u0 + k < mbufRxUnits; ++k)
+        mbufRxMap_[(u0 + k) >> 6] &= ~(1ull << ((u0 + k) & 63));
+}
+
+Addr
+Kernel::allocTxMbuf(std::uint32_t bytes)
+{
+    const Addr need =
+        (static_cast<Addr>(bytes) + mbufUnit - 1) & ~(mbufUnit - 1);
+    if (mbufTxCursor_ + need > mbufTxBytes) {
+        mbufTxCursor_ = 0;
+        ++mbufTxWraps_;
+    }
+    const Addr a = mbufPoolBase + mbufTxBase + mbufTxCursor_;
+    mbufTxCursor_ += need;
+    return a;
+}
+
+void
+Kernel::rebuildRxMap()
+{
+    // Reconstruct the RX unit map from everything still referencing an
+    // RX buffer: in-use connections (buffer lives until close) and
+    // packets parked in the protocol queue. Equals the incremental
+    // alloc/free bookkeeping in steady state, and makes switching
+    // accounting on over a restored or mid-flight kernel safe.
+    mbufRxMap_ = {};
+    auto mark = [this](Addr mbuf, std::uint32_t bytes) {
+        if (mbuf < mbufPoolBase || mbuf >= mbufPoolBase + mbufTxBase)
+            return;
+        const Addr u0 = (mbuf - mbufPoolBase) / mbufUnit;
+        Addr units =
+            (static_cast<Addr>(bytes) + mbufUnit - 1) / mbufUnit;
+        if (units == 0)
+            units = 1;
+        for (Addr k = 0; k < units && u0 + k < mbufRxUnits; ++k)
+            mbufRxMap_[(u0 + k) >> 6] |= 1ull << ((u0 + k) & 63);
+    };
+    for (const Connection &cn : conns_)
+        if (cn.inUse)
+            mark(cn.mbuf, cn.reqBytes);
+    for (const Packet &pkt : protoQ_)
+        mark(pkt.mbuf, pkt.bytes);
+}
+
+void
+Kernel::shedStaleAccepts()
+{
+    // Oldest-first shedding: the accept queue is FIFO, so accept
+    // stamps increase front to back and the scan stops at the first
+    // still-fresh entry. Shedding a connection whose client has
+    // already (or will imminently) retransmit or give up costs no
+    // goodput — serving it would.
+    const AdmitParams &ap = admit_->params();
+    while (static_cast<int>(acceptQ_.size()) >= ap.queueCap &&
+           !acceptQ_.empty()) {
+        const int id = acceptQ_.front();
+        Connection &cn = conns_[static_cast<size_t>(id)];
+        if (cn.acceptedAt + ap.shedDeadline > nowCycle_)
+            break;
+        acceptQ_.pop_front();
+        ++admitShed_;
+        if (probes_) {
+            probes_->reqDrop("admit-shed", cn.client, cn.reqSeq,
+                             nowCycle_);
+            probes_->queueDepth(1, acceptQ_.size(), nowCycle_);
+        }
+        smtos_trace(TraceCat::Net,
+                    "shed stale accept conn %d (client %d)", id,
+                    cn.client);
+        if (params_.admit.mbufAccounting)
+            freeRxMbuf(cn.mbuf, cn.reqBytes);
+        cn = Connection{};
+    }
 }
 
 void
@@ -59,10 +192,31 @@ Kernel::driverRx(Process &p)
     const std::uint32_t batch =
         static_cast<std::uint32_t>(nicRing_.size());
     p.ts.iprs.intrTrip = std::max<std::uint32_t>(1, batch);
+    const bool acct = params_.admit.mbufAccounting;
     while (!nicRing_.empty()) {
         Packet pkt = nicRing_.front();
+        if (acct) {
+            const Addr a = allocRxMbuf(pkt.bytes);
+            if (a == 0) {
+                // RX pool exhausted: leave the remaining packets in
+                // the NIC ring — explicit backpressure instead of the
+                // legacy silent recycle. The next NIC tick re-raises
+                // the interrupt while the ring is non-empty, so the
+                // held packets drain as connections close.
+                ++mbufExhausted_;
+                if (probes_)
+                    probes_->reqDrop("mbuf-backpressure", pkt.client,
+                                     pkt.reqSeq, nowCycle_);
+                smtos_trace(TraceCat::Net,
+                            "mbuf RX pool exhausted; %zu packets held",
+                            nicRing_.size());
+                break;
+            }
+            pkt.mbuf = a;
+        } else {
+            pkt.mbuf = allocMbuf(pkt.bytes);
+        }
         nicRing_.pop_front();
-        pkt.mbuf = allocMbuf(pkt.bytes);
         if (probes_ && pkt.open)
             probes_->reqDriverRx(pkt.client, pkt.reqSeq, nowCycle_);
         protoQ_.push_back(pkt);
@@ -99,7 +253,52 @@ Kernel::netisrDeliver(Process &p)
             smtos_trace(TraceCat::Fault,
                         "listen backlog full; client %d refused",
                         pkt.client);
+            if (params_.admit.mbufAccounting)
+                freeRxMbuf(pkt.mbuf, pkt.bytes);
             return;
+        }
+        // Admission control: bound the accept queue before queueing
+        // delay exceeds the client retry timeout and service turns
+        // into waste (the client's timeout retransmits any refusal).
+        if (admit_) {
+            const AdmitParams &ap = admit_->params();
+            const int depth = static_cast<int>(acceptQ_.size());
+            if (ap.policy == AdmitPolicy::OldestFirst) {
+                if (depth >= ap.queueCap)
+                    shedStaleAccepts();
+                if (static_cast<int>(acceptQ_.size()) >=
+                    ap.queueCap) {
+                    ++admitDropTail_;
+                    if (probes_)
+                        probes_->reqDrop("admit-drop-tail",
+                                         pkt.client, pkt.reqSeq,
+                                         nowCycle_);
+                    smtos_trace(TraceCat::Net,
+                                "admission: queue full, client %d "
+                                "refused", pkt.client);
+                    if (params_.admit.mbufAccounting)
+                        freeRxMbuf(pkt.mbuf, pkt.bytes);
+                    return;
+                }
+            } else if (admit_->shouldDrop(depth)) {
+                const bool tail = depth >= ap.queueCap;
+                if (tail)
+                    ++admitDropTail_;
+                else
+                    ++admitRedDrops_;
+                if (probes_)
+                    probes_->reqDrop(tail ? "admit-drop-tail"
+                                          : "admit-red",
+                                     pkt.client, pkt.reqSeq,
+                                     nowCycle_);
+                smtos_trace(TraceCat::Net,
+                            "admission: %s, client %d refused",
+                            tail ? "queue full" : "early drop",
+                            pkt.client);
+                if (params_.admit.mbufAccounting)
+                    freeRxMbuf(pkt.mbuf, pkt.bytes);
+                return;
+            }
         }
         // New connection carrying the request.
         int id = -1;
@@ -123,6 +322,8 @@ Kernel::netisrDeliver(Process &p)
             smtos_trace(TraceCat::Fault,
                         "conn table full; SYN from client %d dropped",
                         pkt.client);
+            if (params_.admit.mbufAccounting)
+                freeRxMbuf(pkt.mbuf, pkt.bytes);
             return;
         }
         Connection &cn = conns_[static_cast<size_t>(id)];
@@ -134,6 +335,7 @@ Kernel::netisrDeliver(Process &p)
         cn.recvAvail = pkt.bytes;
         cn.mbuf = pkt.mbuf;
         cn.reqSeq = pkt.reqSeq;
+        cn.acceptedAt = nowCycle_;
         acceptQ_.push_back(id);
         if (probes_) {
             probes_->reqAccepted(pkt.client, pkt.reqSeq, nowCycle_);
@@ -141,6 +343,9 @@ Kernel::netisrDeliver(Process &p)
         }
         wakeWaiters(WaitAccept);
         wakeWaiters(WaitRecv);
+    } else if (params_.admit.mbufAccounting) {
+        // Non-open packets end their life here; release the unit.
+        freeRxMbuf(pkt.mbuf, pkt.bytes);
     }
 }
 

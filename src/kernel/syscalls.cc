@@ -43,7 +43,10 @@ Kernel::dispatchSyscall(Context &ctx, Process &p)
         func = kc_.svcClose[v];
         // Model effect: tear down the connection.
         if (p.conn >= 0) {
-            conns_[static_cast<size_t>(p.conn)].inUse = false;
+            Connection &cn = conns_[static_cast<size_t>(p.conn)];
+            if (params_.admit.mbufAccounting)
+                freeRxMbuf(cn.mbuf, cn.reqBytes);
+            cn.inUse = false;
             p.conn = -1;
             ++requestsServed_;
             ++p.requestsServed;
@@ -155,7 +158,9 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
             const std::uint32_t chunk =
                 std::max<std::uint32_t>(64, p.lastChunk);
             iprs.copySrc = userAuxBase;
-            iprs.copyDst = allocMbuf(chunk);
+            iprs.copyDst = params_.admit.mbufAccounting
+                               ? allocTxMbuf(chunk)
+                               : allocMbuf(chunk);
             iprs.copyTrip = std::max<std::uint32_t>(1, chunk / 64);
             Packet &tx = p.txPacket;
             tx = Packet{};

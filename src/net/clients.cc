@@ -1,10 +1,100 @@
 #include "net/clients.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <sstream>
 
+#include "common/logging.h"
 #include "obs/probes.h"
 
 namespace smtos {
+
+namespace {
+
+double
+parseDouble(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        smtos_fatal("SMTOS_OPENLOOP: bad value '%s' for %s", v.c_str(),
+                    key.c_str());
+    return d;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const std::uint64_t u = std::strtoull(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        smtos_fatal("SMTOS_OPENLOOP: bad value '%s' for %s", v.c_str(),
+                    key.c_str());
+    return u;
+}
+
+} // namespace
+
+OpenLoopParams
+OpenLoopParams::fromString(const std::string &spec)
+{
+    OpenLoopParams p;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            smtos_fatal("SMTOS_OPENLOOP: expected key=value, got '%s'",
+                        item.c_str());
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        if (key == "rate") {
+            p.ratePerMcycle = parseDouble(key, val);
+        } else if (key == "kind") {
+            if (val == "poisson")
+                p.kind = ArrivalKind::Poisson;
+            else if (val == "bursty")
+                p.kind = ArrivalKind::Bursty;
+            else if (val == "ramp")
+                p.kind = ArrivalKind::Ramp;
+            else
+                smtos_fatal("SMTOS_OPENLOOP: unknown kind '%s'",
+                            val.c_str());
+        } else if (key == "burstfactor") {
+            p.burstFactor = parseDouble(key, val);
+        } else if (key == "burstduty") {
+            p.burstDuty = parseDouble(key, val);
+        } else if (key == "burstperiod") {
+            p.burstPeriod = parseU64(key, val);
+        } else if (key == "rampstart") {
+            p.rampStartFactor = parseDouble(key, val);
+        } else if (key == "rampcycles") {
+            p.rampCycles = parseU64(key, val);
+        } else if (key == "slowpct") {
+            p.slowPct = parseDouble(key, val);
+        } else if (key == "slowdrain") {
+            p.slowDrainPerKb = parseU64(key, val);
+        } else if (key == "keepalive") {
+            p.keepAlivePct = parseDouble(key, val);
+        } else if (key == "retry") {
+            p.retryTimeout = parseU64(key, val);
+        } else if (key == "maxretries") {
+            p.maxRetries = static_cast<int>(parseU64(key, val));
+        } else if (key == "seed") {
+            p.seed = parseU64(key, val);
+        } else {
+            smtos_fatal("SMTOS_OPENLOOP: unknown key '%s'",
+                        key.c_str());
+        }
+    }
+    if (p.ratePerMcycle <= 0.0)
+        smtos_fatal("SMTOS_OPENLOOP: rate must be > 0");
+    p.enabled = true;
+    return p;
+}
 
 std::uint32_t
 specWebFileBytes(int file_id)
@@ -61,6 +151,133 @@ ClientPopulation::drawThink(Cycle now)
 }
 
 void
+ClientPopulation::setOpenLoop(const OpenLoopParams &p)
+{
+    openLoop_ = p;
+    if (!p.enabled)
+        return;
+    // Overload dynamics knobs: the closed-loop defaults (400k timeout,
+    // 6 retries) are tuned for fault recovery, not for short overload
+    // measurement windows.
+    if (p.retryTimeout > 0)
+        params_.retryTimeout = p.retryTimeout;
+    if (p.maxRetries > 0)
+        params_.maxRetries = p.maxRetries;
+    arrivalRng_ = Rng(p.seed);
+    arrivalInit_ = false;
+    nextArrivalAt_ = 0;
+    rampStartAt_ = 0;
+}
+
+Cycle
+ClientPopulation::drawArrivalGap(Cycle at)
+{
+    double factor = 1.0;
+    switch (openLoop_.kind) {
+      case ArrivalKind::Poisson:
+        break;
+      case ArrivalKind::Bursty: {
+        const Cycle period = openLoop_.burstPeriod;
+        const Cycle phase = period ? at % period : 0;
+        if (static_cast<double>(phase) <
+            openLoop_.burstDuty * static_cast<double>(period))
+            factor = openLoop_.burstFactor;
+        break;
+      }
+      case ArrivalKind::Ramp: {
+        const double t =
+            openLoop_.rampCycles
+                ? std::min(1.0, static_cast<double>(at - rampStartAt_) /
+                                    static_cast<double>(
+                                        openLoop_.rampCycles))
+                : 1.0;
+        factor = openLoop_.rampStartFactor +
+                 (1.0 - openLoop_.rampStartFactor) * t;
+        break;
+      }
+    }
+    const double rate = openLoop_.ratePerMcycle * factor;
+    const double meanGap = 1e6 / (rate > 1e-9 ? rate : 1e-9);
+    const double u = arrivalRng_.uniform();
+    const auto gap = static_cast<Cycle>(
+        -meanGap * (u > 0.0001 ? std::log(u) : -9.0));
+    return gap > 0 ? gap : 1;
+}
+
+void
+ClientPopulation::dispatchArrival(Cycle now, Network &net)
+{
+    // Claim an idle client port round-robin; an arrival finding none
+    // means offered load exceeded even the port capacity.
+    const int n = static_cast<int>(clients_.size());
+    int port = -1;
+    for (int k = 0; k < n; ++k) {
+        const int cand = (nextPort_ + k) % n;
+        if (clients_[static_cast<size_t>(cand)].state ==
+            Client::State::Thinking) {
+            port = cand;
+            break;
+        }
+    }
+    if (port < 0) {
+        ++arrivalOverflows_;
+        return;
+    }
+    nextPort_ = (port + 1) % n;
+    Client &c = clients_[static_cast<size_t>(port)];
+    const int file = specWebPickFile(arrivalRng_, params_.numFiles);
+    // Conditional draws: a zero percentage costs zero RNG, so the
+    // arrival schedule for (say) slowPct=0 matches a build without
+    // the knob.
+    const bool keepAlive =
+        openLoop_.keepAlivePct > 0.0 &&
+        arrivalRng_.uniform() < openLoop_.keepAlivePct;
+    const bool slow = openLoop_.slowPct > 0.0 &&
+                      arrivalRng_.uniform() < openLoop_.slowPct;
+    Packet p;
+    p.client = port;
+    p.open = true;
+    p.fileId = file;
+    p.bytes = keepAlive
+                  ? params_.requestBytesMin
+                  : static_cast<std::uint32_t>(arrivalRng_.range(
+                        params_.requestBytesMin,
+                        params_.requestBytesMax));
+    p.reqSeq = ++c.reqSeq;
+    net.clientSend(p);
+    if (probes_)
+        probes_->reqIssue(p.client, p.reqSeq, now);
+    c.state = Client::State::Waiting;
+    c.respRemaining = specWebFileBytes(file);
+    c.lastRequest = p;
+    c.issuedAt = now;
+    c.timeoutAt = now + params_.retryTimeout;
+    c.retries = 0;
+    c.slow = slow;
+    c.drainDoneAt = 0;
+    ++requestsIssued_;
+}
+
+void
+ClientPopulation::completeRequest(Client &c, int clientId, Cycle now)
+{
+    c.respRemaining = 0;
+    c.state = Client::State::Thinking;
+    if (!openLoop_.enabled)
+        c.nextRequestAt = drawThink(now);
+    if (probes_)
+        probes_->reqComplete(clientId, c.reqSeq, c.retries > 0, now);
+    if (c.retries > 0) {
+        retriedLatency_.sample(
+            static_cast<std::int64_t>(now - c.issuedAt));
+        ++retried_;
+    } else {
+        latency_.sample(static_cast<std::int64_t>(now - c.issuedAt));
+    }
+    ++responses_;
+}
+
+void
 ClientPopulation::tick(Cycle now, Network &net)
 {
     // Consume response packets first.
@@ -74,60 +291,89 @@ ClientPopulation::tick(Cycle now, Network &net)
             continue;
         // A stale response (delayed past a retransmit-then-abandon, or
         // duplicated by a retransmit race) must not be credited to the
-        // client's current request.
-        if (recovery_ && p.reqSeq != c.reqSeq)
+        // client's current request. Open-loop mode always filters:
+        // give-ups are routine there, and goodput() depends on an
+        // aborted sequence never completing.
+        if ((recovery_ || openLoop_.enabled) && p.reqSeq != c.reqSeq)
             continue;
         if (c.respRemaining <= p.bytes || p.fin) {
-            c.respRemaining = 0;
-            c.state = Client::State::Thinking;
-            c.nextRequestAt = drawThink(now);
-            if (probes_)
-                probes_->reqComplete(p.client, c.reqSeq,
-                                     c.retries > 0, now);
-            if (c.retries > 0) {
-                retriedLatency_.sample(
-                    static_cast<std::int64_t>(now - c.issuedAt));
-                ++retried_;
+            if (openLoop_.enabled && c.slow) {
+                // Slow client: the server is done sending, but the
+                // client drains the response at a bounded rate; the
+                // request completes only when the drain finishes.
+                c.respRemaining = 0;
+                c.state = Client::State::Draining;
+                const std::uint64_t kb =
+                    (specWebFileBytes(c.lastRequest.fileId) + 1023) /
+                    1024;
+                c.drainDoneAt =
+                    now + openLoop_.slowDrainPerKb * (kb ? kb : 1);
+                c.timeoutAt = c.drainDoneAt;
             } else {
-                latency_.sample(
-                    static_cast<std::int64_t>(now - c.issuedAt));
+                completeRequest(c, p.client, now);
             }
-            ++responses_;
         } else {
             c.respRemaining -= p.bytes;
             // Forward progress re-arms the response timeout.
-            if (recovery_)
+            if (recovery_ || openLoop_.enabled)
                 c.timeoutAt = now + params_.retryTimeout;
         }
     }
 
-    // Issue due requests.
-    for (size_t i = 0; i < clients_.size(); ++i) {
-        Client &c = clients_[i];
-        if (c.state != Client::State::Thinking ||
-            c.nextRequestAt > now)
-            continue;
-        const int file = specWebPickFile(rng_, params_.numFiles);
-        Packet p;
-        p.client = static_cast<int>(i);
-        p.open = true;
-        p.fileId = file;
-        p.bytes = static_cast<std::uint32_t>(
-            rng_.range(params_.requestBytesMin, params_.requestBytesMax));
-        p.reqSeq = ++c.reqSeq;
-        net.clientSend(p);
-        if (probes_)
-            probes_->reqIssue(p.client, p.reqSeq, now);
-        c.state = Client::State::Waiting;
-        c.respRemaining = specWebFileBytes(file);
-        c.lastRequest = p;
-        c.issuedAt = now;
-        c.timeoutAt = now + params_.retryTimeout;
-        c.retries = 0;
-        ++requestsIssued_;
+    if (!openLoop_.enabled) {
+        // Closed loop: issue due requests after think time.
+        for (size_t i = 0; i < clients_.size(); ++i) {
+            Client &c = clients_[i];
+            if (c.state != Client::State::Thinking ||
+                c.nextRequestAt > now)
+                continue;
+            const int file = specWebPickFile(rng_, params_.numFiles);
+            Packet p;
+            p.client = static_cast<int>(i);
+            p.open = true;
+            p.fileId = file;
+            p.bytes = static_cast<std::uint32_t>(
+                rng_.range(params_.requestBytesMin,
+                           params_.requestBytesMax));
+            p.reqSeq = ++c.reqSeq;
+            net.clientSend(p);
+            if (probes_)
+                probes_->reqIssue(p.client, p.reqSeq, now);
+            c.state = Client::State::Waiting;
+            c.respRemaining = specWebFileBytes(file);
+            c.lastRequest = p;
+            c.issuedAt = now;
+            c.timeoutAt = now + params_.retryTimeout;
+            c.retries = 0;
+            ++requestsIssued_;
+        }
+    } else {
+        // Slow-client drains that finished by now complete here, with
+        // latency sampled at the drain end, not the server's fin.
+        for (size_t i = 0; i < clients_.size(); ++i) {
+            Client &c = clients_[i];
+            if (c.state == Client::State::Draining &&
+                c.drainDoneAt <= now) {
+                completeRequest(c, static_cast<int>(i), now);
+                ++slowCompletions_;
+            }
+        }
+        // Open loop: arrivals fire on their own schedule, regardless
+        // of how many requests are outstanding.
+        if (!arrivalInit_) {
+            arrivalInit_ = true;
+            rampStartAt_ = now;
+            nextArrivalAt_ = now + drawArrivalGap(now);
+        }
+        while (nextArrivalAt_ <= now) {
+            const Cycle at = nextArrivalAt_;
+            ++arrivals_;
+            dispatchArrival(now, net);
+            nextArrivalAt_ = at + drawArrivalGap(at);
+        }
     }
 
-    if (!recovery_)
+    if (!recovery_ && !openLoop_.enabled)
         return;
 
     // Timeout scan: retransmit with capped exponential backoff, give
@@ -152,7 +398,8 @@ ClientPopulation::tick(Cycle now, Network &net)
         } else {
             c.state = Client::State::Thinking;
             c.respRemaining = 0;
-            c.nextRequestAt = drawThink(now);
+            if (!openLoop_.enabled)
+                c.nextRequestAt = drawThink(now);
             if (probes_)
                 probes_->reqAbort(c.lastRequest.client, c.reqSeq, now);
             ++aborts_;

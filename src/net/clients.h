@@ -18,12 +18,29 @@
  * later request. The layer is off by default and enabled explicitly
  * via setRecovery(), so fault-free runs draw no extra RNG and remain
  * bit-identical to builds without it.
+ *
+ * Open-loop mode (setOpenLoop) replaces the closed-loop think-time
+ * issue model with an arrival *process* decoupled from response
+ * completion — the production-serving shape where offered load does
+ * not politely wait for the server. Arrivals follow a Poisson,
+ * bursty (on/off duty cycle), or ramp schedule at a configured rate;
+ * each arrival claims an idle client port (arrivals finding none are
+ * counted as overflows — the offered load exceeded even the port
+ * capacity), may be a slow client that drains its response at a
+ * bounded rate after the server finishes sending, and may be a
+ * keep-alive (minimal request bytes). The arrival process draws from
+ * its own seeded RNG stream, never the closed-loop RNG, and the
+ * recovery timeout layer is armed automatically (with optionally
+ * overridden timeout/retry knobs) because an open-loop world without
+ * give-ups would deadlock every port at saturation. Off by default;
+ * disabled runs draw no arrival RNG and stay bit-identical.
  */
 
 #ifndef SMTOS_NET_CLIENTS_H
 #define SMTOS_NET_CLIENTS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -50,6 +67,40 @@ struct SpecWebParams
     int maxRetries = 6;          ///< retransmits before giving up
 };
 
+/** Open-loop arrival schedules. */
+enum class ArrivalKind { Poisson, Bursty, Ramp };
+
+/** Open-loop load-generation configuration (WorkloadConfig::openLoop). */
+struct OpenLoopParams
+{
+    bool enabled = false;
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Offered load: mean arrivals per million cycles. */
+    double ratePerMcycle = 0.0;
+    // Bursty: rate multiplier during the on-phase of each period.
+    double burstFactor = 4.0;
+    double burstDuty = 0.25;       ///< fraction of the period bursting
+    Cycle burstPeriod = 200000;
+    // Ramp: rate scales from rampStartFactor to 1 over rampCycles.
+    double rampStartFactor = 0.25;
+    Cycle rampCycles = 1'000'000;
+    /** Fraction of requests from slow clients that drain the response
+     *  at slowDrainPerKb cycles per KB after the server sends it. */
+    double slowPct = 0.0;
+    Cycle slowDrainPerKb = 4000;
+    /** Fraction of keep-alive requests (minimal request bytes). */
+    double keepAlivePct = 0.0;
+    /** Override SpecWebParams timeout/retry for overload dynamics;
+     *  0 keeps the closed-loop defaults. */
+    Cycle retryTimeout = 0;
+    int maxRetries = 0;
+    /** Seed for the arrival RNG stream (never the closed-loop RNG). */
+    std::uint64_t seed = 0x09e41ULL;
+
+    /** Parse "rate=4.0,kind=bursty,slowpct=0.1,..."; fatal on error. */
+    static OpenLoopParams fromString(const std::string &s);
+};
+
 /** Deterministic size of a file (shared with the server's FS). */
 std::uint32_t specWebFileBytes(int file_id);
 
@@ -72,6 +123,16 @@ class ClientPopulation
     void setRecovery(bool on) { recovery_ = on; }
     bool recoveryEnabled() const { return recovery_; }
 
+    /**
+     * Switch to (or reconfigure) open-loop arrival generation. Applies
+     * the timeout/retry overrides, reseeds the arrival RNG, and starts
+     * the arrival clock at the next tick — safe to call on a freshly
+     * resumed population mid-flight.
+     */
+    void setOpenLoop(const OpenLoopParams &p);
+    bool openLoopEnabled() const { return openLoop_.enabled; }
+    const OpenLoopParams &openLoop() const { return openLoop_; }
+
     /** Observability hub (null in normal runs; never mutates us). */
     void setProbes(Probes *p) { probes_ = p; }
 
@@ -80,6 +141,21 @@ class ClientPopulation
     std::uint64_t retransmits() const { return retransmits_; }
     std::uint64_t aborts() const { return aborts_; }
     std::uint64_t retriedResponses() const { return retried_; }
+
+    /**
+     * Delivered work: completed responses, aborted sequences excluded.
+     * Whenever aborts can happen (recovery or open-loop mode) the
+     * stale-sequence filter is armed, so a response to an abandoned
+     * sequence is never credited — responses_ is already goodput.
+     * Overload curves must plot this, not the server's requestsServed,
+     * which counts duplicate and abandoned service as delivered.
+     */
+    std::uint64_t goodput() const { return responses_; }
+
+    // Open-loop accounting (all zero in closed-loop runs).
+    std::uint64_t arrivals() const { return arrivals_; }
+    std::uint64_t arrivalOverflows() const { return arrivalOverflows_; }
+    std::uint64_t slowCompletions() const { return slowCompletions_; }
 
     /** First-try request completion latency (issue of the only
      *  transmission to final response byte), in cycles. */
@@ -95,10 +171,24 @@ class ClientPopulation
     void save(Snapshotter &sp) const;
     void load(Restorer &rs);
 
+    /**
+     * Open-loop side state, serialized only into the optional OVLD
+     * snapshot section (the main save() bytes are part of the
+     * bit-identity contract and never change).
+     */
+    void saveOpenLoop(Snapshotter &sp) const;
+    void loadOpenLoop(Restorer &rs);
+
   private:
     struct Client
     {
-        enum class State { Thinking, Waiting } state = State::Thinking;
+        // Draining: a slow client whose response the server finished
+        // sending but which the client consumes at a bounded rate;
+        // the request completes (and samples latency) at drainDoneAt.
+        // Only reachable in open-loop mode, so closed-loop snapshot
+        // bytes never see the new enumerator.
+        enum class State { Thinking, Waiting, Draining }
+            state = State::Thinking;
         Cycle nextRequestAt = 0;
         std::uint64_t respRemaining = 0;
         // Recovery state.
@@ -107,6 +197,9 @@ class ClientPopulation
         Cycle timeoutAt = 0;
         int retries = 0;
         std::uint32_t reqSeq = 0;
+        // Open-loop state (OVLD section only).
+        bool slow = false;
+        Cycle drainDoneAt = 0;
     };
 
     SpecWebParams params_;
@@ -122,7 +215,21 @@ class ClientPopulation
     Histogram latency_;
     Histogram retriedLatency_;
 
+    // Open-loop generator state (untouched in closed-loop runs).
+    OpenLoopParams openLoop_;
+    Rng arrivalRng_{0x09e41ULL};
+    bool arrivalInit_ = false;
+    Cycle nextArrivalAt_ = 0;
+    Cycle rampStartAt_ = 0;
+    int nextPort_ = 0;
+    std::uint64_t arrivals_ = 0;
+    std::uint64_t arrivalOverflows_ = 0;
+    std::uint64_t slowCompletions_ = 0;
+
     Cycle drawThink(Cycle now);
+    Cycle drawArrivalGap(Cycle at);
+    void dispatchArrival(Cycle now, Network &net);
+    void completeRequest(Client &c, int clientId, Cycle now);
 };
 
 } // namespace smtos

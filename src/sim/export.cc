@@ -145,6 +145,22 @@ writeJsonFields(std::ostream &os, const MetricsSnapshot &d)
            << ",\"service_cycles\":" << d.reqtrace.serviceCycles
            << "}";
     }
+    // Overload counters appear only when the open-loop generator or
+    // an admission policy was engaged, so default JSON stays
+    // byte-identical.
+    if (d.overload.enabled) {
+        os << ",\"overload\":{\"offered_arrivals\":"
+           << d.overload.offeredArrivals
+           << ",\"arrival_overflows\":" << d.overload.arrivalOverflows
+           << ",\"goodput\":" << d.overload.goodput
+           << ",\"client_aborts\":" << d.overload.clientAborts
+           << ",\"slow_completions\":" << d.overload.slowCompletions
+           << ",\"admit_drop_tail\":" << d.overload.admitDropTail
+           << ",\"admit_red_drops\":" << d.overload.admitRedDrops
+           << ",\"admit_shed\":" << d.overload.admitShed
+           << ",\"mbuf_exhausted\":" << d.overload.mbufExhausted
+           << ",\"mbuf_tx_wraps\":" << d.overload.mbufTxWraps << "}";
+    }
 }
 
 void

@@ -82,6 +82,7 @@ MetricsSnapshot::capture(System &sys)
         s.reqtrace = sys.probes()->reqtrace()->stats();
         s.reqtrace.enabled = 1;
     }
+    s.overload = sys.kernel().overloadStats();
     return s;
 }
 
@@ -146,6 +147,7 @@ MetricsSnapshot::delta(const MetricsSnapshot &e) const
     d.retriedLatency.count =
         retriedLatency.count - e.retriedLatency.count;
     d.reqtrace = reqtrace.delta(e.reqtrace);
+    d.overload = overload.delta(e.overload);
     return d;
 }
 

@@ -14,6 +14,7 @@
 
 #include "core/context.h"
 #include "fault/fault.h"
+#include "kernel/admission.h"
 #include "kernel/tags.h"
 #include "mem/memctrl.h"
 #include "mem/missclass.h"
@@ -64,6 +65,9 @@ struct MetricsSnapshot
     /** Request-tracing aggregates (reqtrace.enabled marks a tracer
      *  was attached when captured). */
     ReqTraceStats reqtrace;
+    /** Overload counters (overload.enabled marks the open-loop
+     *  generator or an admission policy was engaged). */
+    OverloadStats overload;
 
     static MetricsSnapshot capture(System &sys);
 

@@ -367,4 +367,49 @@ Kernel::load(Restorer &rs, const SnapImages &images)
         clients_->load(rs);
 }
 
+// Overload state rides only the optional trailing OVLD section, so
+// the KERN bytes above — the default-run bit-identity contract —
+// never change. The caller re-applies the section's OpenLoopParams/
+// AdmitParams via setOpenLoop/setAdmission before loadOverload; the
+// RX unit map is not serialized because setAdmission reconstructs it
+// from the already-restored connections and protocol queue.
+void
+Kernel::saveOverload(Snapshotter &sp) const
+{
+    sp.u64(admit_ ? admit_->rngRawState() : 0);
+    sp.u64(mbufTxCursor_);
+    sp.u64(admitDropTail_);
+    sp.u64(admitRedDrops_);
+    sp.u64(admitShed_);
+    sp.u64(mbufExhausted_);
+    sp.u64(mbufTxWraps_);
+    sp.u64(conns_.size());
+    for (const Connection &c : conns_)
+        sp.u64(c.acceptedAt);
+    sp.b(clients_ != nullptr);
+    if (clients_)
+        clients_->saveOpenLoop(sp);
+}
+
+void
+Kernel::loadOverload(Restorer &rs)
+{
+    const std::uint64_t admitRng = rs.u64();
+    if (admit_)
+        admit_->setRngRawState(admitRng);
+    mbufTxCursor_ = rs.u64();
+    admitDropTail_ = rs.u64();
+    admitRedDrops_ = rs.u64();
+    admitShed_ = rs.u64();
+    mbufExhausted_ = rs.u64();
+    mbufTxWraps_ = rs.u64();
+    smtos_assert(rs.u64() == conns_.size());
+    for (Connection &c : conns_)
+        c.acceptedAt = rs.u64();
+    const bool hasClients = rs.b();
+    smtos_assert(hasClients == (clients_ != nullptr));
+    if (clients_)
+        clients_->loadOpenLoop(rs);
+}
+
 } // namespace smtos

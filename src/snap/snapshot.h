@@ -269,6 +269,20 @@ class Restorer
         return pos_ == buf_.size();
     }
 
+    /** Non-consuming peek at the next section's tag. Valid only
+     *  between sections; with several *optional* trailing sections,
+     *  atEnd() alone cannot tell a reader which one comes next. */
+    bool
+    nextSectionIs(const char (&fourcc)[5]) const
+    {
+        smtos_assert(sectionEnd_ == 0);
+        if (pos_ + 4 > buf_.size())
+            return false;
+        std::uint32_t tag;
+        std::memcpy(&tag, buf_.data() + pos_, sizeof tag);
+        return tag == sectionTag(fourcc);
+    }
+
   private:
     void
     validate()

@@ -811,6 +811,45 @@ ClientPopulation::load(Restorer &rs)
     retriedLatency_.load(rs);
 }
 
+// Open-loop generator state: serialized only into the optional OVLD
+// snapshot section, so save()'s bytes above — the closed-loop
+// bit-identity contract — never change.
+void
+ClientPopulation::saveOpenLoop(Snapshotter &sp) const
+{
+    sp.b(arrivalInit_);
+    sp.u64(nextArrivalAt_);
+    sp.u64(rampStartAt_);
+    sp.i32(nextPort_);
+    sp.u64(arrivalRng_.rawState());
+    sp.u64(arrivals_);
+    sp.u64(arrivalOverflows_);
+    sp.u64(slowCompletions_);
+    sp.u64(clients_.size());
+    for (const Client &c : clients_) {
+        sp.b(c.slow);
+        sp.u64(c.drainDoneAt);
+    }
+}
+
+void
+ClientPopulation::loadOpenLoop(Restorer &rs)
+{
+    arrivalInit_ = rs.b();
+    nextArrivalAt_ = rs.u64();
+    rampStartAt_ = rs.u64();
+    nextPort_ = rs.i32();
+    arrivalRng_.setRawState(rs.u64());
+    arrivals_ = rs.u64();
+    arrivalOverflows_ = rs.u64();
+    slowCompletions_ = rs.u64();
+    smtos_assert(rs.u64() == clients_.size());
+    for (Client &c : clients_) {
+        c.slow = rs.b();
+        c.drainDoneAt = rs.u64();
+    }
+}
+
 // --- fault/fault.h ---
 
 void

@@ -88,6 +88,15 @@ def main():
     total = clean + retried + aborted + other
     print(f"spans: {total}  clean {clean}  retried {retried}  "
           f"aborted {aborted}  irregular {other}")
+    # Goodput = completions a client actually consumed (clean +
+    # retried); the give-up fraction is the overload-collapse signal
+    # (see DESIGN.md §14 and bench/fig_overload_knee).
+    goodput = clean + retried
+    if total:
+        print(f"goodput: {goodput} "
+              f"({100.0 * goodput / total:.1f}% of spans)   "
+              f"given up: {aborted} "
+              f"({100.0 * aborted / total:.1f}%)")
     if not clean:
         print("no clean spans: nothing to aggregate")
         return 0

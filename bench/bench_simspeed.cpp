@@ -51,6 +51,53 @@ BM_SimRate_ApacheSmt(benchmark::State &state)
 }
 
 void
+BM_SimRate_SpecIntFunctional(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Session::Config s;
+        s.workload.kind = WorkloadConfig::Kind::SpecInt;
+        s.workload.spec.inputChunks = 8;
+        s.fidelity = Fidelity::Functional;
+        s.phases.startupInstrs = 50'000;
+        s.phases.measureInstrs = static_cast<std::uint64_t>(state.range(0));
+        RunResult r = Session(s).run();
+        benchmark::DoNotOptimize(r.steady.core.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_SimRate_ApacheFunctional(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Session::Config s;
+        s.workload.kind = WorkloadConfig::Kind::Apache;
+        s.fidelity = Fidelity::Functional;
+        s.phases.startupInstrs = 50'000;
+        s.phases.measureInstrs = static_cast<std::uint64_t>(state.range(0));
+        RunResult r = Session(s).run();
+        benchmark::DoNotOptimize(r.steady.core.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_SimRate_SpecIntSampled(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Session::Config s;
+        s.workload.kind = WorkloadConfig::Kind::SpecInt;
+        s.workload.spec.inputChunks = 8;
+        s.sample.enabled = true;
+        s.phases.startupInstrs = 50'000;
+        s.phases.measureInstrs = static_cast<std::uint64_t>(state.range(0));
+        RunResult r = Session(s).run();
+        benchmark::DoNotOptimize(r.sample.cpi.mean);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
 BM_CacheAccess(benchmark::State &state)
 {
     Cache c(CacheParams{});
@@ -153,6 +200,12 @@ BM_PredictorTrain(benchmark::State &state)
 BENCHMARK(BM_SimRate_SpecIntSmt)->Arg(200000)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_SimRate_ApacheSmt)->Arg(200000)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_SimRate_SpecIntFunctional)->Arg(1000000)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_SimRate_ApacheFunctional)->Arg(1000000)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_SimRate_SpecIntSampled)->Arg(1000000)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_CacheAccess);
 BENCHMARK(BM_PredictorTrain);

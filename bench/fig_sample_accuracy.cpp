@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Switchable-fidelity headline numbers (DESIGN.md §15): host-side
+ * simulation rate of the functional (warming-only) engine vs the
+ * detailed pipeline, and the sampled-vs-full accuracy curve.
+ *
+ * Stage 1 times the measurement phase of identical workloads at both
+ * fidelities and gates the tentpole claim: the functional engine must
+ * execute at >= 10x the detailed simulated-instructions-per-host-
+ * second rate on both SpecInt and Apache. Stage 2 sweeps the SMARTS
+ * sampling period and reports the sampled CPI error against a
+ * full-detail reference run next to the sampled run's own confidence
+ * interval. Headlines are recorded into BENCH_simspeed.json (argv[1],
+ * "-" skips) with the units in the key names; the full curve goes to
+ * a standalone JSON for CI artifact upload (argv[2], default
+ * "sample-accuracy.json", "-" skips).
+ */
+
+#include "bench_common.h"
+
+#include <cmath>
+#include <ctime>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/sample.h"
+
+using namespace smtos;
+using namespace smtos::bench;
+
+namespace {
+
+Session::Config
+workloadConfig(WorkloadConfig::Kind kind)
+{
+    Session::Config c;
+    c.workload.kind = kind;
+    if (kind == WorkloadConfig::Kind::SpecInt)
+        c.workload.spec.inputChunks = 8;
+    c.phases.startupInstrs = 100'000;
+    return c;
+}
+
+/** Process CPU seconds now (excludes time stolen by other processes,
+ *  so the rate reflects the simulator, not host load). */
+double
+cpuSecondsNow()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** Host CPU seconds spent in one runMeasurement() of @p cfg. */
+double
+timeMeasurement(const Session::Config &cfg)
+{
+    Session s(cfg);
+    s.runStartup();
+    const double t0 = cpuSecondsNow();
+    s.runMeasurement();
+    return cpuSecondsNow() - t0;
+}
+
+struct RatePoint
+{
+    const char *name;
+    double detailedRate = 0;   ///< simulated instr / host second
+    double functionalRate = 0;
+    double ratio = 0;
+};
+
+RatePoint
+measureRates(WorkloadConfig::Kind kind, const char *name)
+{
+    RatePoint r;
+    r.name = name;
+
+    Session::Config det = workloadConfig(kind);
+    det.phases.measureInstrs = 400'000;
+
+    Session::Config fun = det;
+    fun.fidelity = Fidelity::Functional;
+    // More work at the faster fidelity, so the timed region dwarfs
+    // clock granularity.
+    fun.phases.measureInstrs = 4'000'000;
+
+    // Interleave the repeats so both fidelities sample the same host
+    // weather, and keep each mode's minimum: the best-of-N estimator
+    // converges on the quiet-machine rate that the speedup claim is
+    // about, instead of folding in whatever else the host was doing.
+    double detSec = 0;
+    double funSec = 0;
+    for (int rep = 0; rep < 4; ++rep) {
+        const double d = timeMeasurement(det);
+        const double f = timeMeasurement(fun);
+        if (rep == 0 || d < detSec)
+            detSec = d;
+        if (rep == 0 || f < funSec)
+            funSec = f;
+    }
+    r.detailedRate =
+        static_cast<double>(det.phases.measureInstrs) / detSec;
+    r.functionalRate =
+        static_cast<double>(fun.phases.measureInstrs) / funSec;
+
+    r.ratio = r.functionalRate / r.detailedRate;
+    return r;
+}
+
+struct AccuracyPoint
+{
+    const char *name;
+    std::uint64_t period = 0;
+    double fullCpi = 0;
+    double sampledCpi = 0;
+    double halfWidth = 0;
+    double errPct = 0;         ///< |sampled - full| / full
+    int intervals = 0;
+    double detailedFrac = 0;   ///< detailed instrs / total instrs
+};
+
+std::vector<AccuracyPoint>
+accuracyCurve(WorkloadConfig::Kind kind, const char *name)
+{
+    Session::Config base = workloadConfig(kind);
+    base.phases.measureInstrs = 600'000;
+
+    Session full(base);
+    const RunResult fr = full.run();
+    const double fullCpi =
+        static_cast<double>(fr.steady.core.cycles) /
+        static_cast<double>(fr.steady.core.totalRetired());
+
+    std::vector<AccuracyPoint> curve;
+    for (const std::uint64_t period :
+         {10'000ull, 20'000ull, 40'000ull, 80'000ull}) {
+        Session::Config sc = base;
+        sc.sample.enabled = true;
+        sc.sample.periodInstrs = period;
+        sc.sample.warmInstrs = 2'500;
+        sc.sample.intervalInstrs = 2'500;
+        Session s(sc);
+        const RunResult rr = s.run();
+        AccuracyPoint p;
+        p.name = name;
+        p.period = period;
+        p.fullCpi = fullCpi;
+        p.sampledCpi = rr.sample.cpi.mean;
+        p.halfWidth = rr.sample.cpi.halfWidth;
+        p.errPct = 100.0 * std::fabs(p.sampledCpi - fullCpi) / fullCpi;
+        p.intervals = rr.sample.intervals;
+        const double total = static_cast<double>(
+            rr.sample.functionalInstrs + rr.sample.detailedInstrs);
+        p.detailedFrac =
+            total > 0
+                ? static_cast<double>(rr.sample.detailedInstrs) / total
+                : 0.0;
+        curve.push_back(p);
+    }
+    return curve;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("Functional-mode rate and sampled accuracy",
+           "SMARTS-style sampling over the switchable-fidelity core: "
+           "warming-only fast-forward, detailed measured intervals");
+
+    // Stage 1 — the host-side rate claim.
+    const RatePoint rates[] = {
+        measureRates(WorkloadConfig::Kind::SpecInt, "SpecInt"),
+        measureRates(WorkloadConfig::Kind::Apache, "Apache"),
+    };
+    TextTable rt("Simulation rate by fidelity (simulated instr/s)");
+    rt.header({"workload", "detailed instr/s", "functional instr/s",
+               "speedup"});
+    for (const RatePoint &r : rates)
+        rt.row({r.name, TextTable::num(r.detailedRate, 0),
+                TextTable::num(r.functionalRate, 0),
+                TextTable::num(r.ratio, 1)});
+    rt.print();
+
+    // Stage 2 — the accuracy curve.
+    std::vector<AccuracyPoint> curve =
+        accuracyCurve(WorkloadConfig::Kind::SpecInt, "SpecInt");
+    {
+        std::vector<AccuracyPoint> ap =
+            accuracyCurve(WorkloadConfig::Kind::Apache, "Apache");
+        curve.insert(curve.end(), ap.begin(), ap.end());
+    }
+    TextTable at("Sampled CPI vs full-detail reference");
+    at.header({"workload", "period", "full CPI", "sampled CPI",
+               "ci half-width", "err %", "intervals",
+               "detailed frac"});
+    for (const AccuracyPoint &p : curve)
+        at.row({p.name, TextTable::num(p.period),
+                TextTable::num(p.fullCpi, 3),
+                TextTable::num(p.sampledCpi, 3),
+                TextTable::num(p.halfWidth, 3),
+                TextTable::num(p.errPct, 1),
+                TextTable::num(static_cast<std::uint64_t>(p.intervals)),
+                TextTable::num(p.detailedFrac, 3)});
+    at.print();
+
+    // Record the headlines; every key carries its unit.
+    {
+        char body[1024];
+        double worstErr = 0;
+        for (const AccuracyPoint &p : curve)
+            worstErr = std::max(worstErr, p.errPct);
+        std::snprintf(
+            body, sizeof body,
+            "        \"functional_mode\": {\n"
+            "          \"specint_detailed_instr_per_sec\": %.0f,\n"
+            "          \"specint_functional_instr_per_sec\": %.0f,\n"
+            "          \"specint_speedup_ratio\": %.1f,\n"
+            "          \"apache_detailed_instr_per_sec\": %.0f,\n"
+            "          \"apache_functional_instr_per_sec\": %.0f,\n"
+            "          \"apache_speedup_ratio\": %.1f\n"
+            "        }\n",
+            rates[0].detailedRate, rates[0].functionalRate,
+            rates[0].ratio, rates[1].detailedRate,
+            rates[1].functionalRate, rates[1].ratio);
+        recordEntry(argc > 1 ? argv[1] : "BENCH_simspeed.json",
+                    "functional-mode", body);
+        std::snprintf(
+            body, sizeof body,
+            "        \"sampled_accuracy\": {\n"
+            "          \"periods_instrs\": [10000, 20000, 40000, "
+            "80000],\n"
+            "          \"worst_cpi_err_pct\": %.2f,\n"
+            "          \"specint_err_pct_at_40k\": %.2f,\n"
+            "          \"apache_err_pct_at_40k\": %.2f\n"
+            "        }\n",
+            worstErr, curve[2].errPct, curve[6].errPct);
+        recordEntry(argc > 1 ? argv[1] : "BENCH_simspeed.json",
+                    "sampled-accuracy", body);
+    }
+
+    // Full curve as a standalone CI artifact.
+    const std::string curvePath =
+        argc > 2 ? argv[2] : "sample-accuracy.json";
+    if (curvePath != "-") {
+        std::FILE *f = std::fopen(curvePath.c_str(), "w");
+        if (f) {
+            std::fprintf(f, "{\n  \"rates\": [\n");
+            for (std::size_t i = 0; i < 2; ++i)
+                std::fprintf(
+                    f,
+                    "    {\"workload\": \"%s\", "
+                    "\"detailed_instr_per_sec\": %.0f, "
+                    "\"functional_instr_per_sec\": %.0f, "
+                    "\"speedup_ratio\": %.1f}%s\n",
+                    rates[i].name, rates[i].detailedRate,
+                    rates[i].functionalRate, rates[i].ratio,
+                    i == 0 ? "," : "");
+            std::fprintf(f, "  ],\n  \"accuracy\": [\n");
+            for (std::size_t i = 0; i < curve.size(); ++i) {
+                const AccuracyPoint &p = curve[i];
+                std::fprintf(
+                    f,
+                    "    {\"workload\": \"%s\", "
+                    "\"period_instrs\": %llu, \"full_cpi\": %.4f, "
+                    "\"sampled_cpi\": %.4f, "
+                    "\"ci_half_width\": %.4f, \"err_pct\": %.2f, "
+                    "\"intervals\": %d, \"detailed_frac\": %.4f}%s\n",
+                    p.name,
+                    static_cast<unsigned long long>(p.period),
+                    p.fullCpi, p.sampledCpi, p.halfWidth, p.errPct,
+                    p.intervals, p.detailedFrac,
+                    i + 1 < curve.size() ? "," : "");
+            }
+            std::fprintf(f, "  ]\n}\n");
+            std::fclose(f);
+            std::printf("curve written to %s\n", curvePath.c_str());
+        }
+    }
+
+    // Gate the tentpole claim last, after everything is recorded.
+    bool ok = true;
+    for (const RatePoint &r : rates) {
+        if (r.ratio < 10.0) {
+            std::printf("FAIL: functional %s rate is only %.1fx "
+                        "detailed (need >= 10x)\n", r.name, r.ratio);
+            ok = false;
+        }
+    }
+    if (ok)
+        std::printf("\nOK: functional engine >= 10x detailed rate on "
+                    "both workloads\n");
+    return ok ? 0 : 1;
+}

@@ -9,6 +9,8 @@ Btb::Btb(int entries, int assoc) : assoc_(assoc)
 {
     smtos_assert(entries > 0 && assoc > 0 && entries % assoc == 0);
     numSets_ = entries / assoc;
+    if ((numSets_ & (numSets_ - 1)) == 0)
+        setMask_ = static_cast<Addr>(numSets_) - 1;
     entries_.assign(static_cast<size_t>(entries), Entry{});
 }
 

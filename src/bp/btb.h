@@ -71,11 +71,15 @@ class Btb
 
     int setOf(Addr pc) const
     {
-        return static_cast<int>((pc >> 2) %
-                                static_cast<Addr>(numSets_));
+        // numSets_ is a power of two for every supported geometry;
+        // the ctor falls back to modulo otherwise.
+        return static_cast<int>(
+            setMask_ ? (pc >> 2) & setMask_
+                     : (pc >> 2) % static_cast<Addr>(numSets_));
     }
 
     int assoc_;
+    Addr setMask_ = 0; ///< numSets_ - 1 when numSets_ is a power of two
     int numSets_;
     std::vector<Entry> entries_;
     std::uint64_t tick_ = 0;

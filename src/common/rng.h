@@ -42,6 +42,12 @@ class Rng
     std::uint64_t
     below(std::uint64_t bound)
     {
+        // Mask when bound is a power of two — identical result to the
+        // modulo (x % 2^k == x & (2^k - 1)), without the hardware
+        // divide. Most draws on the per-instruction path use
+        // power-of-two bounds (branch chance scale, region windows).
+        if ((bound & (bound - 1)) == 0)
+            return next() & (bound - 1);
         return next() % bound;
     }
 

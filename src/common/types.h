@@ -47,6 +47,25 @@ enum class Mode : std::uint8_t { User = 0, Kernel = 1, Pal = 2, Idle = 3 };
 /** Number of distinct Mode values. */
 constexpr int numModes = 4;
 
+/**
+ * Execution fidelity of the core model (DESIGN.md §15).
+ *
+ * Detailed is the cycle-accurate SMT pipeline. Functional executes the
+ * same architectural semantics with *warming only*: caches, TLBs and
+ * branch-predictor state are updated but no pipeline timing is
+ * modelled, trading cycle accuracy for simulation rate. Fidelity is
+ * switchable at any cycle boundary; the retired-instruction stream
+ * stays RefCore-checkable in both modes.
+ */
+enum class Fidelity : std::uint8_t { Detailed = 0, Functional = 1 };
+
+/** Human-readable fidelity name. */
+inline const char *
+fidelityName(Fidelity f)
+{
+    return f == Fidelity::Functional ? "functional" : "detailed";
+}
+
 /** True for any privileged mode (kernel or PAL). */
 inline bool
 isPrivileged(Mode m)

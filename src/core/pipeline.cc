@@ -70,6 +70,8 @@ Pipeline::raiseInterrupt(CtxId id, std::uint16_t vector)
 bool
 Pipeline::canFetch(const Context &c) const
 {
+    if (draining_)
+        return false;
     if (!c.hasThread() || c.interruptPending)
         return false;
     if (now_ < c.fetchResumeAt)
@@ -202,7 +204,7 @@ Pipeline::fetchFrom(Context &c, int budget)
         {
             const CallFrame &f = cur.top();
             if (f.inKernel)
-                u.tag = kernelImage_->func(f.func).tag;
+                u.tag = kernelImage_->tagOf(f.func);
         }
         if (in.dest != regNone)
             u.destType = isFpReg(in.dest) ? 2 : 1;
@@ -521,7 +523,7 @@ Pipeline::currentServiceTag(const Context &c) const
     const CallFrame &f = cur.top();
     if (!f.inKernel)
         return -1;
-    return kernelImage_->func(f.func).tag;
+    return kernelImage_->tagOf(f.func);
 }
 
 void
@@ -1029,6 +1031,10 @@ Pipeline::commitUop(Context &c, Uop &u)
 void
 Pipeline::cycle()
 {
+    if (fidelity_ == Fidelity::Functional) {
+        funcCycle();
+        return;
+    }
     ++now_;
     ++stats_.cycles;
     if (probes_)
@@ -1161,9 +1167,11 @@ Pipeline::runInstrs(std::uint64_t retired)
     std::uint64_t last = stats_.totalRetired();
     Cycle last_progress = now_;
     while (stats_.totalRetired() < target) {
-        if (fastForward_) {
+        if (fastForward_ && fidelity_ == Fidelity::Detailed) {
             // Clamp at the no-progress panic boundary so a wedged
             // machine aborts at the same cycle as the ticked loop.
+            // (Functional cycles always make progress or hit the
+            // panic below; quiescence is a detailed-timing notion.)
             maybeFastForward(last_progress + 200001);
         }
         cycle();
@@ -1183,7 +1191,7 @@ Pipeline::runCycles(Cycle n)
 {
     const Cycle end = now_ + n;
     while (now_ < end) {
-        if (fastForward_)
+        if (fastForward_ && fidelity_ == Fidelity::Detailed)
             maybeFastForward(end);
         cycle();
     }

@@ -149,6 +149,28 @@ class Pipeline
     /** Advance one cycle. */
     void cycle();
 
+    /**
+     * Switch execution fidelity (DESIGN.md §15). Switching to
+     * Functional first drains all in-flight work (detailed cycles
+     * with fetch suppressed), so the functional engine starts from
+     * committed architectural state; switching back to Detailed is
+     * immediate — the functional engine leaves nothing in flight.
+     * Both directions preserve the retired-stream contract, so an
+     * attached co-simulation oracle stays clean across switches.
+     */
+    void setFidelity(Fidelity f);
+    Fidelity fidelity() const { return fidelity_; }
+    /** Instructions retired by the functional engine (lifetime). */
+    std::uint64_t funcInstrs() const { return funcInstrs_; }
+    /** Cycles ticked by the functional engine (lifetime). */
+    Cycle funcCycles() const { return funcCycles_; }
+    /** Fidelity switches performed (both directions). */
+    std::uint64_t fidelitySwitches() const { return fidelitySwitches_; }
+    /** Snapshot-restore path: reinstate fidelity state without
+     *  draining (the restored machine is already consistent). */
+    void restoreFidelity(Fidelity f, std::uint64_t instrs, Cycle cycles,
+                         std::uint64_t switches);
+
     /** Run until @p retired instructions have committed in total. */
     void runInstrs(std::uint64_t retired);
 
@@ -329,6 +351,18 @@ class Pipeline
     void releaseUop(const Uop &u);
     void commitUop(Context &c, Uop &u);
 
+    // --- functional (warming-only) engine: core/funccore.cc ---
+    /** One functional cycle: interrupt delivery + a fetch-width batch
+     *  of architectural steps round-robined across contexts. */
+    void funcCycle();
+    /** Execute one instruction of @p c architecturally. Returns 1
+     *  (retired, may continue), 2 (retired-or-trapped into the OS,
+     *  end this context's turn), or 0 (cannot execute). */
+    int funcStep(Context &c);
+    /** Run detailed cycles with fetch suppressed until nothing is in
+     *  flight (the functional-switch handover point). */
+    void drainForFidelitySwitch();
+
     CoreParams params_;
     Hierarchy *hier_;
     const CodeImage *kernelImage_;
@@ -380,6 +414,13 @@ class Pipeline
     bool appOnlyTlb_ = false;
     bool fastForward_ = true;
     std::uint64_t ffCycles_ = 0;
+
+    Fidelity fidelity_ = Fidelity::Detailed;
+    /** Fetch suppressed while draining for a fidelity switch. */
+    bool draining_ = false;
+    std::uint64_t funcInstrs_ = 0;
+    Cycle funcCycles_ = 0;
+    std::uint64_t fidelitySwitches_ = 0;
 
     CoreStats stats_;
 };

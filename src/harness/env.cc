@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.h"
 #include "common/trace.h"
 #include "fault/diag.h"
 #include "harness/parallel.h"
@@ -56,6 +57,20 @@ EnvOverrides::fromLookup(const Lookup &get)
     if (const char *v = get("SMTOS_ADMIT")) {
         ov.admit = AdmitParams::fromString(v);
         ov.hasAdmit = true;
+    }
+    if (const char *v = get("SMTOS_FIDELITY")) {
+        if (std::strcmp(v, "functional") == 0)
+            ov.fidelity = Fidelity::Functional;
+        else if (std::strcmp(v, "detailed") == 0)
+            ov.fidelity = Fidelity::Detailed;
+        else
+            smtos_fatal("SMTOS_FIDELITY: expected 'detailed' or "
+                        "'functional', got '%s'", v);
+        ov.hasFidelity = true;
+    }
+    if (const char *v = get("SMTOS_SAMPLE")) {
+        ov.sample = SampleParams::fromString(v);
+        ov.hasSample = true;
     }
     if (const char *v = get("SMTOS_PROFILE"); truthy(v)) {
         ov.obs.profile = true;

@@ -18,6 +18,10 @@
  *                                    (OpenLoopParams syntax)
  *   SMTOS_ADMIT                      accept-queue admission control
  *                                    (AdmitParams syntax)
+ *   SMTOS_FIDELITY                   execution fidelity
+ *                                    ("detailed" | "functional")
+ *   SMTOS_SAMPLE                     SMARTS sampled measurement
+ *                                    (SampleParams syntax)
  *   SMTOS_PROFILE, SMTOS_INTERVAL, SMTOS_INTERVAL_JSONL,
  *   SMTOS_INTERVAL_CSV, SMTOS_TIMELINE, SMTOS_TIMELINE_DETAIL,
  *   SMTOS_REQTRACE, SMTOS_REQTRACE_FILE
@@ -32,6 +36,7 @@
 #include <string>
 
 #include "fault/fault.h"
+#include "harness/sample.h"
 #include "kernel/admission.h"
 #include "net/clients.h"
 #include "obs/session.h"
@@ -48,6 +53,10 @@ struct EnvOverrides
     bool hasOpenLoop = false; ///< SMTOS_OPENLOOP was present
     AdmitParams admit{};
     bool hasAdmit = false;    ///< SMTOS_ADMIT was present
+    Fidelity fidelity = Fidelity::Detailed;
+    bool hasFidelity = false; ///< SMTOS_FIDELITY was present
+    SampleParams sample{};
+    bool hasSample = false;   ///< SMTOS_SAMPLE was present
     unsigned jobs = 0;        ///< 0: unset
     std::string diagDir;
     bool hasDiagDir = false;

@@ -31,6 +31,9 @@ constexpr std::uint32_t reqtraceSectionVersion = 1;
 /** Optional trailing overload (open-loop + admission) section. */
 constexpr std::uint32_t overloadSectionVersion = 1;
 
+/** Optional trailing fidelity/sampling section. */
+constexpr std::uint32_t fidelitySectionVersion = 1;
+
 /**
  * OVLD section prologue: the overload params. They cannot ride the
  * CFG section (its byte layout is the bit-identity contract for
@@ -90,6 +93,34 @@ overloadParamsIn(Restorer &rs, OpenLoopParams &ol, AdmitParams &ap)
     ap.shedDeadline = rs.u64();
     ap.seed = rs.u64();
     ap.mbufAccounting = rs.b();
+}
+
+/**
+ * FIDL section prologue: fidelity/sampling params. Same contract as
+ * OVLD — they cannot ride the CFG section (its byte layout is the
+ * bit-identity contract for default artifacts), so the optional
+ * section carries its own config ahead of the live counters.
+ */
+void
+fidelityParamsOut(Snapshotter &sp, Fidelity f, const SampleParams &p)
+{
+    sp.u8(static_cast<std::uint8_t>(f));
+    sp.b(p.enabled);
+    sp.u64(p.periodInstrs);
+    sp.u64(p.warmInstrs);
+    sp.u64(p.intervalInstrs);
+    sp.f64(p.confidence);
+}
+
+void
+fidelityParamsIn(Restorer &rs, Fidelity &f, SampleParams &p)
+{
+    f = static_cast<Fidelity>(rs.u8());
+    p.enabled = rs.b();
+    p.periodInstrs = rs.u64();
+    p.warmInstrs = rs.u64();
+    p.intervalInstrs = rs.u64();
+    p.confidence = rs.f64();
 }
 
 MachineConfig
@@ -155,11 +186,18 @@ Session::Session(const Config &cfg, bool consultAmbient, bool forcePlan)
         if (!cfg_.system.admit.enabled() &&
             EnvOverrides::ambient().hasAdmit)
             cfg_.system.admit = EnvOverrides::ambient().admit;
+        if (cfg_.fidelity == Fidelity::Detailed &&
+            EnvOverrides::ambient().hasFidelity)
+            cfg_.fidelity = EnvOverrides::ambient().fidelity;
+        if (!cfg_.sample.enabled && EnvOverrides::ambient().hasSample)
+            cfg_.sample = EnvOverrides::ambient().sample;
     }
 
     sys_ = std::make_unique<System>(
         machineConfigOf(cfg_.system, cfg_.workload));
     sys_->pipeline().setFastForward(cfg_.system.fastForward);
+    if (cfg_.fidelity == Fidelity::Functional)
+        sys_->pipeline().setFidelity(Fidelity::Functional);
     if (cfg_.system.filterKernelRefs)
         sys_->pipeline().setFilterPrivilegedBranches(true);
 
@@ -272,6 +310,23 @@ Session::validate() const
     if (ap.policy == AdmitPolicy::OldestFirst && ap.shedDeadline == 0)
         smtos_fatal("Session: oldest-first shedding needs a nonzero "
                     "shedDeadline");
+    const SampleParams &smp = cfg_.sample;
+    if (smp.enabled) {
+        if (smp.intervalInstrs == 0)
+            smtos_fatal("Session: sampling needs intervalInstrs > 0");
+        if (smp.periodInstrs < smp.warmInstrs + smp.intervalInstrs)
+            smtos_fatal("Session: sampling period must cover "
+                        "warm + interval");
+        if (smp.confidence < 0.5 || smp.confidence >= 1.0)
+            smtos_fatal("Session: sampling confidence must be in "
+                        "[0.5, 1)");
+        if (cfg_.phases.windowInstrs > 0)
+            smtos_fatal("Session: sampled measurement and windowed "
+                        "measurement are mutually exclusive");
+        if (cfg_.fidelity == Fidelity::Functional)
+            smtos_fatal("Session: sampled measurement drives fidelity "
+                        "itself; configure Detailed");
+    }
 }
 
 void
@@ -317,7 +372,14 @@ Session::runMeasurement()
     res.startup = startupDelta_;
     const MetricsSnapshot s1 = capture();
 
-    if (obs_ && obs_->wantsIntervals()) {
+    if (cfg_.sample.enabled) {
+        // SMARTS sampled measurement: the driver alternates fidelity
+        // itself; steady still covers the whole sampled phase so
+        // architectural counts (instructions, mode mix) stay exact.
+        res.sample = runSampledMeasurement(*sys_, cfg_.sample,
+                                           cfg_.phases.measureInstrs);
+        res.steady = capture().delta(s1);
+    } else if (obs_ && obs_->wantsIntervals()) {
         // Cycle-driven interval sampling: advance in fixed steps and
         // emit one time-series row per step until the instruction
         // budget is retired. Deterministic for a given seed/config.
@@ -534,6 +596,20 @@ Session::snapshot()
         sys_->kernel().saveOverload(sp);
         sp.endSection();
     }
+    // Same contract for fidelity state: only sessions that configured
+    // functional/sampled execution or actually ran functional cycles
+    // write it, so pure-detailed artifacts keep their prior bytes.
+    const Pipeline &pipe = sys_->pipeline();
+    if (cfg_.fidelity != Fidelity::Detailed || cfg_.sample.enabled ||
+        pipe.funcInstrs() > 0) {
+        sp.beginSection("FIDL", fidelitySectionVersion);
+        fidelityParamsOut(sp, cfg_.fidelity, cfg_.sample);
+        sp.u8(static_cast<std::uint8_t>(pipe.fidelity()));
+        sp.u64(pipe.funcInstrs());
+        sp.u64(pipe.funcCycles());
+        sp.u64(pipe.fidelitySwitches());
+        sp.endSection();
+    }
     return sp.finish();
 }
 
@@ -645,6 +721,33 @@ Session::resume(const std::vector<std::uint8_t> &artifact,
         s->cfg_.system.admit = *opts.admit;
         s->sys_->kernel().setAdmission(*opts.admit);
     }
+    // Optional trailing fidelity state: restore the configured mode,
+    // the live pipeline fidelity, and the functional counters so a
+    // resumed run's metrics continue bit-identically.
+    if (!rs.atEnd() && rs.nextSectionIs("FIDL")) {
+        const std::uint32_t fv = rs.enterSection("FIDL");
+        smtos_assert(fv == fidelitySectionVersion);
+        Fidelity cfgF = Fidelity::Detailed;
+        SampleParams smp;
+        fidelityParamsIn(rs, cfgF, smp);
+        s->cfg_.fidelity = cfgF;
+        s->cfg_.sample = smp;
+        const Fidelity live = static_cast<Fidelity>(rs.u8());
+        const std::uint64_t fi = rs.u64();
+        const Cycle fc = rs.u64();
+        const std::uint64_t sw = rs.u64();
+        s->sys_->pipeline().restoreFidelity(live, fi, fc, sw);
+        rs.leaveSection();
+    }
+    // Fidelity overrides land after the artifact's own state: resume
+    // one detailed start-up snapshot into functional fast-forward or
+    // sampled measurement (or force functional back to detailed).
+    if (opts.fidelity) {
+        s->cfg_.fidelity = *opts.fidelity;
+        s->sys_->pipeline().setFidelity(*opts.fidelity);
+    }
+    if (opts.sample)
+        s->cfg_.sample = *opts.sample;
     s->startupDone_ = true; // the artifact is past its start-up
     if (opts.obs)
         s->attachObs(*opts.obs);

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "harness/sample.h"
 #include "kernel/admission.h"
 #include "mem/memctrl.h"
 #include "net/clients.h"
@@ -107,6 +108,9 @@ struct RunResult
     std::vector<MetricsSnapshot> windows;
     std::uint64_t requestsServed = 0;
     Cycle cycles = 0;
+    /** Sampled-measurement estimates (sample.enabled when the SMARTS
+     *  driver ran; steady then covers the whole sampled phase). */
+    SampleReport sample;
 };
 
 /** One built-and-started experiment. */
@@ -135,6 +139,23 @@ class Session
          * same event stream as a straight-through run's.
          */
         ObsSession *obs = nullptr;
+
+        /**
+         * Execution fidelity of the whole run (DESIGN.md §15).
+         * Functional executes with warming only: instruction counts
+         * and mode breakdowns keep architectural meaning, cycle
+         * counts do not. Sampled runs leave this Detailed and set
+         * @c sample instead.
+         */
+        Fidelity fidelity = Fidelity::Detailed;
+
+        /**
+         * SMARTS sampled measurement: fast-forward functionally,
+         * warm, measure a detailed interval, repeat. Replaces the
+         * plain measurement loop; mutually exclusive with
+         * phases.windowInstrs.
+         */
+        SampleParams sample{};
 
         /**
          * Attach a co-simulation oracle before the system starts.
@@ -168,6 +189,14 @@ class Session
          */
         std::optional<OpenLoopParams> openLoop;
         std::optional<AdmitParams> admit;
+        /**
+         * Fidelity/sampling overrides, applied after any FIDL section
+         * in the artifact: resume a detailed start-up snapshot into a
+         * functional fast-forward or a sampled measurement (or force
+         * a functional-mode artifact back to detailed).
+         */
+        std::optional<Fidelity> fidelity;
+        std::optional<SampleParams> sample;
     };
 
     /** Validate, build, install the workload, and start. */

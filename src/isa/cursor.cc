@@ -6,6 +6,31 @@
 
 namespace smtos {
 
+namespace {
+
+// Exact equivalents of x % m and x / m that avoid the hardware divide
+// when m is a power of two. Region and segment sizes almost always
+// are, and memAddress() runs for every memory instruction at either
+// fidelity.
+inline Addr
+fastMod(Addr x, Addr m)
+{
+    return (m & (m - 1)) == 0 ? (x & (m - 1)) : x % m;
+}
+
+inline Addr
+fastDiv(Addr x, Addr m)
+{
+    if ((m & (m - 1)) != 0)
+        return x / m;
+    int s = 0;
+    while ((m >> s) != 1)
+        ++s;
+    return x >> s;
+}
+
+} // namespace
+
 void
 Cursor::reset(int func, bool in_kernel, std::uint64_t seed)
 {
@@ -21,29 +46,6 @@ Cursor::reset(int func, bool in_kernel, std::uint64_t seed)
     retired = 0;
 }
 
-Mode
-Cursor::mode(const ImageSet &is) const
-{
-    const CallFrame &f = top();
-    if (!f.inKernel)
-        return Mode::User;
-    return is.kernel->func(f.func).pal ? Mode::Pal : Mode::Kernel;
-}
-
-const Instr &
-Cursor::currentInstr(const ImageSet &is) const
-{
-    const CallFrame &f = top();
-    return image(is).instrAt(f.func, f.block, f.instrIdx);
-}
-
-Addr
-Cursor::currentPc(const ImageSet &is) const
-{
-    const CallFrame &f = top();
-    return image(is).pcOf(f.func, f.block, f.instrIdx);
-}
-
 Addr
 Cursor::parentPc(const ImageSet &is) const
 {
@@ -51,30 +53,6 @@ Cursor::parentPc(const ImageSet &is) const
     const CallFrame &p = frames_[depth_ - 2];
     const CodeImage &img = p.inKernel ? *is.kernel : *is.user;
     return img.pcOf(p.func, p.block, p.instrIdx);
-}
-
-void
-Cursor::stepSequential(const ImageSet &is)
-{
-    CallFrame &f = frames_[depth_ - 1];
-    const CodeImage &img = image(is);
-    const BasicBlock &bb = img.block(f.func, f.block);
-    ++f.instrIdx;
-    if (f.instrIdx >= bb.numInstrs) {
-        // Fall through to the next block of the function.
-        if (f.block + 1 >= img.numBlocks(f.func)) {
-            // Ran off the function end: only legal on the wrong path.
-            if (wrongPath_) {
-                stuck_ = true;
-                f.instrIdx = static_cast<std::uint16_t>(bb.numInstrs - 1);
-                return;
-            }
-            smtos_panic("cursor fell off end of %s",
-                        img.func(f.func).name.c_str());
-        }
-        ++f.block;
-        f.instrIdx = 0;
-    }
 }
 
 BranchPreview
@@ -266,11 +244,12 @@ Cursor::memAddress(const Instr &in, const MemRegion *regions,
         s += in.stride;
         const Addr seg = r.bytes < (4ull << 10) ? r.bytes
                                                 : (4ull << 10);
-        const Addr pos = static_cast<Addr>(s) % seg;
+        const Addr pos = fastMod(static_cast<Addr>(s), seg);
         const Addr seg_base =
-            r.sharedHot ? 0
-                        : (static_cast<Addr>(s) / (seg * 32)) * seg;
-        return r.base + ((seg_base + pos) % r.bytes & ~7ull);
+            r.sharedHot
+                ? 0
+                : fastDiv(static_cast<Addr>(s), seg * 32) * seg;
+        return r.base + (fastMod(seg_base + pos, r.bytes) & ~7ull);
       }
       case MemPattern::RandomInRegion: {
         // Random within a slowly drifting hot window, so accesses have
@@ -282,16 +261,18 @@ Cursor::memAddress(const Instr &in, const MemRegion *regions,
         const Addr window =
             r.bytes < (4ull << 10) ? r.bytes : (4ull << 10);
         const Addr anchor =
-            r.sharedHot ? 0
-                        : (static_cast<Addr>(s) / 160) % r.bytes;
+            r.sharedHot
+                ? 0
+                : fastMod(static_cast<Addr>(s) / 160, r.bytes);
         return r.base +
-               ((anchor + rng_.below(window)) % r.bytes & ~7ull);
+               (fastMod(anchor + rng_.below(window), r.bytes) & ~7ull);
       }
       case MemPattern::StackFrame: {
         const MemRegion &r = regions[in.region & (maxRegions - 1)];
         const Addr frame_base =
-            static_cast<Addr>(depth_ - 1) * 256 % r.bytes;
-        return r.base + (frame_base + rng_.below(32) * 8) % r.bytes;
+            fastMod(static_cast<Addr>(depth_ - 1) * 256, r.bytes);
+        return r.base +
+               fastMod(frame_base + rng_.below(32) * 8, r.bytes);
       }
       case MemPattern::PteWalk:
         return faultDepth_ > 0 ? faults_[faultDepth_ - 1].pteAddr

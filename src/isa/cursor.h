@@ -143,18 +143,62 @@ class Cursor
         return top().inKernel ? *is.kernel : *is.user;
     }
 
-    /** Privilege mode implied by the top frame. */
-    Mode mode(const ImageSet &is) const;
+    /** Privilege mode implied by the top frame. Inline: queried for
+     *  every fetched and every warmed instruction. */
+    Mode
+    mode(const ImageSet &is) const
+    {
+        const CallFrame &f = top();
+        if (!f.inKernel)
+            return Mode::User;
+        return is.kernel->func(f.func).pal ? Mode::Pal : Mode::Kernel;
+    }
 
     /** Current (next-to-fetch) instruction and its PC. */
-    const Instr &currentInstr(const ImageSet &is) const;
-    Addr currentPc(const ImageSet &is) const;
+    const Instr &
+    currentInstr(const ImageSet &is) const
+    {
+        const CallFrame &f = top();
+        return image(is).instrAt(f.func, f.block, f.instrIdx);
+    }
+
+    Addr
+    currentPc(const ImageSet &is) const
+    {
+        const CallFrame &f = top();
+        return image(is).pcOf(f.func, f.block, f.instrIdx);
+    }
 
     /** PC of the frame below the top (return address after a call). */
     Addr parentPc(const ImageSet &is) const;
 
-    /** Advance past a non-control-transfer instruction. */
-    void stepSequential(const ImageSet &is);
+    /** Advance past a non-control-transfer instruction. Inline: runs
+     *  for every sequential instruction at either fidelity. */
+    void
+    stepSequential(const ImageSet &is)
+    {
+        CallFrame &f = frames_[depth_ - 1];
+        const CodeImage &img = image(is);
+        const BasicBlock &bb = img.block(f.func, f.block);
+        ++f.instrIdx;
+        if (f.instrIdx >= bb.numInstrs) {
+            // Fall through to the next block of the function.
+            if (f.block + 1 >= img.numBlocks(f.func)) {
+                // Ran off the function end: only legal on the wrong
+                // path.
+                if (wrongPath_) {
+                    stuck_ = true;
+                    f.instrIdx =
+                        static_cast<std::uint16_t>(bb.numInstrs - 1);
+                    return;
+                }
+                smtos_panic("cursor fell off end of %s",
+                            img.func(f.func).name.c_str());
+            }
+            ++f.block;
+            f.instrIdx = 0;
+        }
+    }
 
     /**
      * Resolve the current control-transfer instruction: direction,

@@ -2,66 +2,6 @@
 
 namespace smtos {
 
-bool
-Instr::isBranch() const
-{
-    switch (op) {
-      case Op::CondBranch:
-      case Op::Jump:
-      case Op::IndirectJump:
-      case Op::Call:
-      case Op::Return:
-      case Op::Syscall:
-      case Op::PalReturn:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instr::isMem() const
-{
-    switch (op) {
-      case Op::Load:
-      case Op::Store:
-      case Op::LoadPhys:
-      case Op::StorePhys:
-        return true;
-      default:
-        return false;
-    }
-}
-
-MixClass
-Instr::mixClass() const
-{
-    switch (op) {
-      case Op::Load:
-      case Op::LoadPhys:
-        return MixClass::Load;
-      case Op::Store:
-      case Op::StorePhys:
-        return MixClass::Store;
-      case Op::CondBranch:
-        return MixClass::CondBranch;
-      case Op::Jump:
-      case Op::Call:
-      case Op::Return:
-        return MixClass::UncondBranch;
-      case Op::IndirectJump:
-        return MixClass::IndirectJump;
-      case Op::Syscall:
-      case Op::PalReturn:
-        return MixClass::PalCallReturn;
-      case Op::FpAdd:
-      case Op::FpMul:
-        return MixClass::Fp;
-      default:
-        return MixClass::OtherInt;
-    }
-}
-
 const char *
 opName(Op op)
 {

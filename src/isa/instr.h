@@ -141,9 +141,37 @@ struct Instr
     std::uint16_t payload = 0;
 
     /** True for ops that classify as control transfers. */
-    bool isBranch() const;
+    bool
+    isBranch() const
+    {
+        switch (op) {
+          case Op::CondBranch:
+          case Op::Jump:
+          case Op::IndirectJump:
+          case Op::Call:
+          case Op::Return:
+          case Op::Syscall:
+          case Op::PalReturn:
+            return true;
+          default:
+            return false;
+        }
+    }
+
     /** True for memory references. */
-    bool isMem() const;
+    bool
+    isMem() const
+    {
+        switch (op) {
+          case Op::Load:
+          case Op::Store:
+          case Op::LoadPhys:
+          case Op::StorePhys:
+            return true;
+          default:
+            return false;
+        }
+    }
     /** True for memory references that bypass the TLB. */
     bool isPhysMem() const
     {
@@ -162,8 +190,36 @@ struct Instr
                op == Op::TlbWrite || op == Op::Halt;
     }
 
-    /** Paper Table 2/5 mix class of this instruction. */
-    MixClass mixClass() const;
+    /** Paper Table 2/5 mix class of this instruction. Inline: tallied
+     *  for every retired instruction at either fidelity. */
+    MixClass
+    mixClass() const
+    {
+        switch (op) {
+          case Op::Load:
+          case Op::LoadPhys:
+            return MixClass::Load;
+          case Op::Store:
+          case Op::StorePhys:
+            return MixClass::Store;
+          case Op::CondBranch:
+            return MixClass::CondBranch;
+          case Op::Jump:
+          case Op::Call:
+          case Op::Return:
+            return MixClass::UncondBranch;
+          case Op::IndirectJump:
+            return MixClass::IndirectJump;
+          case Op::Syscall:
+          case Op::PalReturn:
+            return MixClass::PalCallReturn;
+          case Op::FpAdd:
+          case Op::FpMul:
+            return MixClass::Fp;
+          default:
+            return MixClass::OtherInt;
+        }
+    }
 };
 
 /** Human-readable op name (disassembly, tests). */

@@ -55,6 +55,14 @@ CodeImage::finalize()
 {
     smtos_assert(!finalized_);
     finalized_ = true;
+    funcTags_.clear();
+    funcTags_.reserve(funcs_.size());
+    funcPal_.clear();
+    funcPal_.reserve(funcs_.size());
+    for (const Function &f : funcs_) {
+        funcTags_.push_back(f.tag);
+        funcPal_.push_back(f.pal ? 1 : 0);
+    }
     // Validate: blocks non-empty, targets and callees within range.
     for (const Function &f : funcs_) {
         smtos_assert(f.numBlocks > 0);
@@ -100,30 +108,6 @@ CodeImage::funcByName(const std::string &name) const
         smtos_fatal("image %s: no function named %s", name_.c_str(),
                     name.c_str());
     return it->second;
-}
-
-const BasicBlock &
-CodeImage::block(int f, int rel_block) const
-{
-    const Function &fn = funcs_.at(f);
-    smtos_assert(rel_block >= 0 && rel_block < fn.numBlocks);
-    return blocks_[fn.firstBlock + rel_block];
-}
-
-const Instr &
-CodeImage::instrAt(int f, int rel_block, int idx) const
-{
-    const BasicBlock &bb = block(f, rel_block);
-    smtos_assert(idx >= 0 && idx < bb.numInstrs);
-    return instrs_[bb.firstInstr + idx];
-}
-
-Addr
-CodeImage::pcOf(int f, int rel_block, int idx) const
-{
-    const BasicBlock &bb = block(f, rel_block);
-    return textBase_ +
-           static_cast<Addr>(bb.firstInstr + idx) * instrBytes;
 }
 
 } // namespace smtos

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 #include "isa/instr.h"
 
@@ -85,16 +86,72 @@ class CodeImage
 
     const Function &func(int f) const { return funcs_.at(f); }
 
+    /** Service tag of function @p f — a dense copy of func(f).tag
+     *  (built by finalize()) so per-instruction accounting does not
+     *  stride through the full Function records. */
+    std::int16_t
+    tagOf(int f) const
+    {
+        SMTOS_CHECK(f >= 0 && f < static_cast<int>(funcTags_.size()));
+        return funcTags_[static_cast<std::size_t>(f)];
+    }
+
+    /** PAL flag of function @p f — dense copy of func(f).pal, same
+     *  rationale as tagOf(): the mode of every fetched kernel
+     *  instruction depends on it. */
+    bool
+    palOf(int f) const
+    {
+        SMTOS_CHECK(f >= 0 && f < static_cast<int>(funcPal_.size()));
+        return funcPal_[static_cast<std::size_t>(f)] != 0;
+    }
+
+    /** Instruction by flat image-wide index, unchecked in release
+     *  (hot twin of instrPtr() for the execution engines; the flat
+     *  index comes from a validated BasicBlock). */
+    const Instr &
+    instrAtFlat(std::uint32_t flat) const
+    {
+        SMTOS_CHECK(flat < instrs_.size());
+        return instrs_[flat];
+    }
+
     /** Index of the named function; fatal when missing. */
     int funcByName(const std::string &name) const;
 
-    const BasicBlock &block(int f, int rel_block) const;
+    // block/instrAt/pcOf are defined inline with debug-only bounds
+    // checks: they sit under every simulated instruction (fetch,
+    // warming, cosim) and must fold into their callers. finalize()
+    // validates all static targets, so out-of-range indices here can
+    // only come from cursor corruption, which SMTOS_CHECK catches in
+    // debug builds.
+    const BasicBlock &
+    block(int f, int rel_block) const
+    {
+        SMTOS_CHECK(f >= 0 && f < static_cast<int>(funcs_.size()));
+        const Function &fn = funcs_[static_cast<std::size_t>(f)];
+        SMTOS_CHECK(rel_block >= 0 && rel_block < fn.numBlocks);
+        return blocks_[fn.firstBlock + rel_block];
+    }
+
     int numBlocks(int f) const { return funcs_.at(f).numBlocks; }
 
-    const Instr &instrAt(int f, int rel_block, int idx) const;
+    const Instr &
+    instrAt(int f, int rel_block, int idx) const
+    {
+        const BasicBlock &bb = block(f, rel_block);
+        SMTOS_CHECK(idx >= 0 && idx < bb.numInstrs);
+        return instrs_[bb.firstInstr + idx];
+    }
 
     /** Virtual PC of an instruction. */
-    Addr pcOf(int f, int rel_block, int idx) const;
+    Addr
+    pcOf(int f, int rel_block, int idx) const
+    {
+        const BasicBlock &bb = block(f, rel_block);
+        return textBase_ +
+               static_cast<Addr>(bb.firstInstr + idx) * instrBytes;
+    }
 
     /** Total image text footprint in bytes. */
     Addr textBytes() const { return numInstrs() * instrBytes; }
@@ -124,6 +181,8 @@ class CodeImage
     std::vector<Instr> instrs_;
     std::vector<BasicBlock> blocks_;
     std::vector<Function> funcs_;
+    std::vector<std::int16_t> funcTags_; ///< funcs_[i].tag, dense
+    std::vector<std::uint8_t> funcPal_;  ///< funcs_[i].pal, dense
     std::unordered_map<std::string, int> funcIndex_;
 };
 

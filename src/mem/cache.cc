@@ -1,5 +1,7 @@
 #include "mem/cache.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/stats.h"
 #include "obs/probes.h"
@@ -25,6 +27,16 @@ Cache::Cache(const CacheParams &params) : params_(params)
     numSets_ = static_cast<int>(num_lines / params_.assoc);
     SMTOS_CHECK(numSets_ >= 1);
     lines_.assign(num_lines, Line{});
+    tags_.assign(num_lines, noTag);
+
+    auto pow2 = [](std::uint64_t v) { return (v & (v - 1)) == 0; };
+    fastGeom_ = pow2(static_cast<std::uint64_t>(params_.lineBytes)) &&
+                pow2(static_cast<std::uint64_t>(numSets_));
+    if (fastGeom_) {
+        while ((1 << lineShift_) < params_.lineBytes)
+            ++lineShift_;
+        setMask_ = static_cast<Addr>(numSets_) - 1;
+    }
 }
 
 CacheOutcome
@@ -33,17 +45,20 @@ Cache::access(Addr addr, const AccessInfo &who, bool is_write)
     CacheOutcome out;
     const Addr block = blockOf(addr);
     const int set = setOf(block);
-    Line *base = &lines_[static_cast<size_t>(set) *
-                         static_cast<size_t>(params_.assoc)];
+    const size_t setBase = static_cast<size_t>(set) *
+                           static_cast<size_t>(params_.assoc);
+    Line *base = &lines_[setBase];
+    const Addr *tagBase = &tags_[setBase];
     ++tick_;
 
     const int cls = who.isKernel() ? 1 : 0;
     ++stats_.accesses[cls];
 
-    // Search the set.
+    // Search the set (tags_ mirrors lines_ validity: noTag never
+    // matches a real block).
     for (int w = 0; w < params_.assoc; ++w) {
-        Line &ln = base[w];
-        if (ln.valid && ln.blockAddr == block) {
+        if (tagBase[w] == block) {
+            Line &ln = base[w];
             // Hit. Detect constructive sharing: first touch by this
             // thread on a block another thread filled.
             if (ln.fillerThread != who.thread &&
@@ -83,6 +98,7 @@ Cache::access(Addr addr, const AccessInfo &who, bool is_write)
         classifier_.recordEviction(victim->blockAddr, who);
         out.dirtyEviction = victim->dirty;
     }
+    tags_[static_cast<size_t>(victim - lines_.data())] = block;
     victim->valid = true;
     victim->dirty = is_write;
     victim->blockAddr = block;
@@ -98,10 +114,10 @@ Cache::probe(Addr addr) const
 {
     const Addr block = blockOf(addr);
     const int set = setOf(block);
-    const Line *base = &lines_[static_cast<size_t>(set) *
-                               static_cast<size_t>(params_.assoc)];
+    const Addr *tagBase = &tags_[static_cast<size_t>(set) *
+                                 static_cast<size_t>(params_.assoc)];
     for (int w = 0; w < params_.assoc; ++w)
-        if (base[w].valid && base[w].blockAddr == block)
+        if (tagBase[w] == block)
             return true;
     return false;
 }
@@ -116,6 +132,7 @@ Cache::invalidateAll()
             ln.dirty = false;
         }
     }
+    std::fill(tags_.begin(), tags_.end(), noTag);
 }
 
 void
@@ -123,13 +140,15 @@ Cache::invalidateBlock(Addr addr)
 {
     const Addr block = blockOf(addr);
     const int set = setOf(block);
-    Line *base = &lines_[static_cast<size_t>(set) *
-                         static_cast<size_t>(params_.assoc)];
+    const size_t setBase = static_cast<size_t>(set) *
+                           static_cast<size_t>(params_.assoc);
+    Line *base = &lines_[setBase];
     for (int w = 0; w < params_.assoc; ++w) {
         if (base[w].valid && base[w].blockAddr == block) {
             classifier_.recordInvalidation(block);
             base[w].valid = false;
             base[w].dirty = false;
+            tags_[setBase + static_cast<size_t>(w)] = noTag;
         }
     }
 }
@@ -143,6 +162,7 @@ Cache::invalidateIndex(std::uint64_t idx)
         classifier_.recordInvalidation(ln.blockAddr);
         ln.valid = false;
         ln.dirty = false;
+        tags_[idx] = noTag;
     }
     return idx;
 }

@@ -98,6 +98,15 @@ class Cache
 
     int numSets() const { return numSets_; }
 
+    /** Block (line) index of a byte address — public so callers that
+     *  track per-line access discipline (the fetch stages) share the
+     *  cache's own geometry arithmetic. */
+    Addr blockOf(Addr addr) const
+    {
+        return fastGeom_ ? addr >> lineShift_
+                         : addr / static_cast<Addr>(params_.lineBytes);
+    }
+
     /** Reset statistics (not contents). */
     void resetStats() { stats_.reset(); }
 
@@ -118,16 +127,41 @@ class Cache
         std::uint64_t touchedMask = 0;
     };
 
-    Addr blockOf(Addr addr) const { return addr / params_.lineBytes; }
     int setOf(Addr blockAddr) const
     {
-        return static_cast<int>(blockAddr % numSets_);
+        return static_cast<int>(
+            fastGeom_ ? blockAddr & setMask_
+                      : blockAddr % static_cast<Addr>(numSets_));
+    }
+
+    /** Sentinel in tags_ marking an invalid way (block addresses are
+     *  byte addresses >> line shift, so ~0 is unreachable). */
+    static constexpr Addr noTag = ~0ull;
+
+    /** Rebuild tags_ from lines_ after a snapshot load. */
+    void
+    rebuildTags()
+    {
+        tags_.assign(lines_.size(), noTag);
+        for (std::size_t i = 0; i < lines_.size(); ++i)
+            if (lines_[i].valid)
+                tags_[i] = lines_[i].blockAddr;
     }
 
     CacheParams params_;
     Probes *probes_ = nullptr;
     int numSets_;
+    /** Power-of-two geometry runs on shift/mask instead of the
+     *  div/mod fallback (two hardware divides per access otherwise —
+     *  measurable on the warming-only fast path). */
+    bool fastGeom_ = false;
+    int lineShift_ = 0;
+    Addr setMask_ = 0;
     std::vector<Line> lines_; // numSets_ * assoc, set-major
+    /** tags_[i] mirrors lines_[i].blockAddr while valid, noTag when
+     *  not: the way scan compares a dense 8-byte array instead of
+     *  pulling each Line's 40-byte metadata through the host cache. */
+    std::vector<Addr> tags_;
     std::uint64_t tick_ = 0;
     MissClassifier classifier_;
     InterferenceStats stats_;

@@ -132,6 +132,24 @@ Hierarchy::fetch(Addr paddr, const AccessInfo &who, Cycle now)
     return missPath(l1i_, paddr, who, false, now, true);
 }
 
+void
+Hierarchy::warmFetch(Addr paddr, const AccessInfo &who)
+{
+    if (params_.filterPrivileged && who.isKernel())
+        return;
+    if (!l1i_.access(paddr, who, false).hit)
+        l2_.access(paddr, who, false);
+}
+
+void
+Hierarchy::warmData(Addr paddr, const AccessInfo &who, bool is_write)
+{
+    if (params_.filterPrivileged && who.isKernel())
+        return;
+    if (!l1d_.access(paddr, who, is_write).hit)
+        l2_.access(paddr, who, is_write);
+}
+
 Cycle
 Hierarchy::retireStore(Addr paddr, const AccessInfo &who, Cycle now)
 {

@@ -73,6 +73,17 @@ class Hierarchy
     MemResult fetch(Addr paddr, const AccessInfo &who, Cycle now);
 
     /**
+     * Warming-only references for the functional fidelity: tag state
+     * in the L1s and L2 (hits, allocations, replacement order) is
+     * updated exactly as by data()/fetch(), but no timing is composed
+     * — MSHRs, buses, the memory controller and the occupancy
+     * integrals are untouched, so a later detailed interval sees warm
+     * caches with cold (drained) timing structures.
+     */
+    void warmFetch(Addr paddr, const AccessInfo &who);
+    void warmData(Addr paddr, const AccessInfo &who, bool is_write);
+
+    /**
      * Retired store enters the store buffer; returns the cycle the
      * store occupied a slot (delayed when the buffer was full).
      */

@@ -15,37 +15,4 @@ missCauseName(MissCause c)
     return "?";
 }
 
-MissCause
-MissClassifier::classify(Addr blockAddr, const AccessInfo &who) const
-{
-    auto it = evictors_.find(blockAddr);
-    if (it == evictors_.end())
-        return MissCause::Compulsory;
-    const Evictor &ev = it->second;
-    if (ev.byInvalidation)
-        return MissCause::OsInvalidation;
-    if (ev.kernel != who.isKernel())
-        return MissCause::UserKernel;
-    if (ev.thread == who.thread)
-        return MissCause::Intrathread;
-    return MissCause::Interthread;
-}
-
-void
-MissClassifier::recordEviction(Addr blockAddr, const AccessInfo &who)
-{
-    evictors_[blockAddr] = Evictor{who.thread, who.isKernel(), false};
-}
-
-void
-MissClassifier::recordInvalidation(Addr blockAddr)
-{
-    auto it = evictors_.find(blockAddr);
-    if (it == evictors_.end()) {
-        evictors_[blockAddr] = Evictor{invalidThread, true, true};
-    } else {
-        it->second.byInvalidation = true;
-    }
-}
-
 } // namespace smtos

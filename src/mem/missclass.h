@@ -12,8 +12,9 @@
 #ifndef SMTOS_MEM_MISSCLASS_H
 #define SMTOS_MEM_MISSCLASS_H
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "snap/fwd.h"
@@ -81,15 +82,42 @@ class MissClassifier
   public:
     /**
      * Classify a miss by @p who on @p blockAddr. Returns Compulsory when
-     * the block has never been resident.
+     * the block has never been resident. Inline: this sits on every
+     * miss in every structure at either fidelity.
      */
-    MissCause classify(Addr blockAddr, const AccessInfo &who) const;
+    MissCause
+    classify(Addr blockAddr, const AccessInfo &who) const
+    {
+        const Evictor *ev = evictors_.find(blockAddr);
+        if (!ev)
+            return MissCause::Compulsory;
+        if (ev->byInvalidation)
+            return MissCause::OsInvalidation;
+        if (ev->kernel != who.isKernel())
+            return MissCause::UserKernel;
+        if (ev->thread == who.thread)
+            return MissCause::Intrathread;
+        return MissCause::Interthread;
+    }
 
     /** Record that @p who evicted @p blockAddr (capacity/conflict). */
-    void recordEviction(Addr blockAddr, const AccessInfo &who);
+    void
+    recordEviction(Addr blockAddr, const AccessInfo &who)
+    {
+        evictors_.upsert(blockAddr) =
+            Evictor{who.thread, who.isKernel(), false};
+    }
 
     /** Record that the OS invalidated @p blockAddr via an explicit op. */
-    void recordInvalidation(Addr blockAddr);
+    void
+    recordInvalidation(Addr blockAddr)
+    {
+        if (Evictor *ev = evictors_.findMutable(blockAddr))
+            ev->byInvalidation = true;
+        else
+            evictors_.upsert(blockAddr) =
+                Evictor{invalidThread, true, true};
+    }
 
     /** Number of distinct blocks tracked (for tests). */
     std::size_t trackedBlocks() const { return evictors_.size(); }
@@ -108,7 +136,122 @@ class MissClassifier
         bool byInvalidation;
     };
 
-    std::unordered_map<Addr, Evictor> evictors_;
+    /**
+     * Open-addressing (linear probing) map from block address to its
+     * last Evictor. Entries are only added or overwritten, never
+     * erased, so probe chains stay intact without tombstones. Replaces
+     * std::unordered_map on this path: the classifier is queried on
+     * every miss, and chasing bucket nodes dominated its cost.
+     */
+    class EvictorTable
+    {
+      public:
+        EvictorTable() : slots_(initialSlots) {}
+
+        const Evictor *
+        find(Addr key) const
+        {
+            const Slot &s = slots_[probe(key)];
+            return s.used ? &s.ev : nullptr;
+        }
+
+        Evictor *
+        findMutable(Addr key)
+        {
+            Slot &s = slots_[probe(key)];
+            return s.used ? &s.ev : nullptr;
+        }
+
+        /** Insert (default-constructed) or locate @p key. */
+        Evictor &
+        upsert(Addr key)
+        {
+            // Grow at 70% occupancy, before probing for the insert.
+            if ((size_ + 1) * 10 >= slots_.size() * 7)
+                grow();
+            Slot &s = slots_[probe(key)];
+            if (!s.used) {
+                s.used = true;
+                s.key = key;
+                s.ev = Evictor{};
+                ++size_;
+            }
+            return s.ev;
+        }
+
+        std::size_t size() const { return size_; }
+
+        void
+        clear()
+        {
+            slots_.assign(initialSlots, Slot{});
+            size_ = 0;
+        }
+
+        /** Visit every entry (unspecified order; save() sorts keys). */
+        template <typename F>
+        void
+        forEach(F &&f) const
+        {
+            for (const Slot &s : slots_)
+                if (s.used)
+                    f(s.key, s.ev);
+        }
+
+      private:
+        struct Slot
+        {
+            Addr key = 0;
+            Evictor ev{};
+            bool used = false;
+        };
+
+        static constexpr std::size_t initialSlots = 1024;
+
+        static std::size_t
+        hashOf(Addr k)
+        {
+            // splitmix64 finalizer: full-avalanche, so clustered block
+            // addresses spread over the table.
+            k ^= k >> 33;
+            k *= 0xff51afd7ed558ccdull;
+            k ^= k >> 33;
+            k *= 0xc4ceb9fe1a85ec53ull;
+            k ^= k >> 33;
+            return static_cast<std::size_t>(k);
+        }
+
+        /** Index of @p key's slot, or of the unused slot where it
+         *  belongs. Capacity is a power of two; the load-factor cap
+         *  guarantees an unused slot exists. */
+        std::size_t
+        probe(Addr key) const
+        {
+            const std::size_t mask = slots_.size() - 1;
+            std::size_t i = hashOf(key) & mask;
+            while (slots_[i].used && slots_[i].key != key)
+                i = (i + 1) & mask;
+            return i;
+        }
+
+        void
+        grow()
+        {
+            std::vector<Slot> old = std::move(slots_);
+            slots_.assign(old.size() * 2, Slot{});
+            for (const Slot &s : old) {
+                if (!s.used)
+                    continue;
+                Slot &d = slots_[probe(s.key)];
+                d = s;
+            }
+        }
+
+        std::vector<Slot> slots_;
+        std::size_t size_ = 0;
+    };
+
+    EvictorTable evictors_;
 };
 
 } // namespace smtos

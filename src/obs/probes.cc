@@ -60,6 +60,12 @@ Probes::onCycle(Cycle now)
 }
 
 void
+Probes::onFunctionalCycle(Cycle now)
+{
+    now_ = now;
+}
+
+void
 Probes::onIdleCycles(Cycle now, Cycle k)
 {
     now_ = now;

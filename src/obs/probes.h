@@ -102,6 +102,11 @@ class Probes
 
     // --- pipeline-side hooks ---
     void onCycle(Cycle now);
+    /** Functional-fidelity cycle: advances the timestamp only. The
+     *  profiler does not tick — its used+lost == cycles x width
+     *  invariant holds over detailed cycles, and functional cycles
+     *  carry no slot accounting to attribute. */
+    void onFunctionalCycle(Cycle now);
     /** @p k quiesced cycles elapsed at once (fast-forward), ending at
      *  @p now. Equivalent to k onCycle calls on an idle machine. */
     void onIdleCycles(Cycle now, Cycle k);

@@ -161,6 +161,15 @@ writeJsonFields(std::ostream &os, const MetricsSnapshot &d)
            << ",\"mbuf_exhausted\":" << d.overload.mbufExhausted
            << ",\"mbuf_tx_wraps\":" << d.overload.mbufTxWraps << "}";
     }
+    // Fidelity counters appear only when the functional engine
+    // actually retired instructions or ticked cycles (not on mere
+    // no-op switches), so detailed-only JSON stays byte-identical.
+    if (d.fidelity.enabled()) {
+        os << ",\"fidelity\":{\"functional_instructions\":"
+           << d.fidelity.funcInstrs
+           << ",\"functional_cycles\":" << d.fidelity.funcCycles
+           << ",\"switches\":" << d.fidelity.switches << "}";
+    }
 }
 
 void

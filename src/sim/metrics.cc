@@ -83,6 +83,9 @@ MetricsSnapshot::capture(System &sys)
         s.reqtrace.enabled = 1;
     }
     s.overload = sys.kernel().overloadStats();
+    s.fidelity.funcInstrs = p.funcInstrs();
+    s.fidelity.funcCycles = p.funcCycles();
+    s.fidelity.switches = p.fidelitySwitches();
     return s;
 }
 
@@ -148,6 +151,9 @@ MetricsSnapshot::delta(const MetricsSnapshot &e) const
         retriedLatency.count - e.retriedLatency.count;
     d.reqtrace = reqtrace.delta(e.reqtrace);
     d.overload = overload.delta(e.overload);
+    d.fidelity.funcInstrs = fidelity.funcInstrs - e.fidelity.funcInstrs;
+    d.fidelity.funcCycles = fidelity.funcCycles - e.fidelity.funcCycles;
+    d.fidelity.switches = fidelity.switches - e.fidelity.switches;
     return d;
 }
 

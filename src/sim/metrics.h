@@ -44,6 +44,16 @@ struct LatencySummary
     static LatencySummary of(const Histogram &h);
 };
 
+/** Switchable-fidelity counters (DESIGN.md §15). */
+struct FidelityStats
+{
+    std::uint64_t funcInstrs = 0; ///< instructions retired functionally
+    std::uint64_t funcCycles = 0; ///< cycles ticked functionally
+    std::uint64_t switches = 0;   ///< fidelity switches (both ways)
+
+    bool enabled() const { return funcInstrs != 0 || funcCycles != 0; }
+};
+
 /** Point-in-time copy of every counter the paper's tables need. */
 struct MetricsSnapshot
 {
@@ -68,6 +78,9 @@ struct MetricsSnapshot
     /** Overload counters (overload.enabled marks the open-loop
      *  generator or an admission policy was engaged). */
     OverloadStats overload;
+    /** Functional-fidelity counters (enabled() marks the functional
+     *  engine actually ran; exports stay byte-identical otherwise). */
+    FidelityStats fidelity;
 
     static MetricsSnapshot capture(System &sys);
 

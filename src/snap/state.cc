@@ -217,12 +217,12 @@ MissClassifier::save(Snapshotter &sp) const
     sp.u32(snapVersion);
     std::vector<Addr> keys;
     keys.reserve(evictors_.size());
-    for (const auto &kv : evictors_)
-        keys.push_back(kv.first);
+    evictors_.forEach(
+        [&](Addr k, const Evictor &) { keys.push_back(k); });
     std::sort(keys.begin(), keys.end());
     sp.u64(keys.size());
     for (Addr k : keys) {
-        const Evictor &e = evictors_.at(k);
+        const Evictor &e = *evictors_.find(k);
         sp.u64(k);
         sp.i32(e.thread);
         sp.b(e.kernel);
@@ -236,14 +236,13 @@ MissClassifier::load(Restorer &rs)
     tag(rs, snapVersion);
     evictors_.clear();
     const std::uint64_t n = rs.u64();
-    evictors_.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
         const Addr k = rs.u64();
         Evictor e;
         e.thread = rs.i32();
         e.kernel = rs.b();
         e.byInvalidation = rs.b();
-        evictors_.emplace(k, e);
+        evictors_.upsert(k) = e;
     }
 }
 
@@ -282,6 +281,7 @@ Cache::load(Restorer &rs)
         l.fillerKernel = rs.b();
         l.touchedMask = rs.u64();
     }
+    rebuildTags();
     tick_ = rs.u64();
     classifier_.load(rs);
     statsIn(rs, stats_);
@@ -611,6 +611,7 @@ Tlb::load(Restorer &rs)
     replacePtr_ = rs.i32();
     classifier_.load(rs);
     statsIn(rs, stats_);
+    rebuildTags();
     // Lookup hints are validated accelerators; restart them cold.
     std::fill(hint_.begin(), hint_.end(), 0u);
 }

@@ -1,5 +1,7 @@
 #include "vm/tlb.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/stats.h"
 #include "obs/probes.h"
@@ -10,6 +12,7 @@ Tlb::Tlb(std::string name, int entries) : name_(std::move(name))
 {
     smtos_assert(entries > 0);
     entries_.assign(static_cast<size_t>(entries), Entry{});
+    tag_.assign(static_cast<size_t>(entries), noTag);
     hint_.assign(hintSlots, 0);
 }
 
@@ -34,9 +37,11 @@ Tlb::lookup(Addr vpn, Asn asn, const AccessInfo &who)
         if (e.valid && e.vpn == vpn && (e.global || e.asn == asn))
             return hit(e);
     }
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
+    for (std::size_t i = 0; i < tag_.size(); ++i) {
+        if (tag_[i] != vpn)
+            continue;
         Entry &e = entries_[i];
-        if (e.valid && e.vpn == vpn && (e.global || e.asn == asn)) {
+        if (e.global || e.asn == asn) {
             hint = static_cast<std::uint32_t>(i) + 1;
             return hit(e);
         }
@@ -73,6 +78,7 @@ Tlb::insert(Addr vpn, Asn asn, Frame frame, const AccessInfo &who,
     replacePtr_ = (replacePtr_ + 1) % static_cast<int>(entries_.size());
     if (victim.valid)
         classifier_.recordEviction(key(victim.vpn, victim.asn), who);
+    tag_[static_cast<size_t>(&victim - entries_.data())] = vpn;
     victim.valid = true;
     victim.global = global;
     victim.asn = asn;
@@ -87,10 +93,12 @@ Tlb::insert(Addr vpn, Asn asn, Frame frame, const AccessInfo &who,
 void
 Tlb::flushAsn(Asn asn)
 {
-    for (Entry &e : entries_) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
         if (e.valid && !e.global && e.asn == asn) {
             classifier_.recordInvalidation(key(e.vpn, e.asn));
             e.valid = false;
+            tag_[i] = noTag;
         }
     }
 }
@@ -104,6 +112,7 @@ Tlb::flushAll()
             e.valid = false;
         }
     }
+    std::fill(tag_.begin(), tag_.end(), noTag);
 }
 
 std::uint64_t
@@ -114,6 +123,7 @@ Tlb::invalidateIndex(std::uint64_t idx)
     if (e.valid) {
         classifier_.recordInvalidation(key(e.vpn, e.asn));
         e.valid = false;
+        tag_[idx] = noTag;
     }
     return idx;
 }
@@ -121,10 +131,12 @@ Tlb::invalidateIndex(std::uint64_t idx)
 void
 Tlb::flushPage(Addr vpn, Asn asn)
 {
-    for (Entry &e : entries_) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
         if (e.valid && e.vpn == vpn && (e.global || e.asn == asn)) {
             classifier_.recordInvalidation(key(e.vpn, e.asn));
             e.valid = false;
+            tag_[i] = noTag;
         }
     }
 }

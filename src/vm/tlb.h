@@ -112,7 +112,7 @@ class Tlb
      * invalidation protocol is needed, and hit/miss results and all
      * statistics are identical with or without it.
      */
-    static constexpr std::size_t hintSlots = 256; // power of two
+    static constexpr std::size_t hintSlots = 8192; // power of two
 
     static std::size_t hintSlot(Addr vpn, Asn asn)
     {
@@ -121,9 +121,25 @@ class Tlb
                                         (hintSlots - 1));
     }
 
+    /** tag_[i] mirrors entries_[i].vpn while valid (noTag when not):
+     *  the associative scan compares one dense 8-byte array instead
+     *  of walking the fat Entry structs, which also makes the
+     *  guaranteed-full scan of every miss cheap. VPNs are at most 51
+     *  bits, so noTag collides with nothing. */
+    static constexpr Addr noTag = ~0ull;
+
+    void rebuildTags()
+    {
+        tag_.assign(entries_.size(), noTag);
+        for (std::size_t i = 0; i < entries_.size(); ++i)
+            if (entries_[i].valid)
+                tag_[i] = entries_[i].vpn;
+    }
+
     std::string name_;
     Probes *probes_ = nullptr;
     std::vector<Entry> entries_;
+    std::vector<Addr> tag_;
     std::vector<std::uint32_t> hint_; // entry index + 1; 0 = none
     int replacePtr_ = 0;
     MissClassifier classifier_;

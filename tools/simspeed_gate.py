@@ -50,11 +50,25 @@ def load_rates(path, name_filter):
     return rates
 
 
+def bench_mode(name):
+    """Execution fidelity a BM_SimRate benchmark ran at, from its
+    name: the trajectory must never present a functional-mode rate as
+    comparable to a detailed-mode rate."""
+    if "Functional" in name:
+        return "functional"
+    if "Sampled" in name:
+        return "sampled"
+    return "detailed"
+
+
 def append_trajectory(path, label, base, cur, shared):
     """Append one comparison entry to the trajectory artifact.
 
     The file holds {"entries": [...]}, oldest first; each entry maps
-    benchmark name -> {baseline, current, speedup}. CI uploads it so
+    benchmark name -> {baseline, current, speedup}, every number
+    tagged with its unit (simulated instr/s for rates, ratio for the
+    speedup) and the fidelity the benchmark ran at, so entries from
+    different modes cannot be misread as one series. CI uploads it so
     the simulation-rate history survives across runs.
     """
     doc = {"entries": []}
@@ -68,9 +82,13 @@ def append_trajectory(path, label, base, cur, shared):
     entry = {"label": label, "benchmarks": {}}
     for name in shared:
         entry["benchmarks"][name] = {
-            "baseline_items_per_second": round(base[name], 1),
-            "current_items_per_second": round(cur[name], 1),
-            "speedup": round(cur[name] / base[name], 4),
+            "mode": bench_mode(name),
+            "baseline": {"value": round(base[name], 1),
+                         "unit": "instr/s"},
+            "current": {"value": round(cur[name], 1),
+                        "unit": "instr/s"},
+            "speedup": {"value": round(cur[name] / base[name], 4),
+                        "unit": "ratio"},
         }
     doc["entries"].append(entry)
     with open(path, "w", encoding="utf-8") as f:

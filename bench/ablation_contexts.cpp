@@ -34,7 +34,7 @@ Session::Config
 baseFor(int n)
 {
     Session::Config s = apacheSmt();
-    s.system.numContexts = n;
+    s.system.topology.contextsPerCore = n;
     if (n == 1)
         s.phases.startupInstrs = 1'000'000;
     s.phases.measureInstrs = measurePerPoint;

@@ -148,7 +148,7 @@ Session::Config
 baseFor(int n)
 {
     Session::Config s = specSmt();
-    s.system.numContexts = n;
+    s.system.topology.contextsPerCore = n;
     s.system.dram.banked = true; // Table-1 geometry, open page
     s.phases.measureInstrs = 600'000;
     return s;

@@ -11,7 +11,7 @@
 
 #include "bp/mcfarling.h"
 #include "common/ring.h"
-#include "harness/experiment.h"
+#include "harness/session.h"
 #include "mem/cache.h"
 #include "vm/addrspace.h"
 #include "vm/physmem.h"

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * CMP scale-out: Apache throughput versus core count on the
+ * multicore built from the paper's SMT core (DESIGN.md §16).
+ *
+ * The paper stops at one 8-context SMT; this bench asks the obvious
+ * follow-on question — what a chip multiprocessor of those cores
+ * buys an OS-intensive server workload once the kernel is actually
+ * SMP-scalable. Each point runs the same SPECWeb-like drive on
+ * {1,2,4} cores x 4 contexts with the measurement window scaled by
+ * the core count (equal per-core instruction budget, so every point
+ * spans a comparable stretch of chip time). Reported per point:
+ * served requests, requests per million chip cycles, chip IPC, and
+ * where the scaling loss went — lock contention (conn table, mbuf
+ * pool, per-core run-queue locks), work steals, shootdown IPIs, and
+ * MESI coherence traffic, all from the per-core-indexed metrics
+ * export.
+ *
+ * The headline numbers land in BENCH_simspeed.json under the
+ * "smp-scaling" label (argv[1], "-" skips) and the full curve in a
+ * standalone JSON for CI artifact upload (argv[2], default
+ * "smp-scaling.json", "-" skips). Exits nonzero when throughput
+ * fails to rise from 1 to 4 cores.
+ */
+
+#include "bench_common.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace smtos;
+using namespace smtos::bench;
+
+namespace {
+
+constexpr int coreCounts[] = {1, 2, 4};
+constexpr int contextsPerCore = 4;
+constexpr std::uint64_t measurePerCore = 2'500'000;
+
+struct Point
+{
+    int cores = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t requests = 0;
+    double reqPerMcycle = 0;
+    double ipc = 0;
+    std::uint64_t lockSpin = 0; ///< summed over the named locks
+    std::uint64_t lockHold = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t shootdownIpis = 0;
+    std::uint64_t snoops = 0;
+    std::uint64_t invalidations = 0;
+    /** Per-core kernel lock-spin attribution (cores > 1). */
+    std::vector<std::uint64_t> spinByCore;
+};
+
+Point
+runPoint(int cores)
+{
+    Session::Config s = apacheSmt();
+    s.system.topology.cores = cores;
+    s.system.topology.contextsPerCore = contextsPerCore;
+    s.phases.startupInstrs = 1'500'000;
+    s.phases.measureInstrs =
+        measurePerCore * static_cast<std::uint64_t>(cores);
+    Session ses(s);
+    const RunResult r = ses.run();
+    const MetricsSnapshot &d = r.steady;
+
+    Point p;
+    p.cores = cores;
+    p.cycles = d.core.cycles;
+    p.requests = r.requestsServed;
+    p.reqPerMcycle =
+        1e6 * static_cast<double>(r.requestsServed) /
+        static_cast<double>(d.core.cycles ? d.core.cycles : 1);
+    p.ipc = archMetrics(d).ipc;
+    p.lockSpin = d.smp.connLock.spinCycles +
+                 d.smp.mbufLock.spinCycles +
+                 d.smp.schedLock.spinCycles;
+    p.lockHold = d.smp.connLock.holdCycles +
+                 d.smp.mbufLock.holdCycles +
+                 d.smp.schedLock.holdCycles;
+    p.steals = d.smp.workSteals;
+    p.shootdownIpis = d.smp.shootdownIpis;
+    p.snoops = d.smp.coherence.snoopProbes;
+    p.invalidations = d.smp.coherence.invalidations;
+    for (const CoreSlice &c : d.cores)
+        p.spinByCore.push_back(c.lockSpinCycles);
+    return p;
+}
+
+void
+writeCurve(const std::string &path, const std::vector<Point> &curve)
+{
+    if (path == "-")
+        return;
+    std::ofstream out(path);
+    out << "{\n  \"contexts_per_core\": " << contextsPerCore
+        << ",\n  \"measure_instrs_per_core\": " << measurePerCore
+        << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        const Point &p = curve[i];
+        out << "    {\"cores\": " << p.cores
+            << ", \"cycles\": " << p.cycles
+            << ", \"requests\": " << p.requests
+            << ", \"req_per_mcycle\": " << p.reqPerMcycle
+            << ", \"ipc\": " << p.ipc
+            << ", \"lock_spin_cycles\": " << p.lockSpin
+            << ", \"lock_hold_cycles\": " << p.lockHold
+            << ", \"work_steals\": " << p.steals
+            << ", \"shootdown_ipis\": " << p.shootdownIpis
+            << ", \"snoop_probes\": " << p.snoops
+            << ", \"invalidations\": " << p.invalidations
+            << ", \"lock_spin_by_core\": [";
+        for (std::size_t c = 0; c < p.spinByCore.size(); ++c)
+            out << (c ? "," : "") << p.spinByCore[c];
+        out << "]}" << (i + 1 < curve.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("curve written to %s\n", path.c_str());
+}
+
+void
+record(const std::string &path, const std::vector<Point> &curve)
+{
+    std::string body;
+    for (const Point &p : curve) {
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "        \"cores_%d\": {\n"
+                      "          \"req_per_mcycle\": %.2f,\n"
+                      "          \"requests\": %llu,\n"
+                      "          \"lock_spin_cycles\": %llu\n"
+                      "        }%s\n",
+                      p.cores, p.reqPerMcycle,
+                      static_cast<unsigned long long>(p.requests),
+                      static_cast<unsigned long long>(p.lockSpin),
+                      &p == &curve.back() ? "" : ",");
+        body += line;
+    }
+    recordEntry(path, "smp-scaling", body);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("CMP scale-out: Apache throughput vs cores",
+           "beyond the paper: the SMP kernel should convert extra "
+           "SMT cores into served requests, with the scaling losses "
+           "attributed to locks, shootdowns and coherence");
+
+    std::vector<Point> curve;
+    for (int cores : coreCounts)
+        curve.push_back(runPoint(cores));
+
+    TextTable t("Apache steady state vs cores (4 contexts/core)");
+    t.header({"cores", "req/Mcyc", "requests", "IPC", "lock spin",
+              "steals", "shootdown IPIs", "snoops"});
+    for (const Point &p : curve) {
+        t.row({TextTable::num(static_cast<std::uint64_t>(p.cores)),
+               TextTable::num(p.reqPerMcycle, 2),
+               TextTable::num(p.requests),
+               TextTable::num(p.ipc, 2),
+               TextTable::num(p.lockSpin),
+               TextTable::num(p.steals),
+               TextTable::num(p.shootdownIpis),
+               TextTable::num(p.snoops)});
+    }
+    t.print();
+
+    for (const Point &p : curve) {
+        if (p.spinByCore.empty())
+            continue;
+        std::printf("cores=%d lock-spin by core:", p.cores);
+        for (std::size_t c = 0; c < p.spinByCore.size(); ++c)
+            std::printf(" core%zu=%llu", c,
+                        static_cast<unsigned long long>(
+                            p.spinByCore[c]));
+        std::printf("\n");
+    }
+
+    writeCurve(argc > 2 ? argv[2] : "smp-scaling.json", curve);
+    record(argc > 1 ? argv[1] : "BENCH_simspeed.json", curve);
+
+    // The claim under test: more cores serve more requests, both in
+    // absolute terms over the scaled window and per chip cycle
+    // across the full sweep.
+    const Point &one = curve.front();
+    const Point &four = curve.back();
+    if (four.requests <= one.requests ||
+        four.reqPerMcycle <= one.reqPerMcycle) {
+        std::fprintf(stderr,
+                     "FAIL: throughput did not rise 1 -> 4 cores "
+                     "(%.2f -> %.2f req/Mcyc, %llu -> %llu served)\n",
+                     one.reqPerMcycle, four.reqPerMcycle,
+                     static_cast<unsigned long long>(one.requests),
+                     static_cast<unsigned long long>(four.requests));
+        return 1;
+    }
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        if (curve[i].requests <= curve[i - 1].requests) {
+            std::fprintf(stderr,
+                         "FAIL: served requests not monotone at "
+                         "%d cores\n", curve[i].cores);
+            return 1;
+        }
+    }
+    std::printf("\nOK: throughput rises 1 -> 4 cores "
+                "(%.2f -> %.2f req/Mcyc)\n",
+                one.reqPerMcycle, four.reqPerMcycle);
+    return 0;
+}

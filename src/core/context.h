@@ -57,6 +57,12 @@ enum class FetchStall : std::uint8_t
 struct Context
 {
     CtxId id = invalidCtx;
+    /** Owning core in a CMP (0 on a single-core machine). */
+    int core = 0;
+    /** Global context id across the chip: core * contextsPerCore + id.
+     *  Equals @c id on a single-core machine. The kernel schedules by
+     *  gid; the pipeline indexes its own structures by @c id. */
+    CtxId gid = invalidCtx;
     ThreadState *thread = nullptr;
     Ras ras{16};
 

@@ -112,9 +112,9 @@ Pipeline::funcCycle()
             ThreadState &t = *c.thread;
             os_->interrupt(c, t, c.interruptVector);
             if (obs_) {
-                obs_->onThreadStateSync(t, nextSeq_);
+                obs_->onThreadStateSync(t, *seqPtr_);
                 if (c.thread && c.thread != &t)
-                    obs_->onThreadStateSync(*c.thread, nextSeq_);
+                    obs_->onThreadStateSync(*c.thread, *seqPtr_);
             }
         }
     }
@@ -195,7 +195,7 @@ Pipeline::funcStep(Context &c)
                 stats_.kernelEntries.add("itlb_miss");
                 os_->itlbMiss(t, pc);
                 if (obs_)
-                    obs_->onThreadStateSync(t, nextSeq_);
+                    obs_->onThreadStateSync(t, *seqPtr_);
                 return 2;
             }
         }
@@ -303,7 +303,7 @@ Pipeline::funcStep(Context &c)
                                 (unsigned long long)vaddr);
                     os_->dtlbMiss(t, vaddr);
                     if (obs_)
-                        obs_->onThreadStateSync(t, nextSeq_);
+                        obs_->onThreadStateSync(t, *seqPtr_);
                     return 2;
                 }
             }
@@ -333,7 +333,7 @@ Pipeline::funcStep(Context &c)
     }
     cur.retired++;
     ++funcInstrs_;
-    const std::uint64_t seq = nextSeq_++;
+    const std::uint64_t seq = (*seqPtr_)++;
 
     if (obs_) {
         RetireEvent e;
@@ -365,9 +365,9 @@ Pipeline::funcStep(Context &c)
     if (serializing) {
         os_->serializing(c, t, in);
         if (obs_) {
-            obs_->onThreadStateSync(t, nextSeq_);
+            obs_->onThreadStateSync(t, *seqPtr_);
             if (c.thread && c.thread != &t)
-                obs_->onThreadStateSync(*c.thread, nextSeq_);
+                obs_->onThreadStateSync(*c.thread, *seqPtr_);
         }
         return 2;
     }

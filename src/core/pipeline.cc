@@ -26,6 +26,7 @@ Pipeline::Pipeline(const CoreParams &params, Hierarchy &hier,
     writerPos_.resize(ctxs_.size());
     for (size_t i = 0; i < ctxs_.size(); ++i) {
         ctxs_[i].id = static_cast<CtxId>(i);
+        ctxs_[i].gid = static_cast<CtxId>(i);
         ctxs_[i].ras = Ras(params_.rasDepth);
         writerSeq_[i].fill(0);
         writerPos_[i].fill(0);
@@ -56,7 +57,7 @@ Pipeline::bindThread(CtxId id, ThreadState *t)
     writerSeq_[static_cast<size_t>(id)].fill(0);
     writerPos_[static_cast<size_t>(id)].fill(0);
     if (obs_ && t)
-        obs_->onThreadStateSync(*t, nextSeq_);
+        obs_->onThreadStateSync(*t, *seqPtr_);
 }
 
 void
@@ -121,7 +122,7 @@ Pipeline::translateFetch(Context &c, ThreadState &t, Mode m, Addr pc,
     stats_.kernelEntries.add("itlb_miss");
     os_->itlbMiss(t, pc);
     if (obs_)
-        obs_->onThreadStateSync(t, nextSeq_);
+        obs_->onThreadStateSync(t, *seqPtr_);
     c.fetchResumeAt = now_ + 1;
     c.stallReason = FetchStall::TrapDrain;
     return false;
@@ -198,7 +199,7 @@ Pipeline::fetchFrom(Context &c, int budget)
         u.pc = pc;
         u.mode = stat_mode;
         u.thread = t.id;
-        u.seq = nextSeq_++;
+        u.seq = (*seqPtr_)++;
         u.wrongPath = cur.wrongPath();
         u.eligibleAt = now_ + params_.issueDelay();
         {
@@ -873,11 +874,11 @@ Pipeline::executeStage()
                             "ctx%d dtlb miss vaddr=0x%llx", c.id,
                             (unsigned long long)fault_vaddr);
                 if (probes_)
-                    probes_->squash(c.id, u.thread, u.pc,
+                    probes_->squash(c.gid, u.thread, u.pc,
                                     "dtlb-trap");
                 os_->dtlbMiss(t, fault_vaddr);
                 if (obs_)
-                    obs_->onThreadStateSync(t, nextSeq_);
+                    obs_->onThreadStateSync(t, *seqPtr_);
                 break; // queue shape changed; next context
             }
 
@@ -891,7 +892,7 @@ Pipeline::executeStage()
                                 (unsigned long long)u.pc,
                                 (unsigned long long)u.seq);
                     if (probes_)
-                        probes_->squash(c.id, u.thread, u.pc,
+                        probes_->squash(c.gid, u.thread, u.pc,
                                         "mispredict");
                     ThreadState &t = *c.thread;
                     t.cursor = u.cp;
@@ -951,9 +952,9 @@ Pipeline::commitStage()
                     // The OS advanced t past the serializing op (and
                     // may have context-switched); both threads'
                     // functional state is authoritative again.
-                    obs_->onThreadStateSync(t, nextSeq_);
+                    obs_->onThreadStateSync(t, *seqPtr_);
                     if (c.thread && c.thread != &t)
-                        obs_->onThreadStateSync(*c.thread, nextSeq_);
+                        obs_->onThreadStateSync(*c.thread, *seqPtr_);
                 }
                 continue;
             }
@@ -969,9 +970,9 @@ Pipeline::commitStage()
             ThreadState &t = *c.thread;
             os_->interrupt(c, t, c.interruptVector);
             if (obs_) {
-                obs_->onThreadStateSync(t, nextSeq_);
+                obs_->onThreadStateSync(t, *seqPtr_);
                 if (c.thread && c.thread != &t)
-                    obs_->onThreadStateSync(*c.thread, nextSeq_);
+                    obs_->onThreadStateSync(*c.thread, *seqPtr_);
             }
         }
     }
@@ -1025,7 +1026,7 @@ Pipeline::commitUop(Context &c, Uop &u)
         obs_->onRetire(e);
     }
     if (probes_)
-        probes_->retire(c.id, u.thread, u.mode);
+        probes_->retire(c.gid, u.thread, u.mode);
 }
 
 void

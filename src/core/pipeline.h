@@ -195,6 +195,43 @@ class Pipeline
     Context &ctx(CtxId id) { return ctxs_[static_cast<size_t>(id)]; }
     int numContexts() const { return static_cast<int>(ctxs_.size()); }
 
+    /**
+     * CMP identity: place this core at @p core with its contexts
+     * occupying global ids [gid_base, gid_base + numContexts). The
+     * single-core default (core 0, base 0) makes gid == id.
+     */
+    void
+    setCoreId(int core, CtxId gid_base)
+    {
+        coreId_ = core;
+        for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+            ctxs_[i].core = core;
+            ctxs_[i].gid = gid_base + static_cast<CtxId>(i);
+        }
+    }
+    int coreId() const { return coreId_; }
+
+    /**
+     * Share one chip-wide uop sequence counter across cores so the
+     * retired-stream contract (per-thread seq monotonicity) survives
+     * cross-core migration. Single-core pipelines keep their own
+     * counter; behavior and artifacts are identical either way.
+     */
+    void setSharedSeq(std::uint64_t *counter) { seqPtr_ = counter; }
+    bool fastForwardEnabled() const
+    {
+        return fastForward_ && fidelity_ == Fidelity::Detailed;
+    }
+
+    // --- chip-lockstep stepping (System drives these for cores > 1;
+    // --- thin public wrappers over the private fast-forward core) ---
+    /** True when no stage can do work until an external event. */
+    bool quiescentNow() const { return quiescent(); }
+    /** Earliest future cycle at which anything can happen here. */
+    Cycle eventHorizon() const { return nextEventHorizon(); }
+    /** Batch-account @p k skipped idle cycles (chip fast-forward). */
+    void skipIdle(Cycle k) { skipIdleCycles(k); }
+
     /** Raise a device interrupt on a context (delivered after drain). */
     void raiseInterrupt(CtxId id, std::uint16_t vector);
 
@@ -236,7 +273,7 @@ class Pipeline
     noteOsStateSync(ThreadState &t)
     {
         if (obs_)
-            obs_->onThreadStateSync(t, nextSeq_);
+            obs_->onThreadStateSync(t, *seqPtr_);
     }
 
     /**
@@ -406,6 +443,9 @@ class Pipeline
 
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 1;
+    /** Points at nextSeq_ (single core) or the chip-wide counter. */
+    std::uint64_t *seqPtr_ = &nextSeq_;
+    int coreId_ = 0;
     int intRegsUsed_ = 0;
     int fpRegsUsed_ = 0;
     int unissuedInt_ = 0;

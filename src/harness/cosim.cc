@@ -34,10 +34,21 @@ Cosim::Cosim(Pipeline &pipe)
     pipe_->setRetireObserver(this);
 }
 
+void
+Cosim::observe(Pipeline &pipe)
+{
+    smtos_assert(pipe.retireObserver() == nullptr);
+    pipe.setRetireObserver(this);
+    extraPipes_.push_back(&pipe);
+}
+
 Cosim::~Cosim()
 {
     if (pipe_->retireObserver() == this)
         pipe_->setRetireObserver(nullptr);
+    for (Pipeline *pl : extraPipes_)
+        if (pl->retireObserver() == this)
+            pl->setRetireObserver(nullptr);
 }
 
 void

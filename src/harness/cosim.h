@@ -26,6 +26,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "ref/refcore.h"
@@ -44,6 +45,14 @@ class Cosim : public RetireObserver
      */
     explicit Cosim(Pipeline &pipe);
     ~Cosim() override;
+
+    /**
+     * Observe an additional pipeline (CMP cores 1..N-1). The checkers
+     * are per thread, and the chip-shared sequence counter keeps each
+     * thread's seqs monotone across migration, so one oracle covers
+     * every core's retired stream.
+     */
+    void observe(Pipeline &pipe);
 
     Cosim(const Cosim &) = delete;
     Cosim &operator=(const Cosim &) = delete;
@@ -98,6 +107,7 @@ class Cosim : public RetireObserver
                  const std::string &what);
 
     Pipeline *pipe_;
+    std::vector<Pipeline *> extraPipes_;
     const CodeImage *kernelImage_;
     std::map<ThreadId, ThreadChecker> threads_;
     bool diverged_ = false;

@@ -72,6 +72,13 @@ EnvOverrides::fromLookup(const Lookup &get)
         ov.sample = SampleParams::fromString(v);
         ov.hasSample = true;
     }
+    if (const char *v = get("SMTOS_CORES")) {
+        const long n = std::strtol(v, nullptr, 10);
+        if (n < 1 || n > 16)
+            smtos_fatal("SMTOS_CORES: expected 1..16, got '%s'", v);
+        ov.cores = static_cast<int>(n);
+        ov.hasCores = true;
+    }
     if (const char *v = get("SMTOS_PROFILE"); truthy(v)) {
         ov.obs.profile = true;
         // Any value other than a plain switch is the report path.

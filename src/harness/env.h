@@ -22,6 +22,9 @@
  *                                    ("detailed" | "functional")
  *   SMTOS_SAMPLE                     SMARTS sampled measurement
  *                                    (SampleParams syntax)
+ *   SMTOS_CORES                      CMP width (TopologyConfig.cores;
+ *                                    applies when the config left it
+ *                                    at the single-core default)
  *   SMTOS_PROFILE, SMTOS_INTERVAL, SMTOS_INTERVAL_JSONL,
  *   SMTOS_INTERVAL_CSV, SMTOS_TIMELINE, SMTOS_TIMELINE_DETAIL,
  *   SMTOS_REQTRACE, SMTOS_REQTRACE_FILE
@@ -57,6 +60,8 @@ struct EnvOverrides
     bool hasFidelity = false; ///< SMTOS_FIDELITY was present
     SampleParams sample{};
     bool hasSample = false;   ///< SMTOS_SAMPLE was present
+    int cores = 0;            ///< CMP width override
+    bool hasCores = false;    ///< SMTOS_CORES was present
     unsigned jobs = 0;        ///< 0: unset
     std::string diagDir;
     bool hasDiagDir = false;

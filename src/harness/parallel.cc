@@ -69,14 +69,4 @@ runSessions(const std::vector<Session::Config> &cfgs, unsigned jobs)
     return results;
 }
 
-std::vector<RunResult>
-runExperiments(const std::vector<RunSpec> &specs, unsigned jobs)
-{
-    std::vector<Session::Config> cfgs;
-    cfgs.reserve(specs.size());
-    for (const RunSpec &s : specs)
-        cfgs.push_back(s.toSessionConfig());
-    return runSessions(cfgs, jobs);
-}
-
 } // namespace smtos

@@ -4,10 +4,10 @@
  *
  * Simulated systems are single-threaded by design, but a sweep (a
  * bench over context counts, a fault-rate grid, a fuzzer over seeds)
- * is embarrassingly parallel: every RunSpec builds its own System,
+ * is embarrassingly parallel: every Session builds its own System,
  * PhysMem, and workload, so runs share no mutable state. This runner
- * executes a batch of specs on a small thread pool, one complete
- * experiment per task, and returns results in spec order — output
+ * executes a batch of configs on a small thread pool, one complete
+ * experiment per task, and returns results in config order — output
  * ordering is deterministic regardless of which run finishes first.
  *
  * Per-run global state (the trace cycle clock, the crash hook, the
@@ -23,7 +23,7 @@
 #include <functional>
 #include <vector>
 
-#include "harness/experiment.h"
+#include "harness/session.h"
 
 namespace smtos {
 
@@ -57,10 +57,6 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
  */
 std::vector<RunResult> runSessions(const std::vector<Session::Config> &cfgs,
                                    unsigned jobs = 0);
-
-/** Legacy batch entry point (see RunSpec); forwards to Session. */
-std::vector<RunResult> runExperiments(const std::vector<RunSpec> &specs,
-                                      unsigned jobs = 0);
 
 } // namespace smtos
 

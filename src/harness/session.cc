@@ -19,8 +19,11 @@ namespace smtos {
 namespace {
 
 /** Config-section layout version (independent of the machine
- *  sections' per-class versions). */
+ *  sections' per-class versions). Version 2 is the single-core layout
+ *  (unchanged bytes — the bit-identity contract for cores = 1
+ *  artifacts); version 3 appends the CMP width for cores > 1. */
 constexpr std::uint32_t configSectionVersion = 2;
+constexpr std::uint32_t configSectionVersionCmp = 3;
 
 /** Cosim-oracle section layout version. */
 constexpr std::uint32_t cosimSectionVersion = 1;
@@ -136,10 +139,17 @@ machineConfigOf(const SystemConfig &sc, const WorkloadConfig &wc)
     cfg.mem.filterPrivileged = sc.filterKernelRefs;
     cfg.mem.dramLatency = sc.memLatency;
     cfg.mem.dram = sc.dram;
-    if (sc.numContexts > 0) {
-        cfg.core.numContexts = sc.numContexts;
-        cfg.core.fetchContexts = std::min(2, sc.numContexts);
+    cfg.cores = sc.topology.cores;
+    if (sc.topology.contextsPerCore > 0) {
+        cfg.core.numContexts = sc.topology.contextsPerCore;
+        cfg.core.fetchContexts =
+            std::min(2, sc.topology.contextsPerCore);
     }
+    // A CMP wants one netisr per core so protocol processing can be
+    // delivered core-locally (the kernel pins netisr i to core i%N).
+    if (sc.topology.cores > 1)
+        cfg.kernel.numNetisr =
+            std::max(cfg.kernel.numNetisr, sc.topology.cores);
     if (sc.fetchContexts > 0)
         cfg.core.fetchContexts = sc.fetchContexts;
     if (sc.roundRobinFetch)
@@ -157,6 +167,12 @@ Session::Session(const Config &cfg) : Session(cfg, true, false) {}
 Session::Session(const Config &cfg, bool consultAmbient, bool forcePlan)
     : cfg_(cfg)
 {
+    // CMP width: the SMTOS_CORES ambient applies only to fresh
+    // sessions whose config left topology at the single-core default,
+    // and before validate() so the override faces the same checks.
+    if (consultAmbient && cfg_.system.topology.cores == 1 &&
+        EnvOverrides::ambient().hasCores)
+        cfg_.system.topology.cores = EnvOverrides::ambient().cores;
     validate();
 
     // Fault injection: an explicit plan wins, then the config's
@@ -195,11 +211,13 @@ Session::Session(const Config &cfg, bool consultAmbient, bool forcePlan)
 
     sys_ = std::make_unique<System>(
         machineConfigOf(cfg_.system, cfg_.workload));
-    sys_->pipeline().setFastForward(cfg_.system.fastForward);
-    if (cfg_.fidelity == Fidelity::Functional)
-        sys_->pipeline().setFidelity(Fidelity::Functional);
-    if (cfg_.system.filterKernelRefs)
-        sys_->pipeline().setFilterPrivilegedBranches(true);
+    for (int c = 0; c < sys_->numCores(); ++c) {
+        sys_->pipeline(c).setFastForward(cfg_.system.fastForward);
+        if (cfg_.fidelity == Fidelity::Functional)
+            sys_->pipeline(c).setFidelity(Fidelity::Functional);
+        if (cfg_.system.filterKernelRefs)
+            sys_->pipeline(c).setFilterPrivilegedBranches(true);
+    }
 
     // Observability: an explicit session wins; otherwise honor the
     // installed environment so any tool can be instrumented without
@@ -239,8 +257,14 @@ Session::Session(const Config &cfg, bool consultAmbient, bool forcePlan)
     }
 
     // The oracle must observe the initial thread binds in start().
-    if (cfg_.cosim)
+    // One oracle covers every core: checkers are per thread, and the
+    // chip-shared seq counter keeps per-thread seqs monotone across
+    // cross-core migration.
+    if (cfg_.cosim) {
         cosim_ = std::make_unique<Cosim>(sys_->pipeline());
+        for (int c = 1; c < sys_->numCores(); ++c)
+            cosim_->observe(sys_->pipeline(c));
+    }
 
     sys_->start();
     atBuild_ = MetricsSnapshot::capture(*sys_);
@@ -257,15 +281,32 @@ void
 Session::validate() const
 {
     const SystemConfig &sc = cfg_.system;
-    if (sc.numContexts < 0 || sc.numContexts > 64)
-        smtos_fatal("Session: numContexts %d out of range",
-                    sc.numContexts);
+    const TopologyConfig &tp = sc.topology;
+    if (tp.contextsPerCore < 0 || tp.contextsPerCore > 64)
+        smtos_fatal("Session: contextsPerCore %d out of range",
+                    tp.contextsPerCore);
+    if (tp.cores < 1 || tp.cores > 16)
+        smtos_fatal("Session: cores %d out of range (1..16)",
+                    tp.cores);
+    if (tp.cores > 1 && !sc.smt)
+        smtos_fatal("Session: the CMP is built from SMT cores; the "
+                    "superscalar baseline is single-core");
+    if (tp.cores > 1 && !sc.withOs)
+        smtos_fatal("Session: cores > 1 needs the OS model (the SMP "
+                    "kernel owns cross-core scheduling)");
+    if (tp.cores > 1 && cfg_.fidelity != Fidelity::Detailed)
+        smtos_fatal("Session: cores > 1 runs detailed only (the "
+                    "functional engine models one core)");
+    if (tp.cores > 1 && cfg_.sample.enabled)
+        smtos_fatal("Session: sampled measurement is single-core");
     if (sc.fetchContexts < 0)
         smtos_fatal("Session: negative fetchContexts");
-    if (sc.numContexts > 0 && sc.fetchContexts > sc.numContexts)
-        smtos_fatal("Session: fetchContexts %d exceeds numContexts %d",
-                    sc.fetchContexts, sc.numContexts);
-    if (!sc.smt && sc.numContexts > 1)
+    if (tp.contextsPerCore > 0 &&
+        sc.fetchContexts > tp.contextsPerCore)
+        smtos_fatal("Session: fetchContexts %d exceeds "
+                    "contextsPerCore %d",
+                    sc.fetchContexts, tp.contextsPerCore);
+    if (!sc.smt && tp.contextsPerCore > 1)
         smtos_fatal("Session: the superscalar baseline has exactly "
                     "one context");
     if (cfg_.phases.measureInstrs == 0)
@@ -451,7 +492,7 @@ Session::writeConfig(Snapshotter &sp) const
     sp.b(sc.smt);
     sp.b(sc.withOs);
     sp.b(sc.filterKernelRefs);
-    sp.i32(sc.numContexts);
+    sp.i32(sc.topology.contextsPerCore);
     sp.i32(sc.fetchContexts);
     sp.b(sc.roundRobinFetch);
     sp.b(sc.affinitySched);
@@ -500,6 +541,11 @@ Session::writeConfig(Snapshotter &sp) const
 
     sp.b(plan_ != nullptr);
     sp.b(cosim_ != nullptr);
+
+    // Version-3 tail: the CMP width. Version-2 (cores = 1) artifacts
+    // end above, byte-identical to the pre-CMP format.
+    if (sc.topology.cores > 1)
+        sp.i32(sc.topology.cores);
 }
 
 Session::Config
@@ -510,7 +556,7 @@ Session::readConfig(Restorer &rs, bool &hadPlan, bool &hadCosim)
     sc.smt = rs.b();
     sc.withOs = rs.b();
     sc.filterKernelRefs = rs.b();
-    sc.numContexts = rs.i32();
+    sc.topology.contextsPerCore = rs.i32();
     sc.fetchContexts = rs.i32();
     sc.roundRobinFetch = rs.b();
     sc.affinitySched = rs.b();
@@ -566,7 +612,9 @@ std::vector<std::uint8_t>
 Session::snapshot()
 {
     Snapshotter sp;
-    sp.beginSection("CFG ", configSectionVersion);
+    sp.beginSection("CFG ", cfg_.system.topology.cores > 1
+                                ? configSectionVersionCmp
+                                : configSectionVersion);
     writeConfig(sp);
     sp.endSection();
     saveMachineSections(sp, *sys_, plan_);
@@ -624,16 +672,19 @@ Session::resume(const std::vector<std::uint8_t> &artifact,
         return nullptr;
     }
     const std::uint32_t cv = rs.enterSection("CFG ");
-    if (cv != configSectionVersion) {
+    if (cv != configSectionVersion && cv != configSectionVersionCmp) {
         if (error)
             *error = "snapshot rejected: config section version " +
                      std::to_string(cv) + " (supported " +
-                     std::to_string(configSectionVersion) + ")";
+                     std::to_string(configSectionVersion) + ", " +
+                     std::to_string(configSectionVersionCmp) + ")";
         return nullptr;
     }
     bool hadPlan = false;
     bool hadCosim = false;
     Config cfg = readConfig(rs, hadPlan, hadCosim);
+    if (cv == configSectionVersionCmp)
+        cfg.system.topology.cores = rs.i32();
     rs.leaveSection();
 
     // The oracle's retire-point state only exists in the artifact if

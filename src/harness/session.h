@@ -18,9 +18,6 @@
  * log to running them straight through. ResumeOptions supplies the
  * new phases/sinks and may flip policy-only knobs (fetch policy,
  * scheduler affinity, TLB-IPR sharing, host fast path).
- *
- * The legacy runExperiment(RunSpec) entry point forwards here (see
- * experiment.h); new code should use Session directly.
  */
 
 #ifndef SMTOS_HARNESS_SESSION_H
@@ -49,14 +46,31 @@ class InvariantAuditor;
 class ObsSession;
 class System;
 
+/**
+ * Chip topology: how many SMT cores the machine instantiates, and how
+ * many hardware contexts each core carries. cores = 1 is the classic
+ * single-core machine and is bit-identical to the pre-CMP simulator;
+ * cores > 1 builds a CMP with private L1s/TLBs per core, a shared L2,
+ * MESI coherence, and an SMP kernel (per-core run queues, TLB
+ * shootdown IPIs). The SMTOS_CORES environment variable overrides
+ * cores for fresh sessions that left it at the default.
+ */
+struct TopologyConfig
+{
+    int cores = 1;           ///< CMP width (1..16)
+    int contextsPerCore = 0; ///< 0 = keep the preset's value
+};
+
 /** The simulated machine, independent of what runs on it. */
 struct SystemConfig
 {
     bool smt = true;          ///< false: superscalar baseline
     bool withOs = true;       ///< false: application-only (Table 4)
     bool filterKernelRefs = false; ///< Table 9 reference filter
+    /** Cores x contexts-per-core (the redesigned knob; the old
+     *  numContexts field is topology.contextsPerCore). */
+    TopologyConfig topology;
     /** Optional overrides (0 = keep the preset's value). */
-    int numContexts = 0;
     int fetchContexts = 0;
     bool roundRobinFetch = false;
     bool affinitySched = false;

@@ -11,9 +11,9 @@
  * policy-only knobs (fetch policy, scheduler affinity, TLB-IPR
  * sharing, host fast path).
  *
- * Anything structural (context count, workload, fault plan, seed)
- * needs its own group: group keys are exactly "what start-up state
- * can be shared". Results come back in point order, bit-identical to
+ * Anything structural (topology — core count and contexts per core —
+ * workload, fault plan, seed) needs its own group: group keys are
+ * exactly "what start-up state can be shared". Results come back in point order, bit-identical to
  * running each point's start-up from scratch under the base config.
  */
 

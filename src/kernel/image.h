@@ -72,6 +72,10 @@ enum IntrVector : std::uint16_t
     VecTimer,
     VecResched,
     VecMce,       ///< machine check (injected transient fault)
+    /** Cross-core TLB shootdown IPI (CMP only). The handler runs the
+     *  resched interrupt code path, so the kernel image is unchanged;
+     *  the kernel model counts deliveries separately. */
+    VecShootdown,
 };
 
 /**

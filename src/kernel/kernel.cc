@@ -13,9 +13,11 @@ namespace smtos {
 
 Kernel::Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
                const KernelCode &kc)
-    : params_(params), pipe_(pipe), mem_(mem), kc_(kc),
+    : params_(params), pipe_(pipe), pipes_{&pipe}, mem_(mem), kc_(kc),
       kernelIs_{nullptr, &kc.image}, rng_(params.seed)
 {
+    schedLocks_.resize(1);
+    lockSpinByCore_.resize(1, 0);
     waiters_.resize(4);
     conns_.resize(512);
     idleForCtx_.assign(static_cast<size_t>(pipe_.numContexts()),
@@ -31,6 +33,23 @@ Kernel::Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
     if (params_.admit.enabled())
         setAdmission(params_.admit);
     pipe_.setOs(this);
+}
+
+void
+Kernel::attachPipes(const std::vector<Pipeline *> &pipes)
+{
+    smtos_assert(!pipes.empty() && pipes.front() == &pipe_);
+    pipes_ = pipes;
+    const auto total = static_cast<std::size_t>(totalContexts());
+    idleForCtx_.assign(total, nullptr);
+    curProc_.assign(total, nullptr);
+    nextTimerAt_.assign(total, 0);
+    runqsN_.resize(pipes_.size() - 1);
+    protoQsN_.resize(pipes_.size() - 1);
+    schedLocks_.assign(pipes_.size(), KLock{});
+    lockSpinByCore_.assign(pipes_.size(), 0);
+    for (Pipeline *p : pipes_)
+        p->setOs(this);
 }
 
 void
@@ -171,6 +190,10 @@ Process &
 Kernel::createProcess(const ProcParams &cfg)
 {
     Process &p = createInternal(cfg, false);
+    // Spread user processes across the cores' run queues; work
+    // stealing rebalances from there.
+    if (numCores() > 1 && p.isUser())
+        p.homeCore = p.pid % numCores();
     if (p.isUser() || cfg.kind == ProcKind::KernelThread) {
         p.state = Process::State::Ready;
         enqueue(&p, cfg.kind == ProcKind::KernelThread);
@@ -182,27 +205,35 @@ void
 Kernel::start()
 {
     // Netisr protocol threads (kernel threads, scheduled first).
+    // On a CMP they are pinned round-robin across the cores so every
+    // core drains its own protocol queue.
     if (params_.enableNetwork) {
         for (int i = 0; i < params_.numNetisr; ++i) {
             ProcParams cfg;
             cfg.kind = ProcKind::KernelThread;
             cfg.entryFunc = kc_.netisrLoop[i % netisrVariants];
             cfg.seed = params_.seed ^ (0x9e37ull + i);
-            createProcess(cfg);
+            Process &p = createInternal(cfg, false);
+            p.homeCore = i % numCores();
+            p.state = Process::State::Ready;
+            enqueue(&p, true);
         }
     }
     // Per-context idle threads.
-    for (int c = 0; c < pipe_.numContexts(); ++c) {
+    for (int c = 0; c < totalContexts(); ++c) {
         ProcParams cfg;
         cfg.kind = ProcKind::IdleThread;
         cfg.entryFunc = kc_.idleLoop;
         cfg.seed = params_.seed ^ (0x1d1eull + c);
-        idleForCtx_[static_cast<size_t>(c)] =
-            &createInternal(cfg, true);
+        Process &p = createInternal(cfg, true);
+        p.homeCore = coreOf(static_cast<CtxId>(c));
+        idleForCtx_[static_cast<size_t>(c)] = &p;
     }
     // Bind initial threads.
-    for (int c = 0; c < pipe_.numContexts(); ++c) {
-        switchTo(pipe_.ctx(c), pickNext());
+    for (int c = 0; c < totalContexts(); ++c) {
+        const CtxId gid = static_cast<CtxId>(c);
+        switchTo(ctxAt(gid),
+                 pickNext(numCores() > 1 ? gid : invalidCtx));
         nextTimerAt_[static_cast<size_t>(c)] =
             params_.timerQuantum + static_cast<Cycle>(c) * 1013;
     }
@@ -258,7 +289,8 @@ Kernel::serializing(Context &ctx, ThreadState &t, const Instr &in)
         if (!t.cursor.hasFault())
             return; // stale handler re-entry; nothing to install
         const FaultRec r = t.cursor.popFault();
-        Tlb &tlb = r.itlb ? pipe_.itlb() : pipe_.dtlb();
+        Pipeline &pl = pipeOfCtx(ctx);
+        Tlb &tlb = r.itlb ? pl.itlb() : pl.dtlb();
         AddrSpace &sp = r.global ? *kernelSpace_ : *p.space;
         AccessInfo who{p.pid, Mode::Pal, ctx.id};
         tlb.insert(r.vpn, sp.asn(), r.frame, who, r.global != 0);
@@ -266,7 +298,7 @@ Kernel::serializing(Context &ctx, ThreadState &t, const Instr &in)
       }
       case Op::Halt:
         p.state = Process::State::Exited;
-        switchTo(ctx, pickNext(ctx.id));
+        switchTo(ctx, pickNext(ctx.gid));
         return;
       default:
         smtos_panic("unexpected serializing op %s", opName(in.op));
@@ -281,10 +313,17 @@ Kernel::interrupt(Context &ctx, ThreadState &t, std::uint16_t vector)
         // Application-only mode: interrupts have no code cost; timer
         // interrupts still rotate threads so multiprogramming works.
         if (vector == VecTimer || vector == VecResched) {
-            if (!runq_.empty())
-                switchTo(ctx, pickNext(ctx.id));
+            if (runnableFor(ctx.core))
+                switchTo(ctx, pickNext(ctx.gid));
         }
         return;
+    }
+    if (vector == VecShootdown) {
+        // The TLB was already invalidated synchronously at the unmap;
+        // this IPI's handler (the resched path) models only the cost.
+        ++shootdownsDelivered_;
+        if (pendingShootdowns_ > 0)
+            --pendingShootdowns_;
     }
     if (vector == VecMce) {
         // Retry-then-kill recovery: the handler scrubs the reported
@@ -315,7 +354,7 @@ Kernel::interrupt(Context &ctx, ThreadState &t, std::uint16_t vector)
                         "pid%d killed after %u machine checks", p.pid,
                         p.mceHits);
             p.state = Process::State::Exited;
-            switchTo(ctx, pickNext(ctx.id));
+            switchTo(ctx, pickNext(ctx.gid));
             return;
         }
         t.cursor.push(kc_.intrMce, true);
@@ -333,6 +372,13 @@ Kernel::interrupt(Context &ctx, ThreadState &t, std::uint16_t vector)
 void
 Kernel::cycleHook(Cycle now)
 {
+    // On a CMP every core's pipeline invokes the hook each chip
+    // cycle; device/timer work must run exactly once per cycle.
+    if (pipes_.size() > 1) {
+        if (now == lastHookCycle_)
+            return;
+        lastHookCycle_ = now;
+    }
     nowCycle_ = now;
     if (faults_ && faults_->mceDue(now))
         injectMce(now);
@@ -340,12 +386,13 @@ Kernel::cycleHook(Cycle now)
         nicTick(now);
         nextNicAt_ = now + params_.nicInterval;
     }
-    for (int c = 0; c < pipe_.numContexts(); ++c) {
+    for (int c = 0; c < totalContexts(); ++c) {
         auto &next_at = nextTimerAt_[static_cast<size_t>(c)];
         if (next_at != 0 && now >= next_at) {
             next_at = now + params_.timerQuantum;
-            if (!params_.appOnly || !runq_.empty())
-                pipe_.raiseInterrupt(c, VecTimer);
+            if (!params_.appOnly ||
+                runnableFor(coreOf(static_cast<CtxId>(c))))
+                raiseOn(ctxAt(static_cast<CtxId>(c)), VecTimer);
         }
     }
     if (faults_ && probes_) {
@@ -402,21 +449,21 @@ void
 Kernel::injectMce(Cycle now)
 {
     const std::uint64_t pick = faults_->takeMce(now);
-    const auto nctx = static_cast<std::uint64_t>(pipe_.numContexts());
+    const auto nctx = static_cast<std::uint64_t>(totalContexts());
     const CtxId victim = static_cast<CtxId>(pick % nctx);
-    Context &c = pipe_.ctx(victim);
+    Context &c = ctxAt(victim);
+    Pipeline &pl = pipeOfCtx(c);
 
     // Model the transient fault itself: scrub one translation or one
     // data-cache line; the correct state is re-derived on the next
     // miss, at a performance (never correctness) cost.
     if (((pick >> 8) & 1) != 0) {
-        const std::uint64_t idx =
-            pipe_.dtlb().invalidateIndex(pick >> 16);
+        const std::uint64_t idx = pl.dtlb().invalidateIndex(pick >> 16);
         faults_->note(now, FaultKind::MceTlb,
                       static_cast<std::uint64_t>(victim), idx);
     } else {
         const std::uint64_t idx =
-            pipe_.hierarchy().l1d().invalidateIndex(pick >> 16);
+            pl.hierarchy().l1d().invalidateIndex(pick >> 16);
         faults_->note(now, FaultKind::MceCache,
                       static_cast<std::uint64_t>(victim), idx);
     }
@@ -436,7 +483,7 @@ Kernel::injectMce(Cycle now)
     }
     if (params_.appOnly)
         return; // no handler code to run in application-only mode
-    pipe_.raiseInterrupt(victim, VecMce);
+    raiseOn(c, VecMce);
 }
 
 FaultCounters
@@ -472,11 +519,35 @@ Kernel::auditInvariants() const
         else if (!conns_[static_cast<size_t>(id)].inUse)
             os << "accept queue holds free conn " << id << "\n";
     }
-    for (Process *p : runq_) {
-        // pickNext tolerates stale entries; a Running process in the
-        // queue is outright corruption (it would be bound twice).
-        if (p->state == Process::State::Running)
-            os << "run queue holds Running pid " << p->pid << "\n";
+    for (int core = 0; core < numCores(); ++core) {
+        for (Process *p : runqFor(core)) {
+            // pickNext tolerates stale entries; a Running process in
+            // the queue is outright corruption (bound twice).
+            if (p->state == Process::State::Running)
+                os << "core " << core << " run queue holds Running pid "
+                   << p->pid << "\n";
+        }
+    }
+    if (numCores() > 1) {
+        // Shootdown ledger: pendingShootdowns_ must equal the number
+        // of contexts holding an undelivered shootdown IPI.
+        std::uint64_t pending = 0;
+        for (Pipeline *pl : pipes_) {
+            for (int c = 0; c < pl->numContexts(); ++c) {
+                const Context &cx = pl->ctx(c);
+                if (cx.interruptPending &&
+                    cx.interruptVector == VecShootdown)
+                    ++pending;
+            }
+        }
+        if (pending != pendingShootdowns_)
+            os << "shootdown ledger " << pendingShootdowns_
+               << " != pending IPIs " << pending << "\n";
+        if (shootdownsDelivered_ + pendingShootdowns_ >
+            shootdownIpis_)
+            os << "delivered+pending shootdowns exceed raised ("
+               << shootdownsDelivered_ << "+" << pendingShootdowns_
+               << " > " << shootdownIpis_ << ")\n";
     }
     for (size_t cx = 0; cx < curProc_.size(); ++cx) {
         const Process *p = curProc_[cx];
@@ -521,9 +592,11 @@ Kernel::auditInvariants() const
             if (cn.inUse && !marked(cn.mbuf, cn.reqBytes))
                 os << "conn " << i << " holds unaccounted RX mbuf\n";
         }
-        for (const Packet &pkt : protoQ_) {
-            if (!marked(pkt.mbuf, pkt.bytes))
-                os << "protoQ packet holds unaccounted RX mbuf\n";
+        for (int core = 0; core < numCores(); ++core) {
+            for (const Packet &pkt : protoQFor(core)) {
+                if (!marked(pkt.mbuf, pkt.bytes))
+                    os << "protoQ packet holds unaccounted RX mbuf\n";
+            }
         }
     }
     return os.str();

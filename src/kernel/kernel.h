@@ -69,6 +69,9 @@ struct Process
 
     enum class State { Ready, Running, Blocked, Exited };
     State state = State::Ready;
+    /** Core whose run queue holds this process when Ready. Work
+     *  stealing migrates user processes; netisrs stay pinned. */
+    int homeCore = 0;
     /** Last context this process ran on (scheduler affinity). */
     CtxId lastCtx = invalidCtx;
     std::uint16_t waitChan = WaitNone;
@@ -97,6 +100,28 @@ struct Process
                cfg.kind == ProcKind::ApacheServer;
     }
 };
+
+/**
+ * A measured kernel lock. Locks are modeled in virtual time, like the
+ * shared-TLB-IPR spin in pal.cc: each acquisition advances freeAt by
+ * the hold time; an acquisition arriving while the lock is held spins
+ * for the remainder, charged to the acquiring process as kernel
+ * spin-wait code. Only instrumented on a multicore machine.
+ */
+struct KLock
+{
+    Cycle freeAt = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;
+    std::uint64_t spinCycles = 0;
+    std::uint64_t holdCycles = 0;
+};
+
+/** Measured lock hold times (virtual cycles), calibrated to the
+ *  relative critical-section lengths of the guarded structures. */
+constexpr Cycle connLockHold = 60;
+constexpr Cycle mbufLockHold = 40;
+constexpr Cycle schedLockHold = 20;
 
 /** A server-side connection/socket. */
 struct Connection
@@ -157,6 +182,16 @@ class Kernel : public OsCallbacks
 
     Kernel(const Params &params, Pipeline &pipe, PhysMem &mem,
            const KernelCode &kc);
+
+    /**
+     * CMP wiring: hand the kernel every core's pipeline (in core
+     * order; pipes[0] must be the constructor's pipe). Re-sizes the
+     * per-context scheduler state to the chip total and becomes the
+     * OS callback of every pipe. Contexts are addressed by their
+     * global id (gid = core * contextsPerCore + local id) everywhere
+     * in the kernel; on one core gid == local id and nothing changes.
+     */
+    void attachPipes(const std::vector<Pipeline *> &pipes);
 
     /** Attach (or detach, with nullptr) the observability hub; the
      *  client population shares it for request-trace stamping. */
@@ -236,6 +271,25 @@ class Kernel : public OsCallbacks
     std::uint64_t diskReads() const { return diskReads_; }
     std::uint64_t contextSwitches() const { return switches_; }
     std::uint64_t tlbWraparounds() const { return wraparounds_; }
+
+    // --- SMP introspection (all zero on a single-core machine) ---
+    int numCores() const { return static_cast<int>(pipes_.size()); }
+    const KLock &connLock() const { return connLock_; }
+    const KLock &mbufLock() const { return mbufLock_; }
+    const std::vector<KLock> &schedLocks() const { return schedLocks_; }
+    std::uint64_t workSteals() const { return steals_; }
+    std::uint64_t shootdownIpis() const { return shootdownIpis_; }
+    std::uint64_t shootdownsDelivered() const
+    {
+        return shootdownsDelivered_;
+    }
+    /** Spin cycles charged to processes running on @p core. */
+    std::uint64_t lockSpinCycles(int core) const
+    {
+        return core < static_cast<int>(lockSpinByCore_.size())
+                   ? lockSpinByCore_[static_cast<std::size_t>(core)]
+                   : 0;
+    }
     const Params &params() const { return params_; }
     Process &proc(int pid) { return *procs_.at(pid); }
     int numProcs() const { return static_cast<int>(procs_.size()); }
@@ -274,11 +328,66 @@ class Kernel : public OsCallbacks
     // scheduling (scheduler.cc)
     void enqueue(Process *p, bool front = false);
     Process *pickNext(CtxId preferred = invalidCtx);
+    Process *pickFromQueue(std::deque<Process *> &rq,
+                           CtxId preferred);
     void switchTo(Context &ctx, Process *next);
-    void assignAsn(AddrSpace &space);
+    void assignAsn(AddrSpace &space, int initiator_core = 0);
     void wakeWaiters(std::uint16_t chan);
     void blockCurrent(Context &ctx, Process &p, std::uint16_t chan);
     void nudgeIdleContext();
+
+    // SMP plumbing (gid addressing, IPIs, measured locks)
+    int totalContexts() const
+    {
+        return numCores() * pipe_.numContexts();
+    }
+    int coreOf(CtxId gid) const
+    {
+        return static_cast<int>(gid) / pipe_.numContexts();
+    }
+    Context &ctxAt(CtxId gid)
+    {
+        return pipes_[static_cast<std::size_t>(coreOf(gid))]->ctx(
+            static_cast<int>(gid) % pipe_.numContexts());
+    }
+    Pipeline &pipeOfCtx(const Context &ctx)
+    {
+        return *pipes_[static_cast<std::size_t>(ctx.core)];
+    }
+    std::deque<Process *> &runqFor(int core)
+    {
+        return core == 0 ? runq_
+                         : runqsN_[static_cast<std::size_t>(core - 1)];
+    }
+    const std::deque<Process *> &runqFor(int core) const
+    {
+        return core == 0 ? runq_
+                         : runqsN_[static_cast<std::size_t>(core - 1)];
+    }
+    std::deque<Packet> &protoQFor(int core)
+    {
+        return core == 0
+                   ? protoQ_
+                   : protoQsN_[static_cast<std::size_t>(core - 1)];
+    }
+    const std::deque<Packet> &protoQFor(int core) const
+    {
+        return core == 0
+                   ? protoQ_
+                   : protoQsN_[static_cast<std::size_t>(core - 1)];
+    }
+    /** Ready work reachable from @p core (own queue or stealable). */
+    bool runnableFor(int core) const;
+    /** Raise an interrupt, keeping the shootdown ledger exact when a
+     *  pending (undelivered) shootdown IPI is overwritten. */
+    void raiseOn(Context &ctx, std::uint16_t vector);
+    /** IPI every other core's bindable contexts after a chip-visible
+     *  TLB invalidation (unmap / ASN wraparound). */
+    void tlbShootdown(int initiator_core);
+    /** Acquire a measured lock; spins the acquiring process for the
+     *  remaining hold time when contended (see KLock). */
+    void lockAcquire(KLock &lk, const char *name, Process *p,
+                     Cycle hold);
 
     // faults (pal.cc)
     void handleTlbFault(Process &p, Addr vaddr, bool itlb);
@@ -316,6 +425,8 @@ class Kernel : public OsCallbacks
 
     Params params_;
     Pipeline &pipe_;
+    /** All cores' pipelines in core order; pipes_[0] == &pipe_. */
+    std::vector<Pipeline *> pipes_;
     Probes *probes_ = nullptr;
     FaultPlan *faults_ = nullptr;
     InvariantAuditor *auditor_ = nullptr;
@@ -326,6 +437,8 @@ class Kernel : public OsCallbacks
     std::unique_ptr<AddrSpace> kernelSpace_;
     std::vector<std::unique_ptr<Process>> procs_;
     std::deque<Process *> runq_;
+    /** Cores 1..N-1's run queues (core 0 keeps runq_). */
+    std::vector<std::deque<Process *>> runqsN_;
     std::vector<Process *> idleForCtx_;
     std::vector<Process *> curProc_;
     std::vector<std::deque<Process *>> waiters_; // by WaitChan
@@ -336,6 +449,8 @@ class Kernel : public OsCallbacks
     std::deque<int> acceptQ_;
     std::deque<Packet> nicRing_;
     std::deque<Packet> protoQ_;
+    /** Cores 1..N-1's protocol queues (per-core netisr delivery). */
+    std::vector<std::deque<Packet>> protoQsN_;
     std::unordered_map<std::uint64_t, Frame> bufcache_;
     /** Shared text frames per image (for shareText processes). */
     std::unordered_map<const CodeImage *, std::vector<Frame>>
@@ -349,6 +464,19 @@ class Kernel : public OsCallbacks
     std::vector<Cycle> nextTimerAt_;
     int nextIntrCtx_ = 0;
     Rng rng_;
+
+    // SMP state (inert on one core: every path is gated on
+    // pipes_.size() > 1, so single-core artifacts are byte-identical).
+    Cycle lastHookCycle_ = 0;
+    KLock connLock_;
+    KLock mbufLock_;
+    std::vector<KLock> schedLocks_;
+    std::vector<std::uint64_t> lockSpinByCore_;
+    std::uint64_t steals_ = 0;
+    std::uint64_t shootdownIpis_ = 0;
+    std::uint64_t shootdownsDelivered_ = 0;
+    /** IPIs raised but not yet delivered (audit invariant). */
+    std::uint64_t pendingShootdowns_ = 0;
 
     CounterMap mmEntries_;
     CounterMap syscalls_;

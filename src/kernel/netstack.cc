@@ -123,8 +123,9 @@ Kernel::rebuildRxMap()
     for (const Connection &cn : conns_)
         if (cn.inUse)
             mark(cn.mbuf, cn.reqBytes);
-    for (const Packet &pkt : protoQ_)
-        mark(pkt.mbuf, pkt.bytes);
+    for (int core = 0; core < numCores(); ++core)
+        for (const Packet &pkt : protoQFor(core))
+            mark(pkt.mbuf, pkt.bytes);
 }
 
 void
@@ -180,19 +181,26 @@ Kernel::nicTick(Cycle now)
             return;
         }
         const CtxId target =
-            static_cast<CtxId>(nextIntrCtx_ % pipe_.numContexts());
-        nextIntrCtx_ = (nextIntrCtx_ + 1) % pipe_.numContexts();
-        pipe_.raiseInterrupt(target, VecNic);
+            static_cast<CtxId>(nextIntrCtx_ % totalContexts());
+        nextIntrCtx_ = (nextIntrCtx_ + 1) % totalContexts();
+        raiseOn(ctxAt(target), VecNic);
     }
 }
 
 void
 Kernel::driverRx(Process &p)
 {
+    // Packets land on the protocol queue of the core that took the
+    // NIC interrupt; that core's pinned netisr drains them.
+    const int core =
+        p.runningOn != invalidCtx ? coreOf(p.runningOn) : 0;
+    std::deque<Packet> &pq = protoQFor(core);
     const std::uint32_t batch =
         static_cast<std::uint32_t>(nicRing_.size());
     p.ts.iprs.intrTrip = std::max<std::uint32_t>(1, batch);
     const bool acct = params_.admit.mbufAccounting;
+    if (!nicRing_.empty())
+        lockAcquire(mbufLock_, "mbuf", &p, mbufLockHold);
     while (!nicRing_.empty()) {
         Packet pkt = nicRing_.front();
         if (acct) {
@@ -219,7 +227,7 @@ Kernel::driverRx(Process &p)
         nicRing_.pop_front();
         if (probes_ && pkt.open)
             probes_->reqDriverRx(pkt.client, pkt.reqSeq, nowCycle_);
-        protoQ_.push_back(pkt);
+        pq.push_back(pkt);
     }
     wakeWaiters(WaitProtoQ);
 }
@@ -228,16 +236,19 @@ void
 Kernel::netisrDeliver(Process &p)
 {
     ThreadIprs &iprs = p.ts.iprs;
-    if (protoQ_.empty()) {
+    std::deque<Packet> &pq = protoQFor(p.homeCore);
+    if (pq.empty()) {
         iprs.copyTrip = 1;
         return;
     }
-    Packet pkt = protoQ_.front();
-    protoQ_.pop_front();
+    Packet pkt = pq.front();
+    pq.pop_front();
     iprs.copySrc = pkt.mbuf;
     iprs.copyTrip = std::max<std::uint32_t>(1, pkt.bytes / 64);
 
     if (pkt.open) {
+        // Connection setup mutates the shared conn table/accept queue.
+        lockAcquire(connLock_, "conn", &p, connLockHold);
         // Listen-queue backpressure: past the configured backlog the
         // SYN is refused outright (the client's timeout retransmits).
         const int backlog =

@@ -11,24 +11,105 @@
 namespace smtos {
 
 void
+Kernel::lockAcquire(KLock &lk, const char *name, Process *p,
+                    Cycle hold)
+{
+    if (numCores() <= 1)
+        return;
+    ++lk.acquisitions;
+    const Cycle wait =
+        lk.freeAt > nowCycle_ ? lk.freeAt - nowCycle_ : 0;
+    lk.freeAt =
+        (lk.freeAt > nowCycle_ ? lk.freeAt : nowCycle_) + hold;
+    lk.holdCycles += hold;
+    if (wait == 0)
+        return;
+    ++lk.contended;
+    lk.spinCycles += wait;
+    if (p && p->runningOn != invalidCtx) {
+        // Same idiom as the shared-TLB-IPR spin (pal.cc): the holder
+        // of the context executes spin-wait kernel code for the
+        // remaining hold time.
+        lockSpinByCore_[static_cast<std::size_t>(
+            coreOf(p->runningOn))] += wait;
+        p->ts.iprs.intrTrip =
+            static_cast<std::uint32_t>(wait / 4 + 1);
+        p->ts.cursor.push(kc_.spinWait, true);
+    }
+    if (probes_)
+        probes_->lockEvent(name, wait, hold, nowCycle_);
+}
+
+void
+Kernel::raiseOn(Context &ctx, std::uint16_t vector)
+{
+    if (numCores() > 1 && ctx.interruptPending &&
+        ctx.interruptVector == VecShootdown &&
+        vector != VecShootdown && pendingShootdowns_ > 0) {
+        // The overwritten IPI will never deliver as a shootdown; its
+        // flush already happened synchronously, so only the ledger
+        // needs the correction.
+        --pendingShootdowns_;
+        ++shootdownsDelivered_;
+    }
+    pipeOfCtx(ctx).raiseInterrupt(ctx.id, vector);
+}
+
+void
+Kernel::tlbShootdown(int initiator_core)
+{
+    if (numCores() <= 1)
+        return;
+    for (int gid = 0; gid < totalContexts(); ++gid) {
+        if (coreOf(static_cast<CtxId>(gid)) == initiator_core)
+            continue;
+        Context &c = ctxAt(static_cast<CtxId>(gid));
+        // The TLBs were flushed synchronously; the IPI models only
+        // handler cost. Contexts already servicing an interrupt keep
+        // theirs (the vector must not be overwritten).
+        if (!c.hasThread() || c.interruptPending)
+            continue;
+        raiseOn(c, VecShootdown);
+        ++shootdownIpis_;
+        ++pendingShootdowns_;
+    }
+}
+
+bool
+Kernel::runnableFor(int core) const
+{
+    if (!runqFor(core).empty())
+        return true;
+    for (int k = 1; k < numCores(); ++k) {
+        for (const Process *q : runqFor((core + k) % numCores()))
+            if (q->state == Process::State::Ready && q->isUser())
+                return true;
+    }
+    return false;
+}
+
+void
 Kernel::enqueue(Process *p, bool front)
 {
     smtos_assert(p->state == Process::State::Ready);
+    auto &rq = runqFor(p->homeCore);
+    if (numCores() > 1)
+        lockAcquire(schedLocks_[static_cast<std::size_t>(p->homeCore)],
+                    "sched", nullptr, schedLockHold);
     if (front)
-        runq_.push_front(p);
+        rq.push_front(p);
     else
-        runq_.push_back(p);
+        rq.push_back(p);
     if (probes_)
-        probes_->queueDepth(0, runq_.size(), nowCycle_);
+        probes_->queueDepth(0, rq.size(), nowCycle_);
 }
 
 Process *
-Kernel::pickNext(CtxId preferred)
+Kernel::pickFromQueue(std::deque<Process *> &rq, CtxId preferred)
 {
     const bool kthread_first =
-        !runq_.empty() &&
-        runq_.front()->state == Process::State::Ready &&
-        runq_.front()->cfg.kind == ProcKind::KernelThread;
+        !rq.empty() && rq.front()->state == Process::State::Ready &&
+        rq.front()->cfg.kind == ProcKind::KernelThread;
     if (params_.schedPolicy == SchedPolicy::Affinity &&
         preferred != invalidCtx && !kthread_first) {
         // Kernel (netisr) threads keep strict priority; affinity
@@ -36,39 +117,76 @@ Kernel::pickNext(CtxId preferred)
         // Prefer a ready process that last ran here (warm caches);
         // bounded scan so the policy stays O(1)-ish.
         int scanned = 0;
-        for (auto it = runq_.begin();
-             it != runq_.end() && scanned < 8; ++it, ++scanned) {
+        for (auto it = rq.begin(); it != rq.end() && scanned < 8;
+             ++it, ++scanned) {
             Process *p = *it;
             if (p->state == Process::State::Ready &&
                 p->lastCtx == preferred) {
-                runq_.erase(it);
+                rq.erase(it);
                 if (probes_)
-                    probes_->queueDepth(0, runq_.size(), nowCycle_);
+                    probes_->queueDepth(0, rq.size(), nowCycle_);
                 return p;
             }
         }
     }
-    while (!runq_.empty()) {
-        Process *p = runq_.front();
-        runq_.pop_front();
+    while (!rq.empty()) {
+        Process *p = rq.front();
+        rq.pop_front();
         if (p->state == Process::State::Ready) {
             if (probes_)
-                probes_->queueDepth(0, runq_.size(), nowCycle_);
+                probes_->queueDepth(0, rq.size(), nowCycle_);
             return p;
         }
     }
     return nullptr;
 }
 
+Process *
+Kernel::pickNext(CtxId preferred)
+{
+    const int core = preferred == invalidCtx ? 0 : coreOf(preferred);
+    if (numCores() > 1)
+        lockAcquire(schedLocks_[static_cast<std::size_t>(core)],
+                    "sched", nullptr, schedLockHold);
+    Process *p = pickFromQueue(runqFor(core), preferred);
+    if (p || numCores() == 1)
+        return p;
+    // Work stealing: deterministic scan of the other cores' queues
+    // for a ready user process (netisrs stay pinned to their home
+    // core's protocol queue).
+    for (int k = 1; k < numCores(); ++k) {
+        const int victim = (core + k) % numCores();
+        lockAcquire(schedLocks_[static_cast<std::size_t>(victim)],
+                    "sched", nullptr, schedLockHold);
+        auto &vq = runqFor(victim);
+        for (auto it = vq.begin(); it != vq.end(); ++it) {
+            Process *q = *it;
+            if (q->state == Process::State::Ready && q->isUser()) {
+                vq.erase(it);
+                q->homeCore = core;
+                ++steals_;
+                if (probes_)
+                    probes_->queueDepth(0, vq.size(), nowCycle_);
+                return q;
+            }
+        }
+    }
+    return nullptr;
+}
+
 void
-Kernel::assignAsn(AddrSpace &space)
+Kernel::assignAsn(AddrSpace &space, int initiator_core)
 {
     if (nextAsn_ > params_.maxAsn) {
-        // ASN wraparound: flush both shared TLBs and restart the
-        // numbering. Running processes get fresh ASNs immediately.
+        // ASN wraparound: flush both shared TLBs on every core and
+        // restart the numbering; remote cores get shootdown IPIs.
+        // Running processes get fresh ASNs immediately.
         ++wraparounds_;
-        pipe_.itlb().flushAll();
-        pipe_.dtlb().flushAll();
+        for (Pipeline *pl : pipes_) {
+            pl->itlb().flushAll();
+            pl->dtlb().flushAll();
+        }
+        tlbShootdown(initiator_core);
         nextAsn_ = 1;
         for (auto &pp : procs_) {
             if (pp->isUser())
@@ -88,32 +206,32 @@ Kernel::assignAsn(AddrSpace &space)
 void
 Kernel::switchTo(Context &ctx, Process *next)
 {
-    Process *old = curProc_[static_cast<size_t>(ctx.id)];
+    Process *old = curProc_[static_cast<size_t>(ctx.gid)];
     if (!next)
-        next = idleForCtx_[static_cast<size_t>(ctx.id)];
+        next = idleForCtx_[static_cast<size_t>(ctx.gid)];
     smtos_assert(next != nullptr);
     if (next == old)
         return;
 
     if (old && old->state == Process::State::Running) {
         old->state = Process::State::Ready;
-        old->lastCtx = ctx.id;
+        old->lastCtx = ctx.gid;
         old->runningOn = invalidCtx;
         if (old->cfg.kind != ProcKind::IdleThread)
             enqueue(old, old->cfg.kind == ProcKind::KernelThread);
     } else if (old) {
-        old->lastCtx = ctx.id;
+        old->lastCtx = ctx.gid;
         old->runningOn = invalidCtx;
     }
 
     next->state = Process::State::Running;
-    next->runningOn = ctx.id;
+    next->runningOn = ctx.gid;
     if (next->isUser() && next->space->asn() < 0)
-        assignAsn(*next->space);
-    pipe_.bindThread(ctx.id, &next->ts);
-    curProc_[static_cast<size_t>(ctx.id)] = next;
+        assignAsn(*next->space, ctx.core);
+    pipeOfCtx(ctx).bindThread(ctx.id, &next->ts);
+    curProc_[static_cast<size_t>(ctx.gid)] = next;
     ++switches_;
-    smtos_trace(TraceCat::Sched, "ctx%d: pid%d -> pid%d", ctx.id,
+    smtos_trace(TraceCat::Sched, "ctx%d: pid%d -> pid%d", ctx.gid,
                 old ? old->pid : -1, next->pid);
     if (probes_) {
         const bool idle = next->cfg.kind == ProcKind::IdleThread;
@@ -121,7 +239,7 @@ Kernel::switchTo(Context &ctx, Process *next)
             next->cfg.kind == ProcKind::KernelThread
                 ? "netisr" + std::to_string(next->pid)
                 : "pid" + std::to_string(next->pid);
-        probes_->threadSwitch(ctx.id, next->pid, idle, label);
+        probes_->threadSwitch(ctx.gid, next->pid, idle, label);
         // A process dispatched while serving a connection closes that
         // request's scheduler-wait stage (the tracer ignores repeat
         // dispatches after preemption).
@@ -129,7 +247,7 @@ Kernel::switchTo(Context &ctx, Process *next)
             conns_[static_cast<size_t>(next->conn)].inUse) {
             const Connection &cn =
                 conns_[static_cast<size_t>(next->conn)];
-            probes_->reqDispatched(cn.client, cn.reqSeq, ctx.id,
+            probes_->reqDispatched(cn.client, cn.reqSeq, ctx.gid,
                                    next->pid, nowCycle_);
         }
     }
@@ -139,7 +257,7 @@ Kernel::switchTo(Context &ctx, Process *next)
         next->ts.cursor.push(kc_.schedSwitch, true);
     // bindThread synced the observer before the frame push above; the
     // post-push state is the one the incoming thread retires from.
-    pipe_.noteOsStateSync(next->ts);
+    pipeOfCtx(ctx).noteOsStateSync(next->ts);
 }
 
 void
@@ -148,13 +266,15 @@ Kernel::blockCurrent(Context &ctx, Process &p, std::uint16_t chan)
     p.state = Process::State::Blocked;
     p.waitChan = chan;
     waiters_[chan].push_back(&p);
-    switchTo(ctx, pickNext(ctx.id));
+    switchTo(ctx, pickNext(ctx.gid));
 }
 
 void
 Kernel::deliverWait(Process &p, std::uint16_t chan)
 {
     if (chan == WaitAccept) {
+        // Claiming a connection mutates the shared table.
+        lockAcquire(connLock_, "conn", &p, connLockHold);
         smtos_assert(!acceptQ_.empty());
         const int conn = acceptQ_.front();
         acceptQ_.pop_front();
@@ -186,7 +306,8 @@ Kernel::wouldBlock(Process &p, std::uint16_t chan) const
         return p.conn < 0 ||
                conns_[static_cast<size_t>(p.conn)].recvAvail == 0;
       case WaitProtoQ:
-        return protoQ_.empty();
+        // Netisrs drain their own core's protocol queue.
+        return protoQFor(p.homeCore).empty();
       default:
         return false;
     }
@@ -213,13 +334,21 @@ Kernel::wakeWaiters(std::uint16_t chan)
         return;
     }
 
-    auto available = [&]() {
-        return chan == WaitAccept ? !acceptQ_.empty()
-                                  : !protoQ_.empty();
+    // Front-to-back: wake each waiter whose resource is available.
+    // The accept queue is chip-global; protocol queues are per-core,
+    // so a netisr only wakes when its own core's queue has packets.
+    auto available = [&](const Process *p) {
+        return chan == WaitAccept
+                   ? !acceptQ_.empty()
+                   : !protoQFor(p->homeCore).empty();
     };
-    while (!ws.empty() && available()) {
-        Process *p = ws.front();
-        ws.pop_front();
+    for (auto it = ws.begin(); it != ws.end();) {
+        Process *p = *it;
+        if (!available(p)) {
+            ++it;
+            continue;
+        }
+        it = ws.erase(it);
         deliverWait(*p, chan);
         p->state = Process::State::Ready;
         p->waitChan = WaitNone;
@@ -231,12 +360,12 @@ Kernel::wakeWaiters(std::uint16_t chan)
 void
 Kernel::nudgeIdleContext()
 {
-    for (int c = 0; c < pipe_.numContexts(); ++c) {
+    for (int c = 0; c < totalContexts(); ++c) {
         Process *cur = curProc_[static_cast<size_t>(c)];
-        Context &ctx = pipe_.ctx(c);
+        Context &ctx = ctxAt(static_cast<CtxId>(c));
         if (cur && cur->cfg.kind == ProcKind::IdleThread &&
             !ctx.interruptPending) {
-            pipe_.raiseInterrupt(c, VecResched);
+            raiseOn(ctx, VecResched);
             return;
         }
     }

@@ -43,6 +43,7 @@ Kernel::dispatchSyscall(Context &ctx, Process &p)
         func = kc_.svcClose[v];
         // Model effect: tear down the connection.
         if (p.conn >= 0) {
+            lockAcquire(connLock_, "conn", &p, connLockHold);
             Connection &cn = conns_[static_cast<size_t>(p.conn)];
             if (params_.admit.mbufAccounting)
                 freeRxMbuf(cn.mbuf, cn.reqBytes);
@@ -158,6 +159,7 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
             const std::uint32_t chunk =
                 std::max<std::uint32_t>(64, p.lastChunk);
             iprs.copySrc = userAuxBase;
+            lockAcquire(mbufLock_, "mbuf", &p, mbufLockHold);
             iprs.copyDst = params_.admit.mbufAccounting
                                ? allocTxMbuf(chunk)
                                : allocMbuf(chunk);
@@ -211,42 +213,49 @@ Kernel::doMagic(Context &ctx, Process &p, const Instr &in)
             mmEntries_.add("page_alloc");
         }
         if (r.isText)
-            pipe_.hierarchy().flushIcache();
+            for (Pipeline *pl : pipes_)
+                pl->hierarchy().flushIcache();
         return;
       }
 
       case MagicOp::Reschedule:
         if (in.payload == 1) {
             // Timer preemption: round-robin if someone is waiting.
-            if (!runq_.empty())
-                switchTo(ctx, pickNext(ctx.id));
+            if (runnableFor(ctx.core))
+                switchTo(ctx, pickNext(ctx.gid));
         } else {
             // Voluntary / idle poll: only leave idle or yield to a
             // waiting thread.
-            if (!runq_.empty() &&
+            if (runnableFor(ctx.core) &&
                 (p.cfg.kind == ProcKind::IdleThread ||
                  in.payload == 0))
-                switchTo(ctx, pickNext(ctx.id));
+                switchTo(ctx, pickNext(ctx.gid));
         }
         return;
 
       case MagicOp::TlbFlushAsn: {
         // munmap model: drop one mapped heap page and its TLB entry.
+        // On a CMP the page's translation may be cached by any core's
+        // DTLB, so every core flushes and the others take the
+        // shootdown IPI.
         if (p.isUser()) {
             const Addr heap_pages = p.cfg.heapBytes / pageBytes;
             const Addr vpn = pageOf(userHeapBase) +
                              rng_.below(heap_pages ? heap_pages : 1);
             if (p.space->mapped(vpn)) {
                 p.space->unmap(vpn, true);
-                pipe_.dtlb().flushPage(vpn, p.space->asn());
+                for (Pipeline *pl : pipes_)
+                    pl->dtlb().flushPage(vpn, p.space->asn());
                 mmEntries_.add("munmap");
+                tlbShootdown(ctx.core);
             }
         }
         return;
       }
 
       case MagicOp::IcacheFlush:
-        pipe_.hierarchy().flushIcache();
+        for (Pipeline *pl : pipes_)
+            pl->hierarchy().flushIcache();
         return;
 
       case MagicOp::SpinAcquire:

@@ -153,6 +153,61 @@ Cache::invalidateBlock(Addr addr)
     }
 }
 
+bool
+Cache::snoopInvalidate(Addr addr)
+{
+    const Addr block = blockOf(addr);
+    const int set = setOf(block);
+    const size_t setBase = static_cast<size_t>(set) *
+                           static_cast<size_t>(params_.assoc);
+    Line *base = &lines_[setBase];
+    bool was_dirty = false;
+    for (int w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].blockAddr == block) {
+            was_dirty = was_dirty || base[w].dirty;
+            classifier_.recordInvalidation(block);
+            base[w].valid = false;
+            base[w].dirty = false;
+            tags_[setBase + static_cast<size_t>(w)] = noTag;
+        }
+    }
+    return was_dirty;
+}
+
+bool
+Cache::snoopDowngrade(Addr addr)
+{
+    const Addr block = blockOf(addr);
+    const int set = setOf(block);
+    const size_t setBase = static_cast<size_t>(set) *
+                           static_cast<size_t>(params_.assoc);
+    Line *base = &lines_[setBase];
+    bool was_dirty = false;
+    for (int w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].blockAddr == block &&
+            base[w].dirty) {
+            base[w].dirty = false;
+            was_dirty = true;
+        }
+    }
+    return was_dirty;
+}
+
+bool
+Cache::probeDirty(Addr addr) const
+{
+    const Addr block = blockOf(addr);
+    const int set = setOf(block);
+    const size_t setBase = static_cast<size_t>(set) *
+                           static_cast<size_t>(params_.assoc);
+    const Line *base = &lines_[setBase];
+    for (int w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].blockAddr == block &&
+            base[w].dirty)
+            return true;
+    return false;
+}
+
 std::uint64_t
 Cache::invalidateIndex(std::uint64_t idx)
 {

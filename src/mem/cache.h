@@ -81,6 +81,19 @@ class Cache
     /** Invalidate a single block as an explicit OS operation. */
     void invalidateBlock(Addr addr);
 
+    // --- CMP snoop interface (coherence hub; see mem/coherence.h).
+    // --- Snoops never touch statistics: coherence traffic is counted
+    // --- at the hub, so single-core artifacts stay byte-identical. ---
+    /** Snoop-invalidate a block (remote store). @return true when the
+     *  invalidated copy was dirty (intervention writeback). */
+    bool snoopInvalidate(Addr addr);
+    /** Snoop-downgrade a block M->S (remote load): the copy stays
+     *  resident but loses dirty ownership. @return true when it was
+     *  dirty (a writeback to the shared level happened). */
+    bool snoopDowngrade(Addr addr);
+    /** True when the block is resident and dirty (modified state). */
+    bool probeDirty(Addr addr) const;
+
     /**
      * Invalidate the line at @p idx (mod the number of lines) — fault
      * injection's model of a transient tag/data parity error. Returns

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/coherence.h"
+
 namespace smtos {
 
 Hierarchy::Hierarchy(const HierarchyParams &params)
@@ -26,6 +28,7 @@ Hierarchy::missPath(Cache &l1, Addr paddr, const AccessInfo &who,
 {
     MemResult res;
     const Addr block = paddr / static_cast<Addr>(l1.params().lineBytes);
+    Hierarchy &sh = shared();
 
     MshrGrant grant = l1Mshr_.request(block, now);
     if (grant.merged) {
@@ -33,36 +36,42 @@ Hierarchy::missPath(Cache &l1, Addr paddr, const AccessInfo &who,
                                now + params_.l1HitLatency);
         return res;
     }
-    const Cycle start = grant.startAt;
+    Cycle start = grant.startAt;
+    // Snoop the other cores before the shared level answers: a remote
+    // Modified copy must write back first (intervention).
+    if (hub_ && !is_write)
+        start += hub_->onReadMiss(coreId_, paddr);
 
     // L2 lookup (address travels the L1-L2 bus; response carries the
     // line back over the same bus).
     const Cycle l2_done = start + params_.l2Latency;
-    CacheOutcome l2_out = l2_.access(paddr, who, is_write);
+    CacheOutcome l2_out = sh.l2_.access(paddr, who, is_write);
     Cycle fill_at;
     if (l2_out.hit) {
         res.l2Hit = true;
-        fill_at = l1l2Bus_.transfer(l2_done, l1.params().lineBytes);
+        fill_at = sh.l1l2Bus_.transfer(l2_done, l1.params().lineBytes);
     } else {
-        MshrGrant g2 = l2Mshr_.request(
-            paddr / static_cast<Addr>(l2_.params().lineBytes), l2_done);
+        MshrGrant g2 = sh.l2Mshr_.request(
+            paddr / static_cast<Addr>(sh.l2_.params().lineBytes),
+            l2_done);
         Cycle l2_ready;
         if (g2.merged) {
             l2_ready = std::max(g2.mergedReadyAt, l2_done);
         } else {
-            const Cycle req = memBus_.transfer(g2.startAt, 8);
-            const Cycle mem_done = memctrl_.access(paddr, who, req);
-            l2_ready = memBus_.transfer(mem_done,
-                                        l2_.params().lineBytes);
-            l2Mshr_.complete(
-                paddr / static_cast<Addr>(l2_.params().lineBytes),
+            const Cycle req = sh.memBus_.transfer(g2.startAt, 8);
+            const Cycle mem_done = sh.memctrl_.access(paddr, who, req);
+            l2_ready = sh.memBus_.transfer(mem_done,
+                                           sh.l2_.params().lineBytes);
+            sh.l2Mshr_.complete(
+                paddr / static_cast<Addr>(sh.l2_.params().lineBytes),
                 g2.startAt, l2_ready);
-            l2missIntegral_ +=
+            sh.l2missIntegral_ +=
                 static_cast<double>(l2_ready - g2.startAt);
             if (l2_out.dirtyEviction)
-                memBus_.transfer(l2_ready, l2_.params().lineBytes);
+                sh.memBus_.transfer(l2_ready,
+                                    sh.l2_.params().lineBytes);
         }
-        fill_at = l1l2Bus_.transfer(l2_ready, l1.params().lineBytes);
+        fill_at = sh.l1l2Bus_.transfer(l2_ready, l1.params().lineBytes);
     }
 
     res.readyAt = fill_at + params_.l1FillPenalty;
@@ -92,19 +101,25 @@ Hierarchy::data(Addr paddr, const AccessInfo &who, bool is_write,
         const Cycle fill = l1Mshr_.hitUnderFill(
             paddr / static_cast<Addr>(l1d_.params().lineBytes), now);
         res.readyAt = std::max(now + params_.l1HitLatency, fill);
+        // A store hitting a clean (Shared) line must still own it:
+        // invalidate remote copies and pay the upgrade broadcast.
+        if (hub_ && is_write)
+            res.readyAt += hub_->onWrite(coreId_, paddr);
         return res;
     }
     if (out.dirtyEviction)
-        l1l2Bus_.transfer(now, l1d_.params().lineBytes);
+        shared().l1l2Bus_.transfer(now, l1d_.params().lineBytes);
     if (is_write) {
         // Store misses allocate without fetching the line from
         // memory (write-validate, as the Alpha's write buffers and
         // write hints achieve): the L2 is probed/allocated for tag
         // state, but no DRAM round trip or MSHR entry is consumed.
         // The store buffer hides the L2 write latency.
-        l2_.access(paddr, who, true);
+        shared().l2_.access(paddr, who, true);
         MemResult res;
         res.readyAt = now + params_.l2Latency;
+        if (hub_)
+            res.readyAt += hub_->onWrite(coreId_, paddr);
         return res;
     }
     return missPath(l1d_, paddr, who, is_write, now, false);
@@ -138,7 +153,7 @@ Hierarchy::warmFetch(Addr paddr, const AccessInfo &who)
     if (params_.filterPrivileged && who.isKernel())
         return;
     if (!l1i_.access(paddr, who, false).hit)
-        l2_.access(paddr, who, false);
+        shared().l2_.access(paddr, who, false);
 }
 
 void
@@ -147,7 +162,7 @@ Hierarchy::warmData(Addr paddr, const AccessInfo &who, bool is_write)
     if (params_.filterPrivileged && who.isKernel())
         return;
     if (!l1d_.access(paddr, who, is_write).hit)
-        l2_.access(paddr, who, is_write);
+        shared().l2_.access(paddr, who, is_write);
 }
 
 Cycle
@@ -172,11 +187,15 @@ Hierarchy::flushDcache()
 void
 Hierarchy::dmaWrite(Addr paddr, int bytes)
 {
-    const int line = l2_.params().lineBytes;
+    Hierarchy &sh = shared();
+    const int line = sh.l2_.params().lineBytes;
     for (Addr a = paddr; a < paddr + static_cast<Addr>(bytes);
          a += static_cast<Addr>(line)) {
-        l2_.invalidateBlock(a);
-        l1d_.invalidateBlock(a);
+        sh.l2_.invalidateBlock(a);
+        if (hub_)
+            hub_->dmaInvalidate(a);
+        else
+            l1d_.invalidateBlock(a);
     }
 }
 

@@ -24,6 +24,8 @@
 
 namespace smtos {
 
+class CoherenceHub;
+
 /** All memory-system parameters (Table 1 defaults). */
 struct HierarchyParams
 {
@@ -127,16 +129,44 @@ class Hierarchy
     /** Enable/disable the Table 9 privileged-reference filter. */
     void setFilterPrivileged(bool on) { params_.filterPrivileged = on; }
 
+    /**
+     * CMP wiring: join coherence hub @p hub as core @p core, routing
+     * the shared levels (L2, its MSHRs, both buses, the memory
+     * controller) through @p l2_home (null = this hierarchy owns
+     * them). Single-core machines never call this; every multicore
+     * code path below is gated on hub_/l2Home_ being set, so the
+     * single-core timing is bit-identical.
+     */
+    void
+    setCoherence(CoherenceHub *hub, int core, Hierarchy *l2_home)
+    {
+        hub_ = hub;
+        coreId_ = core;
+        l2Home_ = l2_home;
+    }
+    CoherenceHub *coherence() const { return hub_; }
+    int coreId() const { return coreId_; }
+
     static constexpr std::uint32_t snapVersion = 1;
     void save(Snapshotter &sp) const;
     void load(Restorer &rs);
+    /** Per-core private slice (L1s, L1 MSHRs, store buffer, the L1
+     *  occupancy integrals) for non-L2-owning cores of a CMP. */
+    void savePrivate(Snapshotter &sp) const;
+    void loadPrivate(Restorer &rs);
 
   private:
+    /** The hierarchy owning the shared L2 complex (this one unless a
+     *  CMP routed us elsewhere). */
+    Hierarchy &shared() { return l2Home_ ? *l2Home_ : *this; }
     /** Common L1-miss path; returns fill completion time. */
     MemResult missPath(Cache &l1, Addr paddr, const AccessInfo &who,
                        bool is_write, Cycle now, bool is_ifetch);
 
     HierarchyParams params_;
+    CoherenceHub *hub_ = nullptr;
+    Hierarchy *l2Home_ = nullptr;
+    int coreId_ = 0;
     Cache l1i_;
     Cache l1d_;
     Cache l2_;

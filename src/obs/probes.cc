@@ -144,6 +144,30 @@ Probes::faultEvent(const char *kind, Cycle now, std::uint64_t a,
 }
 
 void
+Probes::lockEvent(const char *name, Cycle spin, Cycle hold, Cycle now)
+{
+    LockTally *t = nullptr;
+    for (LockTally &cand : locks_)
+        if (cand.name == name) {
+            t = &cand;
+            break;
+        }
+    if (!t) {
+        locks_.push_back(LockTally{});
+        t = &locks_.back();
+        t->name = name;
+    }
+    ++t->acquisitions;
+    if (spin > 0) {
+        ++t->contended;
+        t->spinCycles += spin;
+    }
+    t->holdCycles += hold;
+    if (timeline_ && timeline_->detail() && spin > 0)
+        timeline_->memInstant(name, invalidThread, spin, now);
+}
+
+void
 Probes::reqIssue(int client, std::uint32_t seq, Cycle now)
 {
     if (reqtrace_)

@@ -5,7 +5,7 @@
  * The session owns the sinks (cycle-attribution profiler, timeline
  * exporter, interval time-series writers), their output files, and the
  * Probes hub that wires them into a System. The harness either
- * receives a session explicitly (RunSpec::obs) or builds one from the
+ * receives a session explicitly (Session::Config::obs) or builds one from the
  * environment:
  *
  *   SMTOS_PROFILE=1|<path>     cycle-attribution report (stderr/file)

@@ -21,6 +21,10 @@ struct MachineConfig
     CoreParams core;
     HierarchyParams mem;
     Kernel::Params kernel;
+    /** CMP width: number of SMT cores sharing the L2 (1 = the
+     *  paper's single-core machine, timing-identical to before the
+     *  CMP existed). */
+    int cores = 1;
 };
 
 /** The paper's 8-context SMT (Table 1). */

@@ -170,6 +170,53 @@ writeJsonFields(std::ostream &os, const MetricsSnapshot &d)
            << ",\"functional_cycles\":" << d.fidelity.funcCycles
            << ",\"switches\":" << d.fidelity.switches << "}";
     }
+    // CMP export: a per-core-indexed array of the private-structure
+    // counters plus machine-level SMP aggregates (locks, stealing,
+    // shootdowns, coherence). Both appear only for cores > 1, so
+    // single-core JSON stays byte-identical.
+    if (!d.cores.empty()) {
+        os << ",\"cores\":[";
+        for (std::size_t c = 0; c < d.cores.size(); ++c) {
+            const CoreSlice &s = d.cores[c];
+            os << (c ? "," : "") << "{\"cycles\":" << s.core.cycles
+               << ",\"instructions\":" << s.core.totalRetired()
+               << ",\"ipc\":" << s.core.ipc()
+               << ",\"retired\":[" << s.core.retired[0];
+            for (int m = 1; m < numModes; ++m)
+                os << "," << s.core.retired[m];
+            os << "],\"lock_spin_cycles\":" << s.lockSpinCycles << ",";
+            jsonInterference(os, "l1i", s.l1i);
+            os << ",";
+            jsonInterference(os, "l1d", s.l1d);
+            os << ",";
+            jsonInterference(os, "dtlb", s.dtlb);
+            os << "}";
+        }
+        os << "]";
+    }
+    if (d.smp.enabled) {
+        auto lock = [&os](const char *name, const LockStats &l) {
+            os << ",\"" << name
+               << "\":{\"acquisitions\":" << l.acquisitions
+               << ",\"contended\":" << l.contended
+               << ",\"spin_cycles\":" << l.spinCycles
+               << ",\"hold_cycles\":" << l.holdCycles << "}";
+        };
+        os << ",\"smp\":{\"work_steals\":" << d.smp.workSteals
+           << ",\"shootdown_ipis\":" << d.smp.shootdownIpis
+           << ",\"shootdowns_delivered\":"
+           << d.smp.shootdownsDelivered;
+        lock("conn_lock", d.smp.connLock);
+        lock("mbuf_lock", d.smp.mbufLock);
+        lock("sched_lock", d.smp.schedLock);
+        os << ",\"coherence\":{\"snoop_probes\":"
+           << d.smp.coherence.snoopProbes
+           << ",\"invalidations\":" << d.smp.coherence.invalidations
+           << ",\"downgrades\":" << d.smp.coherence.downgrades
+           << ",\"intervention_writebacks\":"
+           << d.smp.coherence.interventionWritebacks
+           << ",\"upgrades\":" << d.smp.coherence.upgrades << "}}";
+    }
 }
 
 void

@@ -1,6 +1,9 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
+
 #include "common/stats.h"
+#include "kernel/kernel.h"
 #include "kernel/tags.h"
 #include "obs/probes.h"
 
@@ -36,7 +39,125 @@ diffMap(const std::map<std::string, std::uint64_t> &a,
     return d;
 }
 
+/** Counter-wise CoreStats difference (kernelEntries keeps the later
+ *  capture's absolute values, the historical behavior). */
+CoreStats
+diffCore(const CoreStats &a, const CoreStats &b)
+{
+    CoreStats d = a;
+    d.cycles = a.cycles - b.cycles;
+    d.fetched = a.fetched - b.fetched;
+    d.fetchedWrongPath = a.fetchedWrongPath - b.fetchedWrongPath;
+    d.squashed = a.squashed - b.squashed;
+    d.issued = a.issued - b.issued;
+    for (int m = 0; m < numModes; ++m)
+        d.retired[m] = a.retired[m] - b.retired[m];
+    for (int t = 0; t < 64; ++t)
+        d.retiredByTag[t] = a.retiredByTag[t] - b.retiredByTag[t];
+    for (int c = 0; c < 2; ++c) {
+        for (int k = 0; k < numMixClasses; ++k)
+            d.mix[c][k] = a.mix[c][k] - b.mix[c][k];
+        for (int k = 0; k < 2; ++k)
+            d.physMem[c][k] = a.physMem[c][k] - b.physMem[c][k];
+        d.condRetired[c] = a.condRetired[c] - b.condRetired[c];
+        d.condTaken[c] = a.condTaken[c] - b.condTaken[c];
+        d.condMispred[c] = a.condMispred[c] - b.condMispred[c];
+        d.targetMispred[c] = a.targetMispred[c] - b.targetMispred[c];
+    }
+    d.zeroFetchCycles = a.zeroFetchCycles - b.zeroFetchCycles;
+    d.zeroIssueCycles = a.zeroIssueCycles - b.zeroIssueCycles;
+    d.maxIssueCycles = a.maxIssueCycles - b.maxIssueCycles;
+    d.fetchableContexts = Sampler::fromSumCount(
+        a.fetchableContexts.sum() - b.fetchableContexts.sum(),
+        a.fetchableContexts.count() - b.fetchableContexts.count());
+    return d;
+}
+
+/** Sum @p s into @p into for the machine-level aggregate. The chip
+ *  runs in lockstep, so cycles takes the max instead of summing. */
+void
+addCore(CoreStats &into, const CoreStats &s)
+{
+    into.cycles = std::max(into.cycles, s.cycles);
+    into.fetched += s.fetched;
+    into.fetchedWrongPath += s.fetchedWrongPath;
+    into.squashed += s.squashed;
+    into.issued += s.issued;
+    for (int m = 0; m < numModes; ++m)
+        into.retired[m] += s.retired[m];
+    for (int t = 0; t < 64; ++t)
+        into.retiredByTag[t] += s.retiredByTag[t];
+    for (int c = 0; c < 2; ++c) {
+        for (int k = 0; k < numMixClasses; ++k)
+            into.mix[c][k] += s.mix[c][k];
+        for (int k = 0; k < 2; ++k)
+            into.physMem[c][k] += s.physMem[c][k];
+        into.condRetired[c] += s.condRetired[c];
+        into.condTaken[c] += s.condTaken[c];
+        into.condMispred[c] += s.condMispred[c];
+        into.targetMispred[c] += s.targetMispred[c];
+    }
+    into.zeroFetchCycles += s.zeroFetchCycles;
+    into.zeroIssueCycles += s.zeroIssueCycles;
+    into.maxIssueCycles += s.maxIssueCycles;
+    into.fetchableContexts = Sampler::fromSumCount(
+        into.fetchableContexts.sum() + s.fetchableContexts.sum(),
+        into.fetchableContexts.count() + s.fetchableContexts.count());
+    for (const auto &kv : s.kernelEntries.all())
+        into.kernelEntries.add(kv.first, kv.second);
+}
+
+void
+addInterference(InterferenceStats &into, const InterferenceStats &s)
+{
+    for (int c = 0; c < 2; ++c) {
+        into.accesses[c] += s.accesses[c];
+        into.misses[c] += s.misses[c];
+        for (int k = 0; k < numMissCauses; ++k)
+            into.cause[c][k] += s.cause[c][k];
+        for (int f = 0; f < 2; ++f)
+            into.avoided[c][f] += s.avoided[c][f];
+    }
+}
+
+LockStats
+lockStatsOf(const KLock &l)
+{
+    LockStats s;
+    s.acquisitions = l.acquisitions;
+    s.contended = l.contended;
+    s.spinCycles = l.spinCycles;
+    s.holdCycles = l.holdCycles;
+    return s;
+}
+
 } // namespace
+
+LockStats
+LockStats::delta(const LockStats &e) const
+{
+    LockStats d;
+    d.acquisitions = acquisitions - e.acquisitions;
+    d.contended = contended - e.contended;
+    d.spinCycles = spinCycles - e.spinCycles;
+    d.holdCycles = holdCycles - e.holdCycles;
+    return d;
+}
+
+SmpStats
+SmpStats::delta(const SmpStats &e) const
+{
+    SmpStats d = *this;
+    d.connLock = connLock.delta(e.connLock);
+    d.mbufLock = mbufLock.delta(e.mbufLock);
+    d.schedLock = schedLock.delta(e.schedLock);
+    d.workSteals = workSteals - e.workSteals;
+    d.shootdownIpis = shootdownIpis - e.shootdownIpis;
+    d.shootdownsDelivered =
+        shootdownsDelivered - e.shootdownsDelivered;
+    d.coherence = coherence.delta(e.coherence);
+    return d;
+}
 
 LatencySummary
 LatencySummary::of(const Histogram &h)
@@ -86,6 +207,58 @@ MetricsSnapshot::capture(System &sys)
     s.fidelity.funcInstrs = p.funcInstrs();
     s.fidelity.funcCycles = p.funcCycles();
     s.fidelity.switches = p.fidelitySwitches();
+
+    // CMP capture: per-core slices of the private structures, with
+    // the top-level fields re-aggregated machine-wide. cores = 1
+    // keeps the historical single-core capture exactly.
+    if (sys.numCores() > 1) {
+        const Kernel &k = sys.kernel();
+        for (int c = 0; c < sys.numCores(); ++c) {
+            Pipeline &pc = sys.pipeline(c);
+            CoreSlice slice;
+            slice.core = pc.stats();
+            slice.btb = pc.btb().stats();
+            slice.btbWrongTarget = pc.btb().wrongTargetHits();
+            slice.l1i = sys.hierarchy(c).l1i().stats();
+            slice.l1d = sys.hierarchy(c).l1d().stats();
+            slice.itlb = pc.itlb().stats();
+            slice.dtlb = pc.dtlb().stats();
+            slice.lockSpinCycles = k.lockSpinCycles(c);
+            s.cores.push_back(slice);
+        }
+        s.core = CoreStats{};
+        s.btb = s.l1i = s.l1d = s.itlb = s.dtlb = InterferenceStats{};
+        s.btbWrongTarget = 0;
+        s.imissIntegral = s.dmissIntegral = 0.0;
+        for (int c = 0; c < sys.numCores(); ++c) {
+            const CoreSlice &slice =
+                s.cores[static_cast<std::size_t>(c)];
+            addCore(s.core, slice.core);
+            addInterference(s.btb, slice.btb);
+            addInterference(s.l1i, slice.l1i);
+            addInterference(s.l1d, slice.l1d);
+            addInterference(s.itlb, slice.itlb);
+            addInterference(s.dtlb, slice.dtlb);
+            s.btbWrongTarget += slice.btbWrongTarget;
+            s.imissIntegral += sys.hierarchy(c).imissIntegral();
+            s.dmissIntegral += sys.hierarchy(c).dmissIntegral();
+        }
+        s.smp.enabled = 1;
+        s.smp.connLock = lockStatsOf(k.connLock());
+        s.smp.mbufLock = lockStatsOf(k.mbufLock());
+        for (const KLock &sl : k.schedLocks()) {
+            const LockStats ls = lockStatsOf(sl);
+            s.smp.schedLock.acquisitions += ls.acquisitions;
+            s.smp.schedLock.contended += ls.contended;
+            s.smp.schedLock.spinCycles += ls.spinCycles;
+            s.smp.schedLock.holdCycles += ls.holdCycles;
+        }
+        s.smp.workSteals = k.workSteals();
+        s.smp.shootdownIpis = k.shootdownIpis();
+        s.smp.shootdownsDelivered = k.shootdownsDelivered();
+        if (sys.coherence())
+            s.smp.coherence = sys.coherence()->stats();
+    }
     return s;
 }
 
@@ -94,42 +267,7 @@ MetricsSnapshot::delta(const MetricsSnapshot &e) const
 {
     MetricsSnapshot d = *this;
 
-    d.core.cycles = core.cycles - e.core.cycles;
-    d.core.fetched = core.fetched - e.core.fetched;
-    d.core.fetchedWrongPath =
-        core.fetchedWrongPath - e.core.fetchedWrongPath;
-    d.core.squashed = core.squashed - e.core.squashed;
-    d.core.issued = core.issued - e.core.issued;
-    for (int m = 0; m < numModes; ++m)
-        d.core.retired[m] = core.retired[m] - e.core.retired[m];
-    for (int t = 0; t < 64; ++t)
-        d.core.retiredByTag[t] =
-            core.retiredByTag[t] - e.core.retiredByTag[t];
-    for (int c = 0; c < 2; ++c) {
-        for (int k = 0; k < numMixClasses; ++k)
-            d.core.mix[c][k] = core.mix[c][k] - e.core.mix[c][k];
-        for (int k = 0; k < 2; ++k)
-            d.core.physMem[c][k] =
-                core.physMem[c][k] - e.core.physMem[c][k];
-        d.core.condRetired[c] =
-            core.condRetired[c] - e.core.condRetired[c];
-        d.core.condTaken[c] = core.condTaken[c] - e.core.condTaken[c];
-        d.core.condMispred[c] =
-            core.condMispred[c] - e.core.condMispred[c];
-        d.core.targetMispred[c] =
-            core.targetMispred[c] - e.core.targetMispred[c];
-    }
-    d.core.zeroFetchCycles =
-        core.zeroFetchCycles - e.core.zeroFetchCycles;
-    d.core.zeroIssueCycles =
-        core.zeroIssueCycles - e.core.zeroIssueCycles;
-    d.core.maxIssueCycles =
-        core.maxIssueCycles - e.core.maxIssueCycles;
-    d.core.fetchableContexts = Sampler::fromSumCount(
-        core.fetchableContexts.sum() - e.core.fetchableContexts.sum(),
-        core.fetchableContexts.count() -
-            e.core.fetchableContexts.count());
-
+    d.core = diffCore(core, e.core);
     d.btb = diffInterference(btb, e.btb);
     d.btbWrongTarget = btbWrongTarget - e.btbWrongTarget;
     d.l1i = diffInterference(l1i, e.l1i);
@@ -154,6 +292,23 @@ MetricsSnapshot::delta(const MetricsSnapshot &e) const
     d.fidelity.funcInstrs = fidelity.funcInstrs - e.fidelity.funcInstrs;
     d.fidelity.funcCycles = fidelity.funcCycles - e.fidelity.funcCycles;
     d.fidelity.switches = fidelity.switches - e.fidelity.switches;
+    if (cores.size() == e.cores.size()) {
+        for (std::size_t c = 0; c < cores.size(); ++c) {
+            CoreSlice &ds = d.cores[c];
+            const CoreSlice &es = e.cores[c];
+            ds.core = diffCore(cores[c].core, es.core);
+            ds.btb = diffInterference(cores[c].btb, es.btb);
+            ds.l1i = diffInterference(cores[c].l1i, es.l1i);
+            ds.l1d = diffInterference(cores[c].l1d, es.l1d);
+            ds.itlb = diffInterference(cores[c].itlb, es.itlb);
+            ds.dtlb = diffInterference(cores[c].dtlb, es.dtlb);
+            ds.btbWrongTarget =
+                cores[c].btbWrongTarget - es.btbWrongTarget;
+            ds.lockSpinCycles =
+                cores[c].lockSpinCycles - es.lockSpinCycles;
+        }
+    }
+    d.smp = smp.delta(e.smp);
     return d;
 }
 

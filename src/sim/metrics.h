@@ -11,11 +11,13 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/context.h"
 #include "fault/fault.h"
 #include "kernel/admission.h"
 #include "kernel/tags.h"
+#include "mem/coherence.h"
 #include "mem/memctrl.h"
 #include "mem/missclass.h"
 #include "obs/reqtrace.h"
@@ -54,7 +56,52 @@ struct FidelityStats
     bool enabled() const { return funcInstrs != 0 || funcCycles != 0; }
 };
 
-/** Point-in-time copy of every counter the paper's tables need. */
+/** Kernel lock counters for one named lock (DESIGN.md §16). */
+struct LockStats
+{
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;  ///< acquisitions that spun
+    std::uint64_t spinCycles = 0; ///< cycles burned waiting
+    std::uint64_t holdCycles = 0; ///< cycles the lock was held
+
+    LockStats delta(const LockStats &e) const;
+};
+
+/** SMP machine-level counters (enabled marks cores > 1). */
+struct SmpStats
+{
+    int enabled = 0;
+    LockStats connLock;
+    LockStats mbufLock;
+    LockStats schedLock; ///< summed over the per-core run-queue locks
+    std::uint64_t workSteals = 0;
+    std::uint64_t shootdownIpis = 0;
+    std::uint64_t shootdownsDelivered = 0;
+    CoherenceStats coherence;
+
+    SmpStats delta(const SmpStats &e) const;
+};
+
+/** One core's slice of a CMP capture (private structures only; the
+ *  shared L2/DRAM stay machine-level). */
+struct CoreSlice
+{
+    CoreStats core;
+    InterferenceStats btb, l1i, l1d, itlb, dtlb;
+    std::uint64_t btbWrongTarget = 0;
+    /** Kernel lock-spin cycles burned by contexts on this core. */
+    std::uint64_t lockSpinCycles = 0;
+};
+
+/**
+ * Point-in-time copy of every counter the paper's tables need.
+ *
+ * On a CMP (cores > 1) the top-level core/btb/L1/TLB fields are the
+ * machine-level aggregates (counters summed across cores; cycles is
+ * the chip cycle, not the sum) and @c cores holds the per-core
+ * slices. At cores = 1 the capture is exactly the historical
+ * single-core one and @c cores stays empty.
+ */
 struct MetricsSnapshot
 {
     CoreStats core;
@@ -81,6 +128,10 @@ struct MetricsSnapshot
     /** Functional-fidelity counters (enabled() marks the functional
      *  engine actually ran; exports stay byte-identical otherwise). */
     FidelityStats fidelity;
+    /** Per-core slices (cores > 1 only; empty on the single core). */
+    std::vector<CoreSlice> cores;
+    /** SMP counters (smp.enabled marks a CMP capture). */
+    SmpStats smp;
 
     static MetricsSnapshot capture(System &sys);
 

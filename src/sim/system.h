@@ -9,9 +9,11 @@
 #define SMTOS_SIM_SYSTEM_H
 
 #include <memory>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "kernel/kernel.h"
+#include "mem/coherence.h"
 #include "sim/config.h"
 
 namespace smtos {
@@ -43,26 +45,59 @@ class System
     /** Bind initial threads; call after workloads are installed. */
     void start() { kernel_->start(); }
 
-    /** Run until @p n more instructions retire. */
-    void run(std::uint64_t n) { pipe_->runInstrs(n); }
+    /**
+     * Run until @p n more instructions retire (chip-wide total on a
+     * CMP). On one core this delegates to the pipeline's own loop;
+     * on several, the cores step in lockstep one chip cycle at a
+     * time, fast-forwarding only when every core is quiescent.
+     */
+    void run(std::uint64_t n);
 
     /** Run for @p n cycles. */
-    void runCycles(Cycle n) { pipe_->runCycles(n); }
+    void runCycles(Cycle n);
 
     Pipeline &pipeline() { return *pipe_; }
+    Pipeline &pipeline(int core)
+    {
+        return *pipes_[static_cast<std::size_t>(core)];
+    }
     Kernel &kernel() { return *kernel_; }
     Hierarchy &hierarchy() { return hier_; }
+    Hierarchy &hierarchy(int core)
+    {
+        return core == 0
+                   ? hier_
+                   : *hiersN_[static_cast<std::size_t>(core - 1)];
+    }
     PhysMem &physMem() { return mem_; }
     const KernelCode &kernelCode() const { return *kc_; }
     const MachineConfig &config() const { return cfg_; }
 
+    int numCores() const { return static_cast<int>(pipes_.size()); }
+    const std::vector<Pipeline *> &pipes() { return pipes_; }
+    /** The chip's snoop hub (null on a single-core machine). */
+    CoherenceHub *coherence() { return hub_.get(); }
+
   private:
+    /** Chip-wide retired-instruction count. */
+    std::uint64_t chipRetired() const;
+    /** Skip to the next chip event if every core is quiescent. */
+    void chipFastForward(Cycle limit);
+
     MachineConfig cfg_;
     Probes *probes_ = nullptr;
     PhysMem mem_;
     std::unique_ptr<KernelCode> kc_;
     Hierarchy hier_;
     std::unique_ptr<Pipeline> pipe_;
+    std::unique_ptr<CoherenceHub> hub_;
+    std::vector<std::unique_ptr<Hierarchy>> hiersN_;
+    std::vector<std::unique_ptr<Pipeline>> pipesN_;
+    /** All cores in order; pipes_[0] == pipe_.get(). */
+    std::vector<Pipeline *> pipes_;
+    /** Chip-wide uop sequence counter shared by every core's
+     *  cosim-observation stream (matches Pipeline's initial seq). */
+    std::uint64_t chipSeq_ = 1;
     std::unique_ptr<Kernel> kernel_;
 };
 

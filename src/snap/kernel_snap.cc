@@ -256,6 +256,42 @@ Kernel::save(Snapshotter &sp, const SnapImages &images) const
     sp.b(clients_ != nullptr);
     if (clients_)
         clients_->save(sp);
+
+    // SMP appendix: only a multicore kernel writes it, so cores = 1
+    // KERN bytes — the bit-identity contract — never change. Sizes
+    // are structural (set by attachPipes on the identical rebuild).
+    if (numCores() > 1) {
+        for (const auto &rq : runqsN_) {
+            sp.u64(rq.size());
+            for (const Process *p : rq)
+                sp.i32(pidOf(p));
+        }
+        for (const auto &pq : protoQsN_) {
+            sp.u64(pq.size());
+            for (const Packet &p : pq)
+                pktOut(sp, p);
+        }
+        for (const auto &up : procs_)
+            sp.i32(up->homeCore);
+        auto lockOut = [&sp](const KLock &l) {
+            sp.u64(l.freeAt);
+            sp.u64(l.acquisitions);
+            sp.u64(l.contended);
+            sp.u64(l.spinCycles);
+            sp.u64(l.holdCycles);
+        };
+        lockOut(connLock_);
+        lockOut(mbufLock_);
+        for (const KLock &l : schedLocks_)
+            lockOut(l);
+        for (const std::uint64_t v : lockSpinByCore_)
+            sp.u64(v);
+        sp.u64(steals_);
+        sp.u64(shootdownIpis_);
+        sp.u64(shootdownsDelivered_);
+        sp.u64(pendingShootdowns_);
+        sp.u64(lastHookCycle_);
+    }
 }
 
 void
@@ -365,6 +401,39 @@ Kernel::load(Restorer &rs, const SnapImages &images)
     smtos_assert(hasClients == (clients_ != nullptr));
     if (clients_)
         clients_->load(rs);
+
+    if (numCores() > 1) {
+        for (auto &rq : runqsN_) {
+            rq.clear();
+            for (std::uint64_t n = rs.u64(); n > 0; --n)
+                rq.push_back(byPid(rs.i32()));
+        }
+        for (auto &pq : protoQsN_) {
+            pq.clear();
+            for (std::uint64_t n = rs.u64(); n > 0; --n)
+                pq.push_back(pktIn(rs));
+        }
+        for (auto &up : procs_)
+            up->homeCore = rs.i32();
+        auto lockIn = [&rs](KLock &l) {
+            l.freeAt = rs.u64();
+            l.acquisitions = rs.u64();
+            l.contended = rs.u64();
+            l.spinCycles = rs.u64();
+            l.holdCycles = rs.u64();
+        };
+        lockIn(connLock_);
+        lockIn(mbufLock_);
+        for (KLock &l : schedLocks_)
+            lockIn(l);
+        for (std::uint64_t &v : lockSpinByCore_)
+            v = rs.u64();
+        steals_ = rs.u64();
+        shootdownIpis_ = rs.u64();
+        shootdownsDelivered_ = rs.u64();
+        pendingShootdowns_ = rs.u64();
+        lastHookCycle_ = rs.u64();
+    }
 }
 
 // Overload state rides only the optional trailing OVLD section, so

@@ -175,7 +175,7 @@ Pipeline::save(Snapshotter &sp, const SnapImages &images) const
 {
     sp.u32(snapVersion);
     sp.u64(now_);
-    sp.u64(nextSeq_);
+    sp.u64(*seqPtr_);
     sp.i32(intRegsUsed_);
     sp.i32(fpRegsUsed_);
     sp.i32(unissuedInt_);
@@ -222,7 +222,7 @@ Pipeline::load(Restorer &rs, const SnapImages &images,
 {
     smtos_assert(rs.u32() == snapVersion);
     now_ = rs.u64();
-    nextSeq_ = rs.u64();
+    *seqPtr_ = rs.u64();
     intRegsUsed_ = rs.i32();
     fpRegsUsed_ = rs.i32();
     unissuedInt_ = rs.i32();

@@ -520,6 +520,30 @@ Hierarchy::load(Restorer &rs)
     l2missIntegral_ = rs.f64();
 }
 
+void
+Hierarchy::savePrivate(Snapshotter &sp) const
+{
+    sp.u32(snapVersion);
+    l1i_.save(sp);
+    l1d_.save(sp);
+    l1Mshr_.save(sp);
+    storeBuffer_.save(sp);
+    sp.f64(imissIntegral_);
+    sp.f64(dmissIntegral_);
+}
+
+void
+Hierarchy::loadPrivate(Restorer &rs)
+{
+    tag(rs, snapVersion);
+    l1i_.load(rs);
+    l1d_.load(rs);
+    l1Mshr_.load(rs);
+    storeBuffer_.load(rs);
+    imissIntegral_ = rs.f64();
+    dmissIntegral_ = rs.f64();
+}
+
 // --- vm/physmem.h ---
 
 void

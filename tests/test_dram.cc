@@ -355,7 +355,7 @@ TEST(DramSession, JsonExportsDramObjectOnlyWhenBanked)
 TEST(DramSession, TwoContextInterferenceUnderCosim)
 {
     Session::Config cfg;
-    cfg.system.numContexts = 2;
+    cfg.system.topology.contextsPerCore = 2;
     cfg.system.dram.banked = true;
     cfg.system.dram.channels = 1;
     cfg.system.dram.ranks = 1;
@@ -386,7 +386,7 @@ TEST(DramSession, TwoContextInterferenceUnderCosim)
 TEST(DramSession, ResumeFlipsPagePolicyOnly)
 {
     Session::Config cfg;
-    cfg.system.numContexts = 2;
+    cfg.system.topology.contextsPerCore = 2;
     cfg.system.dram.banked = true;
     cfg.phases.startupInstrs = 1;
     cfg.phases.measureInstrs = 30'000;

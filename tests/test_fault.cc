@@ -23,7 +23,7 @@
 #include "fault/fault.h"
 #include "harness/cosim.h"
 #include "harness/env.h"
-#include "harness/experiment.h"
+#include "harness/session.h"
 #include "net/network.h"
 #include "sim/config.h"
 #include "sim/export.h"

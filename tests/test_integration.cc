@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "harness/experiment.h"
+#include "harness/session.h"
 #include "net/clients.h"
 #include "sim/system.h"
 #include "workload/apache.h"

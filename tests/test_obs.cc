@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "harness/experiment.h"
+#include "harness/session.h"
 #include "obs/profiler.h"
 #include "obs/session.h"
 #include "obs/timeline.h"

@@ -147,7 +147,7 @@ overloadSession()
     cfg.workload.kind = WorkloadConfig::Kind::Apache;
     cfg.workload.openLoop = openLoopPoint();
     cfg.system.admit = oldestFirstPoint();
-    cfg.system.numContexts = 4;
+    cfg.system.topology.contextsPerCore = 4;
     cfg.phases.startupInstrs = 260'000;
     cfg.phases.measureInstrs = 200'000;
     return cfg;
@@ -505,7 +505,7 @@ TEST(OverloadSnap, ClosedLoopArtifactResumesIntoOverload)
     // purely via ResumeOptions.
     Session::Config cfg;
     cfg.workload.kind = WorkloadConfig::Kind::Apache;
-    cfg.system.numContexts = 4;
+    cfg.system.topology.contextsPerCore = 4;
     cfg.phases.startupInstrs = 260'000;
     cfg.phases.measureInstrs = 200'000;
     Session origin(cfg);
@@ -596,7 +596,7 @@ TEST(OverloadDisabled, ClosedLoopRunHasNoOverloadFootprint)
 {
     Session::Config cfg;
     cfg.workload.kind = WorkloadConfig::Kind::Apache;
-    cfg.system.numContexts = 2;
+    cfg.system.topology.contextsPerCore = 2;
     cfg.phases.startupInstrs = 200'000;
     cfg.phases.measureInstrs = 120'000;
     Session s(cfg);

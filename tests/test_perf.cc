@@ -39,7 +39,7 @@ perfSpec(WorkloadConfig::Kind wl, int contexts)
 {
     Session::Config s;
     s.workload.kind = wl;
-    s.system.numContexts = contexts;
+    s.system.topology.contextsPerCore = contexts;
     s.workload.spec.inputChunks = 8;
     s.phases.startupInstrs = 30'000;
     s.phases.measureInstrs = 120'000;

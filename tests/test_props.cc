@@ -12,7 +12,7 @@
 #include <tuple>
 
 #include "common/rng.h"
-#include "harness/experiment.h"
+#include "harness/session.h"
 #include "mem/cache.h"
 #include "vm/tlb.h"
 
@@ -163,7 +163,7 @@ TEST_P(ContextSweep, SpecIntRunsAtAnyContextCount)
     s.workload.kind = WorkloadConfig::Kind::SpecInt;
     s.workload.spec.numApps = 4;
     s.workload.spec.inputChunks = 8;
-    s.system.numContexts = GetParam();
+    s.system.topology.contextsPerCore = GetParam();
     s.phases.startupInstrs = 150'000;
     s.phases.measureInstrs = 250'000;
     RunResult r = Session(s).run();

@@ -288,7 +288,7 @@ void
 sampledVsFull(WorkloadConfig::Kind kind, int contexts)
 {
     Session::Config base;
-    base.system.numContexts = contexts;
+    base.system.topology.contextsPerCore = contexts;
     base.workload.kind = kind;
     base.workload.seed = 31 + contexts;
     base.phases.startupInstrs = 40'000;

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * CMP/SMP correctness: the MESI hub's closed-form latencies, the TLB
+ * shootdown completion invariant, work-stealing determinism, a cosim
+ * fuzz over the topology matrix, and the single-core byte-identity
+ * contract (cores = 1 artifacts keep the historical layout exactly).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/cosim.h"
+#include "harness/env.h"
+#include "harness/session.h"
+#include "mem/coherence.h"
+#include "mem/hierarchy.h"
+#include "sim/export.h"
+
+using namespace smtos;
+
+namespace {
+
+// --- MESI unit fixtures: two private hierarchies behind one hub. ---
+
+struct Chip2
+{
+    Hierarchy h0, h1;
+    CoherenceHub hub;
+
+    Chip2() : h0(HierarchyParams{}), h1(HierarchyParams{})
+    {
+        hub.attach(&h0);
+        hub.attach(&h1);
+        h0.setCoherence(&hub, 0, nullptr);
+        h1.setCoherence(&hub, 1, &h0);
+    }
+};
+
+const AccessInfo who0{0, Mode::User, 0};
+const AccessInfo who1{1, Mode::User, 1};
+
+// --- Session configs ---
+
+Session::Config
+smpSpec(int cores, int ctx)
+{
+    Session::Config s;
+    s.system.topology.cores = cores;
+    s.system.topology.contextsPerCore = ctx;
+    s.workload.kind = WorkloadConfig::Kind::SpecInt;
+    s.workload.spec.inputChunks = 16;
+    s.phases.startupInstrs = 120'000;
+    s.phases.measureInstrs = 160'000;
+    return s;
+}
+
+Session::Config
+smpApache(int cores, int ctx)
+{
+    Session::Config s = smpSpec(cores, ctx);
+    s.workload.kind = WorkloadConfig::Kind::Apache;
+    return s;
+}
+
+/** Walk the artifact's section framing: (fourcc, version) in order. */
+std::vector<std::pair<std::string, std::uint32_t>>
+sectionsOf(const std::vector<std::uint8_t> &artifact)
+{
+    std::vector<std::pair<std::string, std::uint32_t>> out;
+    std::size_t pos = 8 + 4 + 8 + 8; // magic, format, length, checksum
+    while (pos + 16 <= artifact.size()) {
+        char tag[5] = {0};
+        std::memcpy(tag, artifact.data() + pos, 4);
+        std::uint32_t version;
+        std::memcpy(&version, artifact.data() + pos + 4,
+                    sizeof version);
+        std::uint64_t len;
+        std::memcpy(&len, artifact.data() + pos + 8, sizeof len);
+        out.emplace_back(tag, version);
+        pos += 16 + len;
+    }
+    EXPECT_EQ(pos, artifact.size());
+    return out;
+}
+
+int
+countTag(const std::vector<std::pair<std::string, std::uint32_t>> &ss,
+         const std::string &tag)
+{
+    int n = 0;
+    for (const auto &s : ss)
+        if (s.first == tag)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+// ===================== MESI state machine =====================
+
+// A store with no remote copy is MESI's silent E->M: no invalidation,
+// no upgrade broadcast, zero added latency.
+TEST(Mesi, ExclusiveToModifiedIsSilent)
+{
+    Chip2 c;
+    c.h0.l1d().access(0x1000, who0, false);
+    EXPECT_EQ(c.hub.onWrite(0, 0x1000), 0u);
+    EXPECT_EQ(c.hub.stats().snoopProbes, 1u);
+    EXPECT_EQ(c.hub.stats().invalidations, 0u);
+    EXPECT_EQ(c.hub.stats().upgrades, 0u);
+    EXPECT_EQ(c.hub.stats().interventionWritebacks, 0u);
+}
+
+// A store that finds a remote clean sharer pays exactly the S->M
+// upgrade broadcast and invalidates the remote copy.
+TEST(Mesi, UpgradeInvalidatesCleanSharer)
+{
+    Chip2 c;
+    c.h1.l1d().access(0x2000, who1, false); // remote Shared copy
+    EXPECT_TRUE(c.h1.l1d().probe(0x2000));
+    EXPECT_EQ(c.hub.onWrite(0, 0x2000), CoherenceHub::upgradeLatency);
+    EXPECT_FALSE(c.h1.l1d().probe(0x2000));
+    EXPECT_EQ(c.hub.stats().invalidations, 1u);
+    EXPECT_EQ(c.hub.stats().upgrades, 1u);
+    EXPECT_EQ(c.hub.stats().interventionWritebacks, 0u);
+}
+
+// A store that finds a remote Modified copy pays the intervention
+// writeback (the dirty data's trip to the shared L2 is on the
+// store's critical path), not the cheap upgrade.
+TEST(Mesi, WriteToRemoteModifiedPaysIntervention)
+{
+    Chip2 c;
+    c.h1.l1d().access(0x3000, who1, true); // remote Modified copy
+    EXPECT_TRUE(c.h1.l1d().probeDirty(0x3000));
+    EXPECT_EQ(c.hub.onWrite(0, 0x3000),
+              CoherenceHub::interventionLatency);
+    EXPECT_FALSE(c.h1.l1d().probe(0x3000));
+    EXPECT_EQ(c.hub.stats().invalidations, 1u);
+    EXPECT_EQ(c.hub.stats().interventionWritebacks, 1u);
+    EXPECT_EQ(c.hub.stats().upgrades, 0u);
+}
+
+// A read miss downgrades a remote Modified copy M->S: the remote
+// copy stays resident but loses dirty ownership, and the requester
+// pays the intervention on its fill path.
+TEST(Mesi, ReadMissDowngradesRemoteModified)
+{
+    Chip2 c;
+    c.h1.l1d().access(0x4000, who1, true);
+    EXPECT_EQ(c.hub.onReadMiss(0, 0x4000),
+              CoherenceHub::interventionLatency);
+    EXPECT_TRUE(c.h1.l1d().probe(0x4000));
+    EXPECT_FALSE(c.h1.l1d().probeDirty(0x4000));
+    EXPECT_EQ(c.hub.stats().downgrades, 1u);
+    EXPECT_EQ(c.hub.stats().interventionWritebacks, 1u);
+    // A second read miss finds the copy already Shared: free.
+    EXPECT_EQ(c.hub.onReadMiss(0, 0x4000), 0u);
+    EXPECT_EQ(c.hub.stats().downgrades, 1u);
+}
+
+// Clean remote sharers cost a read miss nothing.
+TEST(Mesi, ReadMissWithCleanSharerIsFree)
+{
+    Chip2 c;
+    c.h1.l1d().access(0x5000, who1, false);
+    EXPECT_EQ(c.hub.onReadMiss(0, 0x5000), 0u);
+    EXPECT_EQ(c.hub.stats().downgrades, 0u);
+    EXPECT_EQ(c.hub.stats().interventionWritebacks, 0u);
+    EXPECT_TRUE(c.h1.l1d().probe(0x5000));
+}
+
+// DMA writes (disk reads landing in memory) invalidate every core's
+// stale L1D copy.
+TEST(Mesi, DmaInvalidatesEveryCore)
+{
+    Chip2 c;
+    c.h0.l1d().access(0x6000, who0, false);
+    c.h1.l1d().access(0x6000, who1, false);
+    c.hub.dmaInvalidate(0x6000);
+    EXPECT_FALSE(c.h0.l1d().probe(0x6000));
+    EXPECT_FALSE(c.h1.l1d().probe(0x6000));
+}
+
+// ===================== TLB shootdowns =====================
+
+// munmap on a CMP IPIs every other core; the kernel's ledger must
+// balance (raised = delivered + pending) and the audit must stay
+// clean through delivery. Small heaps make the workload's munmap
+// calls hit mapped pages deterministically often.
+TEST(Shootdown, CompletionInvariantHolds)
+{
+    Session::Config cfg = smpSpec(2, 4);
+    cfg.workload.spec.heapBase = 1ull << 16;
+    cfg.workload.spec.heapStep = 1ull << 14;
+    cfg.phases.startupInstrs = 400'000;
+    cfg.phases.measureInstrs = 1'500'000;
+    Session s(cfg);
+    s.run();
+    const Kernel &k = s.system().kernel();
+    EXPECT_GT(k.shootdownIpis(), 0u);
+    EXPECT_GT(k.shootdownsDelivered(), 0u);
+    EXPECT_LE(k.shootdownsDelivered(), k.shootdownIpis());
+    EXPECT_EQ(s.system().kernel().auditInvariants(), "");
+}
+
+// ===================== work stealing =====================
+
+// An imbalanced process count (5 user procs across 2 cores x 2
+// contexts) forces idle cores to steal; twin runs must agree on
+// every exported number and on the steal count itself.
+TEST(WorkStealing, StealsHappenAndRunsAreDeterministic)
+{
+    Session::Config cfg = smpSpec(2, 2);
+    cfg.workload.spec.numApps = 5;
+    cfg.workload.spec.inputChunks = 40;
+    cfg.phases.startupInstrs = 600'000;
+    cfg.phases.measureInstrs = 200'000;
+
+    Session a(cfg);
+    const RunResult ra = a.run();
+    Session b(cfg);
+    const RunResult rb = b.run();
+
+    EXPECT_GT(a.system().kernel().workSteals(), 0u);
+    EXPECT_EQ(a.system().kernel().workSteals(),
+              b.system().kernel().workSteals());
+    EXPECT_EQ(toJson(ra.startup), toJson(rb.startup));
+    EXPECT_EQ(toJson(ra.steady), toJson(rb.steady));
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(a.system().kernel().auditInvariants(), "");
+}
+
+// ===================== per-core aggregates =====================
+
+// The top-level capture is the machine aggregate of the per-core
+// slices: instruction counts sum, and lockstep makes every core
+// report the same chip cycle.
+TEST(Topology, PerCoreSlicesSumToMachineAggregates)
+{
+    Session s(smpApache(2, 4));
+    const RunResult r = s.run();
+    ASSERT_EQ(r.steady.cores.size(), 2u);
+    EXPECT_EQ(r.steady.smp.enabled, 1);
+    std::uint64_t instrs = 0;
+    for (const CoreSlice &c : r.steady.cores) {
+        instrs += c.core.totalRetired();
+        EXPECT_EQ(c.core.cycles, r.steady.core.cycles);
+    }
+    EXPECT_EQ(instrs, r.steady.core.totalRetired());
+    EXPECT_TRUE(r.steady.smp.coherence.any());
+
+    const std::string json = toJson(r.steady);
+    EXPECT_NE(json.find("\"cores\":["), std::string::npos);
+    EXPECT_NE(json.find("\"smp\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"coherence\""), std::string::npos);
+}
+
+// ===================== cosim fuzz =====================
+
+struct FuzzCase
+{
+    int seed;
+};
+
+class SmpCosimFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+// 52 seeds across {1,2,4} cores x {1,2,4,8} contexts, alternating
+// SPECInt and Apache. runMeasurement panics on divergence, so a
+// surviving oracle with checked() > 0 is the assertion.
+TEST_P(SmpCosimFuzz, OracleStaysClean)
+{
+    const int seed = GetParam();
+    static const int coreChoices[] = {1, 2, 4};
+    static const int ctxChoices[] = {1, 2, 4, 8};
+    const int cores = coreChoices[seed % 3];
+    const int ctx = ctxChoices[(seed / 3) % 4];
+    Session::Config cfg = seed % 2 ? smpApache(cores, ctx)
+                                   : smpSpec(cores, ctx);
+    cfg.phases.startupInstrs = 60'000;
+    cfg.phases.measureInstrs = 80'000;
+    cfg.workload.seed = 1000 + static_cast<std::uint64_t>(seed);
+    cfg.cosim = true;
+    Session s(cfg);
+    s.run();
+    ASSERT_NE(s.cosim(), nullptr);
+    EXPECT_FALSE(s.cosim()->diverged());
+    EXPECT_GT(s.cosim()->checked(), 0u);
+    EXPECT_EQ(s.system().kernel().auditInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmpCosimFuzz,
+                         ::testing::Range(0, 52));
+
+// ===================== snapshot formats =====================
+
+// cores = 1 artifacts keep the seed layout exactly: CFG version 2,
+// one PIPE section, no COH section, and no SMP keys in the JSON.
+TEST(SnapshotFormat, SingleCoreArtifactKeepsSeedLayout)
+{
+    Session::Config cfg = smpSpec(1, 4);
+    Session s(cfg);
+    s.runStartup();
+    const auto sections = sectionsOf(s.snapshot());
+    ASSERT_FALSE(sections.empty());
+    EXPECT_EQ(sections[0].first, "CFG ");
+    EXPECT_EQ(sections[0].second, 2u);
+    EXPECT_EQ(countTag(sections, "PIPE"), 1);
+    EXPECT_EQ(countTag(sections, "HIER"), 1);
+    EXPECT_EQ(countTag(sections, "COH "), 0);
+
+    const std::string json =
+        toJson(MetricsSnapshot::capture(s.system()));
+    EXPECT_EQ(json.find("\"cores\":["), std::string::npos);
+    EXPECT_EQ(json.find("\"smp\":{"), std::string::npos);
+}
+
+// CMP artifacts carry the widened CFG plus one PIPE/HIER pair per
+// core and the coherence hub's section.
+TEST(SnapshotFormat, CmpArtifactCarriesPerCoreSections)
+{
+    Session s(smpApache(2, 4));
+    s.runStartup();
+    const auto sections = sectionsOf(s.snapshot());
+    ASSERT_FALSE(sections.empty());
+    EXPECT_EQ(sections[0].first, "CFG ");
+    EXPECT_EQ(sections[0].second, 3u);
+    EXPECT_EQ(countTag(sections, "PIPE"), 2);
+    EXPECT_EQ(countTag(sections, "HIER"), 2);
+    EXPECT_EQ(countTag(sections, "COH "), 1);
+}
+
+// A CMP measurement resumed from the artifact is byte-identical to
+// the uninterrupted one, and restoring then re-snapshotting loses
+// nothing.
+TEST(SnapshotFormat, CmpRoundTripIsExact)
+{
+    Session::Config cfg = smpApache(2, 4);
+    Session origin(cfg);
+    origin.runStartup();
+    const std::vector<std::uint8_t> artifact = origin.snapshot();
+
+    std::string err;
+    auto identity =
+        Session::resume(artifact, Session::ResumeOptions{}, &err);
+    ASSERT_NE(identity, nullptr) << err;
+    EXPECT_EQ(artifact, identity->snapshot());
+
+    const std::string straight =
+        toJson(origin.runMeasurement().steady);
+    Session::ResumeOptions opts;
+    opts.phases = cfg.phases;
+    auto resumed = Session::resume(artifact, opts, &err);
+    ASSERT_NE(resumed, nullptr) << err;
+    EXPECT_EQ(straight, toJson(resumed->runMeasurement().steady));
+}
+
+// The cosim oracle survives a CMP snapshot/restore boundary.
+TEST(SnapshotFormat, CmpCosimSurvivesRestore)
+{
+    Session::Config cfg = smpSpec(2, 4);
+    cfg.cosim = true;
+    Session origin(cfg);
+    origin.runStartup();
+    const std::vector<std::uint8_t> artifact = origin.snapshot();
+
+    Session::ResumeOptions opts;
+    opts.phases = cfg.phases;
+    opts.cosim = true;
+    std::string err;
+    auto resumed = Session::resume(artifact, opts, &err);
+    ASSERT_NE(resumed, nullptr) << err;
+    resumed->runMeasurement();
+    ASSERT_NE(resumed->cosim(), nullptr);
+    EXPECT_FALSE(resumed->cosim()->diverged());
+    EXPECT_GT(resumed->cosim()->checked(), 0u);
+}
+
+// ===================== SMTOS_CORES =====================
+
+TEST(SmpEnv, SmtosCoresParsesAndValidates)
+{
+    const EnvOverrides ov =
+        EnvOverrides::fromLookup([](const char *name) -> const char * {
+            return std::strcmp(name, "SMTOS_CORES") == 0 ? "4"
+                                                         : nullptr;
+        });
+    EXPECT_TRUE(ov.hasCores);
+    EXPECT_EQ(ov.cores, 4);
+
+    const EnvOverrides none = EnvOverrides::fromLookup(
+        [](const char *) -> const char * { return nullptr; });
+    EXPECT_FALSE(none.hasCores);
+}

@@ -55,7 +55,7 @@ configFor(const Scenario &sc)
     Session::Config cfg;
     cfg.workload.kind = sc.kind;
     cfg.workload.spec.inputChunks = 8;
-    cfg.system.numContexts = sc.contexts;
+    cfg.system.topology.contextsPerCore = sc.contexts;
     cfg.system.fastForward = sc.fastForward;
     cfg.system.dram.banked = sc.banked;
     if (sc.kind == WorkloadConfig::Kind::Apache) {

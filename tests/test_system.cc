@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "harness/experiment.h"
+#include "harness/session.h"
 
 using namespace smtos;
 
